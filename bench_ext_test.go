@@ -1,0 +1,175 @@
+package mpj
+
+// Extension benchmarks (the Section 8 future-work features built in
+// internal/objspace and internal/remote):
+//
+//	E12  shared-object Mailbox IPC vs byte-pipe IPC (the paper's "it
+//	     is very appealing to use shared objects as an
+//	     inter-application communication mechanism")
+//	E13  remote (cross-VM) exec vs local exec — what extending an
+//	     application across VMs costs
+
+import (
+	"testing"
+
+	"mpj/internal/core"
+	"mpj/internal/coreutils"
+	"mpj/internal/netsim"
+	"mpj/internal/objspace"
+	"mpj/internal/remote"
+	"mpj/internal/security"
+	"mpj/internal/streams"
+)
+
+var e12Sizes = []int{4096, 1 << 20}
+
+// BenchmarkE12MailboxIPC: one message handoff through a shared
+// Mailbox object — a pointer move, independent of payload size. This
+// is the payoff of sharing objects instead of serializing through a
+// byte pipe.
+func BenchmarkE12MailboxIPC(b *testing.B) {
+	for _, size := range e12Sizes {
+		b.Run(sizeName(size), func(b *testing.B) {
+			box := objspace.NewMailbox(1)
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for {
+					if _, err := box.Receive(); err != nil {
+						return
+					}
+				}
+			}()
+			payload := make([]byte, size)
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := box.Send(payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			box.Close()
+			<-done
+		})
+	}
+}
+
+// BenchmarkE12PipeIPC is the byte-pipe baseline: the payload is copied
+// into and out of the pipe buffer, so cost grows with size.
+func BenchmarkE12PipeIPC(b *testing.B) {
+	for _, size := range e12Sizes {
+		b.Run(sizeName(size), func(b *testing.B) {
+			r, w := streams.NewPipe(64 * 1024)
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				buf := make([]byte, 64*1024)
+				for {
+					if _, err := r.Read(buf); err != nil {
+						return
+					}
+				}
+			}()
+			payload := make([]byte, size)
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := w.Write(payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			_ = w.Close()
+			<-done
+		})
+	}
+}
+
+func sizeName(size int) string {
+	if size >= 1<<20 {
+		return "1MiB"
+	}
+	return "4KiB"
+}
+
+// benchTwoVMs builds two platforms on one network with a rexec daemon
+// on the second.
+func benchTwoVMs(b *testing.B) (*core.Platform, *core.Platform) {
+	b.Helper()
+	net := netsim.New()
+	net.AddHost("localhost")
+	net.AddHost("vm2.local")
+	mk := func(name string) *core.Platform {
+		p, err := core.NewPlatform(core.Config{Name: name, Net: net})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(p.Shutdown)
+		if err := coreutils.InstallAll(p); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.AddUser("alice", "wonderland"); err != nil {
+			b.Fatal(err)
+		}
+		return p
+	}
+	vm1, vm2 := mk("vm1"), mk("vm2")
+	if err := remote.InstallRexec(vm1); err != nil {
+		b.Fatal(err)
+	}
+	vm1.Policy().AddGrant(&security.Grant{
+		User:  "*",
+		Perms: []security.Permission{security.NewSocketPermission("vm2.local:512", "connect")},
+	})
+	d, err := remote.StartDaemon(vm2, "vm2.local", remote.DefaultPort)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(d.Close)
+	return vm1, vm2
+}
+
+// BenchmarkE13RemoteExec: full cross-VM execution of a trivial program
+// (dial, authenticate, launch, stream bridge, exit code back).
+func BenchmarkE13RemoteExec(b *testing.B) {
+	vm1, vm2 := benchTwoVMs(b)
+	_ = vm2
+	alice, err := vm1.Users().Lookup("alice")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		app, err := vm1.Exec(core.ExecSpec{
+			Program: "rexec",
+			Args:    []string{"-p", "wonderland", "vm2.local:512", "echo", "x"},
+			User:    alice,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if code := app.WaitFor(); code != 0 {
+			b.Fatalf("remote exit = %d", code)
+		}
+	}
+}
+
+// BenchmarkE13LocalExec is the same workload executed locally.
+func BenchmarkE13LocalExec(b *testing.B) {
+	vm1, _ := benchTwoVMs(b)
+	alice, err := vm1.Users().Lookup("alice")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		app, err := vm1.Exec(core.ExecSpec{Program: "echo", Args: []string{"x"}, User: alice})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if code := app.WaitFor(); code != 0 {
+			b.Fatalf("local exit = %d", code)
+		}
+	}
+}

@@ -1,0 +1,721 @@
+package mpj
+
+// Benchmark harness: one benchmark family per experiment of
+// EXPERIMENTS.md / DESIGN.md. The paper is an experience paper whose
+// figures are architectural, so each family quantifies the performance
+// claim attached to the corresponding figure or section:
+//
+//	E1  Figure 1   application launch/exit inside one VM vs a fresh VM per application
+//	E2  Figure 2   event latency under the single global dispatcher
+//	E3  Figure 3   thread spawn cost with group accounting
+//	E4  Figure 4   event latency under per-application dispatchers
+//	E5  Figure 5   System-class reload cost vs delegated (shared) load
+//	E6  Section 2  context-switch cost: in-VM pipes vs OS pipes vs two OS processes
+//	E7  Section 2  IPC throughput: in-VM pipe vs OS pipe
+//	E8  §5.3/§5.6  access-control cost: stack depth × policy kind
+//	E9  §6.3       applet fetch/verify/load/run cost
+//	E10 §6.1       shell pipeline launch+transfer cost by stage count
+//	E11 §5.2       login (authenticate + setUser + shell) cost
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"testing"
+	"time"
+
+	"mpj/internal/applet"
+	"mpj/internal/classes"
+	"mpj/internal/core"
+	"mpj/internal/events"
+	"mpj/internal/security"
+	"mpj/internal/streams"
+	"mpj/internal/vm"
+)
+
+// echoChildEnv marks the re-exec'ed process as the E6 echo child.
+const echoChildEnv = "MPJ_ECHO_CHILD"
+
+// TestMain lets the test binary double as the cross-process echo child
+// for BenchmarkE6ContextSwitchTwoProcesses.
+func TestMain(m *testing.M) {
+	if os.Getenv(echoChildEnv) == "1" {
+		buf := make([]byte, 1)
+		for {
+			if _, err := os.Stdin.Read(buf); err != nil {
+				os.Exit(0)
+			}
+			if _, err := os.Stdout.Write(buf); err != nil {
+				os.Exit(0)
+			}
+		}
+	}
+	os.Exit(m.Run())
+}
+
+// benchPlatform boots a standard platform for benchmarks.
+func benchPlatform(b *testing.B) *Platform {
+	b.Helper()
+	p, _, err := NewStandardPlatform(StandardConfig{Name: "bench"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(p.Shutdown)
+	return p
+}
+
+func benchUser(b *testing.B, p *Platform, name string) *User {
+	b.Helper()
+	u, err := p.Users().Lookup(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return u
+}
+
+// registerBenchProgram installs a program, failing the benchmark on
+// error.
+func registerBenchProgram(b *testing.B, p *Platform, prog Program) {
+	b.Helper()
+	if err := p.RegisterProgram(prog); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// busyWait spins for roughly d without sleeping (sleep granularity
+// would dominate sub-millisecond latency measurements).
+func busyWait(d time.Duration) {
+	start := time.Now()
+	for time.Since(start) < d {
+	}
+}
+
+// ---------------------------------------------------------------- E1
+
+// BenchmarkE1AppLaunchExit measures launching an application (thread
+// group + state + loader + reloaded System class + main thread) and
+// waiting for it, inside one running VM.
+func BenchmarkE1AppLaunchExit(b *testing.B) {
+	p := benchPlatform(b)
+	registerBenchProgram(b, p, Program{Name: "noop", Main: func(*Context, []string) int { return 0 }})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		app, err := p.Exec(ExecSpec{Program: "noop"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		app.WaitFor()
+	}
+}
+
+// BenchmarkE1FreshVMPerApp is the Section 2 baseline: one VM per
+// application — every launch pays full VM bootstrap (system threads,
+// policy, filesystem skeleton, program installation).
+func BenchmarkE1FreshVMPerApp(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p, _, err := NewStandardPlatform(StandardConfig{Name: "fresh"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := p.RegisterProgram(Program{Name: "noop", Main: func(*Context, []string) int { return 0 }}); err != nil {
+			b.Fatal(err)
+		}
+		app, err := p.Exec(ExecSpec{Program: "noop"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		app.WaitFor()
+		p.Shutdown()
+	}
+}
+
+// ------------------------------------------------------------ E2 / E4
+
+// dispatcherLatency measures how long a fast application waits for its
+// event while another application's slow (200µs) callback is in
+// flight, under the given dispatch mode. Every iteration waits for
+// BOTH callbacks (so neither queue grows without bound); the figure of
+// merit is the custom metric "fast-ns/op" — the latency of the fast
+// application's event. Under Figure 2 it includes the slow callback;
+// under Figure 4 it does not.
+func dispatcherLatency(b *testing.B, mode events.DispatchMode) {
+	b.Helper()
+	p := benchPlatform(b)
+	display := p.EnableDisplay(mode)
+
+	const slowWork = 200 * time.Microsecond
+	type winPair struct {
+		slow, fast *Window
+	}
+	wins := make(chan winPair, 1)
+	fastWin := make(chan *Window, 1)
+	fastDone := make(chan time.Time, 1)
+	slowDone := make(chan struct{}, 1)
+
+	registerBenchProgram(b, p, Program{Name: "gui-slow", Main: func(ctx *Context, args []string) int {
+		w, err := ctx.OpenWindow("slow")
+		if err != nil {
+			b.Error(err)
+			return 1
+		}
+		_ = w.AddListener("work", func(*Thread, Event) {
+			busyWait(slowWork)
+			slowDone <- struct{}{}
+		})
+		child, err := ctx.Exec("gui-fast")
+		if err != nil {
+			b.Error(err)
+			return 1
+		}
+		_ = child
+		wins <- winPair{slow: w, fast: <-fastWin}
+		<-ctx.Thread().StopChan()
+		return 0
+	}})
+	registerBenchProgram(b, p, Program{Name: "gui-fast", Main: func(ctx *Context, args []string) int {
+		w, err := ctx.OpenWindow("fast")
+		if err != nil {
+			b.Error(err)
+			return 1
+		}
+		_ = w.AddListener("ping", func(*Thread, Event) { fastDone <- time.Now() })
+		fastWin <- w
+		<-ctx.Thread().StopChan()
+		return 0
+	}})
+
+	alice := benchUser(b, p, "alice")
+	app, err := p.Exec(ExecSpec{Program: "gui-slow", User: alice})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pair := <-wins
+	var fastTotal time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		if err := display.Post(Event{Window: pair.slow.ID(), Component: "work", Kind: events.KindAction}); err != nil {
+			b.Fatal(err)
+		}
+		if err := display.Post(Event{Window: pair.fast.ID(), Component: "ping", Kind: events.KindAction}); err != nil {
+			b.Fatal(err)
+		}
+		handled := <-fastDone
+		fastTotal += handled.Sub(start)
+		<-slowDone
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(fastTotal.Nanoseconds())/float64(b.N), "fast-ns/op")
+	app.RequestExit(0)
+	app.WaitFor()
+}
+
+// BenchmarkE2SingleDispatcherLatency: Figure 2 baseline — the fast
+// application's event is stuck behind the slow callback.
+func BenchmarkE2SingleDispatcherLatency(b *testing.B) {
+	dispatcherLatency(b, events.SingleDispatcher)
+}
+
+// BenchmarkE4PerAppDispatcherLatency: Figure 4 redesign — independent
+// queues; the fast event does not wait for the slow one.
+func BenchmarkE4PerAppDispatcherLatency(b *testing.B) {
+	dispatcherLatency(b, events.PerAppDispatcher)
+}
+
+// ---------------------------------------------------------------- E3
+
+// BenchmarkE3ThreadSpawn measures spawning (and joining) a thread in
+// an application's group, including daemon accounting and security
+// context inheritance.
+func BenchmarkE3ThreadSpawn(b *testing.B) {
+	p := benchPlatform(b)
+	ready := make(chan *Context, 1)
+	registerBenchProgram(b, p, Program{Name: "host", Main: func(ctx *Context, args []string) int {
+		ready <- ctx
+		<-ctx.Thread().StopChan()
+		return 0
+	}})
+	app, err := p.Exec(ExecSpec{Program: "host", User: benchUser(b, p, "alice")})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := <-ready
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		th, err := ctx.SpawnThread("w", true, func(*Context) {})
+		if err != nil {
+			b.Fatal(err)
+		}
+		th.Join()
+	}
+	b.StopTimer()
+	app.RequestExit(0)
+	app.WaitFor()
+}
+
+// ---------------------------------------------------------------- E5
+
+// BenchmarkE5SystemClassReload measures defining a fresh incarnation
+// of the System class in a new application loader (the Section 5.5
+// reload), per application launch.
+func BenchmarkE5SystemClassReload(b *testing.B) {
+	p := benchPlatform(b)
+	boot := p.BootLoader()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, err := classes.NewChildLoader(fmt.Sprintf("bench-%d", i), boot, []string{core.SystemClassName})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := l.Load(nil, core.SystemClassName); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE5DelegatedClassLoad is the ablation baseline: the same
+// load satisfied by parent delegation (shared class, no reload).
+func BenchmarkE5DelegatedClassLoad(b *testing.B) {
+	p := benchPlatform(b)
+	boot := p.BootLoader()
+	if _, err := boot.Load(nil, core.SystemClassName); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, err := classes.NewChildLoader(fmt.Sprintf("bench-%d", i), boot, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := l.Load(nil, core.SystemClassName); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------- E6
+
+// BenchmarkE6ContextSwitchSingleVM: one round trip between two
+// applications in ONE VM over in-VM pipes (two scheduler handoffs, no
+// kernel involvement) — the single-address-space case of Section 2.
+func BenchmarkE6ContextSwitchSingleVM(b *testing.B) {
+	p := benchPlatform(b)
+	registerBenchProgram(b, p, Program{Name: "echo-loop", Main: func(ctx *Context, args []string) int {
+		buf := make([]byte, 1)
+		for {
+			if _, err := ctx.Stdin().Read(buf); err != nil {
+				return 0
+			}
+			if _, err := ctx.Stdout().Write(buf); err != nil {
+				return 0
+			}
+		}
+	}})
+	toAppR, toAppW := streams.NewPipe(64)
+	fromAppR, fromAppW := streams.NewPipe(64)
+	app, err := p.Exec(ExecSpec{
+		Program: "echo-loop",
+		Stdin:   streams.NewReadStream("in", streams.OwnerSystem, toAppR),
+		Stdout:  streams.NewWriteStream("out", streams.OwnerSystem, fromAppW),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := []byte{0x42}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := toAppW.Write(buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.ReadFull(fromAppR, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	_ = toAppW.Close()
+	app.WaitFor()
+}
+
+// BenchmarkE6ContextSwitchOSPipe: the same round trip through
+// kernel-mediated OS pipes (two syscall-crossing handoffs, one
+// process).
+func BenchmarkE6ContextSwitchOSPipe(b *testing.B) {
+	toR, toW, err := os.Pipe()
+	if err != nil {
+		b.Fatal(err)
+	}
+	fromR, fromW, err := os.Pipe()
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() {
+		buf := make([]byte, 1)
+		for {
+			if _, err := toR.Read(buf); err != nil {
+				return
+			}
+			if _, err := fromW.Write(buf); err != nil {
+				return
+			}
+		}
+	}()
+	defer func() {
+		_ = toW.Close()
+		_ = fromR.Close()
+	}()
+	buf := []byte{0x42}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := toW.Write(buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.ReadFull(fromR, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE6ContextSwitchTwoProcesses: the full "launch multiple
+// JVMs" baseline — one round trip to a separate OS process (real
+// address-space switches).
+func BenchmarkE6ContextSwitchTwoProcesses(b *testing.B) {
+	self, err := os.Executable()
+	if err != nil {
+		b.Skipf("cannot locate test binary: %v", err)
+	}
+	cmd := exec.Command(self)
+	cmd.Env = append(os.Environ(), echoChildEnv+"=1")
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		b.Fatal(err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		b.Skipf("cannot start echo child: %v", err)
+	}
+	defer func() {
+		_ = stdin.Close()
+		_ = cmd.Wait()
+	}()
+	buf := []byte{0x42}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stdin.Write(buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.ReadFull(stdout, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------- E7
+
+var e7Sizes = []int{64, 4096, 32768}
+
+// BenchmarkE7IPCInVM measures streaming throughput through an in-VM
+// pipe for several message sizes.
+func BenchmarkE7IPCInVM(b *testing.B) {
+	for _, size := range e7Sizes {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			r, w := streams.NewPipe(size)
+			msg := make([]byte, size)
+			got := make([]byte, size)
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := w.Write(msg); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := io.ReadFull(r, got); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE7IPCOSPipe is the kernel-pipe baseline for E7.
+func BenchmarkE7IPCOSPipe(b *testing.B) {
+	for _, size := range e7Sizes {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			r, w, err := os.Pipe()
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer func() {
+				_ = r.Close()
+				_ = w.Close()
+			}()
+			msg := make([]byte, size)
+			got := make([]byte, size)
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := w.Write(msg); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := io.ReadFull(r, got); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------- E8
+
+// BenchmarkE8AccessControl measures CheckPermission cost by stack
+// depth for three policy shapes: pure code-source grants, user-based
+// grants (UserPermission + user permission set), and a doPrivileged
+// short-circuit at the top of a deep stack.
+func BenchmarkE8AccessControl(b *testing.B) {
+	pol := security.MustParsePolicy(`
+grant codeBase "file:/local/-" {
+    permission file "/data/-", "read";
+};
+grant codeBase "file:/userish/-" {
+    permission user;
+};
+grant user "alice" {
+    permission file "/data/-", "read";
+};
+`)
+	codeDomain := pol.DomainFor("tool", security.NewCodeSource("file:/local/tool"))
+	userDomain := pol.DomainFor("utool", security.NewCodeSource("file:/userish/tool"))
+	perm := security.NewFilePermission("/data/file", "read")
+
+	v := vm.New(vm.Config{IdlePolicy: vm.StayOnIdle, NoBootThreads: true})
+	defer v.Exit(0)
+
+	run := func(b *testing.B, depth int, domain *security.ProtectionDomain, bindUser, privileged bool) {
+		done := make(chan struct{})
+		th, err := v.SpawnThread(vm.ThreadSpec{Group: v.MainGroup(), Name: "bench", Run: func(t *vm.Thread) {
+			if bindUser {
+				security.BindUserPermissions(t, "alice", pol.PermissionsForUser("alice"))
+			}
+			for i := 0; i < depth; i++ {
+				t.PushFrame(vm.Frame{Class: "C", Domain: domain})
+			}
+			if privileged {
+				restore := t.MarkTopFramePrivileged()
+				defer restore()
+			}
+			if err := security.CheckPermission(t, perm); err != nil {
+				b.Errorf("unexpected denial: %v", err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := security.CheckPermission(t, perm); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			close(done)
+		}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		<-done
+		th.Join()
+	}
+
+	for _, depth := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("codesource/depth%d", depth), func(b *testing.B) {
+			run(b, depth, codeDomain, false, false)
+		})
+		b.Run(fmt.Sprintf("userbased/depth%d", depth), func(b *testing.B) {
+			run(b, depth, userDomain, true, false)
+		})
+	}
+	b.Run("privileged/depth64", func(b *testing.B) {
+		run(b, 64, codeDomain, false, true)
+	})
+}
+
+// ---------------------------------------------------------------- E9
+
+// BenchmarkE9AppletLoad measures the full applet cycle: register the
+// mobile code, build an AppletLoader, install the sandbox grant,
+// verify+link+define the class, and run a trivial applet body.
+func BenchmarkE9AppletLoad(b *testing.B) {
+	p, store, err := NewStandardPlatform(StandardConfig{Name: "bench"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Shutdown()
+	p.Net().AddHost("applets.example.org")
+	if err := store.Register(&applet.Definition{
+		Name: "tiny",
+		Host: "applets.example.org",
+		Main: func(*applet.Context) int { return 0 },
+	}); err != nil {
+		b.Fatal(err)
+	}
+	ready := make(chan *Context, 1)
+	registerBenchProgram(b, p, Program{Name: "bench-host", Main: func(ctx *Context, args []string) int {
+		ready <- ctx
+		<-ctx.Thread().StopChan()
+		return 0
+	}})
+	app, err := p.Exec(ExecSpec{Program: "bench-host", User: benchUser(b, p, "alice")})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := <-ready
+	viewer := applet.NewViewer(store)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := viewer.RunApplet(ctx, "tiny"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	app.RequestExit(0)
+	app.WaitFor()
+}
+
+// --------------------------------------------------------------- E10
+
+// BenchmarkE10Pipeline measures launching and draining an N-stage
+// shell pipeline ("echo data | cat | cat | ...") inside one VM.
+func BenchmarkE10Pipeline(b *testing.B) {
+	for _, stages := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("stages%d", stages), func(b *testing.B) {
+			p := benchPlatform(b)
+			alice := benchUser(b, p, "alice")
+			line := "echo benchmark-data"
+			for i := 1; i < stages; i++ {
+				line += " | cat"
+			}
+			var sink streams.Buffer
+			out := streams.NewWriteStream("bench-out", streams.OwnerSystem, &sink)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sink.Reset()
+				app, err := p.Exec(ExecSpec{
+					Program: "sh", Args: []string{"-c", line},
+					User: alice, Stdout: out, Dir: "/tmp",
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if code := app.WaitFor(); code != 0 {
+					b.Fatalf("pipeline exit = %d", code)
+				}
+			}
+		})
+	}
+}
+
+// --------------------------------------------------------------- E11
+
+// BenchmarkE11Login measures a full non-interactive login: credential
+// check (salted hash), setUser under the policy, motd, and a shell
+// that exits immediately on EOF stdin.
+func BenchmarkE11Login(b *testing.B) {
+	p := benchPlatform(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		app, err := p.Exec(ExecSpec{Program: "login", Args: []string{"alice", "wonderland"}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if code := app.WaitFor(); code != 0 {
+			b.Fatalf("login exit = %d", code)
+		}
+	}
+}
+
+// BenchmarkE8PolicyScale measures how permission-collection
+// construction (PermissionsForCode) scales with the number of grant
+// entries in the policy — the cost paid once per class definition.
+func BenchmarkE8PolicyScale(b *testing.B) {
+	for _, grants := range []int{8, 64, 512} {
+		b.Run(fmt.Sprintf("grants%d", grants), func(b *testing.B) {
+			pol := security.NewPolicy()
+			for i := 0; i < grants; i++ {
+				pol.AddGrant(&security.Grant{
+					CodeBase: fmt.Sprintf("file:/apps/app%d", i),
+					Perms: []security.Permission{
+						security.NewFilePermission(fmt.Sprintf("/data/%d/-", i), "read"),
+					},
+				})
+			}
+			cs := security.NewCodeSource(fmt.Sprintf("file:/apps/app%d", grants/2))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				perms := pol.PermissionsForCode(cs)
+				if perms.Len() != 1 {
+					b.Fatalf("perms = %d", perms.Len())
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE5ReloadSetSize: ablation — application launch cost as the
+// per-application reload set grows (the Section 5.5 open question:
+// "there might be more classes that need to be re-loaded like the
+// System class").
+func BenchmarkE5ReloadSetSize(b *testing.B) {
+	for _, n := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("reload%d", n), func(b *testing.B) {
+			reload := []string{core.SystemClassName}
+			reg := []string{}
+			for i := 1; i < n; i++ {
+				name := fmt.Sprintf("java.lang.PerApp%d", i)
+				reload = append(reload, name)
+				reg = append(reg, name)
+			}
+			p, err := core.NewPlatform(core.Config{Name: "reload-bench", ReloadClasses: reload})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(p.Shutdown)
+			for _, name := range reg {
+				if err := p.ClassRegistry().Register(&classes.ClassFile{
+					Name:   name,
+					Super:  classes.ObjectClassName,
+					Source: security.NewCodeSource("file:/system/rt"),
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			main := func(ctx *core.Context, args []string) int {
+				// Touch every reloaded class so launch cost includes
+				// defining the whole set.
+				for _, name := range reload {
+					if _, err := ctx.App().Loader().Load(ctx.Thread(), name); err != nil {
+						return 1
+					}
+				}
+				return 0
+			}
+			if err := p.RegisterProgram(core.Program{Name: "toucher", Main: main}); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				app, err := p.Exec(core.ExecSpec{Program: "toucher"})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if code := app.WaitFor(); code != 0 {
+					b.Fatal("toucher failed")
+				}
+			}
+		})
+	}
+}

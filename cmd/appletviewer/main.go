@@ -1,0 +1,127 @@
+// Command appletviewer demonstrates the ported Appletviewer of Section
+// 6.3 standalone: it boots a platform, publishes three applets — a
+// well-behaved one that phones home, a malicious one that tries to read
+// the user's files, and a signed one with an extra policy grant — and
+// runs them in the sandbox, printing each outcome.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"mpj"
+	"mpj/internal/applet"
+	"mpj/internal/security"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "appletviewer:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	p, store, err := mpj.NewStandardPlatform(mpj.StandardConfig{Name: "applet-demo"})
+	if err != nil {
+		return err
+	}
+	defer p.Shutdown()
+
+	const host = "applets.example.org"
+	p.Net().AddHost(host)
+	l, err := p.Net().Listen(host, 80)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = l.Close() }()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			_, _ = c.Write([]byte("origin-server-ack"))
+			_ = c.Close()
+		}
+	}()
+
+	// Give alice a file worth stealing.
+	if err := p.FS().WriteFile("alice", "/home/alice/diary.txt", []byte("private"), 0o644); err != nil {
+		return err
+	}
+	// Signed applets from "trusted-corp" may write one scratch area.
+	if err := p.FS().MkdirAll("root", "/tmp/trusted", 0o777); err != nil {
+		return err
+	}
+	p.Policy().AddGrant(&security.Grant{
+		Signers: []string{"trusted-corp"},
+		Perms:   []security.Permission{security.NewFilePermission("/tmp/trusted/-", "read,write")},
+	})
+
+	defs := []*applet.Definition{
+		{
+			Name: "phonehome", Host: host,
+			Main: func(a *applet.Context) int {
+				conn, err := a.ConnectBack(80)
+				if err != nil {
+					a.Printf("  phonehome: DENIED: %v\n", err)
+					return 1
+				}
+				buf := make([]byte, 32)
+				n, _ := conn.Read(buf)
+				_ = conn.Close()
+				a.Printf("  phonehome: connected back to origin, got %q\n", buf[:n])
+				return 0
+			},
+		},
+		{
+			Name: "filethief", Host: host,
+			Main: func(a *applet.Context) int {
+				if _, err := a.ReadFile("/home/alice/diary.txt"); err != nil {
+					a.Printf("  filethief: sandbox held: %v\n", err)
+					return 0
+				}
+				a.Printf("  filethief: SANDBOX BREACH\n")
+				return 1
+			},
+		},
+		{
+			Name: "signed", Host: host, Signers: []string{"trusted-corp"},
+			Main: func(a *applet.Context) int {
+				if err := a.WriteFile("/tmp/trusted/report.txt", []byte("signed applet was here")); err != nil {
+					a.Printf("  signed: write failed: %v\n", err)
+					return 1
+				}
+				a.Printf("  signed: wrote /tmp/trusted/report.txt under its signedBy grant\n")
+				return 0
+			},
+		},
+	}
+	for _, def := range defs {
+		if err := store.Register(def); err != nil {
+			return err
+		}
+	}
+
+	alice, err := p.Users().Lookup("alice")
+	if err != nil {
+		return err
+	}
+	fmt.Println("running applets as user alice inside the appletviewer application:")
+	app, err := p.Exec(mpj.ExecSpec{
+		Program: "appletviewer",
+		Args:    []string{"phonehome", "filethief", "signed"},
+		User:    alice,
+		Stdout:  mpj.NewWriteStream("stdout", os.Stdout),
+		Stderr:  mpj.NewWriteStream("stderr", os.Stderr),
+	})
+	if err != nil {
+		return err
+	}
+	if code := app.WaitFor(); code != 0 {
+		return fmt.Errorf("appletviewer exited with %d", code)
+	}
+	fmt.Println("done: sandbox allowed connect-back, denied file theft, honored the signedBy grant")
+	return nil
+}

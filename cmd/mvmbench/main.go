@@ -1,0 +1,733 @@
+// Command mvmbench regenerates every experiment of EXPERIMENTS.md: for
+// each figure and quantitative claim of the paper it runs the workload
+// on this machine and prints the table rows (the `go test -bench` form
+// of the same measurements lives in bench_test.go).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"time"
+
+	"mpj"
+	"mpj/internal/applet"
+	"mpj/internal/classes"
+	"mpj/internal/core"
+	"mpj/internal/events"
+	"mpj/internal/netsim"
+	"mpj/internal/objspace"
+	"mpj/internal/remote"
+	"mpj/internal/security"
+	"mpj/internal/streams"
+	"mpj/internal/vm"
+)
+
+// echoChildEnv marks the re-exec'ed process as the E6 echo child.
+const echoChildEnv = "MPJ_ECHO_CHILD"
+
+func main() {
+	if os.Getenv(echoChildEnv) == "1" {
+		echoChild()
+		return
+	}
+	iters := flag.Int("iters", 2000, "iterations per measurement")
+	flag.Parse()
+	if err := run(*iters); err != nil {
+		fmt.Fprintln(os.Stderr, "mvmbench:", err)
+		os.Exit(1)
+	}
+}
+
+// echoChild is the cross-process ping-pong peer.
+func echoChild() {
+	buf := make([]byte, 1)
+	for {
+		if _, err := os.Stdin.Read(buf); err != nil {
+			return
+		}
+		if _, err := os.Stdout.Write(buf); err != nil {
+			return
+		}
+	}
+}
+
+// measure runs fn iters times and returns the average duration.
+func measure(iters int, fn func()) time.Duration {
+	fn() // warm up
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		fn()
+	}
+	return time.Since(start) / time.Duration(iters)
+}
+
+func header(id, title string) {
+	fmt.Printf("\n== %s — %s\n", id, title)
+}
+
+func row(label string, value any) {
+	fmt.Printf("   %-46s %v\n", label, value)
+}
+
+func run(iters int) error {
+	fmt.Printf("mvmbench: reproducing the evaluation of Balfanz & Gong (ICDCS 1998)\n")
+	fmt.Printf("iterations per measurement: %d\n", iters)
+
+	if err := e1(iters); err != nil {
+		return err
+	}
+	if err := e2e4(); err != nil {
+		return err
+	}
+	if err := e3(iters); err != nil {
+		return err
+	}
+	if err := e5(iters); err != nil {
+		return err
+	}
+	if err := e6(iters); err != nil {
+		return err
+	}
+	e7(iters)
+	if err := e8(iters); err != nil {
+		return err
+	}
+	if err := e9(iters); err != nil {
+		return err
+	}
+	if err := e10(); err != nil {
+		return err
+	}
+	if err := e11(); err != nil {
+		return err
+	}
+	e12(iters)
+	if err := e13(); err != nil {
+		return err
+	}
+	fmt.Println("\nall experiments complete")
+	return nil
+}
+
+// standard boots a batteries-included platform.
+func standard(name string) (*mpj.Platform, *mpj.AppletStore, error) {
+	return mpj.NewStandardPlatform(mpj.StandardConfig{Name: name})
+}
+
+func e1(iters int) error {
+	header("E1 (Figure 1)", "application launch/exit: one VM vs a fresh VM per application")
+	p, _, err := standard("e1")
+	if err != nil {
+		return err
+	}
+	defer p.Shutdown()
+	if err := p.RegisterProgram(mpj.Program{Name: "noop", Main: func(*mpj.Context, []string) int { return 0 }}); err != nil {
+		return err
+	}
+	inVM := measure(iters, func() {
+		app, err := p.Exec(mpj.ExecSpec{Program: "noop"})
+		if err != nil {
+			panic(err)
+		}
+		app.WaitFor()
+	})
+	freshIters := iters / 20
+	if freshIters < 10 {
+		freshIters = 10
+	}
+	fresh := measure(freshIters, func() {
+		fp, _, err := standard("fresh")
+		if err != nil {
+			panic(err)
+		}
+		if err := fp.RegisterProgram(mpj.Program{Name: "noop", Main: func(*mpj.Context, []string) int { return 0 }}); err != nil {
+			panic(err)
+		}
+		app, err := fp.Exec(mpj.ExecSpec{Program: "noop"})
+		if err != nil {
+			panic(err)
+		}
+		app.WaitFor()
+		fp.Shutdown()
+	})
+	row("launch+exit inside running VM", inVM)
+	row("fresh VM per application (paper's baseline)", fresh)
+	row("single-VM advantage", fmt.Sprintf("%.1fx", float64(fresh)/float64(inVM)))
+	return nil
+}
+
+func e2e4() error {
+	header("E2/E4 (Figures 2 & 4)", "fast app's event latency while another app runs a 200µs callback")
+	for _, mode := range []events.DispatchMode{events.SingleDispatcher, events.PerAppDispatcher} {
+		lat, err := dispatcherLatency(mode)
+		if err != nil {
+			return err
+		}
+		row(mode.String()+" fast-event latency", lat)
+	}
+	return nil
+}
+
+func dispatcherLatency(mode events.DispatchMode) (time.Duration, error) {
+	p, _, err := standard("e24")
+	if err != nil {
+		return 0, err
+	}
+	defer p.Shutdown()
+	display := p.EnableDisplay(mode)
+
+	const slowWork = 200 * time.Microsecond
+	type winPair struct{ slow, fast *mpj.Window }
+	wins := make(chan winPair, 1)
+	fastWin := make(chan *mpj.Window, 1)
+	fastDone := make(chan time.Time, 1)
+	slowDone := make(chan struct{}, 1)
+
+	busy := func(d time.Duration) {
+		start := time.Now()
+		for time.Since(start) < d {
+		}
+	}
+	if err := p.RegisterProgram(mpj.Program{Name: "gui-slow", Main: func(ctx *mpj.Context, args []string) int {
+		w, err := ctx.OpenWindow("slow")
+		if err != nil {
+			return 1
+		}
+		_ = w.AddListener("work", func(*mpj.Thread, mpj.Event) {
+			busy(slowWork)
+			slowDone <- struct{}{}
+		})
+		if _, err := ctx.Exec("gui-fast"); err != nil {
+			return 1
+		}
+		wins <- winPair{slow: w, fast: <-fastWin}
+		<-ctx.Thread().StopChan()
+		return 0
+	}}); err != nil {
+		return 0, err
+	}
+	if err := p.RegisterProgram(mpj.Program{Name: "gui-fast", Main: func(ctx *mpj.Context, args []string) int {
+		w, err := ctx.OpenWindow("fast")
+		if err != nil {
+			return 1
+		}
+		_ = w.AddListener("ping", func(*mpj.Thread, mpj.Event) { fastDone <- time.Now() })
+		fastWin <- w
+		<-ctx.Thread().StopChan()
+		return 0
+	}}); err != nil {
+		return 0, err
+	}
+	alice, err := p.Users().Lookup("alice")
+	if err != nil {
+		return 0, err
+	}
+	app, err := p.Exec(mpj.ExecSpec{Program: "gui-slow", User: alice})
+	if err != nil {
+		return 0, err
+	}
+	pair := <-wins
+	const rounds = 200
+	var total time.Duration
+	for i := 0; i < rounds; i++ {
+		start := time.Now()
+		if err := display.Post(mpj.Event{Window: pair.slow.ID(), Component: "work", Kind: events.KindAction}); err != nil {
+			return 0, err
+		}
+		if err := display.Post(mpj.Event{Window: pair.fast.ID(), Component: "ping", Kind: events.KindAction}); err != nil {
+			return 0, err
+		}
+		total += (<-fastDone).Sub(start)
+		<-slowDone
+	}
+	app.RequestExit(0)
+	app.WaitFor()
+	return total / rounds, nil
+}
+
+func e3(iters int) error {
+	header("E3 (Figure 3)", "thread spawn+join inside an application (group accounting)")
+	p, _, err := standard("e3")
+	if err != nil {
+		return err
+	}
+	defer p.Shutdown()
+	ready := make(chan *mpj.Context, 1)
+	if err := p.RegisterProgram(mpj.Program{Name: "host", Main: func(ctx *mpj.Context, args []string) int {
+		ready <- ctx
+		<-ctx.Thread().StopChan()
+		return 0
+	}}); err != nil {
+		return err
+	}
+	app, err := p.Exec(mpj.ExecSpec{Program: "host"})
+	if err != nil {
+		return err
+	}
+	ctx := <-ready
+	d := measure(iters, func() {
+		th, err := ctx.SpawnThread("w", true, func(*mpj.Context) {})
+		if err != nil {
+			panic(err)
+		}
+		th.Join()
+	})
+	row("spawn+join one application thread", d)
+	app.RequestExit(0)
+	app.WaitFor()
+	return nil
+}
+
+func e5(iters int) error {
+	header("E5 (Figure 5)", "per-application System class reload vs delegated (shared) load")
+	p, _, err := standard("e5")
+	if err != nil {
+		return err
+	}
+	defer p.Shutdown()
+	boot := p.BootLoader()
+	if _, err := boot.Load(nil, core.SystemClassName); err != nil {
+		return err
+	}
+	n := 0
+	reload := measure(iters, func() {
+		n++
+		l, err := classes.NewChildLoader(fmt.Sprintf("r%d", n), boot, []string{core.SystemClassName})
+		if err != nil {
+			panic(err)
+		}
+		if _, err := l.Load(nil, core.SystemClassName); err != nil {
+			panic(err)
+		}
+	})
+	delegated := measure(iters, func() {
+		n++
+		l, err := classes.NewChildLoader(fmt.Sprintf("d%d", n), boot, nil)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := l.Load(nil, core.SystemClassName); err != nil {
+			panic(err)
+		}
+	})
+	row("reload System in fresh app loader", reload)
+	row("delegated (shared) load", delegated)
+	row("reload overhead", fmt.Sprintf("%.1fx", float64(reload)/float64(delegated)))
+	return nil
+}
+
+func e6(iters int) error {
+	header("E6 (Section 2)", "context switch: one round trip between two parties")
+	// (a) two applications in ONE VM over in-VM pipes.
+	p, _, err := standard("e6")
+	if err != nil {
+		return err
+	}
+	defer p.Shutdown()
+	if err := p.RegisterProgram(mpj.Program{Name: "echo-loop", Main: func(ctx *mpj.Context, args []string) int {
+		buf := make([]byte, 1)
+		for {
+			if _, err := ctx.Stdin().Read(buf); err != nil {
+				return 0
+			}
+			if _, err := ctx.Stdout().Write(buf); err != nil {
+				return 0
+			}
+		}
+	}}); err != nil {
+		return err
+	}
+	toAppR, toAppW := streams.NewPipe(64)
+	fromAppR, fromAppW := streams.NewPipe(64)
+	app, err := p.Exec(mpj.ExecSpec{
+		Program: "echo-loop",
+		Stdin:   streams.NewReadStream("in", streams.OwnerSystem, toAppR),
+		Stdout:  streams.NewWriteStream("out", streams.OwnerSystem, fromAppW),
+	})
+	if err != nil {
+		return err
+	}
+	buf := []byte{1}
+	inVM := measure(iters, func() {
+		if _, err := toAppW.Write(buf); err != nil {
+			panic(err)
+		}
+		if _, err := io.ReadFull(fromAppR, buf); err != nil {
+			panic(err)
+		}
+	})
+	_ = toAppW.Close()
+	app.WaitFor()
+	row("two apps, one VM (in-VM pipe)", inVM)
+
+	// (b) kernel-mediated OS pipe, one process.
+	toR, toW, err := os.Pipe()
+	if err != nil {
+		return err
+	}
+	fromR, fromW, err := os.Pipe()
+	if err != nil {
+		return err
+	}
+	go func() {
+		b := make([]byte, 1)
+		for {
+			if _, err := toR.Read(b); err != nil {
+				return
+			}
+			if _, err := fromW.Write(b); err != nil {
+				return
+			}
+		}
+	}()
+	osPipe := measure(iters, func() {
+		if _, err := toW.Write(buf); err != nil {
+			panic(err)
+		}
+		if _, err := io.ReadFull(fromR, buf); err != nil {
+			panic(err)
+		}
+	})
+	_ = toW.Close()
+	_ = fromR.Close()
+	row("OS pipe, same process", osPipe)
+
+	// (c) two OS processes — the "launch multiple JVMs" baseline.
+	self, err := os.Executable()
+	if err != nil {
+		row("two OS processes", "skipped: "+err.Error())
+		return nil
+	}
+	cmd := exec.Command(self)
+	cmd.Env = append(os.Environ(), echoChildEnv+"=1")
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		row("two OS processes", "skipped: "+err.Error())
+		return nil
+	}
+	twoProc := measure(iters, func() {
+		if _, err := stdin.Write(buf); err != nil {
+			panic(err)
+		}
+		if _, err := io.ReadFull(stdout, buf); err != nil {
+			panic(err)
+		}
+	})
+	_ = stdin.Close()
+	_ = cmd.Wait()
+	row("two OS processes (multi-VM baseline)", twoProc)
+	row("single-VM vs two processes", fmt.Sprintf("%.1fx", float64(twoProc)/float64(inVM)))
+	return nil
+}
+
+func e7(iters int) {
+	header("E7 (Section 2)", "IPC throughput: in-VM pipe vs OS pipe")
+	for _, size := range []int{64, 4096, 32768} {
+		msg := make([]byte, size)
+		got := make([]byte, size)
+
+		r, w := streams.NewPipe(size)
+		inVM := measure(iters, func() {
+			if _, err := w.Write(msg); err != nil {
+				panic(err)
+			}
+			if _, err := io.ReadFull(r, got); err != nil {
+				panic(err)
+			}
+		})
+		osR, osW, err := os.Pipe()
+		if err != nil {
+			panic(err)
+		}
+		osPipe := measure(iters, func() {
+			if _, err := osW.Write(msg); err != nil {
+				panic(err)
+			}
+			if _, err := io.ReadFull(osR, got); err != nil {
+				panic(err)
+			}
+		})
+		_ = osR.Close()
+		_ = osW.Close()
+		mbps := func(d time.Duration) string {
+			return fmt.Sprintf("%8.1f MB/s", float64(size)/d.Seconds()/1e6)
+		}
+		row(fmt.Sprintf("%6dB  in-VM %v / OS %v", size, inVM, osPipe),
+			fmt.Sprintf("in-VM %s   OS %s", mbps(inVM), mbps(osPipe)))
+	}
+}
+
+func e8(iters int) error {
+	header("E8 (§5.3/§5.6)", "access-control cost: stack depth × policy kind")
+	pol := security.MustParsePolicy(`
+grant codeBase "file:/local/-"  { permission file "/data/-", "read"; };
+grant codeBase "file:/userish/-" { permission user; };
+grant user "alice" { permission file "/data/-", "read"; };
+`)
+	codeDomain := pol.DomainFor("tool", security.NewCodeSource("file:/local/tool"))
+	userDomain := pol.DomainFor("utool", security.NewCodeSource("file:/userish/tool"))
+	perm := security.NewFilePermission("/data/file", "read")
+
+	v := vm.New(vm.Config{IdlePolicy: vm.StayOnIdle, NoBootThreads: true})
+	defer v.Exit(0)
+
+	runCheck := func(depth int, domain *security.ProtectionDomain, bindUser, privileged bool) time.Duration {
+		result := make(chan time.Duration, 1)
+		th, err := v.SpawnThread(vm.ThreadSpec{Group: v.MainGroup(), Name: "m", Run: func(t *vm.Thread) {
+			if bindUser {
+				security.BindUserPermissions(t, "alice", pol.PermissionsForUser("alice"))
+			}
+			for i := 0; i < depth; i++ {
+				t.PushFrame(vm.Frame{Class: "C", Domain: domain})
+			}
+			if privileged {
+				t.MarkTopFramePrivileged()
+			}
+			result <- measure(iters, func() {
+				if err := security.CheckPermission(t, perm); err != nil {
+					panic(err)
+				}
+			})
+		}})
+		if err != nil {
+			panic(err)
+		}
+		th.Join()
+		return <-result
+	}
+	for _, depth := range []int{1, 4, 16, 64} {
+		cs := runCheck(depth, codeDomain, false, false)
+		ub := runCheck(depth, userDomain, true, false)
+		row(fmt.Sprintf("depth %2d  code-source / user-based", depth),
+			fmt.Sprintf("%v / %v", cs, ub))
+	}
+	row("depth 64 with doPrivileged at top", runCheck(64, codeDomain, false, true))
+	return nil
+}
+
+func e9(iters int) error {
+	header("E9 (§6.3)", "applet fetch+verify+load+run cycle")
+	p, store, err := standard("e9")
+	if err != nil {
+		return err
+	}
+	defer p.Shutdown()
+	p.Net().AddHost("applets.example.org")
+	if err := store.Register(&applet.Definition{
+		Name: "tiny", Host: "applets.example.org",
+		Main: func(*applet.Context) int { return 0 },
+	}); err != nil {
+		return err
+	}
+	ready := make(chan *mpj.Context, 1)
+	if err := p.RegisterProgram(mpj.Program{Name: "host", Main: func(ctx *mpj.Context, args []string) int {
+		ready <- ctx
+		<-ctx.Thread().StopChan()
+		return 0
+	}}); err != nil {
+		return err
+	}
+	app, err := p.Exec(mpj.ExecSpec{Program: "host"})
+	if err != nil {
+		return err
+	}
+	ctx := <-ready
+	viewer := applet.NewViewer(store)
+	d := measure(iters, func() {
+		if _, err := viewer.RunApplet(ctx, "tiny"); err != nil {
+			panic(err)
+		}
+	})
+	row("sandboxed applet lifecycle", d)
+	app.RequestExit(0)
+	app.WaitFor()
+	return nil
+}
+
+func e10() error {
+	header("E10 (§6.1)", "shell pipeline launch+drain by stage count")
+	p, _, err := standard("e10")
+	if err != nil {
+		return err
+	}
+	defer p.Shutdown()
+	alice, err := p.Users().Lookup("alice")
+	if err != nil {
+		return err
+	}
+	var sink streams.Buffer
+	out := streams.NewWriteStream("out", streams.OwnerSystem, &sink)
+	for _, stages := range []int{1, 2, 4, 8} {
+		line := "echo data"
+		for i := 1; i < stages; i++ {
+			line += " | cat"
+		}
+		d := measure(200, func() {
+			sink.Reset()
+			app, err := p.Exec(mpj.ExecSpec{Program: "sh", Args: []string{"-c", line},
+				User: alice, Stdout: out, Dir: "/tmp"})
+			if err != nil {
+				panic(err)
+			}
+			if code := app.WaitFor(); code != 0 {
+				panic(fmt.Sprintf("pipeline exit %d", code))
+			}
+		})
+		row(fmt.Sprintf("%d-stage pipeline", stages), d)
+	}
+	return nil
+}
+
+func e11() error {
+	header("E11 (§5.2)", "login: authenticate + setUser + shell")
+	p, _, err := standard("e11")
+	if err != nil {
+		return err
+	}
+	defer p.Shutdown()
+	d := measure(500, func() {
+		app, err := p.Exec(mpj.ExecSpec{Program: "login", Args: []string{"alice", "wonderland"}})
+		if err != nil {
+			panic(err)
+		}
+		if code := app.WaitFor(); code != 0 {
+			panic(fmt.Sprintf("login exit %d", code))
+		}
+	})
+	row("full login cycle", d)
+	return nil
+}
+
+// e12 measures the Section 8 shared-object IPC mechanism against byte
+// pipes (registered in run via runExtensions).
+func e12(iters int) {
+	header("E12 (§8 extension)", "shared-object Mailbox handoff vs byte-pipe copy")
+	for _, size := range []int{4096, 1 << 20} {
+		payload := make([]byte, size)
+
+		box := objspace.NewMailbox(1)
+		boxDone := make(chan struct{})
+		go func() {
+			defer close(boxDone)
+			for {
+				if _, err := box.Receive(); err != nil {
+					return
+				}
+			}
+		}()
+		mbox := measure(iters, func() {
+			if err := box.Send(payload); err != nil {
+				panic(err)
+			}
+		})
+		box.Close()
+		<-boxDone
+
+		r, w := streams.NewPipe(64 * 1024)
+		pipeDone := make(chan struct{})
+		go func() {
+			defer close(pipeDone)
+			buf := make([]byte, 64*1024)
+			for {
+				if _, err := r.Read(buf); err != nil {
+					return
+				}
+			}
+		}()
+		pipe := measure(iters, func() {
+			if _, err := w.Write(payload); err != nil {
+				panic(err)
+			}
+		})
+		_ = w.Close()
+		<-pipeDone
+		label := "4KiB"
+		if size >= 1<<20 {
+			label = "1MiB"
+		}
+		row(fmt.Sprintf("%s message: mailbox / pipe", label), fmt.Sprintf("%v / %v", mbox, pipe))
+	}
+}
+
+// e13 measures cross-VM exec against local exec.
+func e13() error {
+	header("E13 (§8 extension)", "cross-VM rexec vs local exec")
+	net := netsim.New()
+	net.AddHost("localhost")
+	net.AddHost("vm2.local")
+	mk := func(name string) (*mpj.Platform, error) {
+		p, err := core.NewPlatform(core.Config{Name: name, Net: net})
+		if err != nil {
+			return nil, err
+		}
+		if err := mpj.InstallCoreutils(p); err != nil {
+			return nil, err
+		}
+		if _, err := p.AddUser("alice", "wonderland"); err != nil {
+			return nil, err
+		}
+		return p, nil
+	}
+	vm1, err := mk("vm1")
+	if err != nil {
+		return err
+	}
+	defer vm1.Shutdown()
+	vm2, err := mk("vm2")
+	if err != nil {
+		return err
+	}
+	defer vm2.Shutdown()
+	if err := remote.InstallRexec(vm1); err != nil {
+		return err
+	}
+	vm1.Policy().AddGrant(&security.Grant{
+		User:  "*",
+		Perms: []security.Permission{security.NewSocketPermission("vm2.local:512", "connect")},
+	})
+	d, err := remote.StartDaemon(vm2, "vm2.local", remote.DefaultPort)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+
+	alice, err := vm1.Users().Lookup("alice")
+	if err != nil {
+		return err
+	}
+	const rounds = 300
+	local := measure(rounds, func() {
+		app, err := vm1.Exec(mpj.ExecSpec{Program: "echo", Args: []string{"x"}, User: alice})
+		if err != nil {
+			panic(err)
+		}
+		app.WaitFor()
+	})
+	remoteD := measure(rounds, func() {
+		app, err := vm1.Exec(mpj.ExecSpec{
+			Program: "rexec",
+			Args:    []string{"-p", "wonderland", "vm2.local:512", "echo", "x"},
+			User:    alice,
+		})
+		if err != nil {
+			panic(err)
+		}
+		if code := app.WaitFor(); code != 0 {
+			panic(fmt.Sprintf("remote exit %d", code))
+		}
+	})
+	row("local exec", local)
+	row("cross-VM exec (dial+auth+bridge)", remoteD)
+	row("cross-VM penalty", fmt.Sprintf("%.1fx", float64(remoteD)/float64(local)))
+	return nil
+}

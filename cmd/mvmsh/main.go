@@ -1,0 +1,121 @@
+// Command mvmsh boots the multi-processing virtual machine and attaches
+// an interactive terminal to it over the real stdin/stdout — the
+// "Bourne shell-like command line tool to launch multiple applications
+// (such as Appletviewer) within one JVM" of the paper's abstract.
+//
+// A login prompt appears first (default accounts: alice/wonderland,
+// bob/builder, root/root); the authenticated user then gets a shell.
+// Try:
+//
+//	ls -l /home
+//	echo hello > note.txt ; cat note.txt
+//	yes | head -n 5
+//	ps ; sleep 60000 & ; jobs ; kill 3
+//	appletviewer phonehome filethief
+//	cat /home/bob/anything        # access denied (user-based policy)
+//	quit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mpj"
+	"mpj/internal/applet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mvmsh:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	name := flag.String("name", "mpj", "virtual machine name")
+	motd := flag.String("motd", "Welcome to the multi-processing VM.\n", "message of the day")
+	flag.Parse()
+
+	p, store, err := mpj.NewStandardPlatform(mpj.StandardConfig{
+		Name: *name,
+		Users: []mpj.UserSpec{
+			{Name: "root", Password: "root"},
+			{Name: "alice", Password: "wonderland"},
+			{Name: "bob", Password: "builder"},
+		},
+		DisplayMode: mpj.PerAppDispatcher,
+		Motd:        *motd,
+	})
+	if err != nil {
+		return err
+	}
+	defer p.Shutdown()
+
+	installDemoApplets(p, store)
+
+	// The term program wraps the standard streams in a Terminal,
+	// publishes it as a resource, and starts login.
+	app, err := p.Exec(mpj.ExecSpec{
+		Program: "term",
+		Stdin:   mpj.NewReadStream("host-stdin", os.Stdin),
+		Stdout:  mpj.NewWriteStream("host-stdout", os.Stdout),
+		Stderr:  mpj.NewWriteStream("host-stderr", os.Stderr),
+	})
+	if err != nil {
+		return err
+	}
+	code := app.WaitFor()
+	if code != 0 {
+		return fmt.Errorf("session exited with code %d", code)
+	}
+	return nil
+}
+
+// installDemoApplets publishes two applets demonstrating the sandbox:
+// one that phones home (allowed) and one that tries to steal files
+// (denied).
+func installDemoApplets(p *mpj.Platform, store *mpj.AppletStore) {
+	const host = "applets.example.org"
+	p.Net().AddHost(host)
+	if l, err := p.Net().Listen(host, 80); err == nil {
+		go func() {
+			for {
+				c, err := l.Accept()
+				if err != nil {
+					return
+				}
+				_, _ = c.Write([]byte("hello from " + host))
+				_ = c.Close()
+			}
+		}()
+	}
+	_ = store.Register(&applet.Definition{
+		Name: "phonehome",
+		Host: host,
+		Main: func(a *applet.Context) int {
+			conn, err := a.ConnectBack(80)
+			if err != nil {
+				a.Printf("phonehome: connect back failed: %v\n", err)
+				return 1
+			}
+			buf := make([]byte, 64)
+			n, _ := conn.Read(buf)
+			a.Printf("phonehome: server says %q\n", buf[:n])
+			_ = conn.Close()
+			return 0
+		},
+	})
+	_ = store.Register(&applet.Definition{
+		Name: "filethief",
+		Host: host,
+		Main: func(a *applet.Context) int {
+			if _, err := a.ReadFile("/etc/passwd"); err != nil {
+				a.Printf("filethief: foiled by the sandbox: %v\n", err)
+				return 0
+			}
+			a.Printf("filethief: SANDBOX BREACH\n")
+			return 1
+		},
+	})
+}

@@ -1,0 +1,105 @@
+// Applets: the Section 6.3 sandbox in action. A sandboxed applet may
+// connect back to its own origin host but may not read the user's
+// files or contact third-party hosts; the hosting appletviewer — an
+// ordinary local application — keeps the running user's permissions.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"mpj"
+	"mpj/internal/applet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "applets:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	p, store, err := mpj.NewStandardPlatform(mpj.StandardConfig{Name: "applets"})
+	if err != nil {
+		return err
+	}
+	defer p.Shutdown()
+
+	const origin = "games.example.org"
+	const evil = "evil.example.org"
+	p.Net().AddHost(origin)
+	p.Net().AddHost(evil)
+	l, err := p.Net().Listen(origin, 4000)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = l.Close() }()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			_, _ = c.Write([]byte("high-scores: 9001"))
+			_ = c.Close()
+		}
+	}()
+
+	if err := p.FS().WriteFile("alice", "/home/alice/wallet.txt", []byte("coins"), 0o644); err != nil {
+		return err
+	}
+
+	err = store.Register(&applet.Definition{
+		Name: "game",
+		Host: origin,
+		Main: func(a *applet.Context) int {
+			a.Printf("applet %s loaded from %s\n", a.Name(), a.CodeBase())
+
+			if v, err := a.Property("java.version"); err == nil {
+				a.Printf("  allowed : read java.version = %s\n", v)
+			}
+			if conn, err := a.ConnectBack(4000); err == nil {
+				buf := make([]byte, 32)
+				n, _ := conn.Read(buf)
+				_ = conn.Close()
+				a.Printf("  allowed : connect back to origin → %q\n", buf[:n])
+			} else {
+				a.Printf("  BROKEN  : connect back failed: %v\n", err)
+			}
+			if _, err := a.ReadFile("/home/alice/wallet.txt"); err != nil {
+				a.Printf("  denied  : read user file (%v)\n", err)
+			} else {
+				a.Printf("  BREACH  : read the user's wallet!\n")
+			}
+			if _, err := a.Dial(evil, 80); err != nil {
+				a.Printf("  denied  : third-party connection (%v)\n", err)
+			} else {
+				a.Printf("  BREACH  : contacted a third-party host!\n")
+			}
+			return 0
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	alice, err := p.Users().Lookup("alice")
+	if err != nil {
+		return err
+	}
+	app, err := p.Exec(mpj.ExecSpec{
+		Program: "appletviewer",
+		Args:    []string{"game"},
+		User:    alice,
+		Stdout:  mpj.NewWriteStream("stdout", os.Stdout),
+		Stderr:  mpj.NewWriteStream("stderr", os.Stderr),
+	})
+	if err != nil {
+		return err
+	}
+	if code := app.WaitFor(); code != 0 {
+		return fmt.Errorf("appletviewer exit %d", code)
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+// Multiuser: the motivating scenario of the paper's Section 5.4 —
+// Alice and Bob run the SAME text-editor program in one VM; each
+// clicks Save in their own window. With per-application event
+// dispatching, each callback runs on a thread of the right application
+// and carries the right user's permissions: Alice's save lands in
+// /home/alice, Bob's in /home/bob, and neither can write into the
+// other's home.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"mpj"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "multiuser:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	p, _, err := mpj.NewStandardPlatform(mpj.StandardConfig{
+		Name:        "multiuser",
+		DisplayMode: mpj.PerAppDispatcher,
+	})
+	if err != nil {
+		return err
+	}
+	defer p.Shutdown()
+	display := p.Display()
+
+	saved := make(chan string, 2)
+	err = p.RegisterProgram(mpj.Program{
+		Name: "editor",
+		Main: func(ctx *mpj.Context, args []string) int {
+			me := ctx.User().Name
+			other := args[0]
+			w, err := ctx.OpenWindow("editor — " + me)
+			if err != nil {
+				ctx.Errorf("editor: %v\n", err)
+				return 1
+			}
+			_ = w.AddListener("save", func(t *mpj.Thread, e mpj.Event) {
+				// The dispatcher thread belongs to THIS application —
+				// recover its context and save with the right identity.
+				cb := mpj.ContextFor(t)
+				ownErr := cb.WriteFile("/home/"+me+"/document.txt", []byte("document of "+me))
+				foreignErr := cb.WriteFile("/home/"+other+"/stolen.txt", []byte("oops"))
+				saved <- fmt.Sprintf("%s: own save err=%v; foreign save err=%v", me, ownErr, foreignErr)
+			})
+			// Simulate the user clicking Save.
+			if err := ctx.Platform().Display().Click(w.ID(), "save"); err != nil {
+				ctx.Errorf("editor: click: %v\n", err)
+				return 1
+			}
+			<-ctx.Thread().StopChan()
+			return 0
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	alice, _ := p.Users().Lookup("alice")
+	bob, _ := p.Users().Lookup("bob")
+	appA, err := p.Exec(mpj.ExecSpec{Program: "editor", Args: []string{"bob"}, User: alice})
+	if err != nil {
+		return err
+	}
+	appB, err := p.Exec(mpj.ExecSpec{Program: "editor", Args: []string{"alice"}, User: bob})
+	if err != nil {
+		return err
+	}
+
+	for i := 0; i < 2; i++ {
+		select {
+		case line := <-saved:
+			fmt.Println(line)
+		case <-time.After(5 * time.Second):
+			return fmt.Errorf("save callbacks did not run")
+		}
+	}
+	fmt.Printf("dispatch mode: %s; events posted %d, dispatched %d\n",
+		display.Mode(), display.Stats().Posted, display.Stats().Dispatched)
+
+	for _, who := range []string{"alice", "bob"} {
+		data, err := p.FS().ReadFile(who, "/home/"+who+"/document.txt")
+		fmt.Printf("/home/%s/document.txt: %q (err=%v)\n", who, data, err)
+	}
+	appA.RequestExit(0)
+	appB.RequestExit(0)
+	appA.WaitFor()
+	appB.WaitFor()
+	return nil
+}

@@ -1,0 +1,67 @@
+// Pipeline: the shell of Section 6.1 running pipelines, redirection
+// and background jobs between applications inside one VM — the
+// paper's "multiple instances of the terminal, together with shells
+// ... and a number of applications connected through pipes".
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"mpj"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pipeline:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	p, _, err := mpj.NewStandardPlatform(mpj.StandardConfig{Name: "pipeline"})
+	if err != nil {
+		return err
+	}
+	defer p.Shutdown()
+
+	alice, err := p.Users().Lookup("alice")
+	if err != nil {
+		return err
+	}
+	// Seed a data file.
+	lines := "apple\nbanana\navocado\ncherry\napricot\n"
+	if err := p.FS().WriteFile("alice", "/home/alice/fruit.txt", []byte(lines), 0o644); err != nil {
+		return err
+	}
+
+	script := []string{
+		"pwd",
+		"ls -l",
+		"cat fruit.txt | grep ap",
+		"cat fruit.txt | grep a | wc",
+		"yes pipelined | head -n 3",
+		"cat fruit.txt | grep ap > ap.txt ; wc < ap.txt",
+		"sleep 50 & ; jobs ; wait",
+	}
+	for _, line := range script {
+		var sink mpj.Buffer
+		app, err := p.Exec(mpj.ExecSpec{
+			Program: "sh",
+			Args:    []string{"-c", line},
+			User:    alice,
+			Dir:     "/home/alice",
+			Stdout:  mpj.NewWriteStream("out", &sink),
+			Stderr:  mpj.NewWriteStream("err", &sink),
+		})
+		if err != nil {
+			return err
+		}
+		code := app.WaitFor()
+		fmt.Printf("$ %s\n%s", line, sink.String())
+		if code != 0 {
+			fmt.Printf("(exit %d)\n", code)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+// Sharedobjects: the Section 8 shared-object IPC mechanism, and the
+// type-safety delicacy the paper warns about. A producer application
+// binds a Mailbox into the shared object space; a consumer looks it up
+// and drains it — no byte serialization. A second pair of applications
+// then demonstrates the cross-namespace hazard: an object typed by one
+// application's reloaded class is rejected when looked up against
+// another application's same-named (but different) class.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"mpj"
+	"mpj/internal/classes"
+	"mpj/internal/core"
+	"mpj/internal/objspace"
+	"mpj/internal/security"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sharedobjects:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// Reload "shared.Message" per application, in addition to System —
+	// that creates the namespace split the hazard needs.
+	p, err := core.NewPlatform(core.Config{
+		Name:          "sharedobjects",
+		ReloadClasses: []string{core.SystemClassName, "shared.Message"},
+	})
+	if err != nil {
+		return err
+	}
+	defer p.Shutdown()
+	if err := p.ClassRegistry().Register(&classes.ClassFile{
+		Name:   "shared.Message",
+		Super:  classes.ObjectClassName,
+		Source: security.NewCodeSource("file:/system/rt"),
+	}); err != nil {
+		return err
+	}
+	if _, err := p.AddUser("alice", "wonderland"); err != nil {
+		return err
+	}
+	alice, err := p.Users().Lookup("alice")
+	if err != nil {
+		return err
+	}
+
+	// --- Part 1: Mailbox IPC ---------------------------------------
+	received := make(chan any, 3)
+	if err := p.RegisterProgram(mpj.Program{Name: "producer", Main: func(ctx *mpj.Context, args []string) int {
+		box := objspace.NewMailbox(8)
+		if err := ctx.BindObject("ipc.queue", box); err != nil {
+			ctx.Errorf("producer: %v\n", err)
+			return 1
+		}
+		for _, msg := range []string{"first", "second", "third"} {
+			if err := box.Send(msg); err != nil {
+				return 1
+			}
+		}
+		return 0
+	}}); err != nil {
+		return err
+	}
+	if err := p.RegisterProgram(mpj.Program{Name: "consumer", Main: func(ctx *mpj.Context, args []string) int {
+		v, err := ctx.LookupObject("ipc.queue")
+		if err != nil {
+			ctx.Errorf("consumer: %v\n", err)
+			return 1
+		}
+		box := v.(*objspace.Mailbox)
+		for i := 0; i < 3; i++ {
+			msg, err := box.Receive()
+			if err != nil {
+				return 1
+			}
+			received <- msg
+		}
+		return 0
+	}}); err != nil {
+		return err
+	}
+
+	prod, err := p.Exec(mpj.ExecSpec{Program: "producer", User: alice})
+	if err != nil {
+		return err
+	}
+	prod.WaitFor()
+	cons, err := p.Exec(mpj.ExecSpec{Program: "consumer", User: alice})
+	if err != nil {
+		return err
+	}
+	cons.WaitFor()
+	fmt.Println("mailbox IPC between two applications:")
+	for i := 0; i < 3; i++ {
+		fmt.Printf("  received %v\n", <-received)
+	}
+
+	// --- Part 2: the type-confusion hazard -------------------------
+	lookupErr := make(chan error, 1)
+	if err := p.RegisterProgram(mpj.Program{Name: "binder", Main: func(ctx *mpj.Context, args []string) int {
+		c, err := ctx.App().Loader().Load(ctx.Thread(), "shared.Message")
+		if err != nil {
+			return 1
+		}
+		if err := ctx.BindTypedObject("ipc.typed", "payload", c); err != nil {
+			return 1
+		}
+		return 0
+	}}); err != nil {
+		return err
+	}
+	if err := p.RegisterProgram(mpj.Program{Name: "caster", Main: func(ctx *mpj.Context, args []string) int {
+		c, err := ctx.App().Loader().Load(ctx.Thread(), "shared.Message")
+		if err != nil {
+			return 1
+		}
+		_, err = ctx.LookupTypedObject("ipc.typed", c)
+		lookupErr <- err
+		return 0
+	}}); err != nil {
+		return err
+	}
+	bApp, err := p.Exec(mpj.ExecSpec{Program: "binder", User: alice})
+	if err != nil {
+		return err
+	}
+	bApp.WaitFor()
+	cApp, err := p.Exec(mpj.ExecSpec{Program: "caster", User: alice})
+	if err != nil {
+		return err
+	}
+	cApp.WaitFor()
+
+	fmt.Println("\ntype identity across namespaces (the paper's §8 caveat):")
+	fmt.Printf("  binder's and caster's shared.Message are DIFFERENT classes (same name, different loaders)\n")
+	fmt.Printf("  typed lookup rejected: %v\n", <-lookupErr)
+	return nil
+}

@@ -1,0 +1,330 @@
+// Package applet implements the Appletviewer of Section 6.3, ported to
+// be a plain application of the multi-processing platform (its classes
+// are off the system class path, so they are no longer automatically
+// privileged), plus the applet sandbox:
+//
+//   - applets are mobile code with a remote code source
+//     ("http://host/path"), loaded through a per-applet AppletLoader;
+//   - the loader delegates the classic sandbox permissions to the code
+//     it loads — most importantly "connect back to your own host" —
+//     by adding code-source grants to the system policy ("the
+//     underlying JVM does not distinguish between permissions granted
+//     by the Appletviewer and permissions granted by the user");
+//   - applet code runs on dedicated threads whose security stack
+//     contains only the applet's protection domain, as in the JDK,
+//     so the stack-inspection access controller confines it to the
+//     sandbox.
+package applet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"mpj/internal/classes"
+	"mpj/internal/core"
+	"mpj/internal/events"
+	"mpj/internal/netsim"
+	"mpj/internal/security"
+	"mpj/internal/vfs"
+)
+
+// Errors returned by the applet layer.
+var (
+	// ErrUnknownApplet is returned when the store has no applet with
+	// the requested name.
+	ErrUnknownApplet = errors.New("applet: unknown applet")
+)
+
+// Definition describes a downloadable applet: mobile code published at
+// a codebase URL.
+type Definition struct {
+	// Name is the applet's short name (the appletviewer argument).
+	Name string
+	// Host is the codebase host the applet was downloaded from.
+	Host string
+	// Path is the path under the host.
+	Path string
+	// Signers lists principals who signed the applet's code.
+	Signers []string
+	// Init, if non-nil, runs once before Main — the Applet.init()
+	// analogue (set-up, parameter reading).
+	Init func(actx *Context)
+	// Main is the applet body (the stand-in for its bytecode) — the
+	// Applet.start() analogue.
+	Main func(actx *Context) int
+	// Stop, if non-nil, runs after Main returns (or unwinds) — the
+	// Applet.stop()/destroy() analogue for releasing resources.
+	Stop func(actx *Context)
+}
+
+// ClassName returns the name of the applet's main class.
+func (d *Definition) ClassName() string { return "applet." + d.Name }
+
+// CodeBase returns the applet's origin URL.
+func (d *Definition) CodeBase() string { return "http://" + d.Host + d.Path }
+
+// Store is the simulated "web": a registry of applets that can be
+// fetched by name.
+type Store struct {
+	mu   sync.RWMutex
+	defs map[string]*Definition
+}
+
+// NewStore returns an empty applet store.
+func NewStore() *Store {
+	return &Store{defs: make(map[string]*Definition)}
+}
+
+// Register publishes an applet.
+func (s *Store) Register(def *Definition) error {
+	if def == nil || def.Name == "" || def.Host == "" || def.Main == nil {
+		return fmt.Errorf("applet: register: incomplete definition")
+	}
+	if def.Path == "" {
+		def.Path = "/" + def.Name + ".class"
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.defs[def.Name] = def
+	return nil
+}
+
+// Lookup finds an applet by name.
+func (s *Store) Lookup(name string) (*Definition, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	def, ok := s.defs[name]
+	return def, ok
+}
+
+// Names returns the sorted published applet names.
+func (s *Store) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.defs))
+	for n := range s.defs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Context is the API surface an applet sees — a restricted slice of
+// the application context. Every operation runs with the applet's
+// protection domain on the stack, so the sandbox policy governs it.
+type Context struct {
+	core  *core.Context
+	def   *Definition
+	class *classes.Class
+}
+
+// Name returns the applet's name.
+func (a *Context) Name() string { return a.def.Name }
+
+// CodeBase returns the applet's origin URL.
+func (a *Context) CodeBase() string { return a.def.CodeBase() }
+
+// Printf writes to the hosting appletviewer's stdout (showing applet
+// output needs no privilege).
+func (a *Context) Printf(format string, args ...any) {
+	a.core.Printf(format, args...)
+}
+
+// ReadFile attempts to read a file — denied for sandboxed applets.
+func (a *Context) ReadFile(path string) ([]byte, error) {
+	return a.core.ReadFile(path)
+}
+
+// WriteFile attempts to write a file — denied for sandboxed applets.
+func (a *Context) WriteFile(path string, data []byte) error {
+	return a.core.WriteFile(path, data)
+}
+
+// Property reads a system property (the sandbox allows a small
+// whitelist, like java.version).
+func (a *Context) Property(key string) (string, error) {
+	return a.core.Property(key)
+}
+
+// Dial attempts a network connection. The sandbox allows only the
+// applet's own codebase host.
+func (a *Context) Dial(host string, port int) (*netsim.Conn, error) {
+	return a.core.Dial(host, port)
+}
+
+// ConnectBack dials the applet's own host — the one connection the
+// classic sandbox permits.
+func (a *Context) ConnectBack(port int) (*netsim.Conn, error) {
+	return a.core.Dial(a.def.Host, port)
+}
+
+// OpenWindow opens a (sandbox-permitted) window owned by the hosting
+// appletviewer application.
+func (a *Context) OpenWindow(title string) (*events.Window, error) {
+	return a.core.OpenWindow(title)
+}
+
+// CheckPermission lets applet code probe the access controller.
+func (a *Context) CheckPermission(p security.Permission) error {
+	return a.core.CheckPermission(p)
+}
+
+// sandboxGrant builds the classic sandbox permission set for an
+// applet code source: connect back to the origin host and read a small
+// whitelist of properties, plus opening (warning-bannered) windows.
+func sandboxGrant(def *Definition) *security.Grant {
+	return &security.Grant{
+		CodeBase: "http://" + def.Host + "/-",
+		Perms: []security.Permission{
+			security.NewSocketPermission(def.Host, security.ActionConnect),
+			security.NewPropertyPermission("java.version", security.ActionRead),
+			security.NewPropertyPermission("java.vendor", security.ActionRead),
+			security.NewPropertyPermission("os.name", security.ActionRead),
+			security.NewAWTPermission("openWindow"),
+		},
+	}
+}
+
+// Viewer hosts applets inside one appletviewer application.
+type Viewer struct {
+	store *Store
+
+	mu      sync.Mutex
+	granted map[string]bool // hosts whose sandbox grant is installed
+}
+
+// NewViewer creates a viewer over a store.
+func NewViewer(store *Store) *Viewer {
+	return &Viewer{store: store, granted: make(map[string]bool)}
+}
+
+// Install registers the "appletviewer" program on the platform. The
+// viewer is a LOCAL application (Section 6.3: its classes were moved
+// off the system class path, so they are not automatically
+// privileged); it exercises the running user's permissions like any
+// other local program.
+func Install(p *core.Platform, store *Store) error {
+	v := NewViewer(store)
+	return p.RegisterProgram(core.Program{
+		Name:        "appletviewer",
+		CodeBase:    "file:/local/appletviewer",
+		Main:        v.Main,
+		Description: "run applets in the sandbox",
+	})
+}
+
+// Main is the appletviewer entry point: appletviewer NAME...
+// Each named applet is fetched from the store, defined through a fresh
+// AppletLoader, granted the sandbox, and run to completion. The exit
+// code is the last applet's exit code.
+func (v *Viewer) Main(ctx *core.Context, args []string) int {
+	if len(args) == 0 {
+		ctx.Errorf("appletviewer: usage: appletviewer APPLET...\n")
+		return 2
+	}
+	code := 0
+	for _, name := range args {
+		c, err := v.RunApplet(ctx, name)
+		if err != nil {
+			ctx.Errorf("appletviewer: %v\n", err)
+			return 1
+		}
+		code = c
+	}
+	return code
+}
+
+// RunApplet loads and executes one applet inside the calling
+// application, returning the applet's exit code.
+func (v *Viewer) RunApplet(ctx *core.Context, name string) (int, error) {
+	def, ok := v.store.Lookup(name)
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownApplet, name)
+	}
+	class, err := v.load(ctx, def)
+	if err != nil {
+		return 0, err
+	}
+
+	// Run the applet on a dedicated thread whose security stack
+	// contains ONLY the applet's domain, as a JVM's applet threads do.
+	// The runner (trusted machinery) resets the inherited frames.
+	actx := &Context{core: nil, def: def, class: class}
+	exit := make(chan int, 1)
+	th, err := ctx.SpawnThread("applet-"+def.Name, false, func(tc *core.Context) {
+		t := tc.Thread()
+		for t.FrameDepth() > 0 {
+			t.PopFrame()
+		}
+		actx.core = tc
+		var code int
+		_ = classes.Invoke(t, class, func() error {
+			if def.Init != nil {
+				def.Init(actx)
+			}
+			if def.Stop != nil {
+				defer def.Stop(actx)
+			}
+			code = def.Main(actx)
+			return nil
+		})
+		exit <- code
+	})
+	if err != nil {
+		return 0, fmt.Errorf("applet: start %s: %w", name, err)
+	}
+	th.Join()
+	select {
+	case code := <-exit:
+		return code, nil
+	default:
+		return 1, nil // applet thread unwound without reporting
+	}
+}
+
+// load fetches the applet's class file, installs the sandbox grant for
+// its codebase (once per host), and defines the class through a fresh
+// AppletLoader so each applet lives in its own namespace.
+func (v *Viewer) load(ctx *core.Context, def *Definition) (*classes.Class, error) {
+	p := ctx.Platform()
+	cf := &classes.ClassFile{
+		Name:   def.ClassName(),
+		Super:  classes.ObjectClassName,
+		Source: security.NewCodeSource(def.CodeBase(), def.Signers...),
+		Methods: []classes.MethodSpec{
+			{Name: "init", Public: true},
+			{Name: "start", Public: true},
+		},
+	}
+	if err := p.ClassRegistry().Register(cf); err != nil {
+		return nil, fmt.Errorf("applet: register class: %w", err)
+	}
+
+	v.mu.Lock()
+	if !v.granted[def.Host] {
+		p.Policy().AddGrant(sandboxGrant(def))
+		v.granted[def.Host] = true
+	}
+	v.mu.Unlock()
+
+	// The applet's class name goes into the loader's reload set so the
+	// class is defined in the applet's own namespace rather than
+	// delegated to (and shared through) the bootstrap loader — two
+	// applets may use different classes with the same name, as in a
+	// browser.
+	loader, err := classes.NewChildLoader("applet-loader-"+def.Name, p.BootLoader(), []string{def.ClassName()})
+	if err != nil {
+		return nil, fmt.Errorf("applet: loader: %w", err)
+	}
+	class, err := loader.Load(ctx.Thread(), def.ClassName())
+	if err != nil {
+		return nil, fmt.Errorf("applet: load %s: %w", def.Name, err)
+	}
+	return class, nil
+}
+
+// RootFS is re-exported so examples can seed files without importing
+// vfs directly.
+const RootFS = vfs.Root

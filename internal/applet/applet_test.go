@@ -1,0 +1,416 @@
+package applet_test
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"mpj/internal/applet"
+	"mpj/internal/core"
+	"mpj/internal/coreutils"
+	"mpj/internal/events"
+	"mpj/internal/security"
+	"mpj/internal/streams"
+	"mpj/internal/user"
+)
+
+// appletWorld is a platform with coreutils + an applet store + viewer.
+type appletWorld struct {
+	p     *core.Platform
+	store *applet.Store
+}
+
+func newAppletWorld(t *testing.T) *appletWorld {
+	t.Helper()
+	p, err := core.NewPlatform(core.Config{Name: "applettest"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Shutdown)
+	if err := coreutils.InstallAll(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AddUser("alice", "wonderland"); err != nil {
+		t.Fatal(err)
+	}
+	store := applet.NewStore()
+	if err := applet.Install(p, store); err != nil {
+		t.Fatal(err)
+	}
+	p.Net().AddHost("applets.example.org")
+	p.Net().AddHost("evil.example.org")
+	return &appletWorld{p: p, store: store}
+}
+
+func (w *appletWorld) alice(t *testing.T) *user.User {
+	t.Helper()
+	u, err := w.p.Users().Lookup("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+// runViewer executes "appletviewer names..." as alice, returning
+// stdout+stderr and exit code.
+func (w *appletWorld) runViewer(t *testing.T, names ...string) (string, int) {
+	t.Helper()
+	var out streams.Buffer
+	app, err := w.p.Exec(core.ExecSpec{
+		Program: "appletviewer",
+		Args:    names,
+		User:    w.alice(t),
+		Stdout:  streams.NewWriteStream("av-out", streams.OwnerSystem, &out),
+		Stderr:  streams.NewWriteStream("av-err", streams.OwnerSystem, &out),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := app.WaitFor()
+	return out.String(), code
+}
+
+func isSecurityError(err error) bool {
+	var ace *security.AccessControlError
+	return errors.As(err, &ace)
+}
+
+// TestFigure6AppletSandbox is the E9 integration experiment: a
+// sandboxed applet is denied file access and third-party connections
+// but allowed to connect back to its own host, while the local
+// appletviewer (run by alice) retains alice's file permissions.
+func TestFigure6AppletSandbox(t *testing.T) {
+	w := newAppletWorld(t)
+	if err := w.p.FS().WriteFile("alice", "/home/alice/diary.txt", []byte("dear diary"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A "phone home" service on the applet's own host.
+	l, err := w.p.Net().Listen("applets.example.org", 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l.Close() }()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer func() { _ = c.Close() }()
+				_, _ = c.Write([]byte("ack"))
+			}()
+		}
+	}()
+
+	type probeResult struct {
+		fileErr    error
+		writeErr   error
+		evilErr    error
+		backErr    error
+		backData   string
+		properties string
+	}
+	results := make(chan probeResult, 1)
+
+	err = w.store.Register(&applet.Definition{
+		Name: "probe",
+		Host: "applets.example.org",
+		Main: func(a *applet.Context) int {
+			var r probeResult
+			_, r.fileErr = a.ReadFile("/home/alice/diary.txt")
+			r.writeErr = a.WriteFile("/tmp/applet-was-here", []byte("x"))
+			_, r.evilErr = a.Dial("evil.example.org", 80)
+			conn, err := a.ConnectBack(80)
+			r.backErr = err
+			if err == nil {
+				buf := make([]byte, 3)
+				if _, err := io.ReadFull(conn, buf); err == nil {
+					r.backData = string(buf)
+				}
+				_ = conn.Close()
+			}
+			if v, err := a.Property("java.version"); err == nil {
+				r.properties = v
+			}
+			a.Printf("probe done\n")
+			results <- r
+			return 0
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out, code := w.runViewer(t, "probe")
+	if code != 0 {
+		t.Fatalf("viewer exit = %d, out = %q", code, out)
+	}
+	if !strings.Contains(out, "probe done") {
+		t.Fatalf("applet output missing: %q", out)
+	}
+	r := <-results
+
+	// File access denied by the SECURITY layer (not the OS layer):
+	// even though alice could read her diary, the applet cannot —
+	// "this would not allow applets to access files belonging to the
+	// user running the web browser".
+	if !isSecurityError(r.fileErr) {
+		t.Errorf("applet file read: %v, want security denial", r.fileErr)
+	}
+	if !isSecurityError(r.writeErr) {
+		t.Errorf("applet file write: %v, want security denial", r.writeErr)
+	}
+	// Third-party connection denied.
+	if !isSecurityError(r.evilErr) {
+		t.Errorf("applet third-party dial: %v, want security denial", r.evilErr)
+	}
+	// Connect-back allowed and functional.
+	if r.backErr != nil {
+		t.Errorf("applet connect-back: %v", r.backErr)
+	}
+	if r.backData != "ack" {
+		t.Errorf("connect-back data = %q", r.backData)
+	}
+	// Whitelisted property readable.
+	if r.properties != "1.2-mp" {
+		t.Errorf("java.version = %q", r.properties)
+	}
+	// No file appeared.
+	if w.p.FS().Exists("root", "/tmp/applet-was-here") {
+		t.Error("sandbox leak: applet created a file")
+	}
+}
+
+// TestViewerItselfKeepsUserPermissions: the appletviewer is a local
+// application and exercises the running user's permissions, unlike the
+// applets it hosts.
+func TestViewerItselfKeepsUserPermissions(t *testing.T) {
+	w := newAppletWorld(t)
+	if err := w.p.FS().WriteFile("alice", "/home/alice/bookmark", []byte("url"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	read := make(chan error, 1)
+	err := w.store.Register(&applet.Definition{
+		Name: "noop",
+		Host: "applets.example.org",
+		Main: func(a *applet.Context) int { return 0 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrap the viewer in a local program that reads alice's file
+	// before hosting the applet.
+	if err := w.p.RegisterProgram(core.Program{
+		Name: "viewer-probe",
+		Main: func(ctx *core.Context, args []string) int {
+			_, err := ctx.ReadFile("/home/alice/bookmark")
+			read <- err
+			v := applet.NewViewer(w.store)
+			code, rerr := v.RunApplet(ctx, "noop")
+			if rerr != nil {
+				return 1
+			}
+			return code
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	app, err := w.p.Exec(core.ExecSpec{Program: "viewer-probe", User: w.alice(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := app.WaitFor(); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if err := <-read; err != nil {
+		t.Fatalf("viewer-side read failed: %v", err)
+	}
+}
+
+// TestSignedAppletGetsExtraGrant: Section 6.3 — "one can still assign
+// special privileges to certain code sources (such as certain
+// applets)".
+func TestSignedAppletGetsExtraGrant(t *testing.T) {
+	w := newAppletWorld(t)
+	// Policy: applets signed by "acme" may write under /tmp/acme.
+	if err := w.p.FS().MkdirAll("root", "/tmp/acme", 0o777); err != nil {
+		t.Fatal(err)
+	}
+	w.p.Policy().AddGrant(&security.Grant{
+		Signers: []string{"acme"},
+		Perms: []security.Permission{
+			security.NewFilePermission("/tmp/acme/-", "read,write"),
+		},
+	})
+	signedErr := make(chan error, 1)
+	unsignedErr := make(chan error, 1)
+	for _, def := range []*applet.Definition{
+		{
+			Name: "signed", Host: "applets.example.org", Signers: []string{"acme"},
+			Main: func(a *applet.Context) int {
+				signedErr <- a.WriteFile("/tmp/acme/out.txt", []byte("signed data"))
+				return 0
+			},
+		},
+		{
+			Name: "unsigned", Host: "applets.example.org",
+			Main: func(a *applet.Context) int {
+				unsignedErr <- a.WriteFile("/tmp/acme/evil.txt", []byte("x"))
+				return 0
+			},
+		},
+	} {
+		if err := w.store.Register(def); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, code := w.runViewer(t, "signed", "unsigned"); code != 0 {
+		t.Fatalf("viewer exit = %d", code)
+	}
+	if err := <-signedErr; err != nil {
+		t.Errorf("signed applet write: %v", err)
+	}
+	if err := <-unsignedErr; !isSecurityError(err) {
+		t.Errorf("unsigned applet write: %v, want security denial", err)
+	}
+}
+
+// TestAppletNamespacesAreSeparate: two applets with the same class
+// name coexist, each in its own loader namespace.
+func TestAppletNamespacesAreSeparate(t *testing.T) {
+	w := newAppletWorld(t)
+	ran := make(chan string, 2)
+	// Both definitions produce class "applet.clash" — the second
+	// registration replaces the first in the global registry, so
+	// register + run them one at a time, as two fetches would.
+	for _, variant := range []string{"v1", "v2"} {
+		v := variant
+		if err := w.store.Register(&applet.Definition{
+			Name: "clash",
+			Host: "applets.example.org",
+			Path: "/" + v + "/clash.class",
+			Main: func(a *applet.Context) int {
+				ran <- v
+				return 0
+			},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if out, code := w.runViewer(t, "clash"); code != 0 {
+			t.Fatalf("viewer exit = %d out=%q", code, out)
+		}
+	}
+	if a, b := <-ran, <-ran; a != "v1" || b != "v2" {
+		t.Fatalf("ran = %s, %s", a, b)
+	}
+}
+
+func TestAppletCanOpenWindow(t *testing.T) {
+	w := newAppletWorld(t)
+	w.p.EnableDisplay(events.PerAppDispatcher)
+	winErr := make(chan error, 1)
+	if err := w.store.Register(&applet.Definition{
+		Name: "gui",
+		Host: "applets.example.org",
+		Main: func(a *applet.Context) int {
+			_, err := a.OpenWindow("applet window")
+			winErr <- err
+			return 0
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// The dispatcher thread keeps the viewer app alive; run it
+		// detached and stop it after the check.
+		app, err := w.p.Exec(core.ExecSpec{Program: "appletviewer", Args: []string{"gui"}, User: w.alice(t)})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := <-winErr; err != nil {
+			t.Errorf("applet open window: %v", err)
+		}
+		app.RequestExit(0)
+		app.WaitFor()
+	}()
+	<-done
+}
+
+func TestViewerErrors(t *testing.T) {
+	w := newAppletWorld(t)
+	out, code := w.runViewer(t)
+	if code != 2 || !strings.Contains(out, "usage") {
+		t.Fatalf("no-args: code=%d out=%q", code, out)
+	}
+	out, code = w.runViewer(t, "does-not-exist")
+	if code != 1 || !strings.Contains(out, "unknown applet") {
+		t.Fatalf("unknown: code=%d out=%q", code, out)
+	}
+}
+
+func TestStoreValidation(t *testing.T) {
+	s := applet.NewStore()
+	for _, bad := range []*applet.Definition{
+		nil,
+		{},
+		{Name: "x"},
+		{Name: "x", Host: "h"},
+	} {
+		if err := s.Register(bad); err == nil {
+			t.Errorf("accepted %+v", bad)
+		}
+	}
+	if err := s.Register(&applet.Definition{Name: "ok", Host: "h", Main: func(*applet.Context) int { return 0 }}); err != nil {
+		t.Fatal(err)
+	}
+	if names := s.Names(); len(names) != 1 || names[0] != "ok" {
+		t.Fatalf("names = %v", names)
+	}
+	def, ok := s.Lookup("ok")
+	if !ok || def.Path != "/ok.class" || def.CodeBase() != "http://h/ok.class" {
+		t.Fatalf("def = %+v", def)
+	}
+	if def.ClassName() != "applet.ok" {
+		t.Fatalf("class name = %q", def.ClassName())
+	}
+}
+
+// TestAppletLifecycle: Init runs before Main, Stop after — both inside
+// the sandbox (an Init that misbehaves is confined like Main).
+func TestAppletLifecycle(t *testing.T) {
+	w := newAppletWorld(t)
+	var order []string
+	var initDenied error
+	if err := w.store.Register(&applet.Definition{
+		Name: "lifecycle",
+		Host: "applets.example.org",
+		Init: func(a *applet.Context) {
+			order = append(order, "init")
+			_, initDenied = a.ReadFile("/etc/passwd")
+		},
+		Main: func(a *applet.Context) int {
+			order = append(order, "main")
+			return 0
+		},
+		Stop: func(a *applet.Context) {
+			order = append(order, "stop")
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if out, code := w.runViewer(t, "lifecycle"); code != 0 {
+		t.Fatalf("viewer exit %d out=%q", code, out)
+	}
+	if len(order) != 3 || order[0] != "init" || order[1] != "main" || order[2] != "stop" {
+		t.Fatalf("order = %v", order)
+	}
+	if !isSecurityError(initDenied) {
+		t.Fatalf("init escaped the sandbox: %v", initDenied)
+	}
+}

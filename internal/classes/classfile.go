@@ -1,0 +1,248 @@
+// Package classes implements the class subsystem substrate: class
+// files, class loaders with parent delegation, per-loader namespaces,
+// and the link/verify/initialize pipeline of Section 3.1 of the paper.
+//
+// Two properties of the Java class architecture carry the paper's
+// design and are reproduced faithfully here:
+//
+//  1. Namespace separation — classes with the same name defined by
+//     different loaders are different classes. Section 5.5 exploits
+//     this to give every application its own reloaded copy of the
+//     System class ("to the JVM, the different incarnations of the
+//     System class are just different classes that happen to have the
+//     same name").
+//  2. Code-source attachment — every defined class gets a protection
+//     domain derived from the policy and the class file's code source.
+package classes
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"mpj/internal/security"
+)
+
+// Errors returned by the class subsystem.
+var (
+	// ErrNotFound is returned when no class file with the requested
+	// name is visible to the loader.
+	ErrNotFound = errors.New("classes: class not found")
+
+	// ErrVerification is the base error of verification failures.
+	ErrVerification = errors.New("classes: verification failed")
+)
+
+// VerifyError describes a class file rejected by the verifier.
+type VerifyError struct {
+	Class  string
+	Reason string
+}
+
+// Error implements error.
+func (e *VerifyError) Error() string {
+	return fmt.Sprintf("classes: verify %s: %s", e.Class, e.Reason)
+}
+
+// Unwrap lets errors.Is match ErrVerification.
+func (e *VerifyError) Unwrap() error { return ErrVerification }
+
+// MethodSpec declares a method on a class file (used by the verifier
+// to reject malformed classes and by the reflection facility to
+// distinguish public from non-public members).
+type MethodSpec struct {
+	Name   string
+	Public bool
+}
+
+// ClassFile is the external representation of a class: what a .class
+// file is to a JVM. Defining it through a Loader turns it into a
+// *Class (the internal representation).
+type ClassFile struct {
+	// Name is the fully qualified class name, e.g. "java.lang.System".
+	Name string
+	// Super is the superclass name ("" only for the root class
+	// "java.lang.Object").
+	Super string
+	// Interfaces lists the interface names the class declares.
+	Interfaces []string
+	// Refs lists symbolic references to other classes that linking
+	// must resolve.
+	Refs []string
+	// Methods declares the class's methods.
+	Methods []MethodSpec
+	// Source is the code source the class was loaded from.
+	Source *security.CodeSource
+	// Init, if non-nil, is the static initializer (<clinit>), run
+	// exactly once when the class is first initialized.
+	Init func(c *Class)
+}
+
+// ObjectClassName is the root of the inheritance hierarchy.
+const ObjectClassName = "java.lang.Object"
+
+// Registry is the class path: a name-indexed store of class files that
+// loaders find classes in. It is safe for concurrent use.
+type Registry struct {
+	mu    sync.RWMutex
+	files map[string]*ClassFile
+}
+
+// NewRegistry returns a registry pre-populated with the root object
+// class.
+func NewRegistry() *Registry {
+	r := &Registry{files: make(map[string]*ClassFile)}
+	r.files[ObjectClassName] = &ClassFile{
+		Name:   ObjectClassName,
+		Source: security.NewCodeSource("file:/system/rt"),
+	}
+	return r
+}
+
+// Register adds a class file to the registry, replacing any previous
+// file with the same name.
+func (r *Registry) Register(cf *ClassFile) error {
+	if cf == nil || cf.Name == "" {
+		return &VerifyError{Class: "", Reason: "class file has no name"}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.files[cf.Name] = cf
+	return nil
+}
+
+// Lookup finds a class file by name.
+func (r *Registry) Lookup(name string) (*ClassFile, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	cf, ok := r.files[name]
+	return cf, ok
+}
+
+// Names returns the sorted names of all registered class files.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.files))
+	for n := range r.files {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Class is the internal (linked) representation of a class: the pair
+// (class file, defining loader) plus the protection domain policy
+// assigned. Class identity is pointer identity — the same class file
+// defined by two loaders yields two distinct *Class values, which is
+// exactly the namespace-separation property Section 5.5 builds on.
+type Class struct {
+	file   *ClassFile
+	loader *Loader
+	domain *security.ProtectionDomain
+
+	initOnce sync.Once
+
+	mu      sync.Mutex
+	statics map[string]any
+	linked  []*Class
+}
+
+// Name returns the fully qualified class name.
+func (c *Class) Name() string { return c.file.Name }
+
+// File returns the class file the class was defined from.
+func (c *Class) File() *ClassFile { return c.file }
+
+// Loader returns the defining loader.
+func (c *Class) Loader() *Loader { return c.loader }
+
+// Domain returns the class's protection domain.
+func (c *Class) Domain() *security.ProtectionDomain { return c.domain }
+
+// String implements fmt.Stringer.
+func (c *Class) String() string {
+	return fmt.Sprintf("Class[%s loader=%s]", c.file.Name, c.loader.Name())
+}
+
+// SetStatic sets a static field value. Statics are per-Class — two
+// reloaded incarnations of the same class file have independent
+// statics (this is what makes per-application System.in/out/err work).
+func (c *Class) SetStatic(field string, v any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.statics == nil {
+		c.statics = make(map[string]any)
+	}
+	c.statics[field] = v
+}
+
+// Static reads a static field value.
+func (c *Class) Static(field string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.statics[field]
+	return v, ok
+}
+
+// Linked returns the classes resolved from this class's symbolic
+// references (in Refs order).
+func (c *Class) Linked() []*Class {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Class, len(c.linked))
+	copy(out, c.linked)
+	return out
+}
+
+// Method looks up a declared method spec by name.
+func (c *Class) Method(name string) (MethodSpec, bool) {
+	for _, m := range c.file.Methods {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return MethodSpec{}, false
+}
+
+// IsSubclassOf reports whether c's superclass chain (by NAME, within
+// c's loader's registry view) includes ancestorName. Every class is a
+// subclass of itself and of java.lang.Object.
+func (c *Class) IsSubclassOf(ancestorName string) bool {
+	if ancestorName == c.file.Name || ancestorName == ObjectClassName {
+		return true
+	}
+	for cur := c.file.Super; cur != ""; {
+		if cur == ancestorName {
+			return true
+		}
+		next, ok := c.loader.registry.Lookup(cur)
+		if !ok {
+			return false
+		}
+		cur = next.Super
+	}
+	return false
+}
+
+// Implements reports whether c or any of its superclasses declares the
+// named interface.
+func (c *Class) Implements(ifaceName string) bool {
+	for cur := c.file; cur != nil; {
+		for _, i := range cur.Interfaces {
+			if i == ifaceName {
+				return true
+			}
+		}
+		if cur.Super == "" {
+			return false
+		}
+		next, ok := c.loader.registry.Lookup(cur.Super)
+		if !ok {
+			return false
+		}
+		cur = next
+	}
+	return false
+}

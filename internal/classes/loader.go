@@ -1,0 +1,289 @@
+package classes
+
+import (
+	"fmt"
+	"sync"
+
+	"mpj/internal/security"
+	"mpj/internal/vm"
+)
+
+// Loader loads and defines classes. Loaders form a delegation chain:
+// a loader first asks its parent, then — if the parent cannot find the
+// class, or the name is in the loader's reload set — defines the class
+// itself from the registry.
+//
+// The reload set implements Section 5.5: an application loader lists
+// "java.lang.System" (and any other per-application system classes)
+// there, so every application gets its own incarnation of those
+// classes while all other system classes stay shared via the parent
+// bootstrap loader.
+type Loader struct {
+	name     string
+	parent   *Loader
+	registry *Registry
+	policy   *security.Policy
+	reload   map[string]bool
+
+	mu      sync.Mutex
+	defined map[string]*Class
+	loading map[string]bool
+
+	stats LoaderStats
+}
+
+// LoaderStats counts loader activity.
+type LoaderStats struct {
+	Defined   int64 // classes defined by this loader
+	Delegated int64 // loads satisfied by the parent
+}
+
+// NewBootstrapLoader creates the root loader that defines shared
+// system classes. Classes defined by it receive their domains from the
+// given policy (grant AllPermission to the system code base there).
+func NewBootstrapLoader(registry *Registry, policy *security.Policy) *Loader {
+	return &Loader{
+		name:     "bootstrap",
+		registry: registry,
+		policy:   policy,
+		defined:  make(map[string]*Class),
+		loading:  make(map[string]bool),
+	}
+}
+
+// NewChildLoader creates a loader delegating to parent. Names listed
+// in reload are NOT delegated: the child defines its own incarnation
+// from the same class material (Section 5.5's reloading technique).
+func NewChildLoader(name string, parent *Loader, reload []string) (*Loader, error) {
+	if parent == nil {
+		return nil, fmt.Errorf("classes: loader %q: nil parent", name)
+	}
+	set := make(map[string]bool, len(reload))
+	for _, n := range reload {
+		set[n] = true
+	}
+	return &Loader{
+		name:     name,
+		parent:   parent,
+		registry: parent.registry,
+		policy:   parent.policy,
+		reload:   set,
+		defined:  make(map[string]*Class),
+		loading:  make(map[string]bool),
+	}, nil
+}
+
+// Name returns the loader's diagnostic name.
+func (l *Loader) Name() string { return l.name }
+
+// Parent returns the parent loader (nil for bootstrap).
+func (l *Loader) Parent() *Loader { return l.parent }
+
+// Stats returns a snapshot of the loader's counters.
+func (l *Loader) Stats() LoaderStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// DefinedClasses returns the classes this loader has defined itself.
+func (l *Loader) DefinedClasses() []*Class {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]*Class, 0, len(l.defined))
+	for _, c := range l.defined {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Load resolves a class name to a Class, following the delegation
+// model, and links + initializes it. The thread t provides the
+// execution context for static initializers (may be nil for
+// init-free classes).
+func (l *Loader) Load(t *vm.Thread, name string) (*Class, error) {
+	c, err := l.resolve(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := l.initialize(t, c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// resolve finds or defines the class without running initializers.
+func (l *Loader) resolve(name string) (*Class, error) {
+	l.mu.Lock()
+	if c, ok := l.defined[name]; ok {
+		l.mu.Unlock()
+		return c, nil
+	}
+	reloadHere := l.reload[name]
+	l.mu.Unlock()
+
+	// Standard delegation: parent first, unless this name is reloaded.
+	if l.parent != nil && !reloadHere {
+		if c, err := l.parent.resolve(name); err == nil {
+			l.mu.Lock()
+			l.stats.Delegated++
+			l.mu.Unlock()
+			return c, nil
+		}
+	}
+	return l.define(name)
+}
+
+// define converts the class file into a Class in this loader's
+// namespace: find, verify, allocate, then link references.
+func (l *Loader) define(name string) (*Class, error) {
+	cf, ok := l.registry.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s (loader %s)", ErrNotFound, name, l.name)
+	}
+	if err := l.verify(cf); err != nil {
+		return nil, err
+	}
+
+	l.mu.Lock()
+	if c, ok := l.defined[name]; ok { // racing definer won
+		l.mu.Unlock()
+		return c, nil
+	}
+	if l.loading[name] {
+		l.mu.Unlock()
+		return nil, &VerifyError{Class: name, Reason: "circular linkage"}
+	}
+	l.loading[name] = true
+	c := &Class{
+		file:   cf,
+		loader: l,
+		domain: l.policy.DomainFor(name, cf.Source),
+	}
+	l.defined[name] = c
+	l.stats.Defined++
+	l.mu.Unlock()
+
+	defer func() {
+		l.mu.Lock()
+		delete(l.loading, name)
+		l.mu.Unlock()
+	}()
+
+	// Link: resolve the superclass and every symbolic reference in
+	// this loader's namespace.
+	link := func(ref string) (*Class, error) {
+		rc, err := l.resolve(ref)
+		if err != nil {
+			l.undefine(name)
+			return nil, fmt.Errorf("classes: link %s: %w", name, err)
+		}
+		return rc, nil
+	}
+	if cf.Super != "" {
+		if _, err := link(cf.Super); err != nil {
+			return nil, err
+		}
+	}
+	for _, ref := range cf.Refs {
+		rc, err := link(ref)
+		if err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		c.linked = append(c.linked, rc)
+		c.mu.Unlock()
+	}
+	return c, nil
+}
+
+// undefine removes a class whose linking failed.
+func (l *Loader) undefine(name string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.defined, name)
+	l.stats.Defined--
+}
+
+// verify applies the class-file verifier rules.
+func (l *Loader) verify(cf *ClassFile) error {
+	if cf.Name == "" {
+		return &VerifyError{Class: "?", Reason: "empty class name"}
+	}
+	if cf.Name != ObjectClassName && cf.Super == "" {
+		return &VerifyError{Class: cf.Name, Reason: "missing superclass"}
+	}
+	if cf.Super == cf.Name {
+		return &VerifyError{Class: cf.Name, Reason: "class is its own superclass"}
+	}
+	// Superclass chain must terminate at Object without cycles.
+	seen := map[string]bool{cf.Name: true}
+	for cur := cf.Super; cur != ""; {
+		if seen[cur] {
+			return &VerifyError{Class: cf.Name, Reason: "inheritance cycle through " + cur}
+		}
+		seen[cur] = true
+		next, ok := l.registry.Lookup(cur)
+		if !ok {
+			return &VerifyError{Class: cf.Name, Reason: "superclass not found: " + cur}
+		}
+		cur = next.Super
+	}
+	// Interfaces must be resolvable and must not duplicate.
+	seenIfaces := make(map[string]bool, len(cf.Interfaces))
+	for _, iface := range cf.Interfaces {
+		if seenIfaces[iface] {
+			return &VerifyError{Class: cf.Name, Reason: "duplicate interface " + iface}
+		}
+		seenIfaces[iface] = true
+		if _, ok := l.registry.Lookup(iface); !ok {
+			return &VerifyError{Class: cf.Name, Reason: "interface not found: " + iface}
+		}
+	}
+	// Method names must be unique.
+	methods := make(map[string]bool, len(cf.Methods))
+	for _, m := range cf.Methods {
+		if m.Name == "" {
+			return &VerifyError{Class: cf.Name, Reason: "method with empty name"}
+		}
+		if methods[m.Name] {
+			return &VerifyError{Class: cf.Name, Reason: "duplicate method " + m.Name}
+		}
+		methods[m.Name] = true
+	}
+	// All symbolic references must be resolvable somewhere on the
+	// class path.
+	for _, ref := range cf.Refs {
+		if _, ok := l.registry.Lookup(ref); !ok {
+			return &VerifyError{Class: cf.Name, Reason: "unresolvable reference " + ref}
+		}
+	}
+	return nil
+}
+
+// initialize runs the class's static initializer exactly once, on the
+// calling thread, inside a frame carrying the class's own domain (so
+// <clinit> code runs with the class's privileges, not the trigger's).
+func (l *Loader) initialize(t *vm.Thread, c *Class) error {
+	c.initOnce.Do(func() {
+		if c.file.Init == nil {
+			return
+		}
+		if t != nil {
+			t.PushFrame(vm.Frame{Class: c.Name(), Domain: c.domain, Privileged: true})
+			defer t.PopFrame()
+		}
+		c.file.Init(c)
+	})
+	return nil
+}
+
+// Invoke runs fn as a method of class c on thread t: it pushes a
+// security frame carrying c's protection domain for the duration of
+// the call. This is the explicit stand-in for the JVM's automatic
+// stack annotation (see the security package docs).
+func Invoke(t *vm.Thread, c *Class, fn func() error) error {
+	t.PushFrame(vm.Frame{Class: c.Name(), Domain: c.domain})
+	defer t.PopFrame()
+	return fn()
+}

@@ -1,0 +1,386 @@
+package classes
+
+import (
+	"errors"
+	"testing"
+
+	"mpj/internal/security"
+)
+
+// testWorld builds a registry + bootstrap loader with a permissive
+// policy for system code.
+func testWorld(t *testing.T) (*Registry, *Loader) {
+	t.Helper()
+	reg := NewRegistry()
+	pol := security.MustParsePolicy(`
+grant codeBase "file:/system/-" {
+    permission all;
+};`)
+	return reg, NewBootstrapLoader(reg, pol)
+}
+
+func sysFile(name, super string, refs ...string) *ClassFile {
+	return &ClassFile{
+		Name:   name,
+		Super:  super,
+		Refs:   refs,
+		Source: security.NewCodeSource("file:/system/rt"),
+	}
+}
+
+func mustRegister(t *testing.T, reg *Registry, cfs ...*ClassFile) {
+	t.Helper()
+	for _, cf := range cfs {
+		if err := reg.Register(cf); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestLoadSimpleClass(t *testing.T) {
+	reg, boot := testWorld(t)
+	mustRegister(t, reg, sysFile("java.lang.String", ObjectClassName))
+	c, err := boot.Load(nil, "java.lang.String")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "java.lang.String" || c.Loader() != boot {
+		t.Fatalf("class = %v", c)
+	}
+	if c.Domain() == nil || !c.Domain().Static.Implies(security.AllPermission{}) {
+		t.Fatal("system class must get the system domain")
+	}
+	// Loading again yields the identical class object.
+	c2, err := boot.Load(nil, "java.lang.String")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 != c {
+		t.Fatal("same loader must return the same class")
+	}
+}
+
+func TestLoadNotFound(t *testing.T) {
+	_, boot := testWorld(t)
+	_, err := boot.Load(nil, "does.not.Exist")
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestChildDelegatesToParent(t *testing.T) {
+	reg, boot := testWorld(t)
+	mustRegister(t, reg, sysFile("Shared", ObjectClassName))
+	child, err := NewChildLoader("app-1", boot, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromChild, err := child.Load(nil, "Shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBoot, err := boot.Load(nil, "Shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromChild != fromBoot {
+		t.Fatal("delegated load must return the parent's class")
+	}
+	if child.Stats().Delegated == 0 {
+		t.Fatal("delegation not counted")
+	}
+	if child.Stats().Defined != 0 {
+		t.Fatal("child should not define delegated classes")
+	}
+}
+
+// TestFigure5NamespaceSeparation verifies the core reloading property
+// of Section 5.5: two loaders that both define "java.lang.System" from
+// the same class material produce DIFFERENT classes with independent
+// statics, while non-reloaded classes stay shared.
+func TestFigure5NamespaceSeparation(t *testing.T) {
+	reg, boot := testWorld(t)
+	mustRegister(t, reg,
+		sysFile("java.lang.System", ObjectClassName),
+		sysFile("SystemProperties", ObjectClassName),
+	)
+
+	app1, err := NewChildLoader("app-1", boot, []string{"java.lang.System"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app2, err := NewChildLoader("app-2", boot, []string{"java.lang.System"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sys1, err := app1.Load(nil, "java.lang.System")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys2, err := app2.Load(nil, "java.lang.System")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys1 == sys2 {
+		t.Fatal("reloaded System classes must be distinct per loader")
+	}
+	if sys1.Name() != sys2.Name() {
+		t.Fatal("reloaded classes keep the same name")
+	}
+
+	// Independent statics: each application redirects its own stdout.
+	sys1.SetStatic("out", "terminal-1")
+	sys2.SetStatic("out", "file:/tmp/app2.log")
+	v1, _ := sys1.Static("out")
+	v2, _ := sys2.Static("out")
+	if v1 == v2 {
+		t.Fatal("statics of reloaded classes must be independent")
+	}
+
+	// The shared properties class is NOT in the reload set: both apps
+	// see the bootstrap's single copy (Figure 5's shared
+	// SystemProperties).
+	p1, err := app1.Load(nil, "SystemProperties")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := app2.Load(nil, "SystemProperties")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("non-reloaded class must be shared through the parent")
+	}
+}
+
+func TestLinkingResolvesRefsInLoaderNamespace(t *testing.T) {
+	reg, boot := testWorld(t)
+	mustRegister(t, reg,
+		sysFile("Helper", ObjectClassName),
+		sysFile("Main", ObjectClassName, "Helper"),
+	)
+	c, err := boot.Load(nil, "Main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	linked := c.Linked()
+	if len(linked) != 1 || linked[0].Name() != "Helper" {
+		t.Fatalf("linked = %v", linked)
+	}
+}
+
+func TestVerifierRules(t *testing.T) {
+	reg, boot := testWorld(t)
+	mustRegister(t, reg, sysFile("Good", ObjectClassName))
+
+	tests := []struct {
+		name string
+		cf   *ClassFile
+	}{
+		{"empty name", &ClassFile{Name: "", Super: ObjectClassName}},
+		{"missing super", &ClassFile{Name: "NoSuper"}},
+		{"own super", &ClassFile{Name: "Selfish", Super: "Selfish"}},
+		{"unknown super", &ClassFile{Name: "Orphan", Super: "Ghost"}},
+		{"duplicate methods", &ClassFile{Name: "Dup", Super: ObjectClassName,
+			Methods: []MethodSpec{{Name: "m"}, {Name: "m"}}}},
+		{"empty method name", &ClassFile{Name: "Anon", Super: ObjectClassName,
+			Methods: []MethodSpec{{Name: ""}}}},
+		{"unresolvable ref", &ClassFile{Name: "Dangling", Super: ObjectClassName,
+			Refs: []string{"Missing"}}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.cf.Name != "" {
+				if err := reg.Register(tc.cf); err != nil {
+					t.Fatal(err)
+				}
+			}
+			name := tc.cf.Name
+			if name == "" {
+				// unregisterable; verify directly
+				if err := boot.verify(tc.cf); err == nil {
+					t.Fatal("verifier accepted empty name")
+				}
+				return
+			}
+			_, err := boot.Load(nil, name)
+			var ve *VerifyError
+			if !errors.As(err, &ve) {
+				t.Fatalf("err = %v, want VerifyError", err)
+			}
+			if !errors.Is(err, ErrVerification) {
+				t.Fatal("VerifyError must unwrap to ErrVerification")
+			}
+		})
+	}
+}
+
+func TestInheritanceCycleDetected(t *testing.T) {
+	reg, boot := testWorld(t)
+	mustRegister(t, reg,
+		sysFile("A", "B"),
+		sysFile("B", "A"),
+	)
+	_, err := boot.Load(nil, "A")
+	if !errors.Is(err, ErrVerification) {
+		t.Fatalf("err = %v, want verification failure", err)
+	}
+}
+
+func TestFailedLinkRollsBackDefinition(t *testing.T) {
+	reg, boot := testWorld(t)
+	// Ref resolvable at verify time but its own verification fails at
+	// link time (missing super).
+	mustRegister(t, reg,
+		&ClassFile{Name: "BadDep", Source: security.NewCodeSource("file:/system/rt")},
+		sysFile("NeedsBadDep", ObjectClassName, "BadDep"),
+	)
+	if _, err := boot.Load(nil, "NeedsBadDep"); err == nil {
+		t.Fatal("expected link failure")
+	}
+	if got := boot.Stats().Defined; got != 0 {
+		// Object may be defined; only count our failed class.
+		for _, c := range boot.DefinedClasses() {
+			if c.Name() == "NeedsBadDep" {
+				t.Fatal("failed class left defined")
+			}
+		}
+	}
+}
+
+func TestStaticInitializerRunsOnce(t *testing.T) {
+	reg, boot := testWorld(t)
+	count := 0
+	cf := sysFile("WithInit", ObjectClassName)
+	cf.Init = func(c *Class) {
+		count++
+		c.SetStatic("ready", true)
+	}
+	mustRegister(t, reg, cf)
+	for i := 0; i < 3; i++ {
+		c, err := boot.Load(nil, "WithInit")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, ok := c.Static("ready"); !ok || v != true {
+			t.Fatal("initializer effect missing")
+		}
+	}
+	if count != 1 {
+		t.Fatalf("initializer ran %d times, want 1", count)
+	}
+}
+
+func TestMethodLookup(t *testing.T) {
+	reg, boot := testWorld(t)
+	cf := sysFile("WithMethods", ObjectClassName)
+	cf.Methods = []MethodSpec{{Name: "run", Public: true}, {Name: "helper", Public: false}}
+	mustRegister(t, reg, cf)
+	c, err := boot.Load(nil, "WithMethods")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := c.Method("run"); !ok || !m.Public {
+		t.Fatal("run should be public")
+	}
+	if m, ok := c.Method("helper"); !ok || m.Public {
+		t.Fatal("helper should be non-public")
+	}
+	if _, ok := c.Method("missing"); ok {
+		t.Fatal("missing method found")
+	}
+}
+
+func TestNewChildLoaderValidation(t *testing.T) {
+	if _, err := NewChildLoader("orphan", nil, nil); err == nil {
+		t.Fatal("nil parent must be rejected")
+	}
+}
+
+func TestRegistryBasics(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Register(nil); err == nil {
+		t.Fatal("nil class file accepted")
+	}
+	if err := reg.Register(&ClassFile{}); err == nil {
+		t.Fatal("nameless class file accepted")
+	}
+	if _, ok := reg.Lookup(ObjectClassName); !ok {
+		t.Fatal("registry must pre-seed java.lang.Object")
+	}
+	names := reg.Names()
+	if len(names) != 1 || names[0] != ObjectClassName {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestClassStringer(t *testing.T) {
+	reg, boot := testWorld(t)
+	mustRegister(t, reg, sysFile("S", ObjectClassName))
+	c, _ := boot.Load(nil, "S")
+	if c.String() == "" || c.File() == nil {
+		t.Fatal("stringer/file accessors broken")
+	}
+}
+
+func TestInterfaceVerification(t *testing.T) {
+	reg, boot := testWorld(t)
+	mustRegister(t, reg, sysFile("Runnable", ObjectClassName))
+
+	good := sysFile("Task", ObjectClassName)
+	good.Interfaces = []string{"Runnable"}
+	mustRegister(t, reg, good)
+	if _, err := boot.Load(nil, "Task"); err != nil {
+		t.Fatalf("valid interfaces rejected: %v", err)
+	}
+
+	missing := sysFile("Broken", ObjectClassName)
+	missing.Interfaces = []string{"Ghost"}
+	mustRegister(t, reg, missing)
+	if _, err := boot.Load(nil, "Broken"); !errors.Is(err, ErrVerification) {
+		t.Fatalf("missing interface: %v", err)
+	}
+
+	dup := sysFile("Twice", ObjectClassName)
+	dup.Interfaces = []string{"Runnable", "Runnable"}
+	mustRegister(t, reg, dup)
+	if _, err := boot.Load(nil, "Twice"); !errors.Is(err, ErrVerification) {
+		t.Fatalf("duplicate interface: %v", err)
+	}
+}
+
+func TestSubclassAndImplements(t *testing.T) {
+	reg, boot := testWorld(t)
+	mustRegister(t, reg, sysFile("Closeable", ObjectClassName))
+	base := sysFile("Stream", ObjectClassName)
+	base.Interfaces = []string{"Closeable"}
+	mustRegister(t, reg, base)
+	mustRegister(t, reg, sysFile("FileStream", "Stream"))
+	mustRegister(t, reg, sysFile("Unrelated", ObjectClassName))
+
+	c, err := boot.Load(nil, "FileStream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.IsSubclassOf("Stream") || !c.IsSubclassOf("FileStream") || !c.IsSubclassOf(ObjectClassName) {
+		t.Fatal("subclass chain broken")
+	}
+	if c.IsSubclassOf("Unrelated") {
+		t.Fatal("false subclass")
+	}
+	// Interface inherited through the superclass.
+	if !c.Implements("Closeable") {
+		t.Fatal("inherited interface not found")
+	}
+	if c.Implements("Ghostly") {
+		t.Fatal("phantom interface")
+	}
+	u, err := boot.Load(nil, "Unrelated")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Implements("Closeable") {
+		t.Fatal("unrelated class implements Closeable")
+	}
+}

@@ -1,0 +1,71 @@
+package classes
+
+import (
+	"sort"
+	"sync"
+)
+
+// SystemProperties is the truly VM-wide property store of Figure 5:
+// when the System class is reloaded per application, properties that
+// really are system-global (OS name, VM version, proxy lists, ...)
+// move into this single shared class so every incarnation of System
+// sees the same values. Per-application properties (user.name,
+// user.dir, ...) live in each application's own state instead.
+type SystemProperties struct {
+	mu    sync.RWMutex
+	props map[string]string
+}
+
+// NewSystemProperties returns a property store seeded with defaults.
+func NewSystemProperties(defaults map[string]string) *SystemProperties {
+	p := &SystemProperties{props: make(map[string]string, len(defaults))}
+	for k, v := range defaults {
+		p.props[k] = v
+	}
+	return p
+}
+
+// Get returns the value of key ("" if unset).
+func (p *SystemProperties) Get(key string) string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.props[key]
+}
+
+// Lookup returns the value and whether it was set.
+func (p *SystemProperties) Lookup(key string) (string, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	v, ok := p.props[key]
+	return v, ok
+}
+
+// Set stores a property value.
+func (p *SystemProperties) Set(key, value string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.props[key] = value
+}
+
+// Keys returns the sorted property names.
+func (p *SystemProperties) Keys() []string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]string, 0, len(p.props))
+	for k := range p.props {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot returns a copy of all properties.
+func (p *SystemProperties) Snapshot() map[string]string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make(map[string]string, len(p.props))
+	for k, v := range p.props {
+		out[k] = v
+	}
+	return out
+}

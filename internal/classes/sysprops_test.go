@@ -1,0 +1,165 @@
+package classes
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"mpj/internal/security"
+	"mpj/internal/vm"
+)
+
+func TestSystemPropertiesBasics(t *testing.T) {
+	p := NewSystemProperties(map[string]string{
+		"os.name":      "mpj-os",
+		"java.version": "1.2-mp",
+	})
+	if got := p.Get("os.name"); got != "mpj-os" {
+		t.Fatalf("os.name = %q", got)
+	}
+	if got := p.Get("missing"); got != "" {
+		t.Fatalf("missing = %q", got)
+	}
+	if _, ok := p.Lookup("missing"); ok {
+		t.Fatal("lookup of missing key succeeded")
+	}
+	p.Set("proxy.host", "proxy.local")
+	if v, ok := p.Lookup("proxy.host"); !ok || v != "proxy.local" {
+		t.Fatalf("proxy.host = %q, %v", v, ok)
+	}
+	keys := strings.Join(p.Keys(), ",")
+	if keys != "java.version,os.name,proxy.host" {
+		t.Fatalf("keys = %q", keys)
+	}
+	snap := p.Snapshot()
+	snap["os.name"] = "mutated"
+	if p.Get("os.name") != "mpj-os" {
+		t.Fatal("snapshot must be a copy")
+	}
+}
+
+func TestSystemPropertiesSharedAcrossApps(t *testing.T) {
+	// The Figure 5 arrangement: N reloaded System classes all point to
+	// ONE SystemProperties instance; a write through one app is seen
+	// by all.
+	reg, boot := testWorld(t)
+	mustRegister(t, reg, sysFile("java.lang.System", ObjectClassName))
+	shared := NewSystemProperties(map[string]string{"os.name": "mpj-os"})
+
+	var systems []*Class
+	for _, app := range []string{"app-1", "app-2", "app-3"} {
+		l, err := NewChildLoader(app, boot, []string{"java.lang.System"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := l.Load(nil, "java.lang.System")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.SetStatic("props", shared)
+		systems = append(systems, sys)
+	}
+	// Write through app-1's System...
+	v, _ := systems[0].Static("props")
+	v.(*SystemProperties).Set("proxy.host", "proxy.corp")
+	// ...visible through app-3's System.
+	v3, _ := systems[2].Static("props")
+	if got := v3.(*SystemProperties).Get("proxy.host"); got != "proxy.corp" {
+		t.Fatalf("shared property = %q", got)
+	}
+}
+
+func TestSystemPropertiesConcurrency(t *testing.T) {
+	p := NewSystemProperties(nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := string(rune('a' + i))
+			for j := 0; j < 100; j++ {
+				p.Set(key, "v")
+				_ = p.Get(key)
+				_ = p.Keys()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if len(p.Keys()) != 8 {
+		t.Fatalf("keys = %v", p.Keys())
+	}
+}
+
+func TestInvokePushesDomainFrame(t *testing.T) {
+	reg, boot := testWorld(t)
+	cf := sysFile("Probe", ObjectClassName)
+	cf.Source = security.NewCodeSource("file:/apps/probe")
+	mustRegister(t, reg, cf)
+	c, err := boot.Load(nil, "Probe")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	v := vm.New(vm.Config{IdlePolicy: vm.StayOnIdle, NoBootThreads: true})
+	defer v.Exit(0)
+	th, err := v.SpawnThread(vm.ThreadSpec{Group: v.MainGroup(), Name: "t", Run: func(th *vm.Thread) {
+		before := th.FrameDepth()
+		err := Invoke(th, c, func() error {
+			if th.FrameDepth() != before+1 {
+				t.Error("Invoke did not push a frame")
+			}
+			top := th.Frames()[th.FrameDepth()-1]
+			if top.Class != "Probe" || top.Domain != c.Domain() {
+				t.Errorf("frame = %+v", top)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		if th.FrameDepth() != before {
+			t.Error("Invoke did not pop its frame")
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th.Join()
+}
+
+func TestInitializerRunsPrivileged(t *testing.T) {
+	// A static initializer of a trusted class must be able to perform
+	// privileged actions even when triggered from unprivileged code:
+	// Loader.initialize pushes a privileged frame.
+	reg, boot := testWorld(t)
+	cf := sysFile("NeedsPriv", ObjectClassName)
+	var initErr error
+	cf.Init = func(c *Class) {
+		// runs during Load below, on the spawned thread
+	}
+	mustRegister(t, reg, cf)
+
+	v := vm.New(vm.Config{IdlePolicy: vm.StayOnIdle, NoBootThreads: true})
+	defer v.Exit(0)
+	unprivileged := security.NewProtectionDomain("applet", security.NewCodeSource("http://evil/x"), nil)
+	th, err := v.SpawnThread(vm.ThreadSpec{
+		Group:         v.MainGroup(),
+		Name:          "t",
+		InheritFrames: []vm.Frame{{Class: "Applet", Domain: unprivileged}},
+		Run: func(th *vm.Thread) {
+			cf.Init = func(c *Class) {
+				initErr = security.CheckPermission(th, security.NewFilePermission("/system/cfg", "read"))
+			}
+			if _, err := boot.Load(th, "NeedsPriv"); err != nil {
+				t.Error(err)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th.Join()
+	if initErr != nil {
+		t.Fatalf("privileged initializer was denied: %v", initErr)
+	}
+}

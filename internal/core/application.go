@@ -1,0 +1,453 @@
+package core
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mpj/internal/classes"
+	"mpj/internal/security"
+	"mpj/internal/streams"
+	"mpj/internal/user"
+	"mpj/internal/vm"
+)
+
+// AppID identifies an application within a platform.
+type AppID int64
+
+// appLocalKey is the thread-local slot mapping a thread to its
+// application.
+const appLocalKey = "core.app"
+
+// Application is the paper's central abstraction (Section 5.1): a set
+// of threads — one thread group — together with application-wide state
+// that is inherited from the parent at exec time:
+//
+//   - the running user;
+//   - distinct standard input, output and error streams;
+//   - a current working directory;
+//   - a set of properties;
+//
+// plus the per-application reloaded System class (Section 5.5) whose
+// statics hold those streams and the application's (never consulted by
+// system code) security manager.
+type Application struct {
+	id       AppID
+	name     string
+	platform *Platform
+	group    *vm.ThreadGroup
+	loader   *classes.Loader
+	system   *classes.Class
+	parent   *Application
+
+	mu             sync.Mutex
+	usr            *user.User
+	cwd            string
+	props          map[string]string
+	resources      map[string]any
+	stdin          *streams.Stream
+	stdout         *streams.Stream
+	stderr         *streams.Stream
+	opened         []*streams.Stream
+	cleanups       []func()
+	exitCode       int
+	exitSet        bool
+	mainClass      *classes.Class
+	displayCleanup bool
+
+	destroyed atomic.Bool
+	done      chan struct{}
+	mainTh    *vm.Thread
+}
+
+// appExitSignal is the panic value used by Context.Exit to unwind the
+// calling thread; the thread wrapper recovers it.
+type appExitSignal struct {
+	code int
+}
+
+// ExecSpec describes an application launch.
+type ExecSpec struct {
+	// Program is the installed program name. Required.
+	Program string
+	// Args are passed to the program's main.
+	Args []string
+	// Parent is the launching application; nil launches a root
+	// application directly under the main thread group.
+	Parent *Application
+	// Stdin / Stdout / Stderr override the inherited standard streams.
+	Stdin, Stdout, Stderr *streams.Stream
+	// User overrides the inherited running user.
+	User *user.User
+	// Dir overrides the inherited working directory.
+	Dir string
+}
+
+// Exec launches an application: the Application.exec of Section 5.1.
+// A thread group and an Application holding the (inherited) state are
+// created, the program's main class is loaded through a fresh
+// application loader — re-defining the System class in the new
+// application's namespace — and main runs on a new non-daemon thread
+// in the new group. Exec returns as soon as that thread is started.
+func (p *Platform) Exec(spec ExecSpec) (*Application, error) {
+	prog, ok := p.programs.Lookup(spec.Program)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownProgram, spec.Program)
+	}
+	p.mu.Lock()
+	if p.downErr != nil {
+		p.mu.Unlock()
+		return nil, p.downErr
+	}
+	p.nextApp++
+	id := p.nextApp
+	p.mu.Unlock()
+
+	parentGroup := p.vm.MainGroup()
+	if spec.Parent != nil {
+		if spec.Parent.Destroyed() {
+			return nil, fmt.Errorf("%w: parent %d", ErrAppDestroyed, spec.Parent.ID())
+		}
+		parentGroup = spec.Parent.group
+	}
+	group, err := p.vm.NewGroup(parentGroup, fmt.Sprintf("app-%d-%s", id, prog.Name))
+	if err != nil {
+		return nil, fmt.Errorf("core: exec %s: %w", prog.Name, err)
+	}
+
+	app := &Application{
+		id:        id,
+		name:      prog.Name,
+		platform:  p,
+		group:     group,
+		parent:    spec.Parent,
+		props:     make(map[string]string),
+		resources: make(map[string]any),
+		cwd:       "/",
+		usr:       &user.User{Name: user.Nobody, Home: "/", Shell: "sh"},
+		stdin:     streams.Null(),
+		stdout:    streams.Null(),
+		stderr:    streams.Null(),
+		done:      make(chan struct{}),
+	}
+
+	// Inherit the parent's application-wide state (Section 5.1: "the
+	// current application-wide state of the parent is inherited by the
+	// child").
+	if spec.Parent != nil {
+		spec.Parent.mu.Lock()
+		app.usr = spec.Parent.usr
+		app.cwd = spec.Parent.cwd
+		for k, v := range spec.Parent.props {
+			app.props[k] = v
+		}
+		for k, v := range spec.Parent.resources {
+			app.resources[k] = v
+		}
+		app.stdin = spec.Parent.stdin
+		app.stdout = spec.Parent.stdout
+		app.stderr = spec.Parent.stderr
+		spec.Parent.mu.Unlock()
+	}
+	if spec.User != nil {
+		app.usr = spec.User
+	}
+	if spec.Dir != "" {
+		app.cwd = spec.Dir
+	}
+	if spec.Stdin != nil {
+		app.stdin = spec.Stdin
+	}
+	if spec.Stdout != nil {
+		app.stdout = spec.Stdout
+	}
+	if spec.Stderr != nil {
+		app.stderr = spec.Stderr
+	}
+
+	// Per-application class loader with the System class in its reload
+	// set (Section 5.5), then the application's own System incarnation.
+	loader, err := classes.NewChildLoader(fmt.Sprintf("app-%d", id), p.boot, p.reload)
+	if err != nil {
+		return nil, fmt.Errorf("core: exec %s: %w", prog.Name, err)
+	}
+	app.loader = loader
+	system, err := loader.Load(nil, SystemClassName)
+	if err != nil {
+		return nil, fmt.Errorf("core: exec %s: load System: %w", prog.Name, err)
+	}
+	app.system = system
+	system.SetStatic("in", app.stdin)
+	system.SetStatic("out", app.stdout)
+	system.SetStatic("err", app.stderr)
+	system.SetStatic("props", p.props)
+	system.SetStatic("securityManager", nil)
+
+	mainClass, err := loader.Load(nil, prog.ClassName)
+	if err != nil {
+		return nil, fmt.Errorf("core: exec %s: %w", prog.Name, err)
+	}
+	app.mainClass = mainClass
+
+	p.mu.Lock()
+	p.apps[id] = app
+	p.mu.Unlock()
+
+	// When the last non-daemon thread of the application's own group
+	// terminates, the application is finished (Feature 1 / Figure 1
+	// semantics at application granularity).
+	group.SetOnEmpty(func() { p.scheduleDestruction(app) })
+
+	args := make([]string, len(spec.Args))
+	copy(args, spec.Args)
+
+	mainTh, err := p.vm.SpawnThread(vm.ThreadSpec{
+		Group: group,
+		Name:  "main",
+		Run: func(t *vm.Thread) {
+			app.bindThread(t)
+			defer app.containPanic(t)
+			var code int
+			_ = classes.Invoke(t, mainClass, func() error {
+				code = prog.Main(newContext(app, t), args)
+				return nil
+			})
+			app.setExitCode(code)
+		},
+	})
+	if err != nil {
+		p.mu.Lock()
+		delete(p.apps, id)
+		p.mu.Unlock()
+		return nil, fmt.Errorf("core: exec %s: %w", prog.Name, err)
+	}
+	app.mu.Lock()
+	app.mainTh = mainTh
+	app.mu.Unlock()
+	// Bind again from the launcher side so the mapping is visible to
+	// observers as soon as Exec returns (the body's own bind ensures it
+	// happens before main runs; both are idempotent).
+	app.bindThread(mainTh)
+
+	// With ExitWhenIdle, the platform's bootstrap hold ends as soon as
+	// the first application exists; from here on the VM's lifetime is
+	// governed by non-daemon application threads, as in Figure 1.
+	if p.exitWhenIdle {
+		p.releaseHold()
+	}
+	return app, nil
+}
+
+// CrashExitCode is the exit code recorded when an application thread
+// panics (the analogue of a Java application dying on an uncaught
+// exception).
+const CrashExitCode = 128
+
+// containPanic is deferred around every application thread body: a
+// cooperative Exit unwind finishes the application with its code, and
+// ANY OTHER panic is contained — reported on the application's stderr
+// and converted into a crash exit — so that one application's bug can
+// never take down the virtual machine or its co-resident applications.
+// This is precisely the protection property a multi-processing VM must
+// add over a single-application one.
+func (a *Application) containPanic(t *vm.Thread) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if sig, ok := r.(appExitSignal); ok {
+		a.setExitCode(sig.code)
+		a.platform.scheduleDestruction(a)
+		return
+	}
+	a.mu.Lock()
+	stderr := a.stderr
+	a.mu.Unlock()
+	if stderr != nil {
+		fmt.Fprintf(stderr, "application %d (%s): thread %q crashed: %v\n%s",
+			a.id, a.name, t.Name(), r, debug.Stack())
+	}
+	a.setExitCode(CrashExitCode)
+	a.platform.scheduleDestruction(a)
+}
+
+// bindThread attaches application identity and the running user's
+// permissions to a thread.
+func (a *Application) bindThread(t *vm.Thread) {
+	t.SetLocal(appLocalKey, a)
+	a.mu.Lock()
+	name := a.usr.Name
+	a.mu.Unlock()
+	security.BindUserPermissions(t, name, a.platform.policy.PermissionsForUser(name))
+}
+
+// AppOf returns the application a thread belongs to, or nil for system
+// threads.
+func AppOf(t *vm.Thread) *Application {
+	v, ok := t.Local(appLocalKey)
+	if !ok {
+		return nil
+	}
+	app, _ := v.(*Application)
+	return app
+}
+
+// ID returns the application id.
+func (a *Application) ID() AppID { return a.id }
+
+// Name returns the program name the application was launched from.
+func (a *Application) Name() string { return a.name }
+
+// Platform returns the owning platform.
+func (a *Application) Platform() *Platform { return a.platform }
+
+// Group returns the application's thread group.
+func (a *Application) Group() *vm.ThreadGroup { return a.group }
+
+// Loader returns the application's class loader.
+func (a *Application) Loader() *classes.Loader { return a.loader }
+
+// SystemClass returns the application's reloaded System class.
+func (a *Application) SystemClass() *classes.Class { return a.system }
+
+// Parent returns the launching application (nil for root apps).
+func (a *Application) Parent() *Application { return a.parent }
+
+// User returns the running user.
+func (a *Application) User() *user.User {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	u := *a.usr
+	return &u
+}
+
+// Cwd returns the current working directory.
+func (a *Application) Cwd() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.cwd
+}
+
+// Streams returns the application's standard streams.
+func (a *Application) Streams() (stdin, stdout, stderr *streams.Stream) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stdin, a.stdout, a.stderr
+}
+
+// MainThread returns the application's main thread.
+func (a *Application) MainThread() *vm.Thread {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.mainTh
+}
+
+// Destroyed reports whether the application has been destroyed.
+func (a *Application) Destroyed() bool { return a.destroyed.Load() }
+
+// Done returns a channel closed when the application is destroyed.
+func (a *Application) Done() <-chan struct{} { return a.done }
+
+// WaitFor blocks until the application finishes and returns its exit
+// code — the app.waitFor() of the paper's usage example.
+func (a *Application) WaitFor() int {
+	<-a.done
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.exitCode
+}
+
+// ExitCode returns the recorded exit code (valid once done).
+func (a *Application) ExitCode() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.exitCode
+}
+
+// String implements fmt.Stringer.
+func (a *Application) String() string {
+	return fmt.Sprintf("Application[%d %s user=%s]", a.id, a.name, a.User().Name)
+}
+
+// setExitCode records the exit code; the first caller wins.
+func (a *Application) setExitCode(code int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.exitSet {
+		a.exitCode = code
+		a.exitSet = true
+	}
+}
+
+// registerStream records a stream the application opened, so destroy
+// can close it (only streams the application itself opened are closed
+// — inherited ones are left alone, per Section 5.1).
+func (a *Application) registerStream(s *streams.Stream) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.opened = append(a.opened, s)
+}
+
+// AddCleanup registers a hook run when the application is destroyed
+// (the events layer uses this to close the application's windows).
+func (a *Application) AddCleanup(fn func()) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.cleanups = append(a.cleanups, fn)
+}
+
+// RequestExit schedules the application for destruction with the given
+// exit code, without unwinding the calling thread. Used by threads
+// outside the application (e.g. the shell killing a job).
+func (a *Application) RequestExit(code int) {
+	a.setExitCode(code)
+	a.platform.scheduleDestruction(a)
+}
+
+// destroy tears the application down: stop all of its threads, run
+// cleanup hooks (closing windows), close the streams it opened, and
+// detach it from the platform. Idempotent; runs on the reaper thread
+// (or inline during platform shutdown).
+func (a *Application) destroy() {
+	if a.destroyed.Swap(true) {
+		return
+	}
+	a.group.StopAll()
+	a.group.InterruptAll()
+
+	// Run cleanup hooks FIRST: closing the application's windows also
+	// closes its event queue, unblocking a dispatcher thread parked on
+	// it, so the grace wait below does not stall.
+	a.mu.Lock()
+	cleanups := a.cleanups
+	a.cleanups = nil
+	opened := a.opened
+	a.opened = nil
+	a.mu.Unlock()
+
+	for i := len(cleanups) - 1; i >= 0; i-- {
+		cleanups[i]()
+	}
+
+	// Grace period for threads to observe the stop signal.
+	deadline := time.Now().Add(2 * time.Second)
+	for a.group.ActiveCount() > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	for _, s := range opened {
+		// The platform closes on the application's behalf.
+		if err := s.CloseBy(streams.OwnerSystem); err != nil && s.Owner() == streams.OwnerID(a.id) {
+			_ = err // already closed by the app itself: fine
+		}
+	}
+
+	p := a.platform
+	p.mu.Lock()
+	delete(p.apps, a.id)
+	p.mu.Unlock()
+
+	_ = a.group.Destroy() // best effort; fails if a thread ignored its stop signal
+	close(a.done)
+}

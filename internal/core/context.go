@@ -1,0 +1,510 @@
+package core
+
+import (
+	"fmt"
+	gopath "path"
+	"sort"
+
+	"mpj/internal/netsim"
+	"mpj/internal/security"
+	"mpj/internal/streams"
+	"mpj/internal/user"
+	"mpj/internal/vfs"
+	"mpj/internal/vm"
+)
+
+// Context is the view an application's code has of the platform — the
+// union of what System, Runtime, File and Socket offer a Java program.
+// Every sensitive operation goes through the system security manager
+// first (the "Java layer": SecurityException analogue) and then the
+// filesystem/network substrate's own owner checks (the "OS layer":
+// FileNotFound/EACCES analogue), reproducing the two-layer behaviour
+// discussed around Feature 3 of the paper.
+//
+// A Context is bound to one thread of one application; SpawnThread
+// hands child threads their own Context.
+type Context struct {
+	app *Application
+	t   *vm.Thread
+}
+
+// newContext binds a context to an application thread.
+func newContext(app *Application, t *vm.Thread) *Context {
+	return &Context{app: app, t: t}
+}
+
+// ContextFor builds a Context for a thread that already belongs to an
+// application (e.g. a per-application event dispatcher thread handed
+// to a listener). Returns nil for system threads.
+func ContextFor(t *vm.Thread) *Context {
+	app := AppOf(t)
+	if app == nil {
+		return nil
+	}
+	return newContext(app, t)
+}
+
+// App returns the application this context belongs to.
+func (c *Context) App() *Application { return c.app }
+
+// Thread returns the bound thread.
+func (c *Context) Thread() *vm.Thread { return c.t }
+
+// Platform returns the owning platform.
+func (c *Context) Platform() *Platform { return c.app.platform }
+
+// ----- standard streams (per-application System state) -----
+
+// Stdin returns the application's standard input stream.
+func (c *Context) Stdin() *streams.Stream {
+	in, _, _ := c.app.Streams()
+	return in
+}
+
+// Stdout returns the application's standard output stream.
+func (c *Context) Stdout() *streams.Stream {
+	_, out, _ := c.app.Streams()
+	return out
+}
+
+// Stderr returns the application's standard error stream.
+func (c *Context) Stderr() *streams.Stream {
+	_, _, errS := c.app.Streams()
+	return errS
+}
+
+// Printf formats to the application's stdout.
+func (c *Context) Printf(format string, args ...any) {
+	fmt.Fprintf(c.Stdout(), format, args...)
+}
+
+// Println writes a line to the application's stdout.
+func (c *Context) Println(args ...any) {
+	fmt.Fprintln(c.Stdout(), args...)
+}
+
+// Errorf formats to the application's stderr.
+func (c *Context) Errorf(format string, args ...any) {
+	fmt.Fprintf(c.Stderr(), format, args...)
+}
+
+// SetStdin rebinds the application's standard input (System.setIn).
+// An application may rebind its own streams freely — the shell does
+// exactly this around pipeline launches (Section 6.1).
+func (c *Context) SetStdin(s *streams.Stream) {
+	c.app.mu.Lock()
+	c.app.stdin = s
+	c.app.mu.Unlock()
+	c.app.system.SetStatic("in", s)
+}
+
+// SetStdout rebinds the application's standard output (System.setOut).
+func (c *Context) SetStdout(s *streams.Stream) {
+	c.app.mu.Lock()
+	c.app.stdout = s
+	c.app.mu.Unlock()
+	c.app.system.SetStatic("out", s)
+}
+
+// SetStderr rebinds the application's standard error (System.setErr).
+func (c *Context) SetStderr(s *streams.Stream) {
+	c.app.mu.Lock()
+	c.app.stderr = s
+	c.app.mu.Unlock()
+	c.app.system.SetStatic("err", s)
+}
+
+// ----- users -----
+
+// User returns the application's running user.
+func (c *Context) User() *user.User { return c.app.User() }
+
+// Authenticate verifies a name/password pair against the account
+// database. It grants nothing by itself.
+func (c *Context) Authenticate(name, password string) (*user.User, error) {
+	return c.app.platform.users.Authenticate(name, password)
+}
+
+// SetUser changes the application's running user. Special privileges
+// (RuntimePermission "setUser") are required; they are granted to the
+// login program's code source, not to any particular user — it does
+// not matter which user runs login (Section 5.2).
+func (c *Context) SetUser(u *user.User) error {
+	if err := c.app.platform.sysMgr.CheckSetUser(c.t); err != nil {
+		return err
+	}
+	c.app.mu.Lock()
+	c.app.usr = u
+	c.app.mu.Unlock()
+	// Rebind the calling thread's user permissions; threads spawned
+	// from now on inherit the new user.
+	security.BindUserPermissions(c.t, u.Name, c.app.platform.policy.PermissionsForUser(u.Name))
+	return nil
+}
+
+// ----- working directory -----
+
+// Cwd returns the application's current working directory.
+func (c *Context) Cwd() string { return c.app.Cwd() }
+
+// Chdir changes the working directory (a per-application notion; in a
+// single-application JVM it would be process state).
+func (c *Context) Chdir(path string) error {
+	abs := c.resolve(path)
+	if err := c.app.platform.sysMgr.CheckRead(c.t, abs); err != nil {
+		return err
+	}
+	info, err := c.app.platform.fs.Stat(c.osUser(), abs)
+	if err != nil {
+		return err
+	}
+	if !info.IsDir {
+		return &vfs.Error{Op: "chdir", Path: abs, Err: vfs.ErrNotDir}
+	}
+	c.app.mu.Lock()
+	c.app.cwd = abs
+	c.app.mu.Unlock()
+	return nil
+}
+
+// resolve makes a path absolute against the working directory.
+func (c *Context) resolve(path string) string {
+	if path == "" {
+		return c.app.Cwd()
+	}
+	if path[0] == '/' {
+		return gopath.Clean(path)
+	}
+	return gopath.Join(c.app.Cwd(), path)
+}
+
+// osUser returns the name the OS layer (vfs) sees as the caller.
+func (c *Context) osUser() string { return c.app.User().Name }
+
+// ----- properties -----
+
+// reserved per-application property keys derived from live state.
+func (c *Context) dynamicProperty(key string) (string, bool) {
+	switch key {
+	case "user.name":
+		return c.app.User().Name, true
+	case "user.home":
+		return c.app.User().Home, true
+	case "user.dir":
+		return c.app.Cwd(), true
+	default:
+		return "", false
+	}
+}
+
+// Property returns a property visible to the application: dynamic
+// per-application keys (user.name, user.home, user.dir) first, then
+// the application's own property set, then the shared system
+// properties of Figure 5 (subject to a read check).
+func (c *Context) Property(key string) (string, error) {
+	if v, ok := c.dynamicProperty(key); ok {
+		return v, nil
+	}
+	c.app.mu.Lock()
+	v, ok := c.app.props[key]
+	c.app.mu.Unlock()
+	if ok {
+		return v, nil
+	}
+	if err := c.app.platform.sysMgr.CheckPropertyRead(c.t, key); err != nil {
+		return "", err
+	}
+	return c.app.platform.props.Get(key), nil
+}
+
+// SetProperty sets an application-local property.
+func (c *Context) SetProperty(key, value string) {
+	c.app.mu.Lock()
+	defer c.app.mu.Unlock()
+	c.app.props[key] = value
+}
+
+// SetSystemProperty writes a shared (VM-wide) property; requires write
+// permission on it.
+func (c *Context) SetSystemProperty(key, value string) error {
+	if err := c.app.platform.sysMgr.CheckPropertyWrite(c.t, key); err != nil {
+		return err
+	}
+	c.app.platform.props.Set(key, value)
+	return nil
+}
+
+// PropertyKeys lists the application's visible property names (dynamic
+// + local + shared).
+func (c *Context) PropertyKeys() []string {
+	set := map[string]bool{"user.name": true, "user.home": true, "user.dir": true}
+	c.app.mu.Lock()
+	for k := range c.app.props {
+		set[k] = true
+	}
+	c.app.mu.Unlock()
+	for _, k := range c.app.platform.props.Keys() {
+		set[k] = true
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ----- filesystem -----
+
+// ReadFile reads a whole file, checking the security manager first and
+// the OS permission bits second.
+func (c *Context) ReadFile(path string) ([]byte, error) {
+	abs := c.resolve(path)
+	if err := c.app.platform.sysMgr.CheckRead(c.t, abs); err != nil {
+		return nil, err
+	}
+	return c.app.platform.fs.ReadFile(c.osUser(), abs)
+}
+
+// WriteFile writes a whole file (creating it rw-r--r--).
+func (c *Context) WriteFile(path string, data []byte) error {
+	abs := c.resolve(path)
+	if err := c.app.platform.sysMgr.CheckWrite(c.t, abs); err != nil {
+		return err
+	}
+	return c.app.platform.fs.WriteFile(c.osUser(), abs, data, 0o644)
+}
+
+// Delete removes a file — the paper's running example: the security
+// manager's checkDelete runs before the real delete.
+func (c *Context) Delete(path string) error {
+	abs := c.resolve(path)
+	if err := c.app.platform.sysMgr.CheckDelete(c.t, abs); err != nil {
+		return err
+	}
+	return c.app.platform.fs.Remove(c.osUser(), abs)
+}
+
+// Mkdir creates a directory.
+func (c *Context) Mkdir(path string) error {
+	abs := c.resolve(path)
+	if err := c.app.platform.sysMgr.CheckWrite(c.t, abs); err != nil {
+		return err
+	}
+	return c.app.platform.fs.Mkdir(c.osUser(), abs, 0o755)
+}
+
+// ReadDir lists a directory.
+func (c *Context) ReadDir(path string) ([]vfs.FileInfo, error) {
+	abs := c.resolve(path)
+	if err := c.app.platform.sysMgr.CheckRead(c.t, abs); err != nil {
+		return nil, err
+	}
+	return c.app.platform.fs.ReadDir(c.osUser(), abs)
+}
+
+// Stat returns file metadata.
+func (c *Context) Stat(path string) (vfs.FileInfo, error) {
+	abs := c.resolve(path)
+	if err := c.app.platform.sysMgr.CheckRead(c.t, abs); err != nil {
+		return vfs.FileInfo{}, err
+	}
+	return c.app.platform.fs.Stat(c.osUser(), abs)
+}
+
+// Rename moves a file.
+func (c *Context) Rename(oldPath, newPath string) error {
+	oldAbs, newAbs := c.resolve(oldPath), c.resolve(newPath)
+	if err := c.app.platform.sysMgr.CheckWrite(c.t, oldAbs); err != nil {
+		return err
+	}
+	if err := c.app.platform.sysMgr.CheckWrite(c.t, newAbs); err != nil {
+		return err
+	}
+	return c.app.platform.fs.Rename(c.osUser(), oldAbs, newAbs)
+}
+
+// OpenRead opens a file for reading as an application-owned stream;
+// the application may close it (and destroy will if it does not).
+func (c *Context) OpenRead(path string) (*streams.Stream, error) {
+	abs := c.resolve(path)
+	if err := c.app.platform.sysMgr.CheckRead(c.t, abs); err != nil {
+		return nil, err
+	}
+	h, err := c.app.platform.fs.Open(c.osUser(), abs, vfs.OpenRead)
+	if err != nil {
+		return nil, err
+	}
+	s := streams.NewStream(abs, streams.OwnerID(c.app.id), h, nil, h)
+	c.app.registerStream(s)
+	return s, nil
+}
+
+// OpenWrite opens (creating or truncating) a file for writing as an
+// application-owned stream.
+func (c *Context) OpenWrite(path string, appendMode bool) (*streams.Stream, error) {
+	abs := c.resolve(path)
+	if err := c.app.platform.sysMgr.CheckWrite(c.t, abs); err != nil {
+		return nil, err
+	}
+	flags := vfs.OpenWrite | vfs.OpenCreate
+	if appendMode {
+		flags |= vfs.OpenAppend
+	} else {
+		flags |= vfs.OpenTrunc
+	}
+	h, err := c.app.platform.fs.OpenFile(c.osUser(), abs, flags, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s := streams.NewStream(abs, streams.OwnerID(c.app.id), nil, h, h)
+	c.app.registerStream(s)
+	return s, nil
+}
+
+// CloseStream closes a stream on behalf of this application, enforcing
+// the Section 5.1 ownership rule.
+func (c *Context) CloseStream(s *streams.Stream) error {
+	return s.CloseBy(streams.OwnerID(c.app.id))
+}
+
+// ----- network -----
+
+// Dial connects to host:port, subject to a connect check. The
+// application's traffic originates from the platform's own host name.
+func (c *Context) Dial(host string, port int) (*netsim.Conn, error) {
+	if err := c.app.platform.sysMgr.CheckConnect(c.t, host, port); err != nil {
+		return nil, err
+	}
+	return c.app.platform.net.Dial(c.app.platform.hostName, host, port)
+}
+
+// Listen binds a listener on host:port, subject to a listen check.
+func (c *Context) Listen(host string, port int) (*netsim.Listener, error) {
+	if err := c.app.platform.sysMgr.CheckListen(c.t, host, port); err != nil {
+		return nil, err
+	}
+	return c.app.platform.net.Listen(host, port)
+}
+
+// ----- threads -----
+
+// SpawnThread starts a new thread in the application's own thread
+// group — the only group an application may create threads in. The
+// child thread inherits the caller's security frames and runs fn with
+// its own Context.
+func (c *Context) SpawnThread(name string, daemon bool, fn func(ctx *Context)) (*vm.Thread, error) {
+	frames := make([]vm.Frame, len(c.t.Frames()))
+	copy(frames, c.t.Frames())
+	return c.app.platform.vm.SpawnThread(vm.ThreadSpec{
+		Group:         c.app.group,
+		Name:          name,
+		Daemon:        daemon,
+		InheritFrames: frames,
+		Run: func(t *vm.Thread) {
+			c.app.bindThread(t)
+			defer c.app.containPanic(t)
+			fn(newContext(c.app, t))
+		},
+	})
+}
+
+// ----- applications -----
+
+// Exec launches a child application inheriting this application's
+// state. Returns immediately; use WaitFor on the result.
+func (c *Context) Exec(program string, args ...string) (*Application, error) {
+	return c.app.platform.Exec(ExecSpec{Program: program, Args: args, Parent: c.app})
+}
+
+// ExecWith launches a child application with explicit overrides. The
+// Parent field is forced to this application.
+func (c *Context) ExecWith(spec ExecSpec) (*Application, error) {
+	spec.Parent = c.app
+	return c.app.platform.Exec(spec)
+}
+
+// Exit finishes the current application with the given code — the
+// Application.exit(int) of Section 5.1. The application is scheduled
+// for destruction on the background reaper and the calling thread
+// unwinds immediately ("we will never get here").
+func (c *Context) Exit(code int) {
+	panic(appExitSignal{code: code})
+}
+
+// ExitVM halts the whole virtual machine; unlike Exit this affects
+// every application and therefore requires RuntimePermission "exitVM".
+func (c *Context) ExitVM(code int) error {
+	if err := c.app.platform.sysMgr.CheckExitVM(c.t); err != nil {
+		return err
+	}
+	c.app.platform.vm.Exit(code)
+	return nil
+}
+
+// ----- security -----
+
+// CheckPermission checks a permission against the calling thread's
+// stack (system security manager).
+func (c *Context) CheckPermission(p security.Permission) error {
+	return c.app.platform.sysMgr.CheckPermission(c.t, p)
+}
+
+// DoPrivileged runs fn with the caller's innermost frame marked
+// privileged.
+func (c *Context) DoPrivileged(fn func() error) error {
+	return security.DoPrivileged(c.t, fn)
+}
+
+// AppManagerFunc is an application security manager: an
+// application-specific check consulted ONLY by the application's own
+// code. Per Section 5.6, system code never calls it — the reference
+// lives in the application's private System class copy, and the system
+// code's own System copy holds the system security manager instead.
+type AppManagerFunc func(p security.Permission) error
+
+// SetSecurityManager installs the application's own security manager
+// in its reloaded System class.
+func (c *Context) SetSecurityManager(m AppManagerFunc) {
+	c.app.system.SetStatic("securityManager", m)
+}
+
+// AppSecurityManager returns the application's own manager, if set.
+func (c *Context) AppSecurityManager() AppManagerFunc {
+	v, ok := c.app.system.Static("securityManager")
+	if !ok || v == nil {
+		return nil
+	}
+	m, _ := v.(AppManagerFunc)
+	return m
+}
+
+// CheckAppPermission consults the application's own security manager
+// (no-op if none is installed). Application code may use this for
+// application-specific checks that the system security manager does
+// not cover.
+func (c *Context) CheckAppPermission(p security.Permission) error {
+	if m := c.AppSecurityManager(); m != nil {
+		return m(p)
+	}
+	return nil
+}
+
+// ----- resources -----
+
+// Resource returns a named application resource (e.g. the terminal
+// object of Section 6.2), inherited from the parent at exec.
+func (c *Context) Resource(key string) (any, bool) {
+	c.app.mu.Lock()
+	defer c.app.mu.Unlock()
+	v, ok := c.app.resources[key]
+	return v, ok
+}
+
+// SetResource stores a named application resource; children launched
+// afterwards inherit it.
+func (c *Context) SetResource(key string, v any) {
+	c.app.mu.Lock()
+	defer c.app.mu.Unlock()
+	c.app.resources[key] = v
+}

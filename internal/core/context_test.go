@@ -1,0 +1,578 @@
+package core
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"mpj/internal/classes"
+	"mpj/internal/security"
+	"mpj/internal/streams"
+	"mpj/internal/vfs"
+)
+
+// runAs executes fn as the main of a freshly launched local application
+// running as the named user, and returns its exit code.
+func runAs(t *testing.T, p *Platform, userName string, fn func(ctx *Context) int) int {
+	t.Helper()
+	name := "probe-" + userName + "-" + t.Name()
+	if _, ok := p.Programs().Lookup(name); !ok {
+		registerProgram(t, p, name, func(ctx *Context, args []string) int { return fn(ctx) })
+	}
+	u := userByName(t, p, userName)
+	app, err := p.Exec(ExecSpec{Program: name, User: u})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app.WaitFor()
+}
+
+func isSecurityError(err error) bool {
+	var ace *security.AccessControlError
+	return errors.As(err, &ace)
+}
+
+// TestPolicyMatrix exercises the exact policy example of Section 5.3
+// end to end: local applications exercise their users' permissions, so
+// Alice's editor reads Alice's files but not Bob's, and vice versa.
+func TestPolicyMatrix(t *testing.T) {
+	p := newTestPlatform(t)
+	if err := p.FS().WriteFile("alice", "/home/alice/paper.tex", []byte("\\draft"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.FS().WriteFile("bob", "/home/bob/blueprint", []byte("plan"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	tests := []struct {
+		user string
+		path string
+		ok   bool
+	}{
+		{"alice", "/home/alice/paper.tex", true},
+		{"alice", "/home/bob/blueprint", false},
+		{"bob", "/home/bob/blueprint", true},
+		{"bob", "/home/alice/paper.tex", false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.user+"_reads_"+tc.path, func(t *testing.T) {
+			code := runAs(t, p, tc.user, func(ctx *Context) int {
+				_, err := ctx.ReadFile(tc.path)
+				if tc.ok && err != nil {
+					t.Errorf("read denied: %v", err)
+				}
+				if !tc.ok {
+					if err == nil {
+						t.Error("read allowed")
+					} else if !isSecurityError(err) {
+						t.Errorf("denial must come from the security layer, got %v", err)
+					}
+				}
+				return 0
+			})
+			if code != 0 {
+				t.Fatalf("probe exit = %d", code)
+			}
+		})
+	}
+}
+
+// TestTwoLayerDenial distinguishes the Java-layer SecurityException
+// from the OS-layer error (Feature 3): a path the policy allows but
+// the filesystem modes forbid yields a vfs error, not a security
+// error.
+func TestTwoLayerDenial(t *testing.T) {
+	p := newTestPlatform(t)
+	// Root-owned 0600 file inside alice's own home: policy grants
+	// alice access (it is under /home/alice), but the OS layer
+	// refuses.
+	if err := p.FS().WriteFile(vfs.Root, "/home/alice/rootfile", []byte("x"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	runAs(t, p, "alice", func(ctx *Context) int {
+		_, err := ctx.ReadFile("/home/alice/rootfile")
+		if err == nil {
+			t.Error("read allowed")
+			return 1
+		}
+		if isSecurityError(err) {
+			t.Errorf("expected OS-layer error, got security error %v", err)
+		}
+		if !errors.Is(err, vfs.ErrPermission) {
+			t.Errorf("expected vfs permission error, got %v", err)
+		}
+		return 0
+	})
+}
+
+func TestWriteDeleteMkdirReadDirStatRename(t *testing.T) {
+	p := newTestPlatform(t)
+	runAs(t, p, "alice", func(ctx *Context) int {
+		if err := ctx.Mkdir("/home/alice/work"); err != nil {
+			t.Errorf("mkdir: %v", err)
+		}
+		if err := ctx.WriteFile("/home/alice/work/notes", []byte("hi")); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		if err := ctx.Rename("/home/alice/work/notes", "/home/alice/work/notes2"); err != nil {
+			t.Errorf("rename: %v", err)
+		}
+		infos, err := ctx.ReadDir("/home/alice/work")
+		if err != nil || len(infos) != 1 || infos[0].Name != "notes2" {
+			t.Errorf("readdir = %v, %v", infos, err)
+		}
+		st, err := ctx.Stat("/home/alice/work/notes2")
+		if err != nil || st.Size != 2 {
+			t.Errorf("stat = %+v, %v", st, err)
+		}
+		if err := ctx.Delete("/home/alice/work/notes2"); err != nil {
+			t.Errorf("delete: %v", err)
+		}
+		// Cross-user operations are security-denied.
+		if err := ctx.WriteFile("/home/bob/evil", []byte("x")); !isSecurityError(err) {
+			t.Errorf("cross-user write: %v", err)
+		}
+		if err := ctx.Delete("/home/bob/anything"); !isSecurityError(err) {
+			t.Errorf("cross-user delete: %v", err)
+		}
+		return 0
+	})
+}
+
+func TestRelativePathsResolveAgainstCwd(t *testing.T) {
+	p := newTestPlatform(t)
+	runAs(t, p, "alice", func(ctx *Context) int {
+		if err := ctx.Chdir("/home/alice"); err != nil {
+			t.Errorf("chdir: %v", err)
+			return 1
+		}
+		if err := ctx.WriteFile("relative.txt", []byte("data")); err != nil {
+			t.Errorf("relative write: %v", err)
+		}
+		data, err := ctx.ReadFile("relative.txt")
+		if err != nil || string(data) != "data" {
+			t.Errorf("relative read = %q, %v", data, err)
+		}
+		if got, _ := ctx.Property("user.dir"); got != "/home/alice" {
+			t.Errorf("user.dir = %q", got)
+		}
+		// Chdir to a file fails.
+		if err := ctx.Chdir("relative.txt"); !errors.Is(err, vfs.ErrNotDir) {
+			t.Errorf("chdir to file: %v", err)
+		}
+		// Chdir outside the user's grants is security-denied.
+		if err := ctx.Chdir("/home/bob"); !isSecurityError(err) {
+			t.Errorf("chdir to bob: %v", err)
+		}
+		return 0
+	})
+}
+
+func TestTmpIsSharedScratchSpace(t *testing.T) {
+	p := newTestPlatform(t)
+	runAs(t, p, "alice", func(ctx *Context) int {
+		if err := ctx.WriteFile("/tmp/shared.txt", []byte("from alice")); err != nil {
+			t.Errorf("alice tmp write: %v", err)
+		}
+		return 0
+	})
+	runAs(t, p, "bob", func(ctx *Context) int {
+		data, err := ctx.ReadFile("/tmp/shared.txt")
+		if err != nil || string(data) != "from alice" {
+			t.Errorf("bob tmp read = %q, %v", data, err)
+		}
+		// But bob cannot overwrite alice's 0644 file (OS layer).
+		err = ctx.WriteFile("/tmp/shared.txt", []byte("bob"))
+		if err == nil || isSecurityError(err) {
+			t.Errorf("bob overwrite = %v, want OS denial", err)
+		}
+		return 0
+	})
+}
+
+func TestOpenStreamsOwnershipAndCleanup(t *testing.T) {
+	p := newTestPlatform(t)
+	var leaked *streams.Stream
+	runAs(t, p, "alice", func(ctx *Context) int {
+		w, err := ctx.OpenWrite("/home/alice/log", false)
+		if err != nil {
+			t.Errorf("open write: %v", err)
+			return 1
+		}
+		if _, err := w.Write([]byte("line\n")); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		// Close through the context: allowed, app owns it.
+		if err := ctx.CloseStream(w); err != nil {
+			t.Errorf("close own stream: %v", err)
+		}
+		// The inherited stdout is NOT owned by this app.
+		if err := ctx.CloseStream(ctx.Stdout()); !errors.Is(err, streams.ErrNotOwner) {
+			t.Errorf("closing inherited stdout: %v", err)
+		}
+		// Leak one on purpose: destroy must close it.
+		leaked, err = ctx.OpenRead("/home/alice/log")
+		if err != nil {
+			t.Errorf("open read: %v", err)
+		}
+		return 0
+	})
+	if leaked == nil || !leaked.Closed() {
+		t.Fatal("destroy did not close the leaked stream")
+	}
+}
+
+func TestPropertiesLayering(t *testing.T) {
+	p := newTestPlatform(t)
+	runAs(t, p, "alice", func(ctx *Context) int {
+		// Shared system property, readable under the local-app grant.
+		if v, err := ctx.Property("os.name"); err != nil || v != "mpj-os" {
+			t.Errorf("os.name = %q, %v", v, err)
+		}
+		// App-local overlay shadows shared.
+		ctx.SetProperty("os.name", "my-private-os")
+		if v, _ := ctx.Property("os.name"); v != "my-private-os" {
+			t.Errorf("shadowed os.name = %q", v)
+		}
+		// Dynamic keys reflect app state.
+		if v, _ := ctx.Property("user.name"); v != "alice" {
+			t.Errorf("user.name = %q", v)
+		}
+		if v, _ := ctx.Property("user.home"); v != "/home/alice" {
+			t.Errorf("user.home = %q", v)
+		}
+		// Writing a shared property requires a write grant — denied.
+		if err := ctx.SetSystemProperty("os.name", "hacked"); !isSecurityError(err) {
+			t.Errorf("system property write: %v", err)
+		}
+		keys := ctx.PropertyKeys()
+		joined := strings.Join(keys, ",")
+		for _, want := range []string{"user.name", "os.name", "java.version"} {
+			if !strings.Contains(joined, want) {
+				t.Errorf("keys missing %s: %v", want, keys)
+			}
+		}
+		return 0
+	})
+	// The shared store is unchanged by the app-local shadow.
+	if got := p.SharedProperties().Get("os.name"); got != "mpj-os" {
+		t.Fatalf("shared os.name = %q", got)
+	}
+}
+
+func TestSetUserRequiresPrivilege(t *testing.T) {
+	p := newTestPlatform(t)
+	bob := userByName(t, p, "bob")
+	// A plain local app lacks RuntimePermission "setUser".
+	runAs(t, p, "alice", func(ctx *Context) int {
+		if err := ctx.SetUser(bob); !isSecurityError(err) {
+			t.Errorf("setUser by plain app: %v", err)
+		}
+		return 0
+	})
+
+	// A program installed at the login code base holds it (Section
+	// 5.2) — and it does not matter which user runs it.
+	loginRan := make(chan string, 1)
+	if err := p.RegisterProgram(Program{
+		Name:     "login-like",
+		CodeBase: "file:/local/login",
+		Main: func(ctx *Context, args []string) int {
+			u, err := ctx.Authenticate("bob", "builder")
+			if err != nil {
+				t.Errorf("authenticate: %v", err)
+				return 1
+			}
+			if err := ctx.SetUser(u); err != nil {
+				t.Errorf("setUser by login: %v", err)
+				return 1
+			}
+			loginRan <- ctx.User().Name
+			// After becoming bob, bob's files are accessible...
+			if err := ctx.WriteFile("/home/bob/after-login", []byte("x")); err != nil {
+				t.Errorf("write as bob: %v", err)
+			}
+			// ...and alice's are not.
+			if _, err := ctx.ReadFile("/home/alice/anything"); !isSecurityError(err) {
+				t.Errorf("read alice as bob: %v", err)
+			}
+			return 0
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	app, err := p.Exec(ExecSpec{Program: "login-like"}) // runs as nobody
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := app.WaitFor(); code != 0 {
+		t.Fatalf("login exit = %d", code)
+	}
+	if got := <-loginRan; got != "bob" {
+		t.Fatalf("running user after login = %q", got)
+	}
+}
+
+func TestAuthenticateRejectsBadPassword(t *testing.T) {
+	p := newTestPlatform(t)
+	runAs(t, p, "alice", func(ctx *Context) int {
+		if _, err := ctx.Authenticate("bob", "wrong"); err == nil {
+			t.Error("bad password accepted")
+		}
+		return 0
+	})
+}
+
+func TestExitVMRequiresPermission(t *testing.T) {
+	p := newTestPlatform(t)
+	runAs(t, p, "alice", func(ctx *Context) int {
+		if err := ctx.ExitVM(0); !isSecurityError(err) {
+			t.Errorf("exitVM by plain app: %v", err)
+		}
+		return 0
+	})
+	if p.VM().Halted() {
+		t.Fatal("VM halted by unprivileged app")
+	}
+}
+
+// TestAppSecurityManagerNeverConsultedBySystem verifies Feature 9 /
+// Section 5.6: an application's own security manager lives in its
+// private System copy and system code never consults it.
+func TestAppSecurityManagerNeverConsultedBySystem(t *testing.T) {
+	p := newTestPlatform(t)
+	consulted := 0
+	runAs(t, p, "alice", func(ctx *Context) int {
+		ctx.SetSecurityManager(func(perm security.Permission) error {
+			consulted++
+			return errors.New("app manager says no to everything")
+		})
+		// System-mediated operation still follows the SYSTEM policy
+		// (allowed for alice's own file), ignoring the app manager.
+		if err := ctx.WriteFile("/home/alice/f", []byte("x")); err != nil {
+			t.Errorf("system op consulted app manager? err=%v", err)
+		}
+		// The app's own checks DO consult it.
+		if err := ctx.CheckAppPermission(security.NewRuntimePermission("custom")); err == nil {
+			t.Error("app manager not consulted by CheckAppPermission")
+		}
+		return 0
+	})
+	if consulted != 1 {
+		t.Fatalf("app manager consulted %d times, want exactly 1 (by the app itself)", consulted)
+	}
+}
+
+// TestLuringAttackPrevention reproduces the Font-class scenario of
+// Section 5.6: trusted code may do privileged work on behalf of an
+// unprivileged application only via DoPrivileged; without it, the
+// unprivileged frames on the stack attenuate it.
+func TestLuringAttackPrevention(t *testing.T) {
+	p := newTestPlatform(t)
+	if err := p.FS().MkdirAll(vfs.Root, "/system/fonts", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.FS().WriteFile(vfs.Root, "/system/fonts/helvetica", []byte("glyphs"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A trusted "Font" class on the class path.
+	fontClass, err := p.BootLoader().Load(nil, SystemPropertiesClassName) // any system class stands in
+	if err != nil {
+		t.Fatal(err)
+	}
+	runAs(t, p, "alice", func(ctx *Context) int {
+		// Application code (no grant for /system/fonts) asks trusted
+		// Font code to read glyph data.
+		readFont := func() error {
+			_, err := ctx.ReadFile("/system/fonts/helvetica")
+			return err
+		}
+		// Without doPrivileged: the app frame on the stack denies.
+		err := classes.Invoke(ctx.Thread(), fontClass, readFont)
+		if !isSecurityError(err) {
+			t.Errorf("font read without doPrivileged: %v", err)
+		}
+		// With doPrivileged inside the trusted frame: allowed.
+		err = classes.Invoke(ctx.Thread(), fontClass, func() error {
+			return ctx.DoPrivileged(readFont)
+		})
+		if err != nil {
+			t.Errorf("font read with doPrivileged: %v", err)
+		}
+		return 0
+	})
+}
+
+func TestNetworkChecks(t *testing.T) {
+	p := newTestPlatform(t)
+	p.Net().AddHost("service.local")
+	// Grant alice connect+listen on service.local via a user grant.
+	p.Policy().AddGrant(&security.Grant{
+		User: "alice",
+		Perms: []security.Permission{
+			security.NewSocketPermission("service.local", "connect,accept,listen"),
+			security.NewSocketPermission("localhost:1024-", "listen,accept"),
+		},
+	})
+	runAs(t, p, "alice", func(ctx *Context) int {
+		l, err := ctx.Listen("service.local", 80)
+		if err != nil {
+			t.Errorf("listen: %v", err)
+			return 1
+		}
+		defer func() { _ = l.Close() }()
+		go func() {
+			c, err := l.Accept()
+			if err == nil {
+				_, _ = c.Write([]byte("hi"))
+				_ = c.Close()
+			}
+		}()
+		conn, err := ctx.Dial("service.local", 80)
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return 1
+		}
+		buf := make([]byte, 2)
+		if _, err := io.ReadFull(conn, buf); err != nil || string(buf) != "hi" {
+			t.Errorf("read = %q, %v", buf, err)
+		}
+		_ = conn.Close()
+		return 0
+	})
+	runAs(t, p, "bob", func(ctx *Context) int {
+		if _, err := ctx.Dial("service.local", 80); !isSecurityError(err) {
+			t.Errorf("bob dial: %v", err)
+		}
+		if _, err := ctx.Listen("service.local", 81); !isSecurityError(err) {
+			t.Errorf("bob listen: %v", err)
+		}
+		return 0
+	})
+}
+
+func TestSpawnThreadInheritsSecurityContext(t *testing.T) {
+	p := newTestPlatform(t)
+	result := make(chan error, 1)
+	runAs(t, p, "alice", func(ctx *Context) int {
+		th, err := ctx.SpawnThread("worker", false, func(tc *Context) {
+			// The spawned thread carries alice's user binding and the
+			// program's domain: reading alice's home works.
+			_, err := tc.ReadFile("/home/alice")
+			result <- err
+		})
+		if err != nil {
+			t.Error(err)
+			return 1
+		}
+		th.Join()
+		return 0
+	})
+	if err := <-result; err != nil {
+		// /home/alice is a directory; ReadFile fails with IsDir at the
+		// OS layer, which proves the security layer passed.
+		if isSecurityError(err) {
+			t.Fatalf("spawned thread lost security context: %v", err)
+		}
+	}
+}
+
+func TestResourceInheritance(t *testing.T) {
+	p := newTestPlatform(t)
+	got := make(chan any, 1)
+	registerProgram(t, p, "res-child", func(ctx *Context, args []string) int {
+		v, _ := ctx.Resource("terminal")
+		got <- v
+		return 0
+	})
+	registerProgram(t, p, "res-parent", func(ctx *Context, args []string) int {
+		ctx.SetResource("terminal", "the-terminal-object")
+		app, err := ctx.Exec("res-child")
+		if err != nil {
+			t.Error(err)
+			return 1
+		}
+		return app.WaitFor()
+	})
+	app, err := p.Exec(ExecSpec{Program: "res-parent"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.WaitFor()
+	if v := <-got; v != "the-terminal-object" {
+		t.Fatalf("inherited resource = %v", v)
+	}
+}
+
+func TestStreamRebindReflectsInSystemClass(t *testing.T) {
+	p := newTestPlatform(t)
+	var sink streams.Buffer
+	runAs(t, p, "alice", func(ctx *Context) int {
+		s := streams.NewWriteStream("redirected", streams.OwnerID(ctx.App().ID()), &sink)
+		ctx.SetStdout(s)
+		ctx.Printf("redirected!")
+		v, _ := ctx.App().SystemClass().Static("out")
+		if v != s {
+			t.Error("System.out static not updated")
+		}
+		return 0
+	})
+	if sink.String() != "redirected!" {
+		t.Fatalf("sink = %q", sink.String())
+	}
+}
+
+// TestPlatformHostName: outbound connections originate from the
+// platform's configured host name.
+func TestPlatformHostName(t *testing.T) {
+	p, err := NewPlatform(Config{Name: "named", HostName: "myvm.local"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Shutdown()
+	if p.HostName() != "myvm.local" {
+		t.Fatalf("hostname = %q", p.HostName())
+	}
+	if _, err := p.AddUser("alice", "pw"); err != nil {
+		t.Fatal(err)
+	}
+	p.Net().AddHost("svc.local")
+	p.Policy().AddGrant(&security.Grant{
+		User:  "alice",
+		Perms: []security.Permission{security.NewSocketPermission("svc.local:80", "connect")},
+	})
+	l, err := p.Net().Listen("svc.local", 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l.Close() }()
+	from := make(chan string, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			from <- c.RemoteAddr().Host
+			_ = c.Close()
+		}
+	}()
+	alice, _ := p.Users().Lookup("alice")
+	registerProgram(t, p, "dialer", func(ctx *Context, args []string) int {
+		conn, err := ctx.Dial("svc.local", 80)
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return 1
+		}
+		_ = conn.Close()
+		return 0
+	})
+	app, err := p.Exec(ExecSpec{Program: "dialer", User: alice})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := app.WaitFor(); code != 0 {
+		t.Fatalf("dialer exit %d", code)
+	}
+	if got := <-from; got != "myvm.local" {
+		t.Fatalf("connection originated from %q, want myvm.local", got)
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"mpj/internal/events"
+	"mpj/internal/security"
+	"mpj/internal/vm"
+)
+
+// ErrNoDisplay is returned when windowing is used on a platform
+// without an enabled display server.
+var ErrNoDisplay = errors.New("core: no display server enabled")
+
+// displayHolder wires the display server into the platform lazily.
+type displayHolder struct {
+	mu     sync.Mutex
+	server *events.Server
+}
+
+var _ events.DispatcherSpawner = (*dispatcherSpawner)(nil)
+
+// dispatcherSpawner creates per-application AWT dispatcher threads in
+// the owning application's thread group, carrying the application's
+// identity (user binding and main-class protection domain). This is
+// the Section 5.4 redesign: the thread that executes Alice's callbacks
+// belongs to Alice's application and runs with Alice's permissions.
+type dispatcherSpawner struct {
+	p *Platform
+}
+
+// SpawnDispatcher implements events.DispatcherSpawner.
+func (s *dispatcherSpawner) SpawnDispatcher(owner events.OwnerID, name string, run func(t *vm.Thread)) (*vm.Thread, error) {
+	app := s.p.FindApplication(AppID(owner))
+	if app == nil {
+		return nil, fmt.Errorf("core: spawn dispatcher: no application %d", owner)
+	}
+	var frames []vm.Frame
+	app.mu.Lock()
+	mc := app.mainClass
+	app.mu.Unlock()
+	if mc != nil {
+		frames = []vm.Frame{{Class: mc.Name(), Domain: mc.Domain()}}
+	}
+	return s.p.vm.SpawnThread(vm.ThreadSpec{
+		Group:         app.group,
+		Name:          name,
+		Daemon:        false, // Section 5.4: per-app dispatchers are non-daemon
+		InheritFrames: frames,
+		Run: func(t *vm.Thread) {
+			app.bindThread(t)
+			run(t)
+		},
+	})
+}
+
+// EnableDisplay attaches a display server with the given dispatch
+// architecture to the platform. Idempotent: subsequent calls return
+// the existing server.
+func (p *Platform) EnableDisplay(mode events.DispatchMode) *events.Server {
+	p.display.mu.Lock()
+	defer p.display.mu.Unlock()
+	if p.display.server == nil {
+		p.display.server = events.NewServer(p.vm, mode, &dispatcherSpawner{p: p})
+	}
+	return p.display.server
+}
+
+// Display returns the display server, or nil if none is enabled.
+func (p *Platform) Display() *events.Server {
+	p.display.mu.Lock()
+	defer p.display.mu.Unlock()
+	return p.display.server
+}
+
+// UntrustedWindowBanner marks windows opened by code without the
+// showWindowWithoutWarningBanner permission, so sandboxed code cannot
+// spoof trusted dialogs (the AWT "Warning: Applet Window" banner).
+const UntrustedWindowBanner = "Warning: Untrusted Applet Window"
+
+// OpenWindow opens a window owned by this application (requires
+// AWTPermission "openWindow"). Code that additionally lacks
+// AWTPermission "showWindowWithoutWarningBanner" gets a warning banner
+// attached to the window. The application's windows are closed — and
+// its dispatcher stopped — when the application is destroyed.
+func (c *Context) OpenWindow(title string) (*events.Window, error) {
+	display := c.app.platform.Display()
+	if display == nil {
+		return nil, ErrNoDisplay
+	}
+	if err := c.CheckPermission(security.NewAWTPermission("openWindow")); err != nil {
+		return nil, err
+	}
+	owner := events.OwnerID(c.app.id)
+	w, err := display.OpenWindow(c.t, owner, title)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.CheckPermission(security.NewAWTPermission("showWindowWithoutWarningBanner")); err != nil {
+		w.SetBanner(UntrustedWindowBanner)
+	}
+	c.app.addDisplayCleanup(display, owner)
+	return w, nil
+}
+
+// addDisplayCleanup registers (once) the destroy hook that closes the
+// application's windows and stops its dispatcher.
+func (a *Application) addDisplayCleanup(display *events.Server, owner events.OwnerID) {
+	a.mu.Lock()
+	already := a.displayCleanup
+	a.displayCleanup = true
+	a.mu.Unlock()
+	if !already {
+		a.AddCleanup(func() { display.CloseAppWindows(owner) })
+	}
+}

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mpj/internal/events"
+	"mpj/internal/security"
+	"mpj/internal/vm"
+)
+
+// TestEditorSaveScenario reproduces the motivating example of Feature
+// 7 / Section 5.4 end to end: Alice and Bob run the SAME editor
+// program in one VM; each clicks Save in their own window; each
+// callback must run on a thread of the right application, carry the
+// right user identity, and write into the right home directory — and
+// must NOT be able to write into the other user's.
+func TestEditorSaveScenario(t *testing.T) {
+	p := newTestPlatform(t)
+	p.EnableDisplay(events.PerAppDispatcher)
+
+	type saveResult struct {
+		user    string
+		ownErr  error
+		foreign error
+	}
+	results := make(chan saveResult, 2)
+
+	registerProgram(t, p, "editor", func(ctx *Context, args []string) int {
+		w, err := ctx.OpenWindow("editor — " + ctx.User().Name)
+		if err != nil {
+			t.Errorf("open window: %v", err)
+			return 1
+		}
+		other := args[0] // the OTHER user's name
+		err = w.AddListener("save", func(dt *vm.Thread, e events.Event) {
+			// The callback runs on a dispatcher thread of THIS
+			// application (Figure 4); recover a context from it.
+			cb := ContextFor(dt)
+			if cb == nil {
+				t.Error("dispatcher thread has no application")
+				return
+			}
+			me := cb.User().Name
+			ownErr := cb.WriteFile("/home/"+me+"/saved.txt", []byte("saved by "+me))
+			foreignErr := cb.WriteFile("/home/"+other+"/stolen.txt", []byte("oops"))
+			results <- saveResult{user: me, ownErr: ownErr, foreign: foreignErr}
+		})
+		if err != nil {
+			t.Errorf("add listener: %v", err)
+			return 1
+		}
+		// Simulate the user clicking Save.
+		if err := ctx.Platform().Display().Click(w.ID(), "save"); err != nil {
+			t.Errorf("click: %v", err)
+			return 1
+		}
+		// Keep the app alive until told to stop (the dispatcher is
+		// non-daemon anyway, per Section 5.4).
+		<-ctx.Thread().StopChan()
+		return 0
+	})
+
+	alice := userByName(t, p, "alice")
+	bob := userByName(t, p, "bob")
+	appA, err := p.Exec(ExecSpec{Program: "editor", Args: []string{"bob"}, User: alice})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appB, err := p.Exec(ExecSpec{Program: "editor", Args: []string{"alice"}, User: bob})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seen := map[string]saveResult{}
+	for i := 0; i < 2; i++ {
+		select {
+		case r := <-results:
+			seen[r.user] = r
+		case <-time.After(5 * time.Second):
+			t.Fatal("save callbacks did not run")
+		}
+	}
+	for _, who := range []string{"alice", "bob"} {
+		r, ok := seen[who]
+		if !ok {
+			t.Fatalf("no save result for %s", who)
+		}
+		if r.ownErr != nil {
+			t.Errorf("%s saving own file: %v", who, r.ownErr)
+		}
+		if !isSecurityError(r.foreign) {
+			t.Errorf("%s writing foreign file: %v (want security denial)", who, r.foreign)
+		}
+	}
+	// The files landed in the right homes.
+	for _, who := range []string{"alice", "bob"} {
+		data, err := p.FS().ReadFile(who, "/home/"+who+"/saved.txt")
+		if err != nil || string(data) != "saved by "+who {
+			t.Errorf("%s saved file = %q, %v", who, data, err)
+		}
+		if p.FS().Exists(who, "/home/"+who+"/stolen.txt") {
+			t.Errorf("foreign write into %s's home succeeded", who)
+		}
+	}
+
+	appA.RequestExit(0)
+	appB.RequestExit(0)
+	appA.WaitFor()
+	appB.WaitFor()
+}
+
+// TestAppDestructionClosesWindows: destroying an application closes
+// its windows and stops its dispatcher ("a background thread will ...
+// close all windows that are associated with the application").
+func TestAppDestructionClosesWindows(t *testing.T) {
+	p := newTestPlatform(t)
+	display := p.EnableDisplay(events.PerAppDispatcher)
+
+	winCh := make(chan *events.Window, 1)
+	registerProgram(t, p, "windowed", func(ctx *Context, args []string) int {
+		w, err := ctx.OpenWindow("w")
+		if err != nil {
+			t.Error(err)
+			return 1
+		}
+		winCh <- w
+		<-ctx.Thread().StopChan()
+		return 0
+	})
+	alice := userByName(t, p, "alice")
+	app, err := p.Exec(ExecSpec{Program: "windowed", User: alice})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := <-winCh
+	if len(display.WindowsOf(events.OwnerID(app.ID()))) != 1 {
+		t.Fatal("window not registered")
+	}
+	app.RequestExit(0)
+	app.WaitFor()
+	if !w.Closed() {
+		t.Fatal("window not closed at app destruction")
+	}
+	if len(display.WindowsOf(events.OwnerID(app.ID()))) != 0 {
+		t.Fatal("window table not cleaned")
+	}
+}
+
+// TestDispatcherKeepsAppAlive: the per-app dispatcher is a non-daemon
+// thread, so an application that opened a window does not finish when
+// main returns — it must call Exit, exactly as Section 5.4 concludes.
+func TestDispatcherKeepsAppAlive(t *testing.T) {
+	p := newTestPlatform(t)
+	p.EnableDisplay(events.PerAppDispatcher)
+
+	registerProgram(t, p, "gui-no-exit", func(ctx *Context, args []string) int {
+		if _, err := ctx.OpenWindow("w"); err != nil {
+			t.Error(err)
+		}
+		return 0 // main returns; dispatcher (non-daemon) remains
+	})
+	alice := userByName(t, p, "alice")
+	app, err := p.Exec(ExecSpec{Program: "gui-no-exit", User: alice})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-app.Done():
+		t.Fatal("GUI app finished although its dispatcher thread is alive")
+	case <-time.After(50 * time.Millisecond):
+	}
+	app.RequestExit(0)
+	app.WaitFor()
+}
+
+func TestOpenWindowRequiresDisplayAndPermission(t *testing.T) {
+	p := newTestPlatform(t)
+	// No display enabled yet.
+	runAs(t, p, "alice", func(ctx *Context) int {
+		if _, err := ctx.OpenWindow("w"); !errors.Is(err, ErrNoDisplay) {
+			t.Errorf("open without display: %v", err)
+		}
+		return 0
+	})
+	p.EnableDisplay(events.PerAppDispatcher)
+
+	// A remote (sandboxed) program lacks AWTPermission "openWindow".
+	if err := p.RegisterProgram(Program{
+		Name:     "remote-gui",
+		CodeBase: "http://remote.example.org/gui",
+		Main: func(ctx *Context, args []string) int {
+			if _, err := ctx.OpenWindow("w"); !isSecurityError(err) {
+				t.Errorf("remote code opening window: %v", err)
+			}
+			return 0
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	app, err := p.Exec(ExecSpec{Program: "remote-gui"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.WaitFor()
+}
+
+func TestEnableDisplayIdempotent(t *testing.T) {
+	p := newTestPlatform(t)
+	d1 := p.EnableDisplay(events.PerAppDispatcher)
+	d2 := p.EnableDisplay(events.SingleDispatcher) // ignored: already enabled
+	if d1 != d2 {
+		t.Fatal("EnableDisplay must be idempotent")
+	}
+	if p.Display() != d1 {
+		t.Fatal("Display accessor mismatch")
+	}
+}
+
+// TestUntrustedWindowBanner: sandboxed code gets the AWT-style warning
+// banner on its windows; local applications (holding awt "*") do not.
+func TestUntrustedWindowBanner(t *testing.T) {
+	p := newTestPlatform(t)
+	p.EnableDisplay(events.PerAppDispatcher)
+
+	banners := make(chan string, 2)
+	registerProgram(t, p, "trusted-gui", func(ctx *Context, args []string) int {
+		w, err := ctx.OpenWindow("trusted")
+		if err != nil {
+			t.Error(err)
+			return 1
+		}
+		banners <- w.Banner()
+		ctx.Exit(0)
+		return 0
+	})
+	// A remote-codebase program granted openWindow only.
+	p.Policy().AddGrant(&security.Grant{
+		CodeBase: "http://semitrusted.example.org/-",
+		Perms:    []security.Permission{security.NewAWTPermission("openWindow")},
+	})
+	if err := p.RegisterProgram(Program{
+		Name:     "sandbox-gui",
+		CodeBase: "http://semitrusted.example.org/gui",
+		Main: func(ctx *Context, args []string) int {
+			w, err := ctx.OpenWindow("sandboxed")
+			if err != nil {
+				t.Error(err)
+				return 1
+			}
+			banners <- w.Banner()
+			ctx.Exit(0)
+			return 0
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	alice := userByName(t, p, "alice")
+	for _, prog := range []string{"trusted-gui", "sandbox-gui"} {
+		app, err := p.Exec(ExecSpec{Program: prog, User: alice})
+		if err != nil {
+			t.Fatal(err)
+		}
+		app.WaitFor()
+	}
+	trustedBanner, sandboxBanner := <-banners, <-banners
+	if trustedBanner != "" {
+		t.Errorf("trusted window has banner %q", trustedBanner)
+	}
+	if sandboxBanner != UntrustedWindowBanner {
+		t.Errorf("sandboxed window banner = %q", sandboxBanner)
+	}
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"mpj/internal/classes"
+	"mpj/internal/objspace"
+	"mpj/internal/security"
+)
+
+// Objects returns the platform's shared-object space (the Section 8
+// inter-application communication mechanism).
+func (p *Platform) Objects() *objspace.Space { return p.objects }
+
+// BindObject publishes an untyped shared object under a name; requires
+// ObjectPermission "bind" on it. Untyped objects skip the class
+// identity check at lookup — use BindTypedObject for values whose type
+// identity matters across namespaces.
+func (c *Context) BindObject(name string, obj any) error {
+	if err := c.CheckPermission(security.NewObjectPermission(name, security.ActionBind)); err != nil {
+		return err
+	}
+	return c.app.platform.objects.Bind(name, obj, nil, int64(c.app.id))
+}
+
+// BindTypedObject publishes a shared object carrying its class
+// identity (name + defining loader).
+func (c *Context) BindTypedObject(name string, obj any, class *classes.Class) error {
+	if err := c.CheckPermission(security.NewObjectPermission(name, security.ActionBind)); err != nil {
+		return err
+	}
+	return c.app.platform.objects.Bind(name, obj, class, int64(c.app.id))
+}
+
+// LookupObject retrieves an untyped shared object; requires
+// ObjectPermission "lookup".
+func (c *Context) LookupObject(name string) (any, error) {
+	if err := c.CheckPermission(security.NewObjectPermission(name, security.ActionLookup)); err != nil {
+		return nil, err
+	}
+	return c.app.platform.objects.LookupAs(name, nil)
+}
+
+// LookupTypedObject retrieves a shared object, verifying that its type
+// identity matches the caller's class — the soundness check of
+// Section 8 / Dean's loader-constraint rule. A same-named class from a
+// different loader yields objspace.ErrTypeConfusion.
+func (c *Context) LookupTypedObject(name string, expected *classes.Class) (any, error) {
+	if err := c.CheckPermission(security.NewObjectPermission(name, security.ActionLookup)); err != nil {
+		return nil, err
+	}
+	return c.app.platform.objects.LookupAs(name, expected)
+}
+
+// UnbindObject removes a shared object; requires ObjectPermission
+// "unbind".
+func (c *Context) UnbindObject(name string) error {
+	if err := c.CheckPermission(security.NewObjectPermission(name, security.ActionUnbind)); err != nil {
+		return err
+	}
+	return c.app.platform.objects.Unbind(name)
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"mpj/internal/classes"
+	"mpj/internal/objspace"
+	"mpj/internal/security"
+)
+
+// TestSharedObjectIPC: two applications exchange messages through a
+// shared Mailbox object bound in the "ipc." namespace — the Section 8
+// inter-application communication mechanism.
+func TestSharedObjectIPC(t *testing.T) {
+	p := newTestPlatform(t)
+	got := make(chan any, 1)
+
+	registerProgram(t, p, "producer", func(ctx *Context, args []string) int {
+		box := objspace.NewMailbox(4)
+		if err := ctx.BindObject("ipc.mail", box); err != nil {
+			t.Errorf("bind: %v", err)
+			return 1
+		}
+		if err := box.Send("hello through shared memory"); err != nil {
+			t.Errorf("send: %v", err)
+			return 1
+		}
+		return 0
+	})
+	registerProgram(t, p, "consumer", func(ctx *Context, args []string) int {
+		v, err := ctx.LookupObject("ipc.mail")
+		if err != nil {
+			t.Errorf("lookup: %v", err)
+			return 1
+		}
+		box, ok := v.(*objspace.Mailbox)
+		if !ok {
+			t.Errorf("wrong type %T", v)
+			return 1
+		}
+		msg, err := box.Receive()
+		if err != nil {
+			t.Errorf("receive: %v", err)
+			return 1
+		}
+		got <- msg
+		return 0
+	})
+
+	alice := userByName(t, p, "alice")
+	prod, err := p.Exec(ExecSpec{Program: "producer", User: alice})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := prod.WaitFor(); code != 0 {
+		t.Fatalf("producer exit = %d", code)
+	}
+	cons, err := p.Exec(ExecSpec{Program: "consumer", User: alice})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := cons.WaitFor(); code != 0 {
+		t.Fatalf("consumer exit = %d", code)
+	}
+	if msg := <-got; msg != "hello through shared memory" {
+		t.Fatalf("msg = %v", msg)
+	}
+}
+
+// TestObjectNamespacePermissions: names outside "ipc." are denied to
+// plain local applications; extra grants open them.
+func TestObjectNamespacePermissions(t *testing.T) {
+	p := newTestPlatform(t)
+	runAs(t, p, "alice", func(ctx *Context) int {
+		if err := ctx.BindObject("system.secret", 1); !isSecurityError(err) {
+			t.Errorf("bind outside ipc.: %v", err)
+		}
+		if _, err := ctx.LookupObject("system.secret"); !isSecurityError(err) {
+			t.Errorf("lookup outside ipc.: %v", err)
+		}
+		if err := ctx.UnbindObject("system.secret"); !isSecurityError(err) {
+			t.Errorf("unbind outside ipc.: %v", err)
+		}
+		// Inside ipc.: allowed, and lifecycle works.
+		if err := ctx.BindObject("ipc.x", "v"); err != nil {
+			t.Errorf("bind: %v", err)
+		}
+		if v, err := ctx.LookupObject("ipc.x"); err != nil || v != "v" {
+			t.Errorf("lookup = %v, %v", v, err)
+		}
+		if err := ctx.UnbindObject("ipc.x"); err != nil {
+			t.Errorf("unbind: %v", err)
+		}
+		return 0
+	})
+}
+
+// TestTypedObjectCrossNamespace: the type-confusion guard surfaces
+// through the application API when two applications bind/lookup with
+// their own reloaded incarnations of the same class name.
+func TestTypedObjectCrossNamespace(t *testing.T) {
+	p := newTestPlatform(t)
+	// Register a class that applications reload (added to the reload
+	// set via a platform configured for it).
+	p2, err := NewPlatform(Config{
+		Name:          "typed",
+		ReloadClasses: []string{SystemClassName, "shared.Message"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Shutdown()
+	if err := p2.ClassRegistry().Register(&classes.ClassFile{
+		Name:   "shared.Message",
+		Super:  classes.ObjectClassName,
+		Source: security.NewCodeSource("file:/system/rt"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p2.AddUser("alice", "pw"); err != nil {
+		t.Fatal(err)
+	}
+	_ = p // the outer platform is unused; keep the fixture signature
+
+	bound := make(chan struct{})
+	confusion := make(chan error, 1)
+	if err := p2.RegisterProgram(Program{Name: "binder", Main: func(ctx *Context, args []string) int {
+		c, err := ctx.App().Loader().Load(ctx.Thread(), "shared.Message")
+		if err != nil {
+			t.Error(err)
+			return 1
+		}
+		if err := ctx.BindTypedObject("ipc.msg", "payload", c); err != nil {
+			t.Error(err)
+			return 1
+		}
+		close(bound)
+		return 0
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.RegisterProgram(Program{Name: "caster", Main: func(ctx *Context, args []string) int {
+		c, err := ctx.App().Loader().Load(ctx.Thread(), "shared.Message")
+		if err != nil {
+			t.Error(err)
+			return 1
+		}
+		_, err = ctx.LookupTypedObject("ipc.msg", c)
+		confusion <- err
+		return 0
+	}}); err != nil {
+		t.Fatal(err)
+	}
+
+	alice, err := p2.Users().Lookup("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p2.Exec(ExecSpec{Program: "binder", User: alice})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.WaitFor()
+	<-bound
+	c, err := p2.Exec(ExecSpec{Program: "caster", User: alice})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.WaitFor()
+	if err := <-confusion; !errors.Is(err, objspace.ErrTypeConfusion) {
+		t.Fatalf("cross-namespace typed lookup: %v, want ErrTypeConfusion", err)
+	}
+}
+
+func TestPlatformObjectsAccessor(t *testing.T) {
+	p := newTestPlatform(t)
+	if p.Objects() == nil {
+		t.Fatal("nil object space")
+	}
+	if err := p.Objects().Bind("direct", 1, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if p.Objects().Len() != 1 {
+		t.Fatal("bind through accessor failed")
+	}
+}
+
+// TestObjectPermissionPolicySyntax: the "object" permission parses in
+// policy files and behaves with wildcards.
+func TestObjectPermissionPolicySyntax(t *testing.T) {
+	pol, err := security.ParsePolicy(`
+grant user "carol" {
+    permission object "mail.*", "bind,lookup";
+};`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perms := pol.PermissionsForUser("carol")
+	if !perms.Implies(security.NewObjectPermission("mail.inbox", "lookup")) {
+		t.Fatal("wildcard object grant should imply")
+	}
+	if perms.Implies(security.NewObjectPermission("mail.inbox", "unbind")) {
+		t.Fatal("unbind not granted")
+	}
+	if perms.Implies(security.NewObjectPermission("files.x", "lookup")) {
+		t.Fatal("foreign namespace implied")
+	}
+}

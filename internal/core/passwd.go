@@ -1,0 +1,78 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"mpj/internal/security"
+	"mpj/internal/user"
+	"mpj/internal/vfs"
+)
+
+// PasswdPath is where the account database is persisted. Like
+// pre-shadow Unix, the file is world-readable (it contains salted
+// hashes, not plaintext).
+const PasswdPath = "/etc/passwd"
+
+// SavePasswd persists the account database to /etc/passwd on the
+// virtual filesystem.
+func (p *Platform) SavePasswd() error {
+	data := []byte(p.users.Serialize())
+	if err := p.fs.WriteFile(vfs.Root, PasswdPath, data, 0o644); err != nil {
+		return fmt.Errorf("core: save passwd: %w", err)
+	}
+	return nil
+}
+
+// loadPasswd restores accounts from /etc/passwd, if present, and
+// re-installs the standard per-user policy grants and home
+// directories. Called during NewPlatform when no explicit user
+// database was supplied.
+func (p *Platform) loadPasswd() error {
+	data, err := p.fs.ReadFile(vfs.Root, PasswdPath)
+	if err != nil {
+		if errors.Is(err, vfs.ErrNotExist) {
+			return nil
+		}
+		return fmt.Errorf("core: load passwd: %w", err)
+	}
+	db, err := user.Parse(string(data))
+	if err != nil {
+		return fmt.Errorf("core: load passwd: %w", err)
+	}
+	p.users = db
+	for _, name := range db.Names() {
+		u, err := db.Lookup(name)
+		if err != nil {
+			continue
+		}
+		if err := p.fs.MkdirAll(vfs.Root, u.Home, 0o700); err != nil {
+			return fmt.Errorf("core: load passwd: home %s: %w", u.Home, err)
+		}
+		if err := p.fs.Chown(vfs.Root, u.Home, name); err != nil {
+			return fmt.Errorf("core: load passwd: chown %s: %w", u.Home, err)
+		}
+		p.policy.AddGrant(&security.Grant{
+			User: name,
+			Perms: []security.Permission{
+				security.NewFilePermission(u.Home, "read"),
+				security.NewFilePermission(u.Home+"/-", "read,write,delete,execute"),
+			},
+		})
+	}
+	return nil
+}
+
+// ChangePassword changes the CURRENT user's password after verifying
+// the old one, and persists the database. No special permission is
+// needed: a user may always change their own password.
+func (c *Context) ChangePassword(oldPassword, newPassword string) error {
+	name := c.User().Name
+	if _, err := c.app.platform.users.Authenticate(name, oldPassword); err != nil {
+		return err
+	}
+	if err := c.app.platform.users.SetPassword(name, newPassword); err != nil {
+		return err
+	}
+	return c.app.platform.SavePasswd()
+}

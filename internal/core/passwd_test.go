@@ -1,0 +1,105 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"mpj/internal/user"
+)
+
+// TestPasswdPersistenceAcrossReboot: accounts saved to /etc/passwd
+// survive a platform "reboot" over the same filesystem, including
+// credentials, homes and per-user policy grants.
+func TestPasswdPersistenceAcrossReboot(t *testing.T) {
+	p1 := newTestPlatform(t)
+	if _, err := p1.AddUser("carol", "s3cret"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.SavePasswd(); err != nil {
+		t.Fatal(err)
+	}
+	// The file is world-readable and in passwd format.
+	data, err := p1.FS().ReadFile("carol", PasswdPath)
+	if err != nil {
+		t.Fatalf("passwd unreadable: %v", err)
+	}
+	if !strings.Contains(string(data), "carol:") {
+		t.Fatalf("passwd content = %q", data)
+	}
+	if strings.Contains(string(data), "s3cret") {
+		t.Fatal("plaintext password persisted")
+	}
+	fs := p1.FS()
+	p1.Shutdown()
+
+	// "Reboot": a new platform over the same filesystem.
+	p2, err := NewPlatform(Config{Name: "rebooted", FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Shutdown()
+	u, err := p2.Users().Authenticate("carol", "s3cret")
+	if err != nil {
+		t.Fatalf("carol lost across reboot: %v", err)
+	}
+	if u.Home != "/home/carol" {
+		t.Fatalf("home = %q", u.Home)
+	}
+	// Grants were re-installed: carol can use her home.
+	registerProgram(t, p2, "probe", func(ctx *Context, args []string) int {
+		if err := ctx.WriteFile("/home/carol/after-reboot", []byte("x")); err != nil {
+			t.Errorf("write after reboot: %v", err)
+		}
+		return 0
+	})
+	app, err := p2.Exec(ExecSpec{Program: "probe", User: u})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := app.WaitFor(); code != 0 {
+		t.Fatalf("probe exit = %d", code)
+	}
+}
+
+func TestLoadPasswdIgnoredWhenDBGiven(t *testing.T) {
+	p1 := newTestPlatform(t)
+	if err := p1.SavePasswd(); err != nil {
+		t.Fatal(err)
+	}
+	fs := p1.FS()
+	p1.Shutdown()
+
+	// An explicit (empty) DB wins over the persisted file.
+	p2, err := NewPlatform(Config{Name: "explicit", FS: fs, Users: user.NewDB()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Shutdown()
+	if _, err := p2.Users().Lookup("alice"); err == nil {
+		t.Fatal("persisted users leaked into explicit DB")
+	}
+}
+
+func TestChangePassword(t *testing.T) {
+	p := newTestPlatform(t)
+	runAs(t, p, "alice", func(ctx *Context) int {
+		if err := ctx.ChangePassword("wrong-old", "new"); err == nil {
+			t.Error("wrong old password accepted")
+		}
+		if err := ctx.ChangePassword("wonderland", "rabbit-hole"); err != nil {
+			t.Errorf("change password: %v", err)
+		}
+		return 0
+	})
+	if _, err := p.Users().Authenticate("alice", "wonderland"); err == nil {
+		t.Fatal("old password still valid")
+	}
+	if _, err := p.Users().Authenticate("alice", "rabbit-hole"); err != nil {
+		t.Fatalf("new password rejected: %v", err)
+	}
+	// The change was persisted.
+	data, err := p.FS().ReadFile("root", PasswdPath)
+	if err != nil || !strings.Contains(string(data), "alice:") {
+		t.Fatalf("passwd not persisted: %v", err)
+	}
+}

@@ -1,0 +1,488 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mpj/internal/streams"
+	"mpj/internal/user"
+)
+
+// newTestPlatform boots a platform with users alice and bob and the
+// default policy.
+func newTestPlatform(t *testing.T) *Platform {
+	t.Helper()
+	p, err := NewPlatform(Config{Name: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Shutdown)
+	for _, acc := range []struct{ name, pass string }{
+		{"alice", "wonderland"},
+		{"bob", "builder"},
+	} {
+		if _, err := p.AddUser(acc.name, acc.pass); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p
+}
+
+// registerProgram installs a simple program and fails the test on
+// error.
+func registerProgram(t *testing.T, p *Platform, name string, main MainFunc) {
+	t.Helper()
+	if err := p.RegisterProgram(Program{Name: name, Main: main}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// userByName looks up an account.
+func userByName(t *testing.T, p *Platform, name string) *user.User {
+	t.Helper()
+	u, err := p.Users().Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestExecRunsMainAndWaitForReturnsExitCode(t *testing.T) {
+	p := newTestPlatform(t)
+	ran := make(chan []string, 1)
+	registerProgram(t, p, "hello", func(ctx *Context, args []string) int {
+		ran <- args
+		return 7
+	})
+	app, err := p.Exec(ExecSpec{Program: "hello", Args: []string{"a", "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := app.WaitFor(); code != 7 {
+		t.Fatalf("exit code = %d, want 7", code)
+	}
+	select {
+	case args := <-ran:
+		if len(args) != 2 || args[0] != "a" || args[1] != "b" {
+			t.Fatalf("args = %v", args)
+		}
+	default:
+		t.Fatal("main never ran")
+	}
+	if !app.Destroyed() {
+		t.Fatal("application not destroyed after main returned")
+	}
+}
+
+func TestExecUnknownProgram(t *testing.T) {
+	p := newTestPlatform(t)
+	if _, err := p.Exec(ExecSpec{Program: "ghost"}); !errors.Is(err, ErrUnknownProgram) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestApplicationExitUnwindsAndDestroys(t *testing.T) {
+	p := newTestPlatform(t)
+	afterExit := make(chan struct{}, 1)
+	registerProgram(t, p, "quitter", func(ctx *Context, args []string) int {
+		ctx.Exit(42)
+		afterExit <- struct{}{} // must never run
+		return 0
+	})
+	app, err := p.Exec(ExecSpec{Program: "quitter"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := app.WaitFor(); code != 42 {
+		t.Fatalf("exit code = %d, want 42", code)
+	}
+	select {
+	case <-afterExit:
+		t.Fatal("code after Exit executed")
+	default:
+	}
+}
+
+// TestFigure1ApplicationLifecycle: an application with daemon threads
+// finishes when its last NON-daemon thread ends; the daemon threads
+// are stopped by the reaper.
+func TestFigure1ApplicationLifecycle(t *testing.T) {
+	p := newTestPlatform(t)
+	daemonStopped := make(chan struct{})
+	registerProgram(t, p, "daemonic", func(ctx *Context, args []string) int {
+		_, err := ctx.SpawnThread("bg", true, func(tc *Context) {
+			<-tc.Thread().StopChan()
+			close(daemonStopped)
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		return 0 // main returns; only the daemon remains
+	})
+	app, err := p.Exec(ExecSpec{Program: "daemonic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := app.WaitFor(); code != 0 {
+		t.Fatalf("exit code = %d", code)
+	}
+	select {
+	case <-daemonStopped:
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon thread not stopped at app destruction")
+	}
+}
+
+func TestNonDaemonThreadKeepsApplicationAlive(t *testing.T) {
+	p := newTestPlatform(t)
+	release := make(chan struct{})
+	registerProgram(t, p, "worker", func(ctx *Context, args []string) int {
+		_, err := ctx.SpawnThread("w", false, func(tc *Context) { <-release })
+		if err != nil {
+			t.Error(err)
+		}
+		return 0
+	})
+	app, err := p.Exec(ExecSpec{Program: "worker"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-app.Done():
+		t.Fatal("app finished while a non-daemon thread is live")
+	case <-time.After(30 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case <-app.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("app did not finish after last non-daemon thread")
+	}
+}
+
+func TestStateInheritance(t *testing.T) {
+	p := newTestPlatform(t)
+	alice := userByName(t, p, "alice")
+
+	type snapshot struct {
+		user, cwd, prop string
+		stdout          *streams.Stream
+	}
+	childState := make(chan snapshot, 1)
+	registerProgram(t, p, "child", func(ctx *Context, args []string) int {
+		prop, _ := ctx.Property("team")
+		childState <- snapshot{
+			user:   ctx.User().Name,
+			cwd:    ctx.Cwd(),
+			prop:   prop,
+			stdout: ctx.Stdout(),
+		}
+		return 0
+	})
+	registerProgram(t, p, "parent", func(ctx *Context, args []string) int {
+		ctx.SetProperty("team", "systems")
+		if err := ctx.Chdir("/tmp"); err != nil {
+			t.Error(err)
+			return 1
+		}
+		app, err := ctx.Exec("child")
+		if err != nil {
+			t.Error(err)
+			return 1
+		}
+		return app.WaitFor()
+	})
+
+	var sink streams.Buffer
+	out := streams.NewWriteStream("test-out", streams.OwnerSystem, &sink)
+	app, err := p.Exec(ExecSpec{Program: "parent", User: alice, Stdout: out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := app.WaitFor(); code != 0 {
+		t.Fatalf("exit code = %d", code)
+	}
+	st := <-childState
+	if st.user != "alice" {
+		t.Errorf("child user = %q, want alice", st.user)
+	}
+	if st.cwd != "/tmp" {
+		t.Errorf("child cwd = %q, want /tmp", st.cwd)
+	}
+	if st.prop != "systems" {
+		t.Errorf("child prop = %q, want systems", st.prop)
+	}
+	if st.stdout != out {
+		t.Error("child stdout not inherited")
+	}
+}
+
+// TestFigure5PerAppSystemIsolation: every application sees its own
+// System class copy; redirecting one application's stdout does not
+// affect another, while shared system properties stay global.
+func TestFigure5PerAppSystemIsolation(t *testing.T) {
+	p := newTestPlatform(t)
+	registerProgram(t, p, "writer", func(ctx *Context, args []string) int {
+		ctx.Printf("output of %s", args[0])
+		return 0
+	})
+
+	var sink1, sink2 streams.Buffer
+	app1, err := p.Exec(ExecSpec{
+		Program: "writer", Args: []string{"one"},
+		Stdout: streams.NewWriteStream("s1", streams.OwnerSystem, &sink1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app2, err := p.Exec(ExecSpec{
+		Program: "writer", Args: []string{"two"},
+		Stdout: streams.NewWriteStream("s2", streams.OwnerSystem, &sink2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app1.WaitFor()
+	app2.WaitFor()
+
+	if sink1.String() != "output of one" {
+		t.Errorf("sink1 = %q", sink1.String())
+	}
+	if sink2.String() != "output of two" {
+		t.Errorf("sink2 = %q", sink2.String())
+	}
+	// Distinct System classes, same name, different loaders.
+	if app1.SystemClass() == app2.SystemClass() {
+		t.Fatal("applications share a System class")
+	}
+	if app1.SystemClass().Name() != app2.SystemClass().Name() {
+		t.Fatal("System classes must share the name")
+	}
+	// The props static of both Systems is the single shared store.
+	p1, _ := app1.SystemClass().Static("props")
+	p2, _ := app2.SystemClass().Static("props")
+	if p1 != p2 {
+		t.Fatal("shared SystemProperties must be one object")
+	}
+}
+
+func TestRequestExitStopsApplication(t *testing.T) {
+	p := newTestPlatform(t)
+	registerProgram(t, p, "spinner", func(ctx *Context, args []string) int {
+		<-ctx.Thread().StopChan()
+		return 0
+	})
+	app, err := p.Exec(ExecSpec{Program: "spinner"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.RequestExit(9)
+	if code := app.WaitFor(); code != 9 {
+		t.Fatalf("exit code = %d, want 9", code)
+	}
+}
+
+func TestExecAfterShutdownFails(t *testing.T) {
+	p, err := NewPlatform(Config{Name: "dead"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerProgram(t, p, "x", func(ctx *Context, args []string) int { return 0 })
+	p.Shutdown()
+	if _, err := p.Exec(ExecSpec{Program: "x"}); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestExitWhenIdleHaltsVM(t *testing.T) {
+	p, err := NewPlatform(Config{Name: "fig1", ExitWhenIdle: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerProgram(t, p, "oneshot", func(ctx *Context, args []string) int { return 0 })
+	app, err := p.Exec(ExecSpec{Program: "oneshot"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.WaitFor()
+	select {
+	case <-p.VM().Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("VM did not halt after last application finished")
+	}
+}
+
+func TestApplicationsTableTracksLiveApps(t *testing.T) {
+	p := newTestPlatform(t)
+	release := make(chan struct{})
+	registerProgram(t, p, "held", func(ctx *Context, args []string) int {
+		<-release
+		return 0
+	})
+	app, err := p.Exec(ExecSpec{Program: "held"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.FindApplication(app.ID()); got != app {
+		t.Fatal("FindApplication missed a live app")
+	}
+	if n := len(p.Applications()); n != 1 {
+		t.Fatalf("live apps = %d, want 1", n)
+	}
+	close(release)
+	app.WaitFor()
+	if got := p.FindApplication(app.ID()); got != nil {
+		t.Fatal("destroyed app still in table")
+	}
+}
+
+func TestAddUserCreatesHomeAndGrant(t *testing.T) {
+	p := newTestPlatform(t)
+	info, err := p.FS().Stat("alice", "/home/alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.IsDir || info.Owner != "alice" {
+		t.Fatalf("home = %+v", info)
+	}
+	perms := p.Policy().PermissionsForUser("alice")
+	if perms.Len() == 0 {
+		t.Fatal("no user grant added")
+	}
+}
+
+func TestConcurrentApplications(t *testing.T) {
+	p := newTestPlatform(t)
+	var counter struct {
+		mu sync.Mutex
+		n  int
+	}
+	registerProgram(t, p, "inc", func(ctx *Context, args []string) int {
+		counter.mu.Lock()
+		counter.n++
+		counter.mu.Unlock()
+		return 0
+	})
+	const n = 20
+	apps := make([]*Application, 0, n)
+	for i := 0; i < n; i++ {
+		app, err := p.Exec(ExecSpec{Program: "inc"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		apps = append(apps, app)
+	}
+	for _, app := range apps {
+		app.WaitFor()
+	}
+	if counter.n != n {
+		t.Fatalf("ran %d mains, want %d", counter.n, n)
+	}
+	ids := map[AppID]bool{}
+	for _, app := range apps {
+		if ids[app.ID()] {
+			t.Fatal("duplicate app id")
+		}
+		ids[app.ID()] = true
+	}
+}
+
+func TestRegisterProgramValidation(t *testing.T) {
+	p := newTestPlatform(t)
+	if err := p.RegisterProgram(Program{Name: "", Main: func(*Context, []string) int { return 0 }}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := p.RegisterProgram(Program{Name: "nomain"}); err == nil {
+		t.Fatal("nil main accepted")
+	}
+	if err := p.RegisterProgram(Program{Name: "ok", Main: func(*Context, []string) int { return 0 }}); err != nil {
+		t.Fatal(err)
+	}
+	names := p.Programs().Names()
+	if len(names) != 1 || names[0] != "ok" {
+		t.Fatalf("programs = %v", names)
+	}
+	if _, ok := p.Programs().Lookup("ok"); !ok {
+		t.Fatal("lookup failed")
+	}
+	// The program's main class landed on the class path.
+	if _, ok := p.ClassRegistry().Lookup("apps.ok"); !ok {
+		t.Fatal("program class not registered")
+	}
+}
+
+func TestAppStringerAndAccessors(t *testing.T) {
+	p := newTestPlatform(t)
+	registerProgram(t, p, "acc", func(ctx *Context, args []string) int {
+		<-ctx.Thread().StopChan()
+		return 0
+	})
+	alice := userByName(t, p, "alice")
+	app, err := p.Exec(ExecSpec{Program: "acc", User: alice})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { app.RequestExit(0); app.WaitFor() }()
+	if app.Name() != "acc" || app.Platform() != p || app.Parent() != nil {
+		t.Fatal("accessors broken")
+	}
+	if !strings.Contains(app.String(), "acc") || !strings.Contains(app.String(), "alice") {
+		t.Fatalf("string = %q", app.String())
+	}
+	if app.Group() == nil || app.Loader() == nil || app.MainThread() == nil {
+		t.Fatal("nil internals")
+	}
+	if AppOf(app.MainThread()) != app {
+		t.Fatal("AppOf lookup failed")
+	}
+}
+
+func TestChildGroupNestsUnderParent(t *testing.T) {
+	p := newTestPlatform(t)
+	registerProgram(t, p, "kid", func(ctx *Context, args []string) int {
+		<-ctx.Thread().StopChan()
+		return 0
+	})
+	childCh := make(chan *Application, 1)
+	registerProgram(t, p, "mom", func(ctx *Context, args []string) int {
+		child, err := ctx.Exec("kid")
+		if err != nil {
+			t.Error(err)
+			return 1
+		}
+		childCh <- child
+		<-ctx.Thread().StopChan()
+		return 0
+	})
+	mom, err := p.Exec(ExecSpec{Program: "mom"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	child := <-childCh
+	if !mom.Group().IsAncestorOf(child.Group()) {
+		t.Fatal("child app group must nest under parent app group")
+	}
+	if child.Parent() != mom {
+		t.Fatal("parent link missing")
+	}
+	child.RequestExit(0)
+	child.WaitFor()
+	mom.RequestExit(0)
+	mom.WaitFor()
+}
+
+func TestExecUnderDestroyedParentFails(t *testing.T) {
+	p := newTestPlatform(t)
+	registerProgram(t, p, "short", func(ctx *Context, args []string) int { return 0 })
+	parent, err := p.Exec(ExecSpec{Program: "short"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent.WaitFor()
+	if _, err := p.Exec(ExecSpec{Program: "short", Parent: parent}); !errors.Is(err, ErrAppDestroyed) {
+		t.Fatalf("exec under destroyed parent: %v", err)
+	}
+}

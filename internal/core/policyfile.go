@@ -1,0 +1,43 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"mpj/internal/security"
+	"mpj/internal/vfs"
+)
+
+// PolicyPath is where the system security policy is persisted on the
+// virtual filesystem — the java.policy analogue ("how exactly that
+// policy is specified varies from system to system", Section 3.3; here
+// it is the JDK 1.2 policy-file syntax plus the paper's "user"
+// clause).
+const PolicyPath = "/etc/policy"
+
+// SavePolicy persists the current policy in policy-file syntax,
+// readable only by root (policies reveal the protection structure).
+func (p *Platform) SavePolicy() error {
+	if err := p.fs.WriteFile(vfs.Root, PolicyPath, []byte(p.policy.String()), 0o600); err != nil {
+		return fmt.Errorf("core: save policy: %w", err)
+	}
+	return nil
+}
+
+// loadPolicyFile parses /etc/policy if present. Called during
+// NewPlatform when no explicit policy was supplied; a missing file
+// falls back to DefaultPolicy.
+func loadPolicyFile(fs *vfs.FS) (*security.Policy, error) {
+	data, err := fs.ReadFile(vfs.Root, PolicyPath)
+	if err != nil {
+		if errors.Is(err, vfs.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("core: load policy: %w", err)
+	}
+	pol, err := security.ParsePolicy(string(data))
+	if err != nil {
+		return nil, fmt.Errorf("core: load policy: %w", err)
+	}
+	return pol, nil
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"mpj/internal/security"
+	"mpj/internal/vfs"
+)
+
+// TestPolicyPersistenceAcrossReboot: a policy edited and saved to
+// /etc/policy governs the next platform booted over the same
+// filesystem.
+func TestPolicyPersistenceAcrossReboot(t *testing.T) {
+	p1 := newTestPlatform(t)
+	p1.Policy().AddGrant(&security.Grant{
+		User:  "alice",
+		Perms: []security.Permission{security.NewFilePermission("/var/data/-", "read")},
+	})
+	if err := p1.SavePolicy(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.SavePasswd(); err != nil {
+		t.Fatal(err)
+	}
+	// The policy file is root-only.
+	if _, err := p1.FS().ReadFile("alice", PolicyPath); !errors.Is(err, vfs.ErrPermission) {
+		t.Fatalf("policy readable by non-root: %v", err)
+	}
+	data, err := p1.FS().ReadFile(vfs.Root, PolicyPath)
+	if err != nil || !strings.Contains(string(data), "/var/data/-") {
+		t.Fatalf("policy content: %q, %v", data, err)
+	}
+	fs := p1.FS()
+	p1.Shutdown()
+
+	p2, err := NewPlatform(Config{Name: "rebooted", FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Shutdown()
+	perms := p2.Policy().PermissionsForUser("alice")
+	if !perms.Implies(security.NewFilePermission("/var/data/x", "read")) {
+		t.Fatal("persisted grant lost across reboot")
+	}
+	// The built-in grants survived the save/parse roundtrip too.
+	editor := security.NewCodeSource("file:/local/editor")
+	if !p2.Policy().PermissionsForCode(editor).Implies(security.UserPermission{}) {
+		t.Fatal("default local-code grant lost in roundtrip")
+	}
+}
+
+func TestCorruptPolicyFileRejectedAtBoot(t *testing.T) {
+	fs := vfs.New()
+	if err := fs.MkdirAll(vfs.Root, "/etc", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(vfs.Root, PolicyPath, []byte("grant { permission warpdrive; };"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPlatform(Config{Name: "corrupt", FS: fs}); err == nil {
+		t.Fatal("corrupt policy accepted at boot")
+	}
+}
+
+func TestExplicitPolicyBeatsFile(t *testing.T) {
+	fs := vfs.New()
+	if err := fs.MkdirAll(vfs.Root, "/etc", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	filePol := `grant user "filed" { permission file "/x", "read"; };`
+	if err := fs.WriteFile(vfs.Root, PolicyPath, []byte(filePol), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	explicit := security.MustParsePolicy(`grant user "explicit" { permission file "/y", "read"; };`)
+	p, err := NewPlatform(Config{Name: "explicit", FS: fs, Policy: explicit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Shutdown()
+	if p.Policy() != explicit {
+		t.Fatal("explicit policy not used")
+	}
+	if p.Policy().PermissionsForUser("filed").Len() != 0 {
+		t.Fatal("file policy leaked in")
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"mpj/internal/classes"
+	"mpj/internal/security"
+)
+
+// MainFunc is a program entry point — the main(String[] args) analogue.
+// It runs on the application's main thread and returns the exit code.
+type MainFunc func(ctx *Context, args []string) int
+
+// Program describes an installed program: a name the shell resolves, a
+// main class, the code source its classes carry (which determines its
+// protection domain under the policy), and the Go function standing in
+// for its bytecode.
+type Program struct {
+	// Name is the command name ("ls", "shell", "appletviewer").
+	Name string
+	// ClassName is the main class name; defaults to "apps.<Name>".
+	ClassName string
+	// CodeBase is the code-source location; defaults to
+	// "file:/local/<Name>" (a local application in the paper's sense).
+	CodeBase string
+	// Signers lists principals who signed the program's code.
+	Signers []string
+	// Main is the entry point. Required.
+	Main MainFunc
+	// Description is shown by the shell's help builtin.
+	Description string
+}
+
+// ProgramRegistry is the installed-program table — the platform's
+// analogue of directories on $PATH. Registering a program also
+// registers its main class file on the class path so that launching it
+// exercises the real load/verify/link pipeline.
+type ProgramRegistry struct {
+	mu       sync.RWMutex
+	programs map[string]*Program
+}
+
+// NewProgramRegistry returns an empty registry.
+func NewProgramRegistry() *ProgramRegistry {
+	return &ProgramRegistry{programs: make(map[string]*Program)}
+}
+
+// Register installs a program on the platform.
+func (p *Platform) RegisterProgram(prog Program) error {
+	if prog.Name == "" {
+		return fmt.Errorf("core: register program: empty name")
+	}
+	if prog.Main == nil {
+		return fmt.Errorf("core: register program %q: nil main", prog.Name)
+	}
+	if prog.ClassName == "" {
+		prog.ClassName = "apps." + prog.Name
+	}
+	if prog.CodeBase == "" {
+		prog.CodeBase = "file:/local/" + prog.Name
+	}
+	cf := &classes.ClassFile{
+		Name:   prog.ClassName,
+		Super:  classes.ObjectClassName,
+		Source: security.NewCodeSource(prog.CodeBase, prog.Signers...),
+		Methods: []classes.MethodSpec{
+			{Name: "main", Public: true},
+		},
+	}
+	if err := p.classes.Register(cf); err != nil {
+		return fmt.Errorf("core: register program %q: %w", prog.Name, err)
+	}
+	p.programs.mu.Lock()
+	defer p.programs.mu.Unlock()
+	p.programs.programs[prog.Name] = &prog
+	return nil
+}
+
+// Lookup finds a program by name.
+func (r *ProgramRegistry) Lookup(name string) (*Program, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	prog, ok := r.programs[name]
+	return prog, ok
+}
+
+// Names returns the sorted names of installed programs.
+func (r *ProgramRegistry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.programs))
+	for n := range r.programs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

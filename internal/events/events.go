@@ -1,0 +1,630 @@
+package events
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"mpj/internal/vm"
+)
+
+// Errors returned by the display server.
+var (
+	// ErrWindowClosed is returned when posting to or registering on a
+	// closed window.
+	ErrWindowClosed = errors.New("events: window closed")
+
+	// ErrNoWindow is returned when an event targets an unknown window.
+	ErrNoWindow = errors.New("events: no such window")
+
+	// ErrServerClosed is returned after the display server shut down.
+	ErrServerClosed = errors.New("events: display server closed")
+)
+
+// Kind classifies an input event.
+type Kind int
+
+// Event kinds.
+const (
+	// KindMouseClick is a pointer click inside a component.
+	KindMouseClick Kind = iota + 1
+	// KindKeyPress is a keystroke routed to the focused component.
+	KindKeyPress
+	// KindAction is a high-level component action (button fired).
+	KindAction
+	// KindWindowClose is a window-manager close request.
+	KindWindowClose
+)
+
+// String returns a human-readable kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindMouseClick:
+		return "mouse-click"
+	case KindKeyPress:
+		return "key-press"
+	case KindAction:
+		return "action"
+	case KindWindowClose:
+		return "window-close"
+	default:
+		return "unknown"
+	}
+}
+
+// WindowID identifies a window on the display server.
+type WindowID int64
+
+// OwnerID identifies the application a window belongs to.
+type OwnerID int64
+
+// Event is one input event, as delivered to listeners.
+type Event struct {
+	// Seq is a server-wide sequence number.
+	Seq int64
+	// Window is the target window.
+	Window WindowID
+	// Owner is the application owning the target window (stamped by
+	// the server during routing).
+	Owner OwnerID
+	// Component addresses a component inside the window ("" for
+	// window-level events).
+	Component string
+	// Kind classifies the event.
+	Kind Kind
+	// X, Y are pointer coordinates for mouse events.
+	X, Y int
+	// Key is the rune for key events.
+	Key rune
+	// Posted is when the server accepted the event.
+	Posted time.Time
+}
+
+// Listener is a callback invoked on a dispatcher thread. The thread is
+// passed explicitly so application code (and the tests) can see WHICH
+// identity executes the callback — the crux of Section 5.4.
+type Listener func(t *vm.Thread, e Event)
+
+// Window is a top-level window registered with the display server.
+// "When an application opens a window, the system makes note about
+// which application the window belongs to."
+type Window struct {
+	id     WindowID
+	owner  OwnerID
+	title  string
+	banner string
+	server *Server
+
+	mu        sync.Mutex
+	listeners map[string][]Listener
+	closed    bool
+}
+
+// SetBanner attaches a warning banner to the window (the AWT
+// "Warning: Applet Window" mechanism: windows opened by code that
+// lacks the showWindowWithoutWarningBanner permission are visibly
+// marked so they cannot spoof trusted dialogs).
+func (w *Window) SetBanner(text string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.banner = text
+}
+
+// Banner returns the warning banner ("" for trusted windows).
+func (w *Window) Banner() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.banner
+}
+
+// ID returns the window id.
+func (w *Window) ID() WindowID { return w.id }
+
+// Owner returns the owning application's id.
+func (w *Window) Owner() OwnerID { return w.owner }
+
+// Title returns the window title.
+func (w *Window) Title() string { return w.title }
+
+// String implements fmt.Stringer.
+func (w *Window) String() string {
+	return fmt.Sprintf("Window[%d %q owner=%d]", w.id, w.title, w.owner)
+}
+
+// AddListener registers a callback for events on the named component
+// ("" registers for window-level events) — the
+// addActionListener analogue.
+func (w *Window) AddListener(component string, l Listener) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrWindowClosed
+	}
+	if w.listeners == nil {
+		w.listeners = make(map[string][]Listener)
+	}
+	w.listeners[component] = append(w.listeners[component], l)
+	return nil
+}
+
+// listenersFor snapshots the callbacks for a component.
+func (w *Window) listenersFor(component string) []Listener {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	ls := w.listeners[component]
+	out := make([]Listener, len(ls))
+	copy(out, ls)
+	return out
+}
+
+// Close removes the window from the server.
+func (w *Window) Close() {
+	w.server.closeWindow(w)
+}
+
+// Closed reports whether the window has been closed.
+func (w *Window) Closed() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.closed
+}
+
+// DispatchMode selects the dispatching architecture.
+type DispatchMode int
+
+const (
+	// SingleDispatcher is the Figure 2 baseline: one global queue, one
+	// dispatcher thread for all applications.
+	SingleDispatcher DispatchMode = iota + 1
+	// PerAppDispatcher is the Figure 4 redesign: per-application
+	// queues and dispatcher threads.
+	PerAppDispatcher
+)
+
+// String returns the mode name.
+func (m DispatchMode) String() string {
+	switch m {
+	case SingleDispatcher:
+		return "single-dispatcher"
+	case PerAppDispatcher:
+		return "per-app-dispatcher"
+	default:
+		return "unknown"
+	}
+}
+
+// DispatcherSpawner creates the dispatcher thread for an application's
+// event queue, in that application's thread group. The core package
+// supplies the real implementation; tests may fake it.
+type DispatcherSpawner interface {
+	// SpawnDispatcher starts a non-daemon dispatcher thread for the
+	// given application.
+	SpawnDispatcher(owner OwnerID, name string, run func(t *vm.Thread)) (*vm.Thread, error)
+}
+
+// Stats reports server counters.
+type Stats struct {
+	Posted         int64
+	Dispatched     int64
+	Dropped        int64 // events for closed/unknown windows
+	ListenerPanics int64 // contained callback panics
+}
+
+// Server is the display server: it owns windows, routes input events
+// to queues, and runs dispatcher threads according to the configured
+// mode.
+type Server struct {
+	vm      *vm.VM
+	mode    DispatchMode
+	spawner DispatcherSpawner
+
+	mu             sync.Mutex
+	windows        map[WindowID]*Window
+	nextWin        WindowID
+	nextSeq        int64
+	closed         bool
+	stats          Stats
+	focusWin       WindowID
+	focusComponent string
+
+	// single-dispatcher state
+	singleQ      *eventQueue
+	singleThread *vm.Thread
+
+	// per-app dispatcher state
+	perApp map[OwnerID]*appDispatcher
+}
+
+// appDispatcher is one application's queue + dispatcher thread.
+type appDispatcher struct {
+	queue  *eventQueue
+	thread *vm.Thread
+}
+
+// NewServer creates a display server on the given VM.
+func NewServer(v *vm.VM, mode DispatchMode, spawner DispatcherSpawner) *Server {
+	return &Server{
+		vm:      v,
+		mode:    mode,
+		spawner: spawner,
+		windows: make(map[WindowID]*Window),
+		perApp:  make(map[OwnerID]*appDispatcher),
+	}
+}
+
+// Mode returns the dispatching architecture in use.
+func (s *Server) Mode() DispatchMode { return s.mode }
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// OpenWindow registers a window for the owning application. t is the
+// opening thread. Under SingleDispatcher the FIRST OpenWindow call
+// lazily starts the global dispatcher thread — in the opener's thread
+// group, reproducing the "whichever application happens to open a
+// window first would implicitly start the event dispatcher" behaviour
+// the paper criticizes. Under PerAppDispatcher a dispatcher for the
+// owner is started on demand in the owner's group via the spawner.
+func (s *Server) OpenWindow(t *vm.Thread, owner OwnerID, title string) (*Window, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrServerClosed
+	}
+	s.nextWin++
+	w := &Window{id: s.nextWin, owner: owner, title: title, server: s}
+	s.windows[w.id] = w
+	s.mu.Unlock()
+
+	var err error
+	switch s.mode {
+	case SingleDispatcher:
+		err = s.ensureSingleDispatcher(t)
+	case PerAppDispatcher:
+		err = s.ensureAppDispatcher(owner)
+	default:
+		err = fmt.Errorf("events: unknown dispatch mode %d", s.mode)
+	}
+	if err != nil {
+		s.closeWindow(w)
+		return nil, err
+	}
+	return w, nil
+}
+
+// ensureSingleDispatcher starts the global dispatcher once, in the
+// calling thread's group (the Figure 2 baseline's implicit behaviour).
+func (s *Server) ensureSingleDispatcher(t *vm.Thread) error {
+	s.mu.Lock()
+	if s.singleQ != nil {
+		s.mu.Unlock()
+		return nil
+	}
+	q := newEventQueue()
+	s.singleQ = q
+	s.mu.Unlock()
+
+	th, err := s.vm.SpawnThread(vm.ThreadSpec{
+		Group:  t.Group(),
+		Name:   "AWT-EventQueue-0",
+		Daemon: false,
+		Run:    func(dt *vm.Thread) { s.dispatchLoop(dt, q) },
+	})
+	if err != nil {
+		s.mu.Lock()
+		s.singleQ = nil
+		s.mu.Unlock()
+		return err
+	}
+	s.mu.Lock()
+	s.singleThread = th
+	s.mu.Unlock()
+	return nil
+}
+
+// ensureAppDispatcher starts the owner's dispatcher once.
+func (s *Server) ensureAppDispatcher(owner OwnerID) error {
+	s.mu.Lock()
+	if _, ok := s.perApp[owner]; ok {
+		s.mu.Unlock()
+		return nil
+	}
+	q := newEventQueue()
+	s.perApp[owner] = &appDispatcher{queue: q}
+	s.mu.Unlock()
+
+	if s.spawner == nil {
+		s.mu.Lock()
+		delete(s.perApp, owner)
+		s.mu.Unlock()
+		return errors.New("events: per-app dispatching requires a DispatcherSpawner")
+	}
+	name := fmt.Sprintf("AWT-EventQueue-app-%d", owner)
+	th, err := s.spawner.SpawnDispatcher(owner, name, func(dt *vm.Thread) { s.dispatchLoop(dt, q) })
+	if err != nil {
+		s.mu.Lock()
+		delete(s.perApp, owner)
+		s.mu.Unlock()
+		return err
+	}
+	s.mu.Lock()
+	if d, ok := s.perApp[owner]; ok {
+		d.thread = th
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// dispatchLoop pops events and executes callbacks until the queue
+// closes or the thread is stopped. A watcher closes the queue when the
+// thread's cooperative stop fires, so a dispatcher parked on an empty
+// queue still dies with its thread group — which is exactly how the
+// Figure 2 flaw manifests: stopping the application that implicitly
+// started the global dispatcher kills event delivery for everyone.
+func (s *Server) dispatchLoop(t *vm.Thread, q *eventQueue) {
+	loopDone := make(chan struct{})
+	defer close(loopDone)
+	go func() {
+		select {
+		case <-t.StopChan():
+			q.close()
+		case <-loopDone:
+		}
+	}()
+	for {
+		if t.Stopped() {
+			return
+		}
+		e, ok := q.pop()
+		if !ok {
+			return
+		}
+		s.mu.Lock()
+		w := s.windows[e.Window]
+		s.mu.Unlock()
+		if w == nil {
+			s.countDropped()
+			continue
+		}
+		for _, l := range w.listenersFor(e.Component) {
+			s.dispatchOne(t, e, l)
+		}
+		s.mu.Lock()
+		s.stats.Dispatched++
+		s.mu.Unlock()
+	}
+}
+
+// dispatchOne invokes a single listener, containing panics so that a
+// buggy callback cannot kill the dispatcher thread (and, under the
+// Figure 2 single-dispatcher architecture, every other application's
+// event delivery with it).
+func (s *Server) dispatchOne(t *vm.Thread, e Event, l Listener) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.mu.Lock()
+			s.stats.ListenerPanics++
+			s.mu.Unlock()
+		}
+	}()
+	l(t, e)
+}
+
+func (s *Server) countDropped() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Dropped++
+}
+
+// Post injects an input event, routing it to the queue of the
+// application owning the target window (Section 5.4: "the enclosing
+// window and its application are found; the AWT event is put on the
+// particular event queue of that application").
+func (s *Server) Post(e Event) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	w, ok := s.windows[e.Window]
+	if !ok {
+		s.stats.Dropped++
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrNoWindow, e.Window)
+	}
+	s.nextSeq++
+	e.Seq = s.nextSeq
+	e.Owner = w.owner
+	e.Posted = time.Now()
+	s.stats.Posted++
+
+	var q *eventQueue
+	switch s.mode {
+	case SingleDispatcher:
+		q = s.singleQ
+	default:
+		if d, ok := s.perApp[w.owner]; ok {
+			q = d.queue
+		}
+	}
+	s.mu.Unlock()
+
+	if q == nil || !q.push(e) {
+		s.countDropped()
+		return fmt.Errorf("%w: window %d has no dispatcher", ErrNoWindow, e.Window)
+	}
+	return nil
+}
+
+// Click is a convenience wrapper posting a mouse click to a component.
+func (s *Server) Click(win WindowID, component string) error {
+	return s.Post(Event{Window: win, Component: component, Kind: KindMouseClick})
+}
+
+// SetFocus directs subsequent keyboard input to a component of a
+// window — the server-side routing decision of Section 3.2 ("the X
+// server will figure out which GUI component was the target of that
+// input and notify the appropriate process").
+func (s *Server) SetFocus(win WindowID, component string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrServerClosed
+	}
+	if _, ok := s.windows[win]; !ok {
+		return fmt.Errorf("%w: %d", ErrNoWindow, win)
+	}
+	s.focusWin = win
+	s.focusComponent = component
+	return nil
+}
+
+// Focus returns the currently focused window and component.
+func (s *Server) Focus() (WindowID, string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.focusWin, s.focusComponent
+}
+
+// KeyPress posts a keystroke to the focused component. Without focus
+// the key is dropped (counted), as a window system discards input with
+// no focus owner.
+func (s *Server) KeyPress(key rune) error {
+	s.mu.Lock()
+	win, component := s.focusWin, s.focusComponent
+	s.mu.Unlock()
+	if win == 0 {
+		s.countDropped()
+		return fmt.Errorf("%w: no focused window", ErrNoWindow)
+	}
+	return s.Post(Event{Window: win, Component: component, Kind: KindKeyPress, Key: key})
+}
+
+// TypeString posts one KeyPress per rune to the focused component.
+func (s *Server) TypeString(text string) error {
+	for _, r := range text {
+		if err := s.KeyPress(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// closeWindow removes a window, releasing keyboard focus if it held
+// it.
+func (s *Server) closeWindow(w *Window) {
+	w.mu.Lock()
+	w.closed = true
+	w.mu.Unlock()
+	s.mu.Lock()
+	delete(s.windows, w.id)
+	if s.focusWin == w.id {
+		s.focusWin = 0
+		s.focusComponent = ""
+	}
+	s.mu.Unlock()
+}
+
+// WindowsOf returns the open windows belonging to an application.
+func (s *Server) WindowsOf(owner OwnerID) []*Window {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []*Window
+	for _, w := range s.windows {
+		if w.owner == owner {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// CloseAppWindows closes every window of an application and stops its
+// dispatcher (used when the application is destroyed: "close all
+// windows that are associated with the application").
+func (s *Server) CloseAppWindows(owner OwnerID) {
+	s.mu.Lock()
+	var wins []*Window
+	for _, w := range s.windows {
+		if w.owner == owner {
+			wins = append(wins, w)
+		}
+	}
+	d := s.perApp[owner]
+	delete(s.perApp, owner)
+	s.mu.Unlock()
+
+	for _, w := range wins {
+		s.closeWindow(w)
+	}
+	if d != nil {
+		d.queue.close()
+		if d.thread != nil {
+			d.thread.Stop()
+		}
+	}
+}
+
+// QueueDepth reports how many events are waiting for the given
+// application (or, in single mode, globally).
+func (s *Server) QueueDepth(owner OwnerID) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.mode == SingleDispatcher {
+		if s.singleQ == nil {
+			return 0
+		}
+		return s.singleQ.depth()
+	}
+	if d, ok := s.perApp[owner]; ok {
+		return d.queue.depth()
+	}
+	return 0
+}
+
+// Shutdown stops all dispatching and closes every window.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	wins := make([]*Window, 0, len(s.windows))
+	for _, w := range s.windows {
+		wins = append(wins, w)
+	}
+	singleQ := s.singleQ
+	singleTh := s.singleThread
+	apps := make([]*appDispatcher, 0, len(s.perApp))
+	for _, d := range s.perApp {
+		apps = append(apps, d)
+	}
+	s.perApp = make(map[OwnerID]*appDispatcher)
+	s.mu.Unlock()
+
+	for _, w := range wins {
+		s.closeWindow(w)
+	}
+	if singleQ != nil {
+		singleQ.close()
+	}
+	if singleTh != nil {
+		singleTh.Stop()
+		singleTh.Join()
+	}
+	for _, d := range apps {
+		d.queue.close()
+		if d.thread != nil {
+			d.thread.Stop()
+			d.thread.Join()
+		}
+	}
+}

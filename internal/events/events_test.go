@@ -1,0 +1,564 @@
+package events
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"mpj/internal/vm"
+)
+
+// fakeSpawner starts dispatcher threads in per-owner groups, standing
+// in for the core glue.
+type fakeSpawner struct {
+	v  *vm.VM
+	mu sync.Mutex
+	// groups maps owners to their thread groups.
+	groups map[OwnerID]*vm.ThreadGroup
+}
+
+func newFakeSpawner(v *vm.VM) *fakeSpawner {
+	return &fakeSpawner{v: v, groups: make(map[OwnerID]*vm.ThreadGroup)}
+}
+
+func (f *fakeSpawner) groupFor(owner OwnerID) *vm.ThreadGroup {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if g, ok := f.groups[owner]; ok {
+		return g
+	}
+	g, err := f.v.NewGroup(f.v.MainGroup(), "owner")
+	if err != nil {
+		panic(err)
+	}
+	f.groups[owner] = g
+	return g
+}
+
+func (f *fakeSpawner) SpawnDispatcher(owner OwnerID, name string, run func(t *vm.Thread)) (*vm.Thread, error) {
+	return f.v.SpawnThread(vm.ThreadSpec{
+		Group: f.groupFor(owner),
+		Name:  name,
+		Run:   run,
+	})
+}
+
+// testServer builds a VM + server and registers cleanup.
+func testServer(t *testing.T, mode DispatchMode) (*vm.VM, *Server, *fakeSpawner) {
+	t.Helper()
+	v := vm.New(vm.Config{IdlePolicy: vm.StayOnIdle, NoBootThreads: true})
+	sp := newFakeSpawner(v)
+	s := NewServer(v, mode, sp)
+	t.Cleanup(func() {
+		s.Shutdown()
+		v.Exit(0)
+	})
+	return v, s, sp
+}
+
+// openerThread spawns a parked app thread used as "the thread that
+// opens the window".
+func openerThread(t *testing.T, v *vm.VM) *vm.Thread {
+	t.Helper()
+	g, err := v.NewGroup(v.MainGroup(), "opener")
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := v.SpawnThread(vm.ThreadSpec{Group: g, Name: "opener", Daemon: true,
+		Run: func(th *vm.Thread) { <-th.StopChan() }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(th.Stop)
+	return th
+}
+
+func TestSingleDispatcherDeliversCallbacks(t *testing.T) {
+	v, s, _ := testServer(t, SingleDispatcher)
+	opener := openerThread(t, v)
+
+	w, err := s.OpenWindow(opener, 1, "app-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan Event, 1)
+	if err := w.AddListener("save-button", func(dt *vm.Thread, e Event) { got <- e }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Click(w.ID(), "save-button"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case e := <-got:
+		if e.Owner != 1 || e.Component != "save-button" || e.Kind != KindMouseClick {
+			t.Fatalf("event = %+v", e)
+		}
+		if e.Seq == 0 {
+			t.Fatal("missing sequence number")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("callback never ran")
+	}
+}
+
+// TestFigure2SingleDispatcher verifies the Figure 2 architecture: ONE
+// thread executes all callbacks, regardless of which application owns
+// the window — so the dispatcher cannot distinguish Alice's save from
+// Bob's save (the flaw motivating Feature 7).
+func TestFigure2SingleDispatcher(t *testing.T) {
+	v, s, _ := testServer(t, SingleDispatcher)
+	opener1 := openerThread(t, v)
+	opener2 := openerThread(t, v)
+
+	w1, err := s.OpenWindow(opener1, 1, "alice-editor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := s.OpenWindow(opener2, 2, "bob-editor")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	threads := make(chan *vm.Thread, 2)
+	for _, w := range []*Window{w1, w2} {
+		if err := w.AddListener("save", func(dt *vm.Thread, e Event) { threads <- dt }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Click(w1.ID(), "save"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Click(w2.ID(), "save"); err != nil {
+		t.Fatal(err)
+	}
+	t1, t2 := <-threads, <-threads
+	if t1 != t2 {
+		t.Fatal("single dispatcher must run ALL callbacks on one thread")
+	}
+	// The dispatcher landed in the first opener's group — the
+	// troublesome implicit behaviour the paper describes.
+	if !opener1.Group().IsAncestorOf(t1.Group()) && t1.Group() != opener1.Group() {
+		t.Fatalf("dispatcher group = %v, want the first opener's group %v", t1.Group(), opener1.Group())
+	}
+}
+
+// TestFigure4PerAppDispatcher verifies the redesign: each
+// application's events are dispatched by a thread of that application.
+func TestFigure4PerAppDispatcher(t *testing.T) {
+	v, s, sp := testServer(t, PerAppDispatcher)
+	opener1 := openerThread(t, v)
+	opener2 := openerThread(t, v)
+
+	w1, err := s.OpenWindow(opener1, 1, "alice-editor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := s.OpenWindow(opener2, 2, "bob-editor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		owner OwnerID
+		th    *vm.Thread
+	}
+	results := make(chan result, 2)
+	listener := func(dt *vm.Thread, e Event) { results <- result{owner: e.Owner, th: dt} }
+	if err := w1.AddListener("save", listener); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.AddListener("save", listener); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Click(w1.ID(), "save"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Click(w2.ID(), "save"); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[OwnerID]*vm.Thread{}
+	for i := 0; i < 2; i++ {
+		r := <-results
+		seen[r.owner] = r.th
+	}
+	if len(seen) != 2 {
+		t.Fatalf("owners seen = %v", seen)
+	}
+	if seen[1] == seen[2] {
+		t.Fatal("per-app dispatching must use distinct threads per application")
+	}
+	// Each dispatcher thread lives in its application's group.
+	for owner, th := range seen {
+		if th.Group() != sp.groupFor(owner) {
+			t.Errorf("owner %d dispatcher in group %v, want %v", owner, th.Group(), sp.groupFor(owner))
+		}
+	}
+}
+
+// TestHeadOfLineBlocking demonstrates the responsiveness claim of
+// Section 5.4: under the single dispatcher, a slow callback in one
+// application delays another application's events; under per-app
+// dispatching it does not.
+func TestHeadOfLineBlocking(t *testing.T) {
+	const slowDelay = 100 * time.Millisecond
+
+	measure := func(mode DispatchMode) time.Duration {
+		v, s, _ := testServer(t, mode)
+		opener1 := openerThread(t, v)
+		opener2 := openerThread(t, v)
+		slow, _ := s.OpenWindow(opener1, 1, "slow-app")
+		fast, _ := s.OpenWindow(opener2, 2, "fast-app")
+
+		release := make(chan struct{})
+		_ = slow.AddListener("work", func(dt *vm.Thread, e Event) {
+			select {
+			case <-release:
+			case <-time.After(slowDelay):
+			}
+		})
+		done := make(chan time.Time, 1)
+		_ = fast.AddListener("ping", func(dt *vm.Thread, e Event) { done <- time.Now() })
+
+		start := time.Now()
+		_ = s.Post(Event{Window: slow.ID(), Component: "work", Kind: KindAction})
+		_ = s.Post(Event{Window: fast.ID(), Component: "ping", Kind: KindAction})
+		end := <-done
+		close(release)
+		return end.Sub(start)
+	}
+
+	single := measure(SingleDispatcher)
+	perApp := measure(PerAppDispatcher)
+	if single < slowDelay {
+		t.Fatalf("single-dispatcher latency %v should include the slow callback (%v)", single, slowDelay)
+	}
+	if perApp >= slowDelay {
+		t.Fatalf("per-app latency %v should not be blocked by the other app's %v callback", perApp, slowDelay)
+	}
+}
+
+func TestEventsDeliveredInOrderPerApp(t *testing.T) {
+	v, s, _ := testServer(t, PerAppDispatcher)
+	opener := openerThread(t, v)
+	w, err := s.OpenWindow(opener, 1, "app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	got := make(chan int, n)
+	_ = w.AddListener("c", func(dt *vm.Thread, e Event) { got <- e.X })
+	for i := 0; i < n; i++ {
+		if err := s.Post(Event{Window: w.ID(), Component: "c", Kind: KindMouseClick, X: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if x := <-got; x != i {
+			t.Fatalf("event %d arrived out of order (got %d)", i, x)
+		}
+	}
+}
+
+func TestPostToUnknownWindow(t *testing.T) {
+	_, s, _ := testServer(t, PerAppDispatcher)
+	err := s.Post(Event{Window: 999})
+	if !errors.Is(err, ErrNoWindow) {
+		t.Fatalf("err = %v", err)
+	}
+	if s.Stats().Dropped == 0 {
+		t.Fatal("drop not counted")
+	}
+}
+
+func TestCloseAppWindowsStopsDispatcherAndWindows(t *testing.T) {
+	v, s, sp := testServer(t, PerAppDispatcher)
+	opener := openerThread(t, v)
+	w1, err := s.OpenWindow(opener, 1, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := s.OpenWindow(opener, 1, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grab the dispatcher thread (it lives in owner 1's group).
+	var dispatcher *vm.Thread
+	for _, th := range v.LiveThreads() {
+		if th.Group() == sp.groupFor(1) {
+			dispatcher = th
+		}
+	}
+	if dispatcher == nil {
+		t.Fatal("dispatcher thread not found")
+	}
+	s.CloseAppWindows(1)
+	if !w1.Closed() || !w2.Closed() {
+		t.Fatal("windows not closed")
+	}
+	select {
+	case <-dispatcher.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("dispatcher not stopped")
+	}
+	if got := len(s.WindowsOf(1)); got != 0 {
+		t.Fatalf("windows remaining = %d", got)
+	}
+	// Posting to the closed windows now fails.
+	if err := s.Click(w1.ID(), "x"); !errors.Is(err, ErrNoWindow) {
+		t.Fatalf("post after close: %v", err)
+	}
+}
+
+func TestListenerOnClosedWindowRejected(t *testing.T) {
+	v, s, _ := testServer(t, PerAppDispatcher)
+	opener := openerThread(t, v)
+	w, err := s.OpenWindow(opener, 1, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if err := w.AddListener("c", func(*vm.Thread, Event) {}); !errors.Is(err, ErrWindowClosed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestServerShutdownRejectsFurtherUse(t *testing.T) {
+	v, s, _ := testServer(t, PerAppDispatcher)
+	opener := openerThread(t, v)
+	w, err := s.OpenWindow(opener, 1, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Shutdown()
+	if _, err := s.OpenWindow(opener, 1, "b"); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("open after shutdown: %v", err)
+	}
+	if err := s.Post(Event{Window: w.ID()}); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("post after shutdown: %v", err)
+	}
+	// Shutdown is idempotent.
+	s.Shutdown()
+}
+
+func TestStatsCounting(t *testing.T) {
+	v, s, _ := testServer(t, PerAppDispatcher)
+	opener := openerThread(t, v)
+	w, err := s.OpenWindow(opener, 1, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{}, 3)
+	_ = w.AddListener("c", func(*vm.Thread, Event) { done <- struct{}{} })
+	for i := 0; i < 3; i++ {
+		if err := s.Click(w.ID(), "c"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		<-done
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Dispatched < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("dispatched = %d", s.Stats().Dispatched)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if s.Stats().Posted != 3 {
+		t.Fatalf("posted = %d", s.Stats().Posted)
+	}
+}
+
+func TestKindAndModeStrings(t *testing.T) {
+	for _, k := range []Kind{KindMouseClick, KindKeyPress, KindAction, KindWindowClose, Kind(99)} {
+		if k.String() == "" {
+			t.Fatalf("kind %d has empty string", k)
+		}
+	}
+	for _, m := range []DispatchMode{SingleDispatcher, PerAppDispatcher, DispatchMode(99)} {
+		if m.String() == "" {
+			t.Fatalf("mode %d has empty string", m)
+		}
+	}
+}
+
+func TestQueueDepth(t *testing.T) {
+	v, s, _ := testServer(t, PerAppDispatcher)
+	opener := openerThread(t, v)
+	w, err := s.OpenWindow(opener, 1, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+	_ = w.AddListener("c", func(*vm.Thread, Event) {
+		once.Do(func() { close(started) })
+		<-gate
+	})
+	for i := 0; i < 5; i++ {
+		_ = s.Click(w.ID(), "c")
+	}
+	<-started
+	if d := s.QueueDepth(1); d == 0 {
+		t.Fatal("queue depth should be positive while the handler blocks")
+	}
+	close(gate)
+}
+
+// TestFigure2DispatcherDiesWithFirstOpener demonstrates the flaw the
+// paper attributes to the implicit single-dispatcher design: the
+// dispatcher thread lives in whatever thread group happened to open
+// the first window, so when THAT application is stopped, every other
+// application's event delivery dies with it.
+func TestFigure2DispatcherDiesWithFirstOpener(t *testing.T) {
+	v, s, _ := testServer(t, SingleDispatcher)
+	opener1 := openerThread(t, v)
+	opener2 := openerThread(t, v)
+
+	w1, err := s.OpenWindow(opener1, 1, "first-app") // starts the dispatcher in opener1's group
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = w1
+	w2, err := s.OpenWindow(opener2, 2, "second-app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := make(chan struct{}, 1)
+	_ = w2.AddListener("c", func(*vm.Thread, Event) { delivered <- struct{}{} })
+
+	// Sanity: delivery works while app 1 lives.
+	if err := s.Click(w2.ID(), "c"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-delivered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("baseline delivery failed")
+	}
+
+	// Application 1 is stopped — taking the global dispatcher with it.
+	opener1.Group().StopAll()
+	// Wait for the dispatcher thread to die.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		alive := false
+		for _, th := range v.LiveThreads() {
+			if th.Name() == "AWT-EventQueue-0" {
+				alive = true
+			}
+		}
+		if !alive {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("dispatcher did not die with its group")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Application 2's events now go nowhere — the Figure 2 flaw. The
+	// global queue died with the dispatcher, so posting fails outright.
+	err = s.Click(w2.ID(), "c")
+	if err == nil {
+		select {
+		case <-delivered:
+			t.Fatal("event delivered although the dispatcher is dead (flaw fixed?!)")
+		case <-time.After(50 * time.Millisecond):
+			// Accepted alternative: the event is queued but starves.
+		}
+	} else if !errors.Is(err, ErrNoWindow) {
+		t.Fatalf("post after dispatcher death: %v", err)
+	}
+}
+
+func TestKeyboardFocusRouting(t *testing.T) {
+	v, s, _ := testServer(t, PerAppDispatcher)
+	opener1 := openerThread(t, v)
+	opener2 := openerThread(t, v)
+	w1, err := s.OpenWindow(opener1, 1, "editor-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := s.OpenWindow(opener2, 2, "editor-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	typed1 := make(chan rune, 16)
+	typed2 := make(chan rune, 16)
+	_ = w1.AddListener("text", func(_ *vm.Thread, e Event) { typed1 <- e.Key })
+	_ = w2.AddListener("text", func(_ *vm.Thread, e Event) { typed2 <- e.Key })
+
+	// No focus yet: keystrokes are dropped.
+	if err := s.KeyPress('x'); !errors.Is(err, ErrNoWindow) {
+		t.Fatalf("unfocused key: %v", err)
+	}
+
+	if err := s.SetFocus(w1.ID(), "text"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.TypeString("hi"); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []rune{'h', 'i'} {
+		select {
+		case got := <-typed1:
+			if got != want {
+				t.Fatalf("typed %q, want %q", got, want)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("keystroke lost")
+		}
+	}
+	// Focus moves to the other application's window: input follows.
+	if err := s.SetFocus(w2.ID(), "text"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.KeyPress('z'); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-typed2:
+		if got != 'z' {
+			t.Fatalf("typed %q", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("keystroke lost after focus switch")
+	}
+	select {
+	case leak := <-typed1:
+		t.Fatalf("window 1 received %q after losing focus", leak)
+	default:
+	}
+	// Closing the focused window releases focus.
+	w2.Close()
+	if win, _ := s.Focus(); win != 0 {
+		t.Fatalf("focus = %d after close, want released", win)
+	}
+	if err := s.SetFocus(999, "x"); !errors.Is(err, ErrNoWindow) {
+		t.Fatalf("focus on missing window: %v", err)
+	}
+}
+
+func TestSameOwnerWindowsShareDispatcher(t *testing.T) {
+	v, s, _ := testServer(t, PerAppDispatcher)
+	opener := openerThread(t, v)
+	w1, err := s.OpenWindow(opener, 7, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := s.OpenWindow(opener, 7, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	threads := make(chan *vm.Thread, 2)
+	l := func(dt *vm.Thread, e Event) { threads <- dt }
+	_ = w1.AddListener("c", l)
+	_ = w2.AddListener("c", l)
+	_ = s.Click(w1.ID(), "c")
+	_ = s.Click(w2.ID(), "c")
+	if t1, t2 := <-threads, <-threads; t1 != t2 {
+		t.Fatal("windows of one application must share its dispatcher thread")
+	}
+}

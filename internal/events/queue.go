@@ -1,0 +1,74 @@
+// Package events implements the windowing/event substrate: a display
+// server owning windows (the X-server analogue of Section 3.2), event
+// queues, and two dispatching architectures —
+//
+//   - SingleDispatcher: the classical design of Figure 2, one
+//     centralized event dispatcher thread executing ALL callbacks,
+//     started on demand in whatever thread group happens to open the
+//     first window (the exact flaw Section 5.4 describes);
+//   - PerAppDispatcher: the paper's redesign of Figure 4, one event
+//     queue and one dispatcher thread per application, created on
+//     demand in the application's own thread group, so callbacks carry
+//     the application's identity and one application's slow handler
+//     cannot stall another's events.
+package events
+
+import "sync"
+
+// eventQueue is an unbounded FIFO with blocking pop, so posting an
+// event (the X server pushing input) never blocks on a slow
+// application.
+type eventQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []Event
+	closed bool
+}
+
+func newEventQueue() *eventQueue {
+	q := &eventQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push appends an event; returns false if the queue is closed.
+func (q *eventQueue) push(e Event) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	q.items = append(q.items, e)
+	q.cond.Signal()
+	return true
+}
+
+// pop blocks until an event is available or the queue closes.
+func (q *eventQueue) pop() (Event, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return Event{}, false
+	}
+	e := q.items[0]
+	q.items = q.items[1:]
+	return e, true
+}
+
+// close wakes all waiters; pending items are still drained by pop.
+func (q *eventQueue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+// depth returns the number of queued events.
+func (q *eventQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}

@@ -1,0 +1,210 @@
+// Package netsim implements the network substrate: an in-memory
+// network of named hosts with listeners and bidirectional connections.
+// It exists so the Appletviewer experiments (Section 6.3 of the paper)
+// can exercise the sandbox rule "an applet may connect back to its own
+// host" against a real code path without touching the real network.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+
+	"mpj/internal/streams"
+)
+
+// Sentinel errors.
+var (
+	// ErrUnknownHost is returned when dialing or listening on a host
+	// that does not exist on the network.
+	ErrUnknownHost = errors.New("netsim: unknown host")
+
+	// ErrConnRefused is returned when no listener is bound to the
+	// dialed port.
+	ErrConnRefused = errors.New("netsim: connection refused")
+
+	// ErrAddrInUse is returned when a listener is already bound to the
+	// port.
+	ErrAddrInUse = errors.New("netsim: address already in use")
+
+	// ErrListenerClosed is returned by Accept on a closed listener.
+	ErrListenerClosed = errors.New("netsim: listener closed")
+)
+
+// Addr is a host:port endpoint.
+type Addr struct {
+	Host string
+	Port int
+}
+
+// String implements fmt.Stringer.
+func (a Addr) String() string { return a.Host + ":" + strconv.Itoa(a.Port) }
+
+// Network is a simulated network: a set of hosts, each with a port
+// table of listeners.
+type Network struct {
+	mu    sync.Mutex
+	hosts map[string]*host
+}
+
+type host struct {
+	name      string
+	listeners map[int]*Listener
+}
+
+// New creates an empty network.
+func New() *Network {
+	return &Network{hosts: make(map[string]*host)}
+}
+
+// AddHost registers a host name on the network. Adding an existing
+// host is a no-op.
+func (n *Network) AddHost(name string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.hosts[name]; !ok {
+		n.hosts[name] = &host{name: name, listeners: make(map[int]*Listener)}
+	}
+}
+
+// Hosts returns the registered host names.
+func (n *Network) Hosts() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.hosts))
+	for name := range n.hosts {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Listen binds a listener to host:port.
+func (n *Network) Listen(hostName string, port int) (*Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	h, ok := n.hosts[hostName]
+	if !ok {
+		return nil, fmt.Errorf("listen %s:%d: %w", hostName, port, ErrUnknownHost)
+	}
+	if _, busy := h.listeners[port]; busy {
+		return nil, fmt.Errorf("listen %s:%d: %w", hostName, port, ErrAddrInUse)
+	}
+	l := &Listener{
+		net:     n,
+		addr:    Addr{Host: hostName, Port: port},
+		backlog: make(chan *Conn, 16),
+		closed:  make(chan struct{}),
+	}
+	h.listeners[port] = l
+	return l, nil
+}
+
+// Dial connects from fromHost to toHost:port. Both hosts must exist
+// and a listener must be bound to the port.
+func (n *Network) Dial(fromHost, toHost string, port int) (*Conn, error) {
+	n.mu.Lock()
+	if _, ok := n.hosts[fromHost]; !ok {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("dial from %s: %w", fromHost, ErrUnknownHost)
+	}
+	h, ok := n.hosts[toHost]
+	if !ok {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("dial %s:%d: %w", toHost, port, ErrUnknownHost)
+	}
+	l, ok := h.listeners[port]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("dial %s:%d: %w", toHost, port, ErrConnRefused)
+	}
+
+	// A connection is a pair of in-VM pipes.
+	c2sR, c2sW := streams.NewPipe(8 * 1024)
+	s2cR, s2cW := streams.NewPipe(8 * 1024)
+	clientEnd := &Conn{
+		local: Addr{Host: fromHost, Port: 0}, remote: l.addr,
+		r: s2cR, w: c2sW,
+	}
+	serverEnd := &Conn{
+		local: l.addr, remote: Addr{Host: fromHost, Port: 0},
+		r: c2sR, w: s2cW,
+	}
+	select {
+	case l.backlog <- serverEnd:
+		return clientEnd, nil
+	case <-l.closed:
+		_ = clientEnd.Close()
+		_ = serverEnd.Close()
+		return nil, fmt.Errorf("dial %s:%d: %w", toHost, port, ErrConnRefused)
+	}
+}
+
+// Listener accepts inbound connections on an address.
+type Listener struct {
+	net     *Network
+	addr    Addr
+	backlog chan *Conn
+
+	once   sync.Once
+	closed chan struct{}
+}
+
+// Addr returns the listener's bound address.
+func (l *Listener) Addr() Addr { return l.addr }
+
+// Accept blocks until a connection arrives or the listener closes.
+func (l *Listener) Accept() (*Conn, error) {
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	case <-l.closed:
+		return nil, ErrListenerClosed
+	}
+}
+
+// Close unbinds the listener. Blocked Accept calls return
+// ErrListenerClosed.
+func (l *Listener) Close() error {
+	l.once.Do(func() {
+		close(l.closed)
+		l.net.mu.Lock()
+		if h, ok := l.net.hosts[l.addr.Host]; ok {
+			delete(h.listeners, l.addr.Port)
+		}
+		l.net.mu.Unlock()
+	})
+	return nil
+}
+
+// Conn is one end of a bidirectional connection.
+type Conn struct {
+	local, remote Addr
+	r             *streams.PipeReader
+	w             *streams.PipeWriter
+	once          sync.Once
+}
+
+var _ io.ReadWriteCloser = (*Conn)(nil)
+
+// LocalAddr returns this end's address.
+func (c *Conn) LocalAddr() Addr { return c.local }
+
+// RemoteAddr returns the peer's address.
+func (c *Conn) RemoteAddr() Addr { return c.remote }
+
+// Read implements io.Reader.
+func (c *Conn) Read(p []byte) (int, error) { return c.r.Read(p) }
+
+// Write implements io.Writer.
+func (c *Conn) Write(p []byte) (int, error) { return c.w.Write(p) }
+
+// Close shuts down this end; the peer's reads see EOF once drained.
+func (c *Conn) Close() error {
+	c.once.Do(func() {
+		_ = c.w.Close()
+		_ = c.r.Close()
+	})
+	return nil
+}

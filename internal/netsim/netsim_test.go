@@ -1,0 +1,218 @@
+package netsim
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newNet(t *testing.T, hosts ...string) *Network {
+	t.Helper()
+	n := New()
+	for _, h := range hosts {
+		n.AddHost(h)
+	}
+	return n
+}
+
+func TestDialAndEcho(t *testing.T) {
+	n := newNet(t, "client.local", "server.local")
+	l, err := n.Listen("server.local", 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l.Close() }()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c, err := l.Accept()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer func() { _ = c.Close() }()
+		buf := make([]byte, 64)
+		nr, err := c.Read(buf)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := c.Write(buf[:nr]); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	c, err := n.Dial("client.local", "server.local", 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "ping" {
+		t.Fatalf("echo = %q", buf)
+	}
+	wg.Wait()
+
+	if c.LocalAddr().Host != "client.local" || c.RemoteAddr().String() != "server.local:80" {
+		t.Fatalf("addrs = %v -> %v", c.LocalAddr(), c.RemoteAddr())
+	}
+}
+
+func TestDialErrors(t *testing.T) {
+	n := newNet(t, "a", "b")
+	if _, err := n.Dial("ghost", "b", 80); !errors.Is(err, ErrUnknownHost) {
+		t.Fatalf("unknown source: %v", err)
+	}
+	if _, err := n.Dial("a", "ghost", 80); !errors.Is(err, ErrUnknownHost) {
+		t.Fatalf("unknown dest: %v", err)
+	}
+	if _, err := n.Dial("a", "b", 80); !errors.Is(err, ErrConnRefused) {
+		t.Fatalf("no listener: %v", err)
+	}
+}
+
+func TestListenErrors(t *testing.T) {
+	n := newNet(t, "a")
+	if _, err := n.Listen("ghost", 80); !errors.Is(err, ErrUnknownHost) {
+		t.Fatalf("unknown host: %v", err)
+	}
+	l, err := n.Listen("a", 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Listen("a", 80); !errors.Is(err, ErrAddrInUse) {
+		t.Fatalf("double bind: %v", err)
+	}
+	_ = l.Close()
+	// Port is free again after close.
+	l2, err := n.Listen("a", 80)
+	if err != nil {
+		t.Fatalf("rebind after close: %v", err)
+	}
+	_ = l2.Close()
+}
+
+func TestAcceptUnblocksOnClose(t *testing.T) {
+	n := newNet(t, "a")
+	l, err := n.Listen("a", 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := l.Accept()
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	_ = l.Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrListenerClosed) {
+			t.Fatalf("accept err = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("accept still blocked")
+	}
+}
+
+func TestConnCloseGivesPeerEOF(t *testing.T) {
+	n := newNet(t, "a", "b")
+	l, _ := n.Listen("b", 9)
+	defer func() { _ = l.Close() }()
+	accepted := make(chan *Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	c, err := n.Dial("a", "b", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := <-accepted
+	_ = c.Close()
+	if _, err := server.Read(make([]byte, 1)); err != io.EOF {
+		t.Fatalf("peer read err = %v, want EOF", err)
+	}
+	_ = server.Close()
+	// Double close is safe.
+	_ = c.Close()
+}
+
+func TestHostsListingAndIdempotentAdd(t *testing.T) {
+	n := newNet(t, "x", "y")
+	n.AddHost("x") // duplicate
+	hosts := n.Hosts()
+	if len(hosts) != 2 {
+		t.Fatalf("hosts = %v", hosts)
+	}
+}
+
+func TestManyConcurrentConnections(t *testing.T) {
+	n := newNet(t, "c", "s")
+	l, err := n.Listen("s", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l.Close() }()
+
+	const conns = 10
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < conns; i++ {
+			c, err := l.Accept()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { _ = c.Close() }()
+				_, _ = io.Copy(c, c) // echo until client closes
+			}()
+		}
+	}()
+
+	var clients sync.WaitGroup
+	for i := 0; i < conns; i++ {
+		clients.Add(1)
+		go func(i int) {
+			defer clients.Done()
+			c, err := n.Dial("c", "s", 7)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			msg := []byte{byte('a' + i)}
+			if _, err := c.Write(msg); err != nil {
+				t.Error(err)
+				return
+			}
+			buf := make([]byte, 1)
+			if _, err := io.ReadFull(c, buf); err != nil {
+				t.Error(err)
+				return
+			}
+			if buf[0] != msg[0] {
+				t.Errorf("echo mismatch: %q vs %q", buf, msg)
+			}
+			_ = c.Close()
+		}(i)
+	}
+	clients.Wait()
+	wg.Wait()
+}

@@ -1,0 +1,259 @@
+// Package objspace implements the shared-object inter-application
+// communication mechanism the paper names as future work (Section 8):
+// "it is very appealing to use shared objects as an inter-application
+// communication mechanism. However, such sharing of objects between
+// different applications in different name spaces is still a delicate
+// task and its impact on the correctness of the Java type system needs
+// more research [Dean 97]."
+//
+// The package provides:
+//
+//   - Space: a named registry of shared objects, guarded by
+//     ObjectPermission (bind / lookup / unbind);
+//   - the type-safety check Dean's work calls for: every bound object
+//     carries its class (name + defining loader); a typed lookup
+//     against a SAME-NAMED class from a DIFFERENT loader fails with
+//     ErrTypeConfusion instead of silently aliasing two unrelated
+//     types — the loader-constraint rule later adopted by the JDK;
+//   - Mailbox: a ready-made shared object implementing a bounded
+//     message queue, so two applications can exchange values without
+//     serializing through a byte pipe.
+package objspace
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"mpj/internal/classes"
+)
+
+// Errors returned by the object space.
+var (
+	// ErrNotBound is returned when no object is bound under the name.
+	ErrNotBound = errors.New("objspace: name not bound")
+
+	// ErrAlreadyBound is returned when binding over an existing name.
+	ErrAlreadyBound = errors.New("objspace: name already bound")
+
+	// ErrTypeConfusion is returned when a typed lookup matches the
+	// class NAME but not the defining LOADER — the unsoundness window
+	// of sharing across namespaces.
+	ErrTypeConfusion = errors.New("objspace: same class name, different defining loader")
+
+	// ErrMailboxClosed is returned on send/receive after Close.
+	ErrMailboxClosed = errors.New("objspace: mailbox closed")
+
+	// ErrMailboxFull is returned by non-blocking sends to a full box.
+	ErrMailboxFull = errors.New("objspace: mailbox full")
+)
+
+// Entry is one bound object with its type identity.
+type Entry struct {
+	// Name the object is bound under.
+	Name string
+	// Object is the shared value.
+	Object any
+	// Class is the object's class — the pair (class file, defining
+	// loader) that gives it its type identity.
+	Class *classes.Class
+	// Owner identifies the binding application (diagnostics).
+	Owner int64
+}
+
+// Space is a thread-safe shared-object registry.
+type Space struct {
+	mu      sync.RWMutex
+	entries map[string]*Entry
+}
+
+// New returns an empty object space.
+func New() *Space {
+	return &Space{entries: make(map[string]*Entry)}
+}
+
+// Bind publishes an object under a name. The class records the
+// object's type identity; it may be nil for untyped (plain Go) values
+// shared between trusting applications.
+func (s *Space) Bind(name string, obj any, class *classes.Class, owner int64) error {
+	if name == "" {
+		return fmt.Errorf("objspace: bind: empty name")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.entries[name]; ok {
+		return fmt.Errorf("%w: %s", ErrAlreadyBound, name)
+	}
+	s.entries[name] = &Entry{Name: name, Object: obj, Class: class, Owner: owner}
+	return nil
+}
+
+// Rebind publishes an object, replacing any existing binding.
+func (s *Space) Rebind(name string, obj any, class *classes.Class, owner int64) error {
+	if name == "" {
+		return fmt.Errorf("objspace: rebind: empty name")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries[name] = &Entry{Name: name, Object: obj, Class: class, Owner: owner}
+	return nil
+}
+
+// Unbind removes a binding.
+func (s *Space) Unbind(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.entries[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotBound, name)
+	}
+	delete(s.entries, name)
+	return nil
+}
+
+// Lookup returns the raw entry bound under name.
+func (s *Space) Lookup(name string) (*Entry, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.entries[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotBound, name)
+	}
+	return e, nil
+}
+
+// LookupAs returns the object bound under name, checking its type
+// identity against the caller's view of the class. Three outcomes:
+//
+//   - entry class == expected (same file AND same loader): sound, the
+//     object is returned;
+//   - same class NAME but different defining loader: ErrTypeConfusion
+//     — the caller's class with that name is a DIFFERENT type, and
+//     treating the object as it would break type safety (this is the
+//     delicacy Section 8 warns about);
+//   - different name: ErrTypeConfusion as well (a cast to an unrelated
+//     type).
+//
+// An entry bound with a nil class is untyped and matches only a nil
+// expectation.
+func (s *Space) LookupAs(name string, expected *classes.Class) (any, error) {
+	e, err := s.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	if e.Class == expected {
+		return e.Object, nil
+	}
+	if e.Class != nil && expected != nil && e.Class.Name() == expected.Name() {
+		return nil, fmt.Errorf("%w: %s defined by %q vs %q", ErrTypeConfusion,
+			expected.Name(), e.Class.Loader().Name(), expected.Loader().Name())
+	}
+	return nil, fmt.Errorf("%w: bound %v, expected %v", ErrTypeConfusion, e.Class, expected)
+}
+
+// Names returns the sorted bound names.
+func (s *Space) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.entries))
+	for n := range s.entries {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of bindings.
+func (s *Space) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.entries)
+}
+
+// Mailbox is a bounded FIFO of arbitrary values — the canonical shared
+// object for in-VM IPC. Because sender and receiver live in one
+// address space, a message is a pointer handoff, not a byte copy;
+// BenchmarkIPCMailbox quantifies the difference against pipes.
+type Mailbox struct {
+	mu       sync.Mutex
+	notFull  *sync.Cond
+	notEmpty *sync.Cond
+	buf      []any
+	closed   bool
+	capacity int
+}
+
+// NewMailbox creates a mailbox holding up to capacity messages
+// (minimum 1).
+func NewMailbox(capacity int) *Mailbox {
+	if capacity < 1 {
+		capacity = 1
+	}
+	m := &Mailbox{capacity: capacity}
+	m.notFull = sync.NewCond(&m.mu)
+	m.notEmpty = sync.NewCond(&m.mu)
+	return m
+}
+
+// Send enqueues a message, blocking while the box is full.
+func (m *Mailbox) Send(v any) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.buf) == m.capacity && !m.closed {
+		m.notFull.Wait()
+	}
+	if m.closed {
+		return ErrMailboxClosed
+	}
+	m.buf = append(m.buf, v)
+	m.notEmpty.Signal()
+	return nil
+}
+
+// TrySend enqueues without blocking; a full box yields ErrMailboxFull.
+func (m *Mailbox) TrySend(v any) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrMailboxClosed
+	}
+	if len(m.buf) == m.capacity {
+		return ErrMailboxFull
+	}
+	m.buf = append(m.buf, v)
+	m.notEmpty.Signal()
+	return nil
+}
+
+// Receive dequeues a message, blocking while the box is empty. After
+// Close, buffered messages are still delivered; then ErrMailboxClosed.
+func (m *Mailbox) Receive() (any, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.buf) == 0 && !m.closed {
+		m.notEmpty.Wait()
+	}
+	if len(m.buf) == 0 {
+		return nil, ErrMailboxClosed
+	}
+	v := m.buf[0]
+	m.buf = m.buf[1:]
+	m.notFull.Signal()
+	return v, nil
+}
+
+// Len returns the number of buffered messages.
+func (m *Mailbox) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.buf)
+}
+
+// Close marks the mailbox closed, waking all waiters.
+func (m *Mailbox) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	m.notFull.Broadcast()
+	m.notEmpty.Broadcast()
+}

@@ -1,0 +1,252 @@
+package objspace
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"mpj/internal/classes"
+	"mpj/internal/security"
+)
+
+// loaders builds a registry, a bootstrap loader, and two child loaders
+// that both reload the class "shared.Message", reproducing two
+// application namespaces.
+func loaders(t *testing.T) (reg *classes.Registry, app1, app2 *classes.Loader) {
+	t.Helper()
+	reg = classes.NewRegistry()
+	pol := security.MustParsePolicy(`grant { permission all; };`)
+	if err := reg.Register(&classes.ClassFile{
+		Name:   "shared.Message",
+		Super:  classes.ObjectClassName,
+		Source: security.NewCodeSource("file:/system/rt"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	boot := classes.NewBootstrapLoader(reg, pol)
+	var err error
+	app1, err = classes.NewChildLoader("app-1", boot, []string{"shared.Message"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app2, err = classes.NewChildLoader("app-2", boot, []string{"shared.Message"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg, app1, app2
+}
+
+func TestBindLookupUnbind(t *testing.T) {
+	s := New()
+	if err := s.Bind("ipc.box", "payload", nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Bind("ipc.box", "again", nil, 2); !errors.Is(err, ErrAlreadyBound) {
+		t.Fatalf("double bind: %v", err)
+	}
+	e, err := s.Lookup("ipc.box")
+	if err != nil || e.Object != "payload" || e.Owner != 1 {
+		t.Fatalf("entry = %+v, %v", e, err)
+	}
+	if err := s.Rebind("ipc.box", "new", nil, 2); err != nil {
+		t.Fatal(err)
+	}
+	e, _ = s.Lookup("ipc.box")
+	if e.Object != "new" || e.Owner != 2 {
+		t.Fatalf("after rebind = %+v", e)
+	}
+	if err := s.Unbind("ipc.box"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Unbind("ipc.box"); !errors.Is(err, ErrNotBound) {
+		t.Fatalf("double unbind: %v", err)
+	}
+	if _, err := s.Lookup("ipc.box"); !errors.Is(err, ErrNotBound) {
+		t.Fatalf("lookup after unbind: %v", err)
+	}
+	if err := s.Bind("", "x", nil, 1); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := s.Rebind("", "x", nil, 1); err == nil {
+		t.Fatal("empty rebind name accepted")
+	}
+}
+
+func TestNamesAndLen(t *testing.T) {
+	s := New()
+	for _, n := range []string{"c", "a", "b"} {
+		if err := s.Bind(n, n, nil, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := s.Names()
+	if len(names) != 3 || names[0] != "a" || names[2] != "c" {
+		t.Fatalf("names = %v", names)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+// TestTypeConfusionDetected is the Section 8 soundness check: an
+// object typed by app-1's incarnation of shared.Message must NOT be
+// accepted where app-2's same-named incarnation is expected.
+func TestTypeConfusionDetected(t *testing.T) {
+	_, app1, app2 := loaders(t)
+	c1, err := app1.Load(nil, "shared.Message")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := app2.Load(nil, "shared.Message")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 == c2 {
+		t.Fatal("loaders should define distinct classes")
+	}
+
+	s := New()
+	if err := s.Bind("msg", "hello", c1, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Same class (same loader): sound.
+	v, err := s.LookupAs("msg", c1)
+	if err != nil || v != "hello" {
+		t.Fatalf("same-loader lookup = %v, %v", v, err)
+	}
+	// Same NAME, different loader: the confusion case.
+	if _, err := s.LookupAs("msg", c2); !errors.Is(err, ErrTypeConfusion) {
+		t.Fatalf("cross-loader lookup: %v", err)
+	}
+}
+
+func TestSharedClassIsSound(t *testing.T) {
+	// A class NOT in the reload set is shared through the bootstrap
+	// loader — both applications see the identical class, so sharing
+	// objects of it is sound.
+	reg, app1, app2 := loaders(t)
+	if err := reg.Register(&classes.ClassFile{
+		Name:   "shared.Safe",
+		Super:  classes.ObjectClassName,
+		Source: security.NewCodeSource("file:/system/rt"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c1, err := app1.Load(nil, "shared.Safe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := app2.Load(nil, "shared.Safe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Fatal("non-reloaded class must be shared")
+	}
+	s := New()
+	if err := s.Bind("safe", 42, c1, 1); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.LookupAs("safe", c2)
+	if err != nil || v != 42 {
+		t.Fatalf("shared-class lookup = %v, %v", v, err)
+	}
+}
+
+func TestUntypedLookup(t *testing.T) {
+	s := New()
+	if err := s.Bind("plain", []int{1, 2, 3}, nil, 7); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.LookupAs("plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.([]int); len(got) != 3 {
+		t.Fatalf("v = %v", v)
+	}
+	// Typed expectation against an untyped binding is confusion.
+	_, app1, _ := loaders(t)
+	c1, err := app1.Load(nil, "shared.Message")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LookupAs("plain", c1); !errors.Is(err, ErrTypeConfusion) {
+		t.Fatalf("typed-vs-untyped: %v", err)
+	}
+	if _, err := s.LookupAs("ghost", nil); !errors.Is(err, ErrNotBound) {
+		t.Fatalf("missing: %v", err)
+	}
+}
+
+func TestMailboxBasics(t *testing.T) {
+	m := NewMailbox(2)
+	if err := m.Send("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.TrySend("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.TrySend("c"); !errors.Is(err, ErrMailboxFull) {
+		t.Fatalf("try on full: %v", err)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("len = %d", m.Len())
+	}
+	v, err := m.Receive()
+	if err != nil || v != "a" {
+		t.Fatalf("recv = %v, %v", v, err)
+	}
+	m.Close()
+	// Buffered message still delivered after close.
+	v, err = m.Receive()
+	if err != nil || v != "b" {
+		t.Fatalf("post-close recv = %v, %v", v, err)
+	}
+	if _, err := m.Receive(); !errors.Is(err, ErrMailboxClosed) {
+		t.Fatalf("empty closed recv: %v", err)
+	}
+	if err := m.Send("x"); !errors.Is(err, ErrMailboxClosed) {
+		t.Fatalf("send after close: %v", err)
+	}
+	if err := m.TrySend("x"); !errors.Is(err, ErrMailboxClosed) {
+		t.Fatalf("trysend after close: %v", err)
+	}
+}
+
+func TestMailboxBlockingHandoff(t *testing.T) {
+	m := NewMailbox(1)
+	const n = 100
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if err := m.Send(i); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		m.Close()
+	}()
+	for i := 0; i < n; i++ {
+		v, err := m.Receive()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.(int) != i {
+			t.Fatalf("got %v, want %d", v, i)
+		}
+	}
+	wg.Wait()
+}
+
+func TestMailboxMinCapacity(t *testing.T) {
+	m := NewMailbox(0)
+	if err := m.TrySend(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.TrySend(2); !errors.Is(err, ErrMailboxFull) {
+		t.Fatalf("capacity clamp: %v", err)
+	}
+}

@@ -1,0 +1,306 @@
+// Package remote implements the paper's other Section 8 direction:
+// "it is conceivable that the notion of an application as a set of
+// threads can be extended to include threads of other JVM's, possibly
+// on other hosts."
+//
+// A Daemon runs on a platform and accepts execution requests over the
+// simulated network; a client (or the rexec utility program) launches
+// a program on the remote VM with the standard streams bridged across
+// the connection, so a shell on VM-1 can run `rexec vm2:512 whoami`
+// and interact with an application whose threads live in VM-2.
+//
+// Authentication mirrors Section 5.2: a request carries a user name
+// and password, verified against the REMOTE platform's account
+// database; the remote application then runs as that user under the
+// remote platform's policy.
+package remote
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"mpj/internal/core"
+	"mpj/internal/netsim"
+	"mpj/internal/streams"
+	"mpj/internal/vm"
+)
+
+// DefaultPort is the conventional rexec daemon port.
+const DefaultPort = 512
+
+// Exit codes reported for daemon-side failures.
+const (
+	// ExitAuthFailed is reported when authentication fails.
+	ExitAuthFailed = 254
+	// ExitExecFailed is reported when the program cannot be launched.
+	ExitExecFailed = 255
+)
+
+// Errors returned by the remote layer.
+var (
+	// ErrProtocol is returned on malformed frames.
+	ErrProtocol = errors.New("remote: protocol error")
+)
+
+// Request asks the daemon to run a program.
+type Request struct {
+	// Program is the remote program name.
+	Program string
+	// Args are its arguments.
+	Args []string
+	// User is the remote account to run as.
+	User string
+	// Password authenticates the account on the remote platform.
+	Password string
+}
+
+// frameKind tags protocol frames.
+type frameKind int
+
+const (
+	frameStdin frameKind = iota + 1
+	frameStdinEOF
+	frameStdout
+	frameStderr
+	frameExit
+)
+
+// frame is one protocol message (gob-encoded on the wire).
+type frame struct {
+	Kind frameKind
+	Data []byte
+	Code int
+}
+
+// Daemon accepts remote-execution requests for one platform.
+type Daemon struct {
+	platform *core.Platform
+	listener *netsim.Listener
+	addr     netsim.Addr
+
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// StartDaemon binds the daemon on host:port of the platform's network
+// and starts its accept loop on a VM system daemon thread.
+func StartDaemon(p *core.Platform, host string, port int) (*Daemon, error) {
+	l, err := p.Net().Listen(host, port)
+	if err != nil {
+		return nil, fmt.Errorf("remote: start daemon: %w", err)
+	}
+	d := &Daemon{platform: p, listener: l, addr: l.Addr()}
+	_, err = p.VM().SpawnThread(vm.ThreadSpec{
+		Group:  p.VM().SystemGroup(),
+		Name:   fmt.Sprintf("rexecd-%s", d.addr),
+		Daemon: true,
+		Run:    d.acceptLoop,
+	})
+	if err != nil {
+		_ = l.Close()
+		return nil, fmt.Errorf("remote: start daemon: %w", err)
+	}
+	return d, nil
+}
+
+// Addr returns the daemon's bound address.
+func (d *Daemon) Addr() netsim.Addr { return d.addr }
+
+// Close stops accepting; in-flight sessions run to completion.
+func (d *Daemon) Close() {
+	d.once.Do(func() { _ = d.listener.Close() })
+	d.wg.Wait()
+}
+
+// acceptLoop serves connections until the listener closes or the VM
+// stops the thread.
+func (d *Daemon) acceptLoop(t *vm.Thread) {
+	for {
+		conn, err := d.listener.Accept()
+		if err != nil {
+			return
+		}
+		if t.Stopped() {
+			_ = conn.Close()
+			return
+		}
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			d.serve(conn)
+		}()
+	}
+}
+
+// serve handles one remote execution.
+func (d *Daemon) serve(conn *netsim.Conn) {
+	defer func() { _ = conn.Close() }()
+	dec := gob.NewDecoder(conn)
+	enc := &lockedEncoder{enc: gob.NewEncoder(conn)}
+
+	var req Request
+	if err := dec.Decode(&req); err != nil {
+		return
+	}
+	u, err := d.platform.Users().Authenticate(req.User, req.Password)
+	if err != nil {
+		_ = enc.send(frame{Kind: frameStderr, Data: []byte("rexecd: " + err.Error() + "\n")})
+		_ = enc.send(frame{Kind: frameExit, Code: ExitAuthFailed})
+		return
+	}
+
+	stdinR, stdinW := streams.NewPipe(8 * 1024)
+	app, err := d.platform.Exec(core.ExecSpec{
+		Program: req.Program,
+		Args:    req.Args,
+		User:    u,
+		Dir:     u.Home,
+		Stdin:   streams.NewReadStream("rexec-in", streams.OwnerSystem, stdinR),
+		Stdout:  streams.NewWriteStream("rexec-out", streams.OwnerSystem, enc.writer(frameStdout)),
+		Stderr:  streams.NewWriteStream("rexec-err", streams.OwnerSystem, enc.writer(frameStderr)),
+	})
+	if err != nil {
+		_ = enc.send(frame{Kind: frameStderr, Data: []byte("rexecd: " + err.Error() + "\n")})
+		_ = enc.send(frame{Kind: frameExit, Code: ExitExecFailed})
+		return
+	}
+
+	// Pump client stdin frames into the application.
+	pumpDone := make(chan struct{})
+	go func() {
+		defer close(pumpDone)
+		defer func() { _ = stdinW.Close() }()
+		for {
+			var f frame
+			if err := dec.Decode(&f); err != nil {
+				return
+			}
+			switch f.Kind {
+			case frameStdin:
+				if _, err := stdinW.Write(f.Data); err != nil {
+					return
+				}
+			case frameStdinEOF:
+				return
+			default:
+				return
+			}
+		}
+	}()
+
+	code := app.WaitFor()
+	_ = enc.send(frame{Kind: frameExit, Code: code})
+	_ = conn.Close() // unblocks the stdin pump
+	<-pumpDone
+}
+
+// lockedEncoder serializes concurrent frame writers (stdout and stderr
+// of the remote application may interleave).
+type lockedEncoder struct {
+	mu  sync.Mutex
+	enc *gob.Encoder
+}
+
+func (l *lockedEncoder) send(f frame) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.enc.Encode(f)
+}
+
+// writer adapts the encoder into an io.Writer emitting frames of the
+// given kind.
+func (l *lockedEncoder) writer(kind frameKind) io.Writer {
+	return &frameWriter{enc: l, kind: kind}
+}
+
+type frameWriter struct {
+	enc  *lockedEncoder
+	kind frameKind
+}
+
+func (w *frameWriter) Write(p []byte) (int, error) {
+	data := make([]byte, len(p))
+	copy(data, p)
+	if err := w.enc.send(frame{Kind: w.kind, Data: data}); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// Exec runs a program on the remote daemon at host:port, bridging the
+// given streams, and returns the remote exit code. It dials on the
+// provided network from fromHost (permission checks are the CALLER's
+// responsibility — the rexec utility routes its dial through its
+// application context instead).
+func Exec(network *netsim.Network, fromHost, host string, port int, req Request,
+	stdin io.Reader, stdout, stderr io.Writer) (int, error) {
+	conn, err := network.Dial(fromHost, host, port)
+	if err != nil {
+		return ExitExecFailed, err
+	}
+	return Session(conn, req, stdin, stdout, stderr)
+}
+
+// Session speaks the rexec protocol over an established connection.
+func Session(conn *netsim.Conn, req Request, stdin io.Reader, stdout, stderr io.Writer) (int, error) {
+	defer func() { _ = conn.Close() }()
+	enc := &lockedEncoder{enc: gob.NewEncoder(conn)}
+	dec := gob.NewDecoder(conn)
+	if err := enc.send0(req); err != nil {
+		return ExitExecFailed, err
+	}
+
+	// Pump local stdin toward the remote application.
+	if stdin != nil {
+		go func() {
+			buf := make([]byte, 4096)
+			for {
+				n, err := stdin.Read(buf)
+				if n > 0 {
+					data := make([]byte, n)
+					copy(data, buf[:n])
+					if enc.send(frame{Kind: frameStdin, Data: data}) != nil {
+						return
+					}
+				}
+				if err != nil {
+					_ = enc.send(frame{Kind: frameStdinEOF})
+					return
+				}
+			}
+		}()
+	} else {
+		_ = enc.send(frame{Kind: frameStdinEOF})
+	}
+
+	for {
+		var f frame
+		if err := dec.Decode(&f); err != nil {
+			return ExitExecFailed, fmt.Errorf("%w: %v", ErrProtocol, err)
+		}
+		switch f.Kind {
+		case frameStdout:
+			if stdout != nil {
+				_, _ = stdout.Write(f.Data)
+			}
+		case frameStderr:
+			if stderr != nil {
+				_, _ = stderr.Write(f.Data)
+			}
+		case frameExit:
+			return f.Code, nil
+		default:
+			return ExitExecFailed, fmt.Errorf("%w: unexpected frame %d", ErrProtocol, f.Kind)
+		}
+	}
+}
+
+// send0 encodes the initial request (not a frame).
+func (l *lockedEncoder) send0(req Request) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.enc.Encode(req)
+}

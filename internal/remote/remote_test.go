@@ -1,0 +1,257 @@
+package remote_test
+
+import (
+	"strings"
+	"testing"
+
+	"mpj/internal/core"
+	"mpj/internal/coreutils"
+	"mpj/internal/netsim"
+	"mpj/internal/remote"
+	"mpj/internal/security"
+	"mpj/internal/streams"
+	"mpj/internal/user"
+)
+
+// twoVMs builds two platforms sharing one simulated network —
+// "vm1.local" and "vm2.local" — with a rexec daemon on vm2 and the
+// rexec client installed on vm1.
+type twoVMs struct {
+	net    *netsim.Network
+	vm1    *core.Platform
+	vm2    *core.Platform
+	daemon *remote.Daemon
+}
+
+func newTwoVMs(t *testing.T) *twoVMs {
+	t.Helper()
+	net := netsim.New()
+	net.AddHost("localhost") // vm1's default dialing host
+	net.AddHost("vm2.local")
+
+	mk := func(name string) *core.Platform {
+		p, err := core.NewPlatform(core.Config{Name: name, Net: net})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(p.Shutdown)
+		if err := coreutils.InstallAll(p); err != nil {
+			t.Fatal(err)
+		}
+		for _, acc := range []struct{ name, pass string }{{"alice", "wonderland"}, {"bob", "builder"}} {
+			if _, err := p.AddUser(acc.name, acc.pass); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return p
+	}
+	vm1 := mk("vm1")
+	vm2 := mk("vm2")
+	if err := remote.InstallRexec(vm1); err != nil {
+		t.Fatal(err)
+	}
+	// Users on vm1 may dial the vm2 daemon.
+	vm1.Policy().AddGrant(&security.Grant{
+		User: "*",
+		Perms: []security.Permission{
+			security.NewSocketPermission("vm2.local:512", "connect"),
+		},
+	})
+	d, err := remote.StartDaemon(vm2, "vm2.local", remote.DefaultPort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	return &twoVMs{net: net, vm1: vm1, vm2: vm2, daemon: d}
+}
+
+func (w *twoVMs) user(t *testing.T, p *core.Platform, name string) *user.User {
+	t.Helper()
+	u, err := p.Users().Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+// runRexec runs `rexec ...` as alice on vm1.
+func (w *twoVMs) runRexec(t *testing.T, stdin string, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errOut streams.Buffer
+	spec := core.ExecSpec{
+		Program: "rexec",
+		Args:    args,
+		User:    w.user(t, w.vm1, "alice"),
+		Stdout:  streams.NewWriteStream("out", streams.OwnerSystem, &out),
+		Stderr:  streams.NewWriteStream("err", streams.OwnerSystem, &errOut),
+	}
+	if stdin != "" {
+		spec.Stdin = streams.NewReadStream("in", streams.OwnerSystem, strings.NewReader(stdin))
+	}
+	app, err := w.vm1.Exec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := app.WaitFor()
+	return out.String(), errOut.String(), code
+}
+
+// TestRemoteWhoami: the Section 8 extension end to end — an
+// application launched from VM-1 runs with threads in VM-2, as the
+// authenticated remote user.
+func TestRemoteWhoami(t *testing.T) {
+	w := newTwoVMs(t)
+	out, errOut, code := w.runRexec(t, "", "-p", "wonderland", "vm2.local:512", "whoami")
+	if code != 0 {
+		t.Fatalf("code=%d err=%q", code, errOut)
+	}
+	if out != "alice\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestRemoteRunsUnderRemotePolicy(t *testing.T) {
+	w := newTwoVMs(t)
+	// Seed a file on VM-2 only.
+	if err := w.vm2.FS().WriteFile("alice", "/home/alice/only-on-vm2", []byte("remote data"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, errOut, code := w.runRexec(t, "", "-p", "wonderland", "vm2.local:512", "cat", "only-on-vm2")
+	if code != 0 {
+		t.Fatalf("code=%d err=%q", code, errOut)
+	}
+	if out != "remote data" {
+		t.Fatalf("out = %q", out)
+	}
+	// The file does not exist on VM-1 — these really are two worlds.
+	if w.vm1.FS().Exists("alice", "/home/alice/only-on-vm2") {
+		t.Fatal("file leaked across VMs")
+	}
+	// And remote policy denies cross-user access remotely too.
+	_, errOut, code = w.runRexec(t, "", "-p", "wonderland", "vm2.local:512", "cat", "/home/bob/x")
+	if code == 0 || !strings.Contains(errOut, "access denied") {
+		t.Fatalf("remote cross-user read: code=%d err=%q", code, errOut)
+	}
+}
+
+func TestRemoteStdinBridged(t *testing.T) {
+	w := newTwoVMs(t)
+	out, errOut, code := w.runRexec(t, "line one\nline two\n", "-p", "wonderland", "vm2.local:512", "wc")
+	if code != 0 {
+		t.Fatalf("code=%d err=%q", code, errOut)
+	}
+	fields := strings.Fields(out)
+	if len(fields) != 3 || fields[0] != "2" {
+		t.Fatalf("wc over rexec = %q", out)
+	}
+}
+
+func TestRemoteAuthFailure(t *testing.T) {
+	w := newTwoVMs(t)
+	_, errOut, code := w.runRexec(t, "", "-p", "wrongpass", "vm2.local:512", "whoami")
+	if code != remote.ExitAuthFailed {
+		t.Fatalf("code = %d, want %d", code, remote.ExitAuthFailed)
+	}
+	if !strings.Contains(errOut, "rexecd:") {
+		t.Fatalf("err = %q", errOut)
+	}
+}
+
+func TestRemoteUnknownProgram(t *testing.T) {
+	w := newTwoVMs(t)
+	_, errOut, code := w.runRexec(t, "", "-p", "wonderland", "vm2.local:512", "no-such-prog")
+	if code != remote.ExitExecFailed {
+		t.Fatalf("code = %d err=%q", code, errOut)
+	}
+	if !strings.Contains(errOut, "unknown program") {
+		t.Fatalf("err = %q", errOut)
+	}
+}
+
+func TestRexecUsageAndDialErrors(t *testing.T) {
+	w := newTwoVMs(t)
+	_, errOut, code := w.runRexec(t, "")
+	if code != 2 || !strings.Contains(errOut, "usage") {
+		t.Fatalf("usage: code=%d err=%q", code, errOut)
+	}
+	_, errOut, code = w.runRexec(t, "", "vm2.local:badport", "whoami")
+	if code != 2 {
+		t.Fatalf("bad port: code=%d err=%q", code, errOut)
+	}
+	// Dial to a host the user is not granted: denied by VM-1's policy.
+	_, errOut, code = w.runRexec(t, "", "-p", "wonderland", "forbidden.host:512", "whoami")
+	if code != 1 || !strings.Contains(errOut, "access denied") {
+		t.Fatalf("ungranted dial: code=%d err=%q", code, errOut)
+	}
+}
+
+func TestRemoteExitCodePropagates(t *testing.T) {
+	w := newTwoVMs(t)
+	// grep with no match exits 1 remotely; the code crosses the wire.
+	_, _, code := w.runRexec(t, "nothing here\n", "-p", "wonderland", "vm2.local:512", "grep", "zzz")
+	if code != 1 {
+		t.Fatalf("code = %d, want 1", code)
+	}
+}
+
+func TestDirectExecAPI(t *testing.T) {
+	w := newTwoVMs(t)
+	var out streams.Buffer
+	code, err := remote.Exec(w.net, "localhost", "vm2.local", remote.DefaultPort,
+		remote.Request{Program: "echo", Args: []string{"direct"}, User: "bob", Password: "builder"},
+		nil, &out, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 || out.String() != "direct\n" {
+		t.Fatalf("code=%d out=%q", code, out.String())
+	}
+}
+
+func TestDaemonAddrAndDoubleClose(t *testing.T) {
+	w := newTwoVMs(t)
+	if got := w.daemon.Addr().String(); got != "vm2.local:512" {
+		t.Fatalf("addr = %q", got)
+	}
+	w.daemon.Close()
+	w.daemon.Close() // idempotent
+	// New connections are now refused.
+	_, err := w.net.Dial("localhost", "vm2.local", remote.DefaultPort)
+	if err == nil {
+		t.Fatal("dial succeeded after daemon close")
+	}
+}
+
+func TestConcurrentRemoteSessions(t *testing.T) {
+	w := newTwoVMs(t)
+	const sessions = 8
+	results := make(chan error, sessions)
+	for i := 0; i < sessions; i++ {
+		go func(i int) {
+			out, _, code := w.runRexec(t, "", "-p", "wonderland", "vm2.local:512", "echo", "session")
+			if code != 0 || out != "session\n" {
+				results <- errSession(i, code, out)
+				return
+			}
+			results <- nil
+		}(i)
+	}
+	for i := 0; i < sessions; i++ {
+		if err := <-results; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func errSession(i, code int, out string) error {
+	return &sessionError{i: i, code: code, out: out}
+}
+
+type sessionError struct {
+	i, code int
+	out     string
+}
+
+func (e *sessionError) Error() string {
+	return "session " + string(rune('0'+e.i)) + " failed: code " + string(rune('0'+e.code)) + " out " + e.out
+}

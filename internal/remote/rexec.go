@@ -1,0 +1,77 @@
+package remote
+
+import (
+	"strconv"
+	"strings"
+
+	"mpj/internal/core"
+)
+
+// InstallRexec registers the "rexec" utility on a platform:
+//
+//	rexec [-p PASSWORD] HOST[:PORT] PROGRAM [ARGS...]
+//
+// It runs PROGRAM on the VM whose rexec daemon listens at HOST:PORT,
+// as the calling user (authenticated on the remote side with the given
+// password), with this application's standard streams bridged across
+// the network. Dialing is subject to the caller's SocketPermission, so
+// policy controls which users may reach which remote VMs.
+func InstallRexec(p *core.Platform) error {
+	return p.RegisterProgram(core.Program{
+		Name:        "rexec",
+		CodeBase:    "file:/local/rexec",
+		Main:        rexecMain,
+		Description: "run a program on a remote VM",
+	})
+}
+
+func rexecMain(ctx *core.Context, args []string) int {
+	password := ""
+	rest := args
+	if len(rest) >= 2 && rest[0] == "-p" {
+		password = rest[1]
+		rest = rest[2:]
+	}
+	if len(rest) < 2 {
+		ctx.Errorf("rexec: usage: rexec [-p PASSWORD] HOST[:PORT] PROGRAM [ARGS...]\n")
+		return 2
+	}
+	host, port, err := splitHostPort(rest[0])
+	if err != nil {
+		ctx.Errorf("rexec: %v\n", err)
+		return 2
+	}
+	// The dial goes through the application context so the system
+	// security manager checks SocketPermission for the calling code
+	// and user.
+	conn, err := ctx.Dial(host, port)
+	if err != nil {
+		ctx.Errorf("rexec: %v\n", err)
+		return 1
+	}
+	req := Request{
+		Program:  rest[1],
+		Args:     rest[2:],
+		User:     ctx.User().Name,
+		Password: password,
+	}
+	code, err := Session(conn, req, ctx.Stdin(), ctx.Stdout(), ctx.Stderr())
+	if err != nil {
+		ctx.Errorf("rexec: %v\n", err)
+		return 1
+	}
+	return code
+}
+
+// splitHostPort parses "host" or "host:port" (default DefaultPort).
+func splitHostPort(s string) (host string, port int, err error) {
+	host, port = s, DefaultPort
+	if i := strings.LastIndex(s, ":"); i >= 0 {
+		host = s[:i]
+		port, err = strconv.Atoi(s[i+1:])
+		if err != nil {
+			return "", 0, err
+		}
+	}
+	return host, port, nil
+}

@@ -1,0 +1,131 @@
+package security
+
+import (
+	"fmt"
+
+	"mpj/internal/vm"
+)
+
+// userPermsKey is the thread-local slot where the platform binds the
+// permission set of the application's running user. The
+// AccessController consults it when a domain on the stack holds
+// UserPermission (Section 5.3).
+const userPermsKey = "security.userPermissions"
+
+// userNameKey is the thread-local slot holding the running user's name
+// (diagnostics only).
+const userNameKey = "security.userName"
+
+// AccessControlError is returned when a permission check fails. It
+// identifies the denied permission and the protection domain on the
+// call stack that lacked it.
+type AccessControlError struct {
+	// Perm is the permission that was denied.
+	Perm Permission
+	// Domain names the protection domain that failed the check ("" if
+	// the check was denied for another reason).
+	Domain string
+	// User is the running user at the time of the check, if bound.
+	User string
+}
+
+// Error implements error.
+func (e *AccessControlError) Error() string {
+	msg := fmt.Sprintf("access denied: %s", String(e.Perm))
+	if e.Domain != "" {
+		msg += fmt.Sprintf(" (domain %s)", e.Domain)
+	}
+	if e.User != "" {
+		msg += fmt.Sprintf(" (user %s)", e.User)
+	}
+	return msg
+}
+
+// BindUserPermissions associates the running user's name and permission
+// set with a thread. The core package calls this when it creates
+// application threads and when an application's user changes.
+func BindUserPermissions(t *vm.Thread, userName string, perms *Permissions) {
+	t.SetLocal(userNameKey, userName)
+	t.SetLocal(userPermsKey, perms)
+}
+
+// UserPermissionsOf returns the user permission set bound to the
+// thread, or nil.
+func UserPermissionsOf(t *vm.Thread) *Permissions {
+	v, ok := t.Local(userPermsKey)
+	if !ok {
+		return nil
+	}
+	perms, _ := v.(*Permissions)
+	return perms
+}
+
+// UserNameOf returns the user name bound to the thread, or "".
+func UserNameOf(t *vm.Thread) string {
+	v, ok := t.Local(userNameKey)
+	if !ok {
+		return ""
+	}
+	name, _ := v.(string)
+	return name
+}
+
+// CheckPermission performs JDK-1.2-style stack inspection: every
+// protection domain on the calling thread's frame stack — from the
+// innermost frame outward, stopping after a frame marked privileged —
+// must imply the permission. A domain implies the permission either
+// through its static (code-source) grants, or, if it holds
+// UserPermission, through the permissions granted to the application's
+// running user. Frames with a nil domain belong to bootstrap system
+// code and are fully trusted.
+//
+// An empty stack means VM-internal code is executing; it is trusted.
+func CheckPermission(t *vm.Thread, perm Permission) error {
+	frames := t.Frames()
+	var userPerms *Permissions
+	userLoaded := false
+	for i := len(frames) - 1; i >= 0; i-- {
+		f := frames[i]
+		if f.Domain != nil {
+			d, ok := f.Domain.(*ProtectionDomain)
+			if !ok {
+				return &AccessControlError{Perm: perm, Domain: f.Domain.DomainName()}
+			}
+			if !d.Static.Implies(perm) {
+				allowed := false
+				if d.ExercisesUser {
+					if !userLoaded {
+						userPerms = UserPermissionsOf(t)
+						userLoaded = true
+					}
+					allowed = userPerms.Implies(perm)
+				}
+				if !allowed {
+					return &AccessControlError{Perm: perm, Domain: d.Name, User: UserNameOf(t)}
+				}
+			}
+		}
+		if f.Privileged {
+			return nil
+		}
+	}
+	return nil
+}
+
+// DoPrivileged runs fn with the calling thread's innermost frame marked
+// as a privilege boundary: permission checks performed inside fn stop
+// their stack walk at that frame, so less-trusted callers further out
+// do not attenuate the privileges of the current (trusted) code. This
+// is how, e.g., the Font class reads font files on behalf of an
+// application that itself has no file permissions.
+func DoPrivileged(t *vm.Thread, fn func() error) error {
+	restore := t.MarkTopFramePrivileged()
+	defer restore()
+	return fn()
+}
+
+// CheckGranted is a convenience wrapper returning a bool instead of an
+// error.
+func CheckGranted(t *vm.Thread, perm Permission) bool {
+	return CheckPermission(t, perm) == nil
+}

@@ -1,0 +1,291 @@
+package security
+
+import (
+	"errors"
+	"testing"
+
+	"mpj/internal/vm"
+)
+
+// runOnThread executes fn on a fresh VM thread and waits for it.
+func runOnThread(t *testing.T, fn func(th *vm.Thread)) {
+	t.Helper()
+	v := vm.New(vm.Config{IdlePolicy: vm.StayOnIdle, NoBootThreads: true})
+	defer v.Exit(0)
+	th, err := v.SpawnThread(vm.ThreadSpec{Group: v.MainGroup(), Name: "t", Run: fn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th.Join()
+}
+
+func domainWith(name string, perms ...Permission) *ProtectionDomain {
+	return NewProtectionDomain(name, NewCodeSource("file:/test/"+name), NewPermissions(perms...))
+}
+
+func TestCheckPermissionEmptyStackIsTrusted(t *testing.T) {
+	runOnThread(t, func(th *vm.Thread) {
+		if err := CheckPermission(th, NewFilePermission("/etc/passwd", "write")); err != nil {
+			t.Errorf("empty stack should be trusted: %v", err)
+		}
+	})
+}
+
+func TestCheckPermissionSingleDomain(t *testing.T) {
+	runOnThread(t, func(th *vm.Thread) {
+		th.PushFrame(vm.Frame{Class: "App", Domain: domainWith("app", NewFilePermission("/data/-", "read"))})
+		defer th.PopFrame()
+
+		if err := CheckPermission(th, NewFilePermission("/data/x", "read")); err != nil {
+			t.Errorf("granted read denied: %v", err)
+		}
+		err := CheckPermission(th, NewFilePermission("/data/x", "write"))
+		if err == nil {
+			t.Fatal("ungranted write allowed")
+		}
+		var ace *AccessControlError
+		if !errors.As(err, &ace) {
+			t.Fatalf("error type %T, want *AccessControlError", err)
+		}
+		if ace.Domain != "app" {
+			t.Fatalf("failing domain = %q, want app", ace.Domain)
+		}
+	})
+}
+
+// TestCheckPermissionIntersectsStack verifies the core stack-inspection
+// property: EVERY domain on the stack must hold the permission.
+func TestCheckPermissionIntersectsStack(t *testing.T) {
+	runOnThread(t, func(th *vm.Thread) {
+		trusted := domainWith("system", AllPermission{})
+		applet := domainWith("applet", NewSocketPermission("origin:80", "connect"))
+
+		// trusted code calls applet code: applet on top.
+		th.PushFrame(vm.Frame{Class: "System", Domain: trusted})
+		th.PushFrame(vm.Frame{Class: "Applet", Domain: applet})
+		if err := CheckPermission(th, NewFilePermission("/etc/passwd", "read")); err == nil {
+			t.Error("applet frame must attenuate trusted caller")
+		}
+		if err := CheckPermission(th, NewSocketPermission("origin:80", "connect")); err != nil {
+			t.Errorf("both domains hold connect: %v", err)
+		}
+		th.PopFrame()
+		th.PopFrame()
+
+		// applet code calls trusted code: trusted on top, still denied
+		// (luring attack prevention — privileges are lost when
+		// untrusted code is anywhere on the stack).
+		th.PushFrame(vm.Frame{Class: "Applet", Domain: applet})
+		th.PushFrame(vm.Frame{Class: "System", Domain: trusted})
+		if err := CheckPermission(th, NewFilePermission("/etc/passwd", "read")); err == nil {
+			t.Error("trusted callee must not amplify untrusted caller without doPrivileged")
+		}
+		th.PopFrame()
+		th.PopFrame()
+	})
+}
+
+func TestDoPrivilegedStopsWalk(t *testing.T) {
+	runOnThread(t, func(th *vm.Thread) {
+		trusted := domainWith("font", AllPermission{})
+		applet := domainWith("applet")
+
+		// The Font-class scenario of Section 5.6: an application that
+		// may not read files asks trusted Font code to render text;
+		// Font must read font files via doPrivileged.
+		th.PushFrame(vm.Frame{Class: "Applet", Domain: applet})
+		th.PushFrame(vm.Frame{Class: "Font", Domain: trusted})
+
+		read := NewFilePermission("/system/fonts/helvetica", "read")
+		if err := CheckPermission(th, read); err == nil {
+			t.Fatal("without doPrivileged the applet frame must deny")
+		}
+		err := DoPrivileged(th, func() error {
+			return CheckPermission(th, read)
+		})
+		if err != nil {
+			t.Fatalf("doPrivileged read denied: %v", err)
+		}
+		// After DoPrivileged returns, the privilege must be gone.
+		if err := CheckPermission(th, read); err == nil {
+			t.Fatal("privilege leaked past DoPrivileged")
+		}
+		th.PopFrame()
+		th.PopFrame()
+	})
+}
+
+func TestDoPrivilegedDoesNotAmplifyUntrustedTop(t *testing.T) {
+	runOnThread(t, func(th *vm.Thread) {
+		applet := domainWith("applet")
+		th.PushFrame(vm.Frame{Class: "Applet", Domain: applet})
+		err := DoPrivileged(th, func() error {
+			return CheckPermission(th, NewFilePermission("/etc/passwd", "read"))
+		})
+		if err == nil {
+			t.Fatal("doPrivileged in untrusted code must not grant anything")
+		}
+		th.PopFrame()
+	})
+}
+
+// TestUserBasedAccessControl exercises the paper's Section 5.3: a
+// domain holding UserPermission may exercise the running user's
+// permissions; one without it may not.
+func TestUserBasedAccessControl(t *testing.T) {
+	pol := MustParsePolicy(paperPolicy)
+	editorDomain := pol.DomainFor("editor", NewCodeSource("file:/local/editor"))
+	appletDomain := pol.DomainFor("applet", NewCodeSource("http://remote/applet"))
+
+	runOnThread(t, func(th *vm.Thread) {
+		BindUserPermissions(th, "alice", pol.PermissionsForUser("alice"))
+
+		aliceFile := NewFilePermission("/home/alice/paper.tex", "write")
+		bobFile := NewFilePermission("/home/bob/secret", "read")
+
+		// Local editor run by alice: may write alice's files...
+		th.PushFrame(vm.Frame{Class: "Editor", Domain: editorDomain})
+		if err := CheckPermission(th, aliceFile); err != nil {
+			t.Errorf("editor run by alice denied alice's file: %v", err)
+		}
+		// ...but not bob's.
+		if err := CheckPermission(th, bobFile); err == nil {
+			t.Error("editor run by alice must not read bob's file")
+		}
+		th.PopFrame()
+
+		// A remote applet run by alice gets nothing from alice's perms.
+		th.PushFrame(vm.Frame{Class: "Applet", Domain: appletDomain})
+		if err := CheckPermission(th, aliceFile); err == nil {
+			t.Error("applet must not exercise the running user's permissions")
+		}
+		th.PopFrame()
+	})
+}
+
+func TestUserSwitchChangesDecisions(t *testing.T) {
+	pol := MustParsePolicy(paperPolicy)
+	editorDomain := pol.DomainFor("editor", NewCodeSource("file:/local/editor"))
+	runOnThread(t, func(th *vm.Thread) {
+		th.PushFrame(vm.Frame{Class: "Editor", Domain: editorDomain})
+		defer th.PopFrame()
+		aliceFile := NewFilePermission("/home/alice/a", "read")
+
+		BindUserPermissions(th, "alice", pol.PermissionsForUser("alice"))
+		if err := CheckPermission(th, aliceFile); err != nil {
+			t.Fatalf("alice denied her own file: %v", err)
+		}
+		BindUserPermissions(th, "bob", pol.PermissionsForUser("bob"))
+		if err := CheckPermission(th, aliceFile); err == nil {
+			t.Fatal("bob allowed alice's file")
+		}
+		if got := UserNameOf(th); got != "bob" {
+			t.Fatalf("user name = %q, want bob", got)
+		}
+	})
+}
+
+func TestNilDomainFramesAreTrusted(t *testing.T) {
+	runOnThread(t, func(th *vm.Thread) {
+		th.PushFrame(vm.Frame{Class: "Bootstrap"})
+		defer th.PopFrame()
+		if err := CheckPermission(th, NewRuntimePermission("exitVM")); err != nil {
+			t.Errorf("nil-domain frame should be trusted: %v", err)
+		}
+	})
+}
+
+func TestUnboundUserPermissionsDeny(t *testing.T) {
+	pol := MustParsePolicy(paperPolicy)
+	editorDomain := pol.DomainFor("editor", NewCodeSource("file:/local/editor"))
+	runOnThread(t, func(th *vm.Thread) {
+		// No BindUserPermissions call: user perms are nil.
+		th.PushFrame(vm.Frame{Class: "Editor", Domain: editorDomain})
+		defer th.PopFrame()
+		if err := CheckPermission(th, NewFilePermission("/home/alice/a", "read")); err == nil {
+			t.Fatal("no user bound: must deny")
+		}
+		if UserPermissionsOf(th) != nil {
+			t.Fatal("expected nil user perms")
+		}
+		if UserNameOf(th) != "" {
+			t.Fatal("expected empty user name")
+		}
+	})
+}
+
+func TestAccessControlErrorMessage(t *testing.T) {
+	e := &AccessControlError{Perm: NewFilePermission("/x", "read"), Domain: "applet", User: "alice"}
+	msg := e.Error()
+	for _, want := range []string{"access denied", "/x", "applet", "alice"} {
+		if !contains(msg, want) {
+			t.Errorf("error message %q missing %q", msg, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestCheckGranted(t *testing.T) {
+	runOnThread(t, func(th *vm.Thread) {
+		th.PushFrame(vm.Frame{Class: "App", Domain: domainWith("app", NewRuntimePermission("ok"))})
+		defer th.PopFrame()
+		if !CheckGranted(th, NewRuntimePermission("ok")) {
+			t.Error("granted permission reported denied")
+		}
+		if CheckGranted(th, NewRuntimePermission("nope")) {
+			t.Error("denied permission reported granted")
+		}
+	})
+}
+
+// TestStackExtensionProperties: pushing a fully-trusted frame never
+// changes a decision; pushing an unprivileged frame never turns a
+// denial into an allowance.
+func TestStackExtensionProperties(t *testing.T) {
+	trusted := domainWith("sys", AllPermission{})
+	weak := domainWith("weak")
+	strong := domainWith("strong", NewFilePermission("/data/-", "read"))
+	probe := NewFilePermission("/data/x", "read")
+
+	stacks := [][]*ProtectionDomain{
+		{},
+		{strong},
+		{weak},
+		{strong, strong},
+		{strong, weak},
+	}
+	for _, base := range stacks {
+		runOnThread(t, func(th *vm.Thread) {
+			for _, d := range base {
+				th.PushFrame(vm.Frame{Class: d.Name, Domain: d})
+			}
+			before := CheckPermission(th, probe) == nil
+
+			// Trusted frame: decision unchanged.
+			th.PushFrame(vm.Frame{Class: "sys", Domain: trusted})
+			if got := CheckPermission(th, probe) == nil; got != before {
+				t.Errorf("trusted frame changed decision: %v -> %v (stack %v)", before, got, base)
+			}
+			th.PopFrame()
+
+			// Weak frame: may deny, must never newly allow.
+			th.PushFrame(vm.Frame{Class: "weak", Domain: weak})
+			if got := CheckPermission(th, probe) == nil; got && !before {
+				t.Errorf("weak frame turned denial into allowance (stack %v)", base)
+			}
+			th.PopFrame()
+		})
+	}
+}

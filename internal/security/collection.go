@@ -1,0 +1,107 @@
+package security
+
+import (
+	"strings"
+	"sync"
+)
+
+// Permissions is a heterogeneous, thread-safe permission collection.
+// The zero value is an empty collection ready for use.
+type Permissions struct {
+	mu    sync.RWMutex
+	perms []Permission
+	all   bool // fast path: collection contains AllPermission
+}
+
+// NewPermissions returns a collection pre-populated with perms.
+func NewPermissions(perms ...Permission) *Permissions {
+	c := &Permissions{}
+	for _, p := range perms {
+		c.Add(p)
+	}
+	return c
+}
+
+// Add inserts a permission into the collection.
+func (c *Permissions) Add(p Permission) {
+	if p == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := p.(AllPermission); ok {
+		c.all = true
+	}
+	c.perms = append(c.perms, p)
+}
+
+// AddAll inserts every permission of other into the collection.
+func (c *Permissions) AddAll(other *Permissions) {
+	if other == nil {
+		return
+	}
+	for _, p := range other.Elements() {
+		c.Add(p)
+	}
+}
+
+// Implies reports whether any contained permission implies p.
+func (c *Permissions) Implies(p Permission) bool {
+	if c == nil {
+		return false
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.all {
+		return true
+	}
+	for _, held := range c.perms {
+		if held.Implies(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Elements returns a snapshot of the contained permissions.
+func (c *Permissions) Elements() []Permission {
+	if c == nil {
+		return nil
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]Permission, len(c.perms))
+	copy(out, c.perms)
+	return out
+}
+
+// Len returns the number of contained permissions.
+func (c *Permissions) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.perms)
+}
+
+// Union returns a new collection holding the permissions of both c and
+// other. Either argument may be nil.
+func Union(c, other *Permissions) *Permissions {
+	out := NewPermissions()
+	out.AddAll(c)
+	out.AddAll(other)
+	return out
+}
+
+// String lists the collection in policy-file syntax, one permission per
+// line.
+func (c *Permissions) String() string {
+	var b strings.Builder
+	for _, p := range c.Elements() {
+		b.WriteString("  ")
+		b.WriteString(String(p))
+		b.WriteString(";\n")
+	}
+	return b.String()
+}

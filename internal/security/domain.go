@@ -1,0 +1,126 @@
+package security
+
+import (
+	"fmt"
+	"strings"
+
+	"mpj/internal/vm"
+)
+
+// CodeSource characterizes where code came from: its origin location
+// (a URL-like string such as "file:/system/shell" or
+// "http://applets.example.org/game") and the set of principals that
+// signed it. Security policy is expressed in terms of code sources
+// (Section 3.3 of the paper).
+type CodeSource struct {
+	// Location is the origin URL of the code. Empty means "unknown".
+	Location string
+	// Signers lists the names of principals whose signatures the code
+	// carries.
+	Signers []string
+}
+
+// NewCodeSource returns a code source for location signed by signers.
+func NewCodeSource(location string, signers ...string) *CodeSource {
+	return &CodeSource{Location: location, Signers: signers}
+}
+
+// String implements fmt.Stringer.
+func (cs *CodeSource) String() string {
+	if cs == nil {
+		return "<no code source>"
+	}
+	if len(cs.Signers) == 0 {
+		return cs.Location
+	}
+	return fmt.Sprintf("%s signedBy %s", cs.Location, strings.Join(cs.Signers, ","))
+}
+
+// SignedBy reports whether the code source carries a signature by the
+// given principal.
+func (cs *CodeSource) SignedBy(principal string) bool {
+	if cs == nil {
+		return false
+	}
+	return containsSigner(cs.Signers, principal)
+}
+
+func containsSigner(signers []string, principal string) bool {
+	for _, s := range signers {
+		if s == principal {
+			return true
+		}
+	}
+	return false
+}
+
+// locationImplies implements codeBase matching with FilePermission-like
+// wildcards: "loc/-" matches anything beneath loc, "loc/*" matches
+// direct children, "" matches everything, otherwise exact match.
+func locationImplies(pattern, loc string) bool {
+	if pattern == "" {
+		return true
+	}
+	switch {
+	case strings.HasSuffix(pattern, "/-"):
+		base := pattern[:len(pattern)-2]
+		return loc == base || strings.HasPrefix(loc, base+"/")
+	case strings.HasSuffix(pattern, "/*"):
+		base := pattern[:len(pattern)-2]
+		if !strings.HasPrefix(loc, base+"/") {
+			return false
+		}
+		return !strings.Contains(loc[len(base)+1:], "/")
+	default:
+		return pattern == loc
+	}
+}
+
+// ProtectionDomain associates a code source with the permissions that
+// policy statically grants it. Every class belongs to exactly one
+// protection domain; the AccessController intersects the domains on a
+// thread's call stack.
+type ProtectionDomain struct {
+	// Name identifies the domain for diagnostics (usually the defining
+	// class or program name).
+	Name string
+	// Source is the code source of the domain's classes.
+	Source *CodeSource
+	// Static holds the permissions granted to the code source by
+	// policy.
+	Static *Permissions
+	// ExercisesUser is true when policy grants the code source
+	// UserPermission: the domain may additionally exercise the
+	// permissions of the application's running user (Section 5.3).
+	ExercisesUser bool
+}
+
+var _ vm.Domain = (*ProtectionDomain)(nil)
+
+// NewProtectionDomain constructs a domain. The ExercisesUser flag is
+// derived from the permission set.
+func NewProtectionDomain(name string, cs *CodeSource, perms *Permissions) *ProtectionDomain {
+	if perms == nil {
+		perms = NewPermissions()
+	}
+	return &ProtectionDomain{
+		Name:          name,
+		Source:        cs,
+		Static:        perms,
+		ExercisesUser: perms.Implies(UserPermission{}),
+	}
+}
+
+// DomainName implements vm.Domain.
+func (d *ProtectionDomain) DomainName() string { return d.Name }
+
+// String implements fmt.Stringer.
+func (d *ProtectionDomain) String() string {
+	return fmt.Sprintf("ProtectionDomain[%s source=%s]", d.Name, d.Source)
+}
+
+// SystemDomain returns a fully privileged domain for trusted system
+// code.
+func SystemDomain(name string) *ProtectionDomain {
+	return NewProtectionDomain(name, NewCodeSource("file:/system/"+name), NewPermissions(AllPermission{}))
+}

@@ -1,0 +1,149 @@
+package security
+
+import (
+	gopath "path"
+	"strings"
+)
+
+// File permission actions.
+const (
+	ActionRead    = "read"
+	ActionWrite   = "write"
+	ActionDelete  = "delete"
+	ActionExecute = "execute"
+)
+
+// FilePermission guards access to filesystem paths, with Java's
+// java.io.FilePermission path semantics:
+//
+//   - "/a/b"        the file or directory /a/b itself
+//   - "/a/*"        all direct children of /a (not /a itself)
+//   - "/a/-"        everything beneath /a, recursively (not /a itself)
+//   - "<<ALL FILES>>" every path
+//
+// Actions are a comma-separated subset of read, write, delete, execute.
+type FilePermission struct {
+	Path    string
+	actions []string
+}
+
+var _ Permission = FilePermission{}
+
+// AllFiles is the wildcard path matching every file.
+const AllFiles = "<<ALL FILES>>"
+
+// NewFilePermission returns a FilePermission for path and actions.
+// Paths are cleaned; trailing "/*" and "/-" wildcards are preserved.
+func NewFilePermission(path, actions string) FilePermission {
+	return FilePermission{Path: cleanPermPath(path), actions: canonActions(actions)}
+}
+
+// cleanPermPath normalizes a permission path while preserving the
+// trailing wildcard component.
+func cleanPermPath(p string) string {
+	if p == AllFiles {
+		return p
+	}
+	cleanBase := func(base string) string {
+		if base == "" {
+			return ""
+		}
+		c := gopath.Clean(base)
+		if c == "/" {
+			return ""
+		}
+		return c
+	}
+	switch {
+	case strings.HasSuffix(p, "/*"):
+		return cleanBase(p[:len(p)-2]) + "/*"
+	case strings.HasSuffix(p, "/-"):
+		return cleanBase(p[:len(p)-2]) + "/-"
+	default:
+		return gopath.Clean(p)
+	}
+}
+
+// Type implements Permission.
+func (FilePermission) Type() string { return "file" }
+
+// Target implements Permission.
+func (p FilePermission) Target() string { return p.Path }
+
+// Actions implements Permission.
+func (p FilePermission) Actions() string { return joinActions(p.actions) }
+
+// Implies implements Permission.
+func (p FilePermission) Implies(other Permission) bool {
+	o, ok := other.(FilePermission)
+	if !ok {
+		return false
+	}
+	if !actionsSuperset(p.actions, o.actions) {
+		return false
+	}
+	return pathImplies(p.Path, o.Path)
+}
+
+// pathImplies reports whether the permission path pattern subsumes the
+// other pattern (which may itself be a wildcard).
+func pathImplies(pattern, other string) bool {
+	if pattern == AllFiles {
+		return true
+	}
+	if other == AllFiles {
+		return false
+	}
+	base, kind := splitWildcard(pattern)
+	obase, okind := splitWildcard(other)
+	switch kind {
+	case wildNone:
+		// An exact path implies only itself.
+		return okind == wildNone && base == obase
+	case wildChildren:
+		switch okind {
+		case wildNone:
+			// "/a/*" implies direct children of /a, not /a itself.
+			return obase != base && gopath.Dir(obase) == base
+		case wildChildren:
+			return obase == base
+		default: // a recursive set is never contained in a one-level set
+			return false
+		}
+	default: // wildRecursive
+		if okind == wildNone {
+			// "/a/-" implies everything strictly beneath /a.
+			if base == "/" {
+				return obase != "/"
+			}
+			return strings.HasPrefix(obase, base+"/")
+		}
+		// "/a/-" implies "/a/-", "/a/*" and any wildcard rooted beneath.
+		return base == "/" || obase == base || strings.HasPrefix(obase, base+"/")
+	}
+}
+
+type wildcardKind int
+
+const (
+	wildNone wildcardKind = iota + 1
+	wildChildren
+	wildRecursive
+)
+
+// splitWildcard separates a permission path into its base directory and
+// wildcard kind. The base of "/*" and "/-" is "/".
+func splitWildcard(p string) (base string, kind wildcardKind) {
+	switch {
+	case strings.HasSuffix(p, "/*"):
+		base, kind = p[:len(p)-2], wildChildren
+	case strings.HasSuffix(p, "/-"):
+		base, kind = p[:len(p)-2], wildRecursive
+	default:
+		return p, wildNone
+	}
+	if base == "" {
+		base = "/"
+	}
+	return base, kind
+}

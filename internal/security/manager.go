@@ -1,0 +1,145 @@
+package security
+
+import (
+	"strconv"
+
+	"mpj/internal/vm"
+)
+
+// Manager is the security-manager interface consulted by sensitive
+// system operations. The multi-processing platform installs exactly one
+// *system* security manager (Section 5.6); applications may install
+// their own managers in their private System class copies, but those
+// are never consulted by system code.
+type Manager interface {
+	// CheckPermission checks a generic permission for the calling
+	// thread.
+	CheckPermission(t *vm.Thread, perm Permission) error
+	// CheckThreadAccess checks whether the calling thread may modify
+	// the target thread.
+	CheckThreadAccess(t *vm.Thread, target *vm.Thread) error
+	// CheckGroupAccess checks whether the calling thread may modify the
+	// target thread group.
+	CheckGroupAccess(t *vm.Thread, g *vm.ThreadGroup) error
+}
+
+// SystemManager implements the system security manager of Section 5.6,
+// whose primary purpose is protecting applications from each other:
+//
+//   - a thread T may access a thread U if T's thread group is an
+//     ancestor of U's thread group; otherwise T needs
+//     RuntimePermission("modifyThread");
+//   - a thread T may access a thread group G if T's group is an
+//     ancestor of G; otherwise T needs
+//     RuntimePermission("modifyThreadGroup");
+//   - public members are reflectively accessible; non-public member
+//     access needs ReflectPermission("accessDeclaredMembers");
+//   - every other security-relevant decision is delegated to the
+//     AccessController (i.e. code needs the appropriate permission).
+type SystemManager struct{}
+
+var _ Manager = (*SystemManager)(nil)
+
+// NewSystemManager returns the system security manager.
+func NewSystemManager() *SystemManager { return &SystemManager{} }
+
+// CheckPermission implements Manager by delegating to the
+// AccessController.
+func (m *SystemManager) CheckPermission(t *vm.Thread, perm Permission) error {
+	return CheckPermission(t, perm)
+}
+
+// CheckThreadAccess implements the thread-access rule.
+func (m *SystemManager) CheckThreadAccess(t *vm.Thread, target *vm.Thread) error {
+	if t.Group().IsAncestorOf(target.Group()) {
+		return nil
+	}
+	return CheckPermission(t, NewRuntimePermission("modifyThread"))
+}
+
+// CheckGroupAccess implements the thread-group-access rule.
+func (m *SystemManager) CheckGroupAccess(t *vm.Thread, g *vm.ThreadGroup) error {
+	if t.Group().IsAncestorOf(g) {
+		return nil
+	}
+	return CheckPermission(t, NewRuntimePermission("modifyThreadGroup"))
+}
+
+// CheckMemberAccess implements the reflection rule: public members are
+// freely accessible, non-public member access requires
+// ReflectPermission.
+func (m *SystemManager) CheckMemberAccess(t *vm.Thread, public bool) error {
+	if public {
+		return nil
+	}
+	return CheckPermission(t, NewReflectPermission("accessDeclaredMembers"))
+}
+
+// CheckRead checks file read access.
+func (m *SystemManager) CheckRead(t *vm.Thread, path string) error {
+	return CheckPermission(t, NewFilePermission(path, ActionRead))
+}
+
+// CheckWrite checks file write access.
+func (m *SystemManager) CheckWrite(t *vm.Thread, path string) error {
+	return CheckPermission(t, NewFilePermission(path, ActionWrite))
+}
+
+// CheckDelete checks file delete access — the paper's running example
+// ("securityManager.checkDelete()").
+func (m *SystemManager) CheckDelete(t *vm.Thread, path string) error {
+	return CheckPermission(t, NewFilePermission(path, ActionDelete))
+}
+
+// CheckExec checks file execute access.
+func (m *SystemManager) CheckExec(t *vm.Thread, path string) error {
+	return CheckPermission(t, NewFilePermission(path, ActionExecute))
+}
+
+// CheckConnect checks an outbound network connection.
+func (m *SystemManager) CheckConnect(t *vm.Thread, host string, port int) error {
+	return CheckPermission(t, NewSocketPermission(host+":"+strconv.Itoa(port), ActionConnect))
+}
+
+// CheckListen checks opening a listener.
+func (m *SystemManager) CheckListen(t *vm.Thread, host string, port int) error {
+	return CheckPermission(t, NewSocketPermission(host+":"+strconv.Itoa(port), ActionListen))
+}
+
+// CheckAccept checks accepting an inbound connection.
+func (m *SystemManager) CheckAccept(t *vm.Thread, host string, port int) error {
+	return CheckPermission(t, NewSocketPermission(host+":"+strconv.Itoa(port), ActionAccept))
+}
+
+// CheckPropertyRead checks reading a system property.
+func (m *SystemManager) CheckPropertyRead(t *vm.Thread, key string) error {
+	return CheckPermission(t, NewPropertyPermission(key, ActionRead))
+}
+
+// CheckPropertyWrite checks writing a system property.
+func (m *SystemManager) CheckPropertyWrite(t *vm.Thread, key string) error {
+	return CheckPermission(t, NewPropertyPermission(key, ActionWrite))
+}
+
+// CheckExitVM checks the right to halt the whole virtual machine (as
+// opposed to exiting one application).
+func (m *SystemManager) CheckExitVM(t *vm.Thread) error {
+	return CheckPermission(t, NewRuntimePermission("exitVM"))
+}
+
+// CheckSetUser checks the right to change the running user of an
+// application — the privilege the login program holds (Section 5.2).
+func (m *SystemManager) CheckSetUser(t *vm.Thread) error {
+	return CheckPermission(t, NewRuntimePermission("setUser"))
+}
+
+// CheckCreateLoader checks the right to create class loaders.
+func (m *SystemManager) CheckCreateLoader(t *vm.Thread) error {
+	return CheckPermission(t, NewRuntimePermission("createClassLoader"))
+}
+
+// CheckSetIO checks the right to rebind another application's standard
+// streams.
+func (m *SystemManager) CheckSetIO(t *vm.Thread) error {
+	return CheckPermission(t, NewRuntimePermission("setIO"))
+}

@@ -1,0 +1,187 @@
+package security
+
+import (
+	"testing"
+
+	"mpj/internal/vm"
+)
+
+// threadIn spawns a parked thread in group g carrying an unprivileged
+// application domain frame, as every application thread does in the
+// real platform.
+func threadIn(t *testing.T, v *vm.VM, g *vm.ThreadGroup, name string) *vm.Thread {
+	t.Helper()
+	th, err := v.SpawnThread(vm.ThreadSpec{
+		Group: g, Name: name, Daemon: true,
+		InheritFrames: []vm.Frame{{Class: name, Domain: domainWith(name)}},
+		Run:           func(th *vm.Thread) { <-th.StopChan() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return th
+}
+
+// TestFigure3ThreadContainment verifies the Section 5.6 inter-application
+// protection rules on the thread-group hierarchy of Figure 3: threads of
+// one application may not touch threads of a sibling application, while
+// an ancestor (the shell that launched them) may.
+func TestFigure3ThreadContainment(t *testing.T) {
+	v := vm.New(vm.Config{IdlePolicy: vm.StayOnIdle, NoBootThreads: true})
+	defer v.Exit(0)
+	m := NewSystemManager()
+
+	shellGroup, err := v.NewGroup(v.MainGroup(), "shell")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app1, err := v.NewGroup(shellGroup, "app-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app2, err := v.NewGroup(shellGroup, "app-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shellThread := threadIn(t, v, shellGroup, "shell-main")
+	app1Thread := threadIn(t, v, app1, "app1-main")
+	app2Thread := threadIn(t, v, app2, "app2-main")
+	defer func() {
+		shellThread.Stop()
+		app1Thread.Stop()
+		app2Thread.Stop()
+	}()
+
+	// The shell's group is an ancestor of both applications' groups.
+	if err := m.CheckThreadAccess(shellThread, app1Thread); err != nil {
+		t.Errorf("shell must access its child app threads: %v", err)
+	}
+	if err := m.CheckGroupAccess(shellThread, app2); err != nil {
+		t.Errorf("shell must access its child app groups: %v", err)
+	}
+	// Siblings may not touch each other.
+	if err := m.CheckThreadAccess(app1Thread, app2Thread); err == nil {
+		t.Error("sibling applications must not access each other's threads")
+	}
+	if err := m.CheckGroupAccess(app1Thread, app2); err == nil {
+		t.Error("sibling applications must not access each other's groups")
+	}
+	// A child may not reach up to its parent's threads.
+	if err := m.CheckThreadAccess(app1Thread, shellThread); err == nil {
+		t.Error("child app must not access the shell's thread")
+	}
+	// A thread may access itself and its own group.
+	if err := m.CheckThreadAccess(app1Thread, app1Thread); err != nil {
+		t.Errorf("self access denied: %v", err)
+	}
+	if err := m.CheckGroupAccess(app1Thread, app1); err != nil {
+		t.Errorf("own group access denied: %v", err)
+	}
+}
+
+func TestModifyThreadPermissionOverridesAncestry(t *testing.T) {
+	v := vm.New(vm.Config{IdlePolicy: vm.StayOnIdle, NoBootThreads: true})
+	defer v.Exit(0)
+	m := NewSystemManager()
+
+	app1, _ := v.NewGroup(v.MainGroup(), "app-1")
+	app2, _ := v.NewGroup(v.MainGroup(), "app-2")
+	victim := threadIn(t, v, app2, "victim")
+	defer victim.Stop()
+
+	privileged := domainWith("taskmgr", NewRuntimePermission("modifyThread"), NewRuntimePermission("modifyThreadGroup"))
+	result := make(chan error, 2)
+	th, err := v.SpawnThread(vm.ThreadSpec{
+		Group: app1, Name: "taskmgr",
+		InheritFrames: []vm.Frame{{Class: "TaskMgr", Domain: privileged}},
+		Run: func(th *vm.Thread) {
+			result <- m.CheckThreadAccess(th, victim)
+			result <- m.CheckGroupAccess(th, app2)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th.Join()
+	if err := <-result; err != nil {
+		t.Errorf("modifyThread holder denied: %v", err)
+	}
+	if err := <-result; err != nil {
+		t.Errorf("modifyThreadGroup holder denied: %v", err)
+	}
+}
+
+func TestMemberAccessRule(t *testing.T) {
+	m := NewSystemManager()
+	runOnThread(t, func(th *vm.Thread) {
+		unprivileged := domainWith("app")
+		th.PushFrame(vm.Frame{Class: "App", Domain: unprivileged})
+		defer th.PopFrame()
+		if err := m.CheckMemberAccess(th, true); err != nil {
+			t.Errorf("public member access must be free: %v", err)
+		}
+		if err := m.CheckMemberAccess(th, false); err == nil {
+			t.Error("non-public member access must require ReflectPermission")
+		}
+	})
+	runOnThread(t, func(th *vm.Thread) {
+		reflector := domainWith("debugger", NewReflectPermission("accessDeclaredMembers"))
+		th.PushFrame(vm.Frame{Class: "Debugger", Domain: reflector})
+		defer th.PopFrame()
+		if err := m.CheckMemberAccess(th, false); err != nil {
+			t.Errorf("ReflectPermission holder denied: %v", err)
+		}
+	})
+}
+
+func TestManagerConvenienceChecks(t *testing.T) {
+	m := NewSystemManager()
+	runOnThread(t, func(th *vm.Thread) {
+		d := domainWith("app",
+			NewFilePermission("/data/-", "read,write,delete,execute"),
+			NewSocketPermission("svc.local:80", "connect,accept,listen"),
+			NewPropertyPermission("app.*", "read,write"),
+			NewRuntimePermission("exitVM"),
+			NewRuntimePermission("setUser"),
+			NewRuntimePermission("createClassLoader"),
+			NewRuntimePermission("setIO"),
+		)
+		th.PushFrame(vm.Frame{Class: "App", Domain: d})
+		defer th.PopFrame()
+
+		allowed := []error{
+			m.CheckRead(th, "/data/a"),
+			m.CheckWrite(th, "/data/a"),
+			m.CheckDelete(th, "/data/a"),
+			m.CheckExec(th, "/data/tool"),
+			m.CheckConnect(th, "svc.local", 80),
+			m.CheckListen(th, "svc.local", 80),
+			m.CheckAccept(th, "svc.local", 80),
+			m.CheckPropertyRead(th, "app.mode"),
+			m.CheckPropertyWrite(th, "app.mode"),
+			m.CheckExitVM(th),
+			m.CheckSetUser(th),
+			m.CheckCreateLoader(th),
+			m.CheckSetIO(th),
+		}
+		for i, err := range allowed {
+			if err != nil {
+				t.Errorf("allowed check %d denied: %v", i, err)
+			}
+		}
+		denied := []error{
+			m.CheckRead(th, "/etc/passwd"),
+			m.CheckConnect(th, "other.host", 80),
+			m.CheckPropertyWrite(th, "os.name"),
+		}
+		for i, err := range denied {
+			if err == nil {
+				t.Errorf("denied check %d allowed", i)
+			}
+		}
+		if err := m.CheckPermission(th, NewRuntimePermission("exitVM")); err != nil {
+			t.Errorf("CheckPermission delegate: %v", err)
+		}
+	})
+}

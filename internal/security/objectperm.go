@@ -1,0 +1,44 @@
+package security
+
+// Object-space permission actions.
+const (
+	ActionBind   = "bind"
+	ActionLookup = "lookup"
+	ActionUnbind = "unbind"
+)
+
+// ObjectPermission guards the shared-object space (the paper's Section
+// 8 direction: "it is very appealing to use shared objects as an
+// inter-application communication mechanism"). Targets are object
+// names with BasicPermission wildcards ("mail.*"); actions are a
+// subset of bind, lookup, unbind.
+type ObjectPermission struct {
+	Name    string
+	actions []string
+}
+
+var _ Permission = ObjectPermission{}
+
+// NewObjectPermission returns an ObjectPermission for the object name
+// pattern and comma-separated actions.
+func NewObjectPermission(name, actions string) ObjectPermission {
+	return ObjectPermission{Name: name, actions: canonActions(actions)}
+}
+
+// Type implements Permission.
+func (ObjectPermission) Type() string { return "object" }
+
+// Target implements Permission.
+func (p ObjectPermission) Target() string { return p.Name }
+
+// Actions implements Permission.
+func (p ObjectPermission) Actions() string { return joinActions(p.actions) }
+
+// Implies implements Permission.
+func (p ObjectPermission) Implies(other Permission) bool {
+	o, ok := other.(ObjectPermission)
+	if !ok {
+		return false
+	}
+	return wildcardNameImplies(p.Name, o.Name) && actionsSuperset(p.actions, o.actions)
+}

@@ -1,0 +1,254 @@
+// Package security implements the JDK-1.2-style security framework the
+// paper builds on (Gong et al., "Going Beyond the Sandbox"), extended
+// with the paper's contribution: user-based access control combined with
+// code-source-based access control (Section 5.3).
+//
+// The pieces are: typed Permissions with an Implies relation, CodeSource
+// (signers + origin), ProtectionDomain, a Policy with grant entries for
+// both code sources and users (plus a policy-file parser), an
+// AccessController that walks the explicit per-thread frame stacks
+// maintained by the vm package, and the system security manager of
+// Section 5.6 that protects applications from each other.
+package security
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Permission is a typed capability. A permission p implies a permission
+// q when granting p should also grant q (e.g. file read on "/tmp/-"
+// implies file read on "/tmp/a").
+type Permission interface {
+	// Type returns the permission class name, e.g. "file", "socket",
+	// "runtime". Permissions of different types never imply each other.
+	Type() string
+	// Target returns the permission's target name (path, host:port,
+	// runtime action name, ...).
+	Target() string
+	// Actions returns the canonicalized action list ("read,write"), or
+	// "" for action-less permissions.
+	Actions() string
+	// Implies reports whether this permission subsumes other.
+	Implies(other Permission) bool
+}
+
+// String formats a permission in policy-file syntax.
+func String(p Permission) string {
+	if p.Actions() == "" {
+		return fmt.Sprintf("permission %s %q", p.Type(), p.Target())
+	}
+	return fmt.Sprintf("permission %s %q, %q", p.Type(), p.Target(), p.Actions())
+}
+
+// canonActions splits, trims, lowercases, de-duplicates and sorts a
+// comma-separated action list.
+func canonActions(actions string) []string {
+	parts := strings.Split(actions, ",")
+	set := make(map[string]bool, len(parts))
+	for _, p := range parts {
+		p = strings.ToLower(strings.TrimSpace(p))
+		if p != "" {
+			set[p] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func joinActions(actions []string) string { return strings.Join(actions, ",") }
+
+// actionsSuperset reports whether have contains every element of want.
+func actionsSuperset(have, want []string) bool {
+	set := make(map[string]bool, len(have))
+	for _, a := range have {
+		set[a] = true
+	}
+	for _, a := range want {
+		if !set[a] {
+			return false
+		}
+	}
+	return true
+}
+
+// wildcardNameImplies implements the BasicPermission name matching of
+// the JDK: "*" implies everything, "a.b.*" implies any name with prefix
+// "a.b.", and otherwise names must match exactly.
+func wildcardNameImplies(pattern, name string) bool {
+	if pattern == "*" {
+		return true
+	}
+	if strings.HasSuffix(pattern, ".*") {
+		return strings.HasPrefix(name, pattern[:len(pattern)-1])
+	}
+	return pattern == name
+}
+
+// AllPermission implies every other permission. It is granted to system
+// code (the bootstrap code source).
+type AllPermission struct{}
+
+var _ Permission = AllPermission{}
+
+// Type implements Permission.
+func (AllPermission) Type() string { return "all" }
+
+// Target implements Permission.
+func (AllPermission) Target() string { return "<all permissions>" }
+
+// Actions implements Permission.
+func (AllPermission) Actions() string { return "" }
+
+// Implies implements Permission: AllPermission implies everything.
+func (AllPermission) Implies(Permission) bool { return true }
+
+// RuntimePermission guards runtime operations: "exitVM", "setUser",
+// "modifyThread", "modifyThreadGroup", "createClassLoader",
+// "setSecurityManager", "setIO", ... Name matching follows
+// BasicPermission wildcard rules.
+type RuntimePermission struct {
+	Name string
+}
+
+var _ Permission = RuntimePermission{}
+
+// NewRuntimePermission returns a RuntimePermission for name.
+func NewRuntimePermission(name string) RuntimePermission {
+	return RuntimePermission{Name: name}
+}
+
+// Type implements Permission.
+func (RuntimePermission) Type() string { return "runtime" }
+
+// Target implements Permission.
+func (p RuntimePermission) Target() string { return p.Name }
+
+// Actions implements Permission.
+func (RuntimePermission) Actions() string { return "" }
+
+// Implies implements Permission.
+func (p RuntimePermission) Implies(other Permission) bool {
+	o, ok := other.(RuntimePermission)
+	return ok && wildcardNameImplies(p.Name, o.Name)
+}
+
+// PropertyPermission guards access to system properties, with "read"
+// and/or "write" actions and BasicPermission-style name wildcards.
+type PropertyPermission struct {
+	Name    string
+	actions []string
+}
+
+var _ Permission = PropertyPermission{}
+
+// NewPropertyPermission returns a PropertyPermission for the property
+// name and comma-separated actions ("read", "write" or "read,write").
+func NewPropertyPermission(name, actions string) PropertyPermission {
+	return PropertyPermission{Name: name, actions: canonActions(actions)}
+}
+
+// Type implements Permission.
+func (PropertyPermission) Type() string { return "property" }
+
+// Target implements Permission.
+func (p PropertyPermission) Target() string { return p.Name }
+
+// Actions implements Permission.
+func (p PropertyPermission) Actions() string { return joinActions(p.actions) }
+
+// Implies implements Permission.
+func (p PropertyPermission) Implies(other Permission) bool {
+	o, ok := other.(PropertyPermission)
+	if !ok {
+		return false
+	}
+	return wildcardNameImplies(p.Name, o.Name) && actionsSuperset(p.actions, o.actions)
+}
+
+// ReflectPermission guards reflective access to non-public members
+// (Section 5.6: "access to non-public members needs an appropriate
+// permission").
+type ReflectPermission struct {
+	Name string
+}
+
+var _ Permission = ReflectPermission{}
+
+// NewReflectPermission returns a ReflectPermission for name
+// (canonically "accessDeclaredMembers").
+func NewReflectPermission(name string) ReflectPermission {
+	return ReflectPermission{Name: name}
+}
+
+// Type implements Permission.
+func (ReflectPermission) Type() string { return "reflect" }
+
+// Target implements Permission.
+func (p ReflectPermission) Target() string { return p.Name }
+
+// Actions implements Permission.
+func (ReflectPermission) Actions() string { return "" }
+
+// Implies implements Permission.
+func (p ReflectPermission) Implies(other Permission) bool {
+	o, ok := other.(ReflectPermission)
+	return ok && wildcardNameImplies(p.Name, o.Name)
+}
+
+// AWTPermission guards windowing-system operations such as reading
+// events that belong to other applications' windows.
+type AWTPermission struct {
+	Name string
+}
+
+var _ Permission = AWTPermission{}
+
+// NewAWTPermission returns an AWTPermission for name.
+func NewAWTPermission(name string) AWTPermission { return AWTPermission{Name: name} }
+
+// Type implements Permission.
+func (AWTPermission) Type() string { return "awt" }
+
+// Target implements Permission.
+func (p AWTPermission) Target() string { return p.Name }
+
+// Actions implements Permission.
+func (AWTPermission) Actions() string { return "" }
+
+// Implies implements Permission.
+func (p AWTPermission) Implies(other Permission) bool {
+	o, ok := other.(AWTPermission)
+	return ok && wildcardNameImplies(p.Name, o.Name)
+}
+
+// UserPermission is the paper's new permission kind (Section 5.3): code
+// sources granted it may *exercise the permissions of the running
+// user*. When the AccessController encounters a protection domain that
+// holds UserPermission, it consults the permissions granted to the
+// application's current user in addition to the domain's own static
+// permissions. Local applications typically hold it; downloaded applets
+// do not.
+type UserPermission struct{}
+
+var _ Permission = UserPermission{}
+
+// Type implements Permission.
+func (UserPermission) Type() string { return "user" }
+
+// Target implements Permission.
+func (UserPermission) Target() string { return "exerciseUserPermissions" }
+
+// Actions implements Permission.
+func (UserPermission) Actions() string { return "" }
+
+// Implies implements Permission: only another UserPermission.
+func (UserPermission) Implies(other Permission) bool {
+	_, ok := other.(UserPermission)
+	return ok
+}

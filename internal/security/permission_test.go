@@ -1,0 +1,250 @@
+package security
+
+import (
+	"testing"
+)
+
+func TestFilePermissionImplies(t *testing.T) {
+	tests := []struct {
+		pPath, pActs string
+		oPath, oActs string
+		want         bool
+	}{
+		{"/a/b", "read", "/a/b", "read", true},
+		{"/a/b", "read,write", "/a/b", "read", true},
+		{"/a/b", "read", "/a/b", "read,write", false},
+		{"/a/b", "read", "/a/c", "read", false},
+		{"/a/*", "read", "/a/b", "read", true},
+		{"/a/*", "read", "/a", "read", false},
+		{"/a/*", "read", "/a/b/c", "read", false},
+		{"/a/-", "read", "/a/b", "read", true},
+		{"/a/-", "read", "/a/b/c/d", "read", true},
+		{"/a/-", "read", "/a", "read", false},
+		{"/a/-", "read", "/ab", "read", false},
+		{"/a/-", "read", "/a/*", "read", true},
+		{"/a/-", "read", "/a/b/-", "read", true},
+		{"/a/*", "read", "/a/-", "read", false},
+		{"/a/*", "read", "/a/*", "read", true},
+		{"/a/*", "read", "/a/b/*", "read", false},
+		{"/-", "read", "/anything/at/all", "read", true},
+		{"/-", "read", "/", "read", false},
+		{AllFiles, "read", "/x", "read", true},
+		{AllFiles, "read", AllFiles, "read", true},
+		{"/x", "read", AllFiles, "read", false},
+		{"/home/alice/-", "read,write,delete", "/home/alice/notes.txt", "delete", true},
+		{"/home/alice/-", "read", "/home/bob/secret", "read", false},
+	}
+	for _, tc := range tests {
+		p := NewFilePermission(tc.pPath, tc.pActs)
+		o := NewFilePermission(tc.oPath, tc.oActs)
+		if got := p.Implies(o); got != tc.want {
+			t.Errorf("FilePermission(%q,%q).Implies(%q,%q) = %v, want %v",
+				tc.pPath, tc.pActs, tc.oPath, tc.oActs, got, tc.want)
+		}
+	}
+}
+
+func TestFilePermissionPathCleaning(t *testing.T) {
+	p := NewFilePermission("/a//b/../c", "read")
+	if p.Path != "/a/c" {
+		t.Fatalf("cleaned path = %q, want /a/c", p.Path)
+	}
+	w := NewFilePermission("/a//b/./*", "read")
+	if w.Path != "/a/b/*" {
+		t.Fatalf("cleaned wildcard = %q, want /a/b/*", w.Path)
+	}
+	r := NewFilePermission("/a/b/../-", "read")
+	if r.Path != "/a/-" {
+		t.Fatalf("cleaned recursive = %q, want /a/-", r.Path)
+	}
+}
+
+func TestFilePermissionDoesNotImplyOtherTypes(t *testing.T) {
+	f := NewFilePermission("/-", "read")
+	if f.Implies(NewRuntimePermission("exitVM")) {
+		t.Fatal("file permission must not imply runtime permission")
+	}
+	if f.Implies(NewSocketPermission("*", "connect")) {
+		t.Fatal("file permission must not imply socket permission")
+	}
+}
+
+func TestSocketPermissionImplies(t *testing.T) {
+	tests := []struct {
+		pTarget, pActs string
+		oTarget, oActs string
+		want           bool
+	}{
+		{"example.org:80", "connect", "example.org:80", "connect", true},
+		{"example.org:80", "connect", "example.org:81", "connect", false},
+		{"example.org", "connect", "example.org:8080", "connect", true},
+		{"example.org:1024-", "connect", "example.org:8080", "connect", true},
+		{"example.org:1024-", "connect", "example.org:80", "connect", false},
+		{"example.org:-1023", "listen", "example.org:80", "listen", true},
+		{"example.org:80-90", "connect", "example.org:85", "connect", true},
+		{"example.org:80-90", "connect", "example.org:95", "connect", false},
+		{"*.example.org", "connect", "www.example.org", "connect", true},
+		{"*.example.org", "connect", "example.org", "connect", false},
+		{"*", "connect", "anything", "connect", true},
+		{"example.org", "connect,accept", "example.org", "accept", true},
+		{"example.org", "accept", "example.org", "connect", false},
+		// connect implies resolve
+		{"example.org", "connect", "example.org", "resolve", true},
+		{"*.example.org", "connect", "*.sub.example.org", "connect", true},
+		{"*.sub.example.org", "connect", "*.example.org", "connect", false},
+	}
+	for _, tc := range tests {
+		p := NewSocketPermission(tc.pTarget, tc.pActs)
+		o := NewSocketPermission(tc.oTarget, tc.oActs)
+		if got := p.Implies(o); got != tc.want {
+			t.Errorf("SocketPermission(%q,%q).Implies(%q,%q) = %v, want %v",
+				tc.pTarget, tc.pActs, tc.oTarget, tc.oActs, got, tc.want)
+		}
+	}
+}
+
+func TestSocketPermissionTargetRoundtrip(t *testing.T) {
+	tests := []struct{ target, want string }{
+		{"host:80", "host:80"},
+		{"host:80-90", "host:80-90"},
+		{"host", "host"},
+		{"HOST:80", "host:80"},
+	}
+	for _, tc := range tests {
+		p := NewSocketPermission(tc.target, "connect")
+		if got := p.Target(); got != tc.want {
+			t.Errorf("Target(%q) = %q, want %q", tc.target, got, tc.want)
+		}
+	}
+}
+
+func TestBasicPermissionWildcards(t *testing.T) {
+	tests := []struct {
+		pattern, name string
+		want          bool
+	}{
+		{"*", "anything", true},
+		{"exitVM", "exitVM", true},
+		{"exitVM", "setUser", false},
+		{"thread.*", "thread.modify", true},
+		{"thread.*", "threadmodify", false},
+		{"thread.*", "thread.", true},
+	}
+	for _, tc := range tests {
+		p := NewRuntimePermission(tc.pattern)
+		o := NewRuntimePermission(tc.name)
+		if got := p.Implies(o); got != tc.want {
+			t.Errorf("RuntimePermission(%q).Implies(%q) = %v, want %v", tc.pattern, tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestPropertyPermission(t *testing.T) {
+	p := NewPropertyPermission("os.*", "read")
+	if !p.Implies(NewPropertyPermission("os.name", "read")) {
+		t.Fatal("os.* read must imply os.name read")
+	}
+	if p.Implies(NewPropertyPermission("os.name", "write")) {
+		t.Fatal("read must not imply write")
+	}
+	rw := NewPropertyPermission("*", "read,write")
+	if !rw.Implies(NewPropertyPermission("user.dir", "write")) {
+		t.Fatal("*/read,write must imply user.dir write")
+	}
+}
+
+func TestAllPermissionImpliesEverything(t *testing.T) {
+	all := AllPermission{}
+	perms := []Permission{
+		NewFilePermission("/etc/passwd", "read,write,delete"),
+		NewSocketPermission("*", "connect,accept,listen"),
+		NewRuntimePermission("exitVM"),
+		NewPropertyPermission("*", "read,write"),
+		NewReflectPermission("accessDeclaredMembers"),
+		NewAWTPermission("readOtherAppEvents"),
+		UserPermission{},
+		AllPermission{},
+	}
+	for _, p := range perms {
+		if !all.Implies(p) {
+			t.Errorf("AllPermission must imply %s", String(p))
+		}
+	}
+}
+
+func TestUserPermissionImpliesOnlyItself(t *testing.T) {
+	up := UserPermission{}
+	if !up.Implies(UserPermission{}) {
+		t.Fatal("UserPermission must imply UserPermission")
+	}
+	if up.Implies(NewFilePermission("/x", "read")) {
+		t.Fatal("UserPermission must not imply file access by itself")
+	}
+}
+
+func TestPermissionStringFormat(t *testing.T) {
+	tests := []struct {
+		p    Permission
+		want string
+	}{
+		{NewRuntimePermission("exitVM"), `permission runtime "exitVM"`},
+		{NewFilePermission("/a", "write,read"), `permission file "/a", "read,write"`},
+		{UserPermission{}, `permission user "exerciseUserPermissions"`},
+	}
+	for _, tc := range tests {
+		if got := String(tc.p); got != tc.want {
+			t.Errorf("String = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestPermissionsCollection(t *testing.T) {
+	c := NewPermissions(
+		NewFilePermission("/home/alice/-", "read,write"),
+		NewRuntimePermission("setUser"),
+	)
+	if !c.Implies(NewFilePermission("/home/alice/a.txt", "read")) {
+		t.Fatal("collection should imply contained file read")
+	}
+	if c.Implies(NewFilePermission("/home/bob/a.txt", "read")) {
+		t.Fatal("collection should not imply foreign file read")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	c.Add(AllPermission{})
+	if !c.Implies(NewSocketPermission("*", "accept")) {
+		t.Fatal("AllPermission fast path broken")
+	}
+
+	var nilC *Permissions
+	if nilC.Implies(NewRuntimePermission("x")) {
+		t.Fatal("nil collection implies nothing")
+	}
+	if nilC.Len() != 0 || nilC.Elements() != nil {
+		t.Fatal("nil collection must be empty")
+	}
+}
+
+func TestPermissionsUnion(t *testing.T) {
+	a := NewPermissions(NewFilePermission("/a", "read"))
+	b := NewPermissions(NewFilePermission("/b", "read"))
+	u := Union(a, b)
+	if !u.Implies(NewFilePermission("/a", "read")) || !u.Implies(NewFilePermission("/b", "read")) {
+		t.Fatal("union must imply both sides")
+	}
+	u2 := Union(nil, b)
+	if !u2.Implies(NewFilePermission("/b", "read")) {
+		t.Fatal("union with nil must keep other side")
+	}
+	if u2.Implies(NewFilePermission("/a", "read")) {
+		t.Fatal("union leaked a permission")
+	}
+}
+
+func TestPermissionsStringOutput(t *testing.T) {
+	c := NewPermissions(NewRuntimePermission("exitVM"))
+	if got := c.String(); got != "  permission runtime \"exitVM\";\n" {
+		t.Fatalf("collection string = %q", got)
+	}
+}

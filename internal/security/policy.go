@@ -1,0 +1,158 @@
+package security
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Grant is one policy entry. A grant either targets code (matched by
+// CodeBase / Signers) or a user (matched by User) — the paper's §5.3
+// extension lets a single policy express both:
+//
+//  1. "All local applications can exercise their respective running
+//     users' permissions"       → code grant of UserPermission
+//  2. "The backup application can read all files"  → code grant
+//  3. "User Alice can access all files in /home/alice" → user grant
+type Grant struct {
+	// CodeBase restricts the grant to code whose location matches this
+	// pattern ("file:/system/-", "http://host/*", exact, or "" = any).
+	CodeBase string
+	// Signers, if non-empty, restricts the grant to code signed by all
+	// of the listed principals.
+	Signers []string
+	// User, if non-empty, makes this a user grant: the permissions are
+	// granted to applications running as that user ("*" = any user).
+	User string
+	// Perms are the granted permissions.
+	Perms []Permission
+}
+
+// matchesCode reports whether the grant applies to the code source.
+func (g *Grant) matchesCode(cs *CodeSource) bool {
+	if g.User != "" {
+		return false
+	}
+	loc := ""
+	if cs != nil {
+		loc = cs.Location
+	}
+	if !locationImplies(g.CodeBase, loc) {
+		return false
+	}
+	for _, s := range g.Signers {
+		if cs == nil || !containsSigner(cs.Signers, s) {
+			return false
+		}
+	}
+	return true
+}
+
+// matchesUser reports whether the grant applies to the user.
+func (g *Grant) matchesUser(name string) bool {
+	if g.User == "" {
+		return false
+	}
+	return g.User == "*" || g.User == name
+}
+
+// String renders the grant in policy-file syntax.
+func (g *Grant) String() string {
+	var head []string
+	if g.CodeBase != "" {
+		head = append(head, fmt.Sprintf("codeBase %q", g.CodeBase))
+	}
+	if len(g.Signers) > 0 {
+		head = append(head, fmt.Sprintf("signedBy %q", strings.Join(g.Signers, ",")))
+	}
+	if g.User != "" {
+		head = append(head, fmt.Sprintf("user %q", g.User))
+	}
+	var b strings.Builder
+	b.WriteString("grant")
+	if len(head) > 0 {
+		b.WriteString(" " + strings.Join(head, ", "))
+	}
+	b.WriteString(" {\n")
+	for _, p := range g.Perms {
+		b.WriteString("  " + String(p) + ";\n")
+	}
+	b.WriteString("};")
+	return b.String()
+}
+
+// Policy is the system-wide security policy: an ordered list of grant
+// entries consulted by the AccessController. It is safe for concurrent
+// use; grants may be added at runtime (e.g. by the Appletviewer
+// delegating permissions to the applets it loads).
+type Policy struct {
+	mu     sync.RWMutex
+	grants []*Grant
+}
+
+// NewPolicy returns an empty policy.
+func NewPolicy() *Policy { return &Policy{} }
+
+// AddGrant appends a grant entry.
+func (p *Policy) AddGrant(g *Grant) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.grants = append(p.grants, g)
+}
+
+// Grants returns a snapshot of the policy's grant entries.
+func (p *Policy) Grants() []*Grant {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]*Grant, len(p.grants))
+	copy(out, p.grants)
+	return out
+}
+
+// PermissionsForCode collects the permissions every matching code grant
+// confers on the code source.
+func (p *Policy) PermissionsForCode(cs *CodeSource) *Permissions {
+	out := NewPermissions()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	for _, g := range p.grants {
+		if g.matchesCode(cs) {
+			for _, perm := range g.Perms {
+				out.Add(perm)
+			}
+		}
+	}
+	return out
+}
+
+// PermissionsForUser collects the permissions granted to the named
+// user by user grants.
+func (p *Policy) PermissionsForUser(name string) *Permissions {
+	out := NewPermissions()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	for _, g := range p.grants {
+		if g.matchesUser(name) {
+			for _, perm := range g.Perms {
+				out.Add(perm)
+			}
+		}
+	}
+	return out
+}
+
+// DomainFor builds the protection domain for a class of the given code
+// source under this policy.
+func (p *Policy) DomainFor(name string, cs *CodeSource) *ProtectionDomain {
+	return NewProtectionDomain(name, cs, p.PermissionsForCode(cs))
+}
+
+// String renders the whole policy in policy-file syntax.
+func (p *Policy) String() string {
+	var b strings.Builder
+	for _, g := range p.Grants() {
+		b.WriteString(g.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}

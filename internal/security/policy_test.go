@@ -1,0 +1,230 @@
+package security
+
+import (
+	"strings"
+	"testing"
+)
+
+// paperPolicy encodes the exact four-rule example policy of Section 5.3:
+//  1. All local applications can exercise their running users' perms.
+//  2. The backup application can read all files.
+//  3. User Alice can access all files in /home/alice.
+//  4. User Bob can access all files in /home/bob.
+const paperPolicy = `
+// Rule 1: all local applications may exercise user permissions.
+grant codeBase "file:/local/-" {
+    permission user;
+};
+// Rule 2: the backup application can read all files.
+grant codeBase "file:/local/backup" {
+    permission file "<<ALL FILES>>", "read";
+};
+// Rule 3 and 4: per-user home directory access.
+grant user "alice" {
+    permission file "/home/alice/-", "read,write,delete";
+};
+grant user "bob" {
+    permission file "/home/bob/-", "read,write,delete";
+};
+`
+
+func TestParsePaperPolicy(t *testing.T) {
+	pol, err := ParsePolicy(paperPolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(pol.Grants()); got != 4 {
+		t.Fatalf("grants = %d, want 4", got)
+	}
+
+	editor := NewCodeSource("file:/local/editor")
+	backup := NewCodeSource("file:/local/backup")
+	applet := NewCodeSource("http://evil.example.org/applet")
+
+	if !pol.PermissionsForCode(editor).Implies(UserPermission{}) {
+		t.Fatal("local editor must hold UserPermission (rule 1)")
+	}
+	if !pol.PermissionsForCode(backup).Implies(NewFilePermission("/etc/shadow", "read")) {
+		t.Fatal("backup must read all files (rule 2)")
+	}
+	if pol.PermissionsForCode(editor).Implies(NewFilePermission("/etc/shadow", "read")) {
+		t.Fatal("editor must not read all files by code source alone")
+	}
+	if pol.PermissionsForCode(applet).Implies(UserPermission{}) {
+		t.Fatal("remote applet must not hold UserPermission")
+	}
+
+	alice := pol.PermissionsForUser("alice")
+	if !alice.Implies(NewFilePermission("/home/alice/notes.txt", "write")) {
+		t.Fatal("alice must write her own files (rule 3)")
+	}
+	if alice.Implies(NewFilePermission("/home/bob/notes.txt", "read")) {
+		t.Fatal("alice must not read bob's files")
+	}
+	if got := pol.PermissionsForUser("mallory").Len(); got != 0 {
+		t.Fatalf("unknown user has %d perms, want 0", got)
+	}
+}
+
+func TestPolicySignedByClause(t *testing.T) {
+	pol := MustParsePolicy(`
+grant signedBy "sun,princeton" {
+    permission runtime "setUser";
+};`)
+	both := NewCodeSource("http://x/app", "sun", "princeton")
+	one := NewCodeSource("http://x/app", "sun")
+	none := NewCodeSource("http://x/app")
+	if !pol.PermissionsForCode(both).Implies(NewRuntimePermission("setUser")) {
+		t.Fatal("doubly-signed code must get the grant")
+	}
+	if pol.PermissionsForCode(one).Implies(NewRuntimePermission("setUser")) {
+		t.Fatal("grant requires all listed signers")
+	}
+	if pol.PermissionsForCode(none).Implies(NewRuntimePermission("setUser")) {
+		t.Fatal("unsigned code must not get the grant")
+	}
+}
+
+func TestPolicyCodeBaseWildcards(t *testing.T) {
+	pol := MustParsePolicy(`
+grant codeBase "file:/apps/*" {
+    permission runtime "a";
+};
+grant codeBase "file:/deep/-" {
+    permission runtime "b";
+};
+grant codeBase "file:/exact" {
+    permission runtime "c";
+};
+grant {
+    permission runtime "everyone";
+};`)
+	tests := []struct {
+		loc  string
+		perm string
+		want bool
+	}{
+		{"file:/apps/x", "a", true},
+		{"file:/apps/x/y", "a", false},
+		{"file:/apps", "a", false},
+		{"file:/deep/x/y/z", "b", true},
+		{"file:/deep", "b", true},
+		{"file:/exact", "c", true},
+		{"file:/exact/x", "c", false},
+		{"anything://at.all/", "everyone", true},
+		{"", "everyone", true},
+	}
+	for _, tc := range tests {
+		cs := NewCodeSource(tc.loc)
+		got := pol.PermissionsForCode(cs).Implies(NewRuntimePermission(tc.perm))
+		if got != tc.want {
+			t.Errorf("loc %q perm %q: got %v, want %v", tc.loc, tc.perm, got, tc.want)
+		}
+	}
+}
+
+func TestPolicyUserWildcard(t *testing.T) {
+	pol := MustParsePolicy(`
+grant user "*" {
+    permission file "/tmp/-", "read,write";
+};`)
+	for _, u := range []string{"alice", "bob", "anyone"} {
+		if !pol.PermissionsForUser(u).Implies(NewFilePermission("/tmp/x", "write")) {
+			t.Errorf("user %q should have /tmp write", u)
+		}
+	}
+}
+
+func TestParsePolicyJavaAliases(t *testing.T) {
+	pol := MustParsePolicy(`
+grant {
+    permission java.io.FilePermission "/a", "read";
+    permission java.net.SocketPermission "host:80", "connect";
+    permission java.lang.RuntimePermission "exitVM";
+    permission java.util.PropertyPermission "os.name", "read";
+    permission java.security.AllPermission;
+};`)
+	g := pol.Grants()[0]
+	if len(g.Perms) != 5 {
+		t.Fatalf("perms = %d, want 5", len(g.Perms))
+	}
+}
+
+func TestParsePolicyComments(t *testing.T) {
+	pol := MustParsePolicy(`
+// line comment
+/* block
+   comment */
+grant { permission runtime "x"; };
+`)
+	if len(pol.Grants()) != 1 {
+		t.Fatal("comments broke parsing")
+	}
+}
+
+func TestParsePolicyErrors(t *testing.T) {
+	tests := []struct{ name, text string }{
+		{"missing grant keyword", `allow { permission runtime "x"; };`},
+		{"unterminated string", `grant { permission runtime "x; };`},
+		{"unknown clause", `grant frobnicate "x" { };`},
+		{"unknown permission type", `grant { permission warp "x"; };`},
+		{"missing semicolon", `grant { permission runtime "x" }`},
+		{"missing target", `grant { permission file; };`},
+		{"unterminated block comment", `/* grant`},
+		{"stray character", `grant @ { };`},
+		{"missing brace", `grant permission runtime "x";`},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParsePolicy(tc.text); err == nil {
+				t.Fatalf("expected parse error for %q", tc.text)
+			}
+		})
+	}
+}
+
+func TestPolicyStringRendersClauses(t *testing.T) {
+	pol := MustParsePolicy(paperPolicy)
+	text := pol.String()
+	for _, want := range []string{`codeBase "file:/local/-"`, `user "alice"`, `permission file "/home/bob/-"`} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendered policy missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestDomainForDerivesExercisesUser(t *testing.T) {
+	pol := MustParsePolicy(paperPolicy)
+	d := pol.DomainFor("editor", NewCodeSource("file:/local/editor"))
+	if !d.ExercisesUser {
+		t.Fatal("local code domain must exercise user permissions")
+	}
+	ad := pol.DomainFor("applet", NewCodeSource("http://remote/applet"))
+	if ad.ExercisesUser {
+		t.Fatal("remote code domain must not exercise user permissions")
+	}
+}
+
+func TestGrantStringFormats(t *testing.T) {
+	g := &Grant{CodeBase: "file:/x", Signers: []string{"s1", "s2"}, Perms: []Permission{NewRuntimePermission("r")}}
+	s := g.String()
+	for _, want := range []string{`codeBase "file:/x"`, `signedBy "s1,s2"`, `permission runtime "r";`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("grant string missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestBuildPermissionRejectsEmptyTargets(t *testing.T) {
+	for _, typ := range []string{"file", "socket", "runtime", "property", "awt"} {
+		if _, err := BuildPermission(typ, "", ""); err == nil {
+			t.Errorf("BuildPermission(%q, \"\") should fail", typ)
+		}
+	}
+	if _, err := BuildPermission("reflect", "", ""); err != nil {
+		t.Errorf("reflect permission should default its target: %v", err)
+	}
+	if _, err := BuildPermission("user", "", ""); err != nil {
+		t.Errorf("user permission needs no target: %v", err)
+	}
+}

@@ -1,0 +1,274 @@
+package security
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// ParsePolicy parses a policy file in (a subset of) JDK 1.2 policy
+// syntax, extended with the paper's "user" clause:
+//
+//	// comment
+//	grant codeBase "file:/system/-", signedBy "sun" {
+//	    permission file "/-", "read,write";
+//	    permission runtime "exitVM";
+//	};
+//	grant user "alice" {
+//	    permission file "/home/alice/-", "read,write,delete";
+//	};
+//	grant {
+//	    permission user;        // all code may exercise user permissions
+//	};
+//
+// Recognized permission type names are the Type() strings of the
+// permission implementations (file, socket, runtime, property, reflect,
+// awt, user, all) plus their java.* aliases (java.io.FilePermission,
+// java.net.SocketPermission, java.lang.RuntimePermission,
+// java.util.PropertyPermission).
+func ParsePolicy(text string) (*Policy, error) {
+	toks, err := tokenizePolicy(text)
+	if err != nil {
+		return nil, err
+	}
+	p := &policyParser{toks: toks}
+	policy := NewPolicy()
+	for !p.done() {
+		g, err := p.parseGrant()
+		if err != nil {
+			return nil, err
+		}
+		policy.AddGrant(g)
+	}
+	return policy, nil
+}
+
+// MustParsePolicy parses a policy file and panics on error. Intended
+// for static policy literals in program initialization.
+func MustParsePolicy(text string) *Policy {
+	p, err := ParsePolicy(text)
+	if err != nil {
+		panic(fmt.Sprintf("security: parse policy: %v", err))
+	}
+	return p
+}
+
+type policyToken struct {
+	kind string // "word", "string", "punct"
+	text string
+	line int
+}
+
+func tokenizePolicy(text string) ([]policyToken, error) {
+	var toks []policyToken
+	line := 1
+	i := 0
+	for i < len(text) {
+		c := text[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(text) && text[i+1] == '/':
+			for i < len(text) && text[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(text) && text[i+1] == '*':
+			i += 2
+			for i+1 < len(text) && !(text[i] == '*' && text[i+1] == '/') {
+				if text[i] == '\n' {
+					line++
+				}
+				i++
+			}
+			if i+1 >= len(text) {
+				return nil, fmt.Errorf("security: policy line %d: unterminated block comment", line)
+			}
+			i += 2
+		case c == '"':
+			j := i + 1
+			for j < len(text) && text[j] != '"' {
+				if text[j] == '\n' {
+					return nil, fmt.Errorf("security: policy line %d: unterminated string", line)
+				}
+				j++
+			}
+			if j >= len(text) {
+				return nil, fmt.Errorf("security: policy line %d: unterminated string", line)
+			}
+			toks = append(toks, policyToken{kind: "string", text: text[i+1 : j], line: line})
+			i = j + 1
+		case c == '{' || c == '}' || c == ';' || c == ',':
+			toks = append(toks, policyToken{kind: "punct", text: string(c), line: line})
+			i++
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(text) && (unicode.IsLetter(rune(text[j])) || unicode.IsDigit(rune(text[j])) || text[j] == '.' || text[j] == '_') {
+				j++
+			}
+			toks = append(toks, policyToken{kind: "word", text: text[i:j], line: line})
+			i = j
+		default:
+			return nil, fmt.Errorf("security: policy line %d: unexpected character %q", line, c)
+		}
+	}
+	return toks, nil
+}
+
+type policyParser struct {
+	toks []policyToken
+	pos  int
+}
+
+func (p *policyParser) done() bool { return p.pos >= len(p.toks) }
+
+func (p *policyParser) peek() policyToken {
+	if p.done() {
+		return policyToken{kind: "eof", text: "<eof>"}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *policyParser) next() policyToken {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *policyParser) expect(kind, text string) (policyToken, error) {
+	t := p.next()
+	if t.kind != kind || (text != "" && t.text != text) {
+		return t, fmt.Errorf("security: policy line %d: expected %s %q, got %q", t.line, kind, text, t.text)
+	}
+	return t, nil
+}
+
+// parseGrant parses: grant [clauses] { permission...; } ;
+func (p *policyParser) parseGrant() (*Grant, error) {
+	if _, err := p.expect("word", "grant"); err != nil {
+		return nil, err
+	}
+	g := &Grant{}
+	for p.peek().kind == "word" {
+		clause := p.next()
+		val, err := p.expect("string", "")
+		if err != nil {
+			return nil, err
+		}
+		switch strings.ToLower(clause.text) {
+		case "codebase":
+			g.CodeBase = val.text
+		case "signedby":
+			for _, s := range strings.Split(val.text, ",") {
+				if s = strings.TrimSpace(s); s != "" {
+					g.Signers = append(g.Signers, s)
+				}
+			}
+		case "user", "principal":
+			g.User = val.text
+		default:
+			return nil, fmt.Errorf("security: policy line %d: unknown grant clause %q", clause.line, clause.text)
+		}
+		if p.peek().text == "," {
+			p.next()
+		}
+	}
+	if _, err := p.expect("punct", "{"); err != nil {
+		return nil, err
+	}
+	for p.peek().text != "}" {
+		perm, err := p.parsePermission()
+		if err != nil {
+			return nil, err
+		}
+		g.Perms = append(g.Perms, perm)
+	}
+	if _, err := p.expect("punct", "}"); err != nil {
+		return nil, err
+	}
+	if p.peek().text == ";" {
+		p.next()
+	}
+	return g, nil
+}
+
+// parsePermission parses: permission <type> ["target" [, "actions"]] ;
+func (p *policyParser) parsePermission() (Permission, error) {
+	if _, err := p.expect("word", "permission"); err != nil {
+		return nil, err
+	}
+	typ, err := p.expect("word", "")
+	if err != nil {
+		return nil, err
+	}
+	var target, actions string
+	if p.peek().kind == "string" {
+		target = p.next().text
+		if p.peek().text == "," {
+			p.next()
+			act, err := p.expect("string", "")
+			if err != nil {
+				return nil, err
+			}
+			actions = act.text
+		}
+	}
+	if _, err := p.expect("punct", ";"); err != nil {
+		return nil, err
+	}
+	perm, err := BuildPermission(typ.text, target, actions)
+	if err != nil {
+		return nil, fmt.Errorf("security: policy line %d: %w", typ.line, err)
+	}
+	return perm, nil
+}
+
+// BuildPermission constructs a permission from its type name, target
+// and actions, accepting both short names and java.* class aliases.
+func BuildPermission(typeName, target, actions string) (Permission, error) {
+	switch strings.ToLower(typeName) {
+	case "file", "java.io.filepermission":
+		if target == "" {
+			return nil, fmt.Errorf("file permission requires a target")
+		}
+		return NewFilePermission(target, actions), nil
+	case "socket", "java.net.socketpermission":
+		if target == "" {
+			return nil, fmt.Errorf("socket permission requires a target")
+		}
+		return NewSocketPermission(target, actions), nil
+	case "runtime", "java.lang.runtimepermission":
+		if target == "" {
+			return nil, fmt.Errorf("runtime permission requires a target")
+		}
+		return NewRuntimePermission(target), nil
+	case "property", "java.util.propertypermission":
+		if target == "" {
+			return nil, fmt.Errorf("property permission requires a target")
+		}
+		return NewPropertyPermission(target, actions), nil
+	case "reflect", "java.lang.reflect.reflectpermission":
+		if target == "" {
+			target = "accessDeclaredMembers"
+		}
+		return NewReflectPermission(target), nil
+	case "awt", "java.awt.awtpermission":
+		if target == "" {
+			return nil, fmt.Errorf("awt permission requires a target")
+		}
+		return NewAWTPermission(target), nil
+	case "object", "objectpermission":
+		if target == "" {
+			return nil, fmt.Errorf("object permission requires a target")
+		}
+		return NewObjectPermission(target, actions), nil
+	case "user", "userpermission":
+		return UserPermission{}, nil
+	case "all", "java.security.allpermission":
+		return AllPermission{}, nil
+	default:
+		return nil, fmt.Errorf("unknown permission type %q", typeName)
+	}
+}

@@ -1,0 +1,240 @@
+package security
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests over the permission lattice using testing/quick.
+// The generators build structured targets so the interesting wildcard
+// branches are actually exercised.
+
+var quickConfig = &quick.Config{MaxCount: 2000}
+
+// genPath builds a small random absolute path (possibly with a
+// wildcard suffix) from a tiny alphabet so collisions are common.
+func genPath(r *rand.Rand, allowWildcard bool) string {
+	segs := r.Intn(4) + 1
+	parts := make([]string, 0, segs)
+	for i := 0; i < segs; i++ {
+		parts = append(parts, string(rune('a'+r.Intn(3))))
+	}
+	p := "/" + strings.Join(parts, "/")
+	if allowWildcard {
+		switch r.Intn(4) {
+		case 0:
+			p += "/*"
+		case 1:
+			p += "/-"
+		}
+	}
+	return p
+}
+
+func genActions(r *rand.Rand) string {
+	all := []string{ActionRead, ActionWrite, ActionDelete, ActionExecute}
+	n := r.Intn(len(all)) + 1
+	picked := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		picked = append(picked, all[r.Intn(len(all))])
+	}
+	return strings.Join(picked, ",")
+}
+
+// TestQuickFilePermissionReflexive: every file permission implies
+// itself.
+func TestQuickFilePermissionReflexive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := NewFilePermission(genPath(r, true), genActions(r))
+		return p.Implies(p)
+	}
+	if err := quick.Check(f, quickConfig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickFilePermissionTransitive: implies is transitive over file
+// permissions (p⇒q and q⇒r gives p⇒r).
+func TestQuickFilePermissionTransitive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := NewFilePermission(genPath(r, true), genActions(r))
+		q := NewFilePermission(genPath(r, true), genActions(r))
+		s := NewFilePermission(genPath(r, true), genActions(r))
+		if p.Implies(q) && q.Implies(s) {
+			return p.Implies(s)
+		}
+		return true
+	}
+	if err := quick.Check(f, quickConfig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickActionMonotonic: dropping actions from the query never turns
+// an allow into a deny.
+func TestQuickActionMonotonic(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := NewFilePermission(genPath(r, true), "read,write,delete,execute")
+		path := genPath(r, false)
+		full := NewFilePermission(path, genActions(r))
+		if !p.Implies(full) {
+			return true
+		}
+		// any single action subset must also be implied
+		for _, a := range strings.Split(full.Actions(), ",") {
+			if !p.Implies(NewFilePermission(path, a)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickConfig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRecursiveDominatesChildren: "/x/-" implies everything
+// "/x/*" implies, for any x.
+func TestQuickRecursiveDominatesChildren(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		base := genPath(r, false)
+		rec := NewFilePermission(base+"/-", "read")
+		chi := NewFilePermission(base+"/*", "read")
+		probe := NewFilePermission(genPath(r, false), "read")
+		if chi.Implies(probe) && !rec.Implies(probe) {
+			t.Logf("base=%q probe=%q", base, probe.Path)
+			return false
+		}
+		return rec.Implies(chi)
+	}
+	if err := quick.Check(f, quickConfig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSocketPortRange: a permission for a port range implies every
+// single port inside it and none outside.
+func TestQuickSocketPortRange(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		lo := r.Intn(1000)
+		hi := lo + r.Intn(1000)
+		p := NewSocketPermission("host:"+itoa(lo)+"-"+itoa(hi), "connect")
+		inside := lo + r.Intn(hi-lo+1)
+		outside := hi + 1 + r.Intn(100)
+		if !p.Implies(NewSocketPermission("host:"+itoa(inside), "connect")) {
+			return false
+		}
+		return !p.Implies(NewSocketPermission("host:"+itoa(outside), "connect"))
+	}
+	if err := quick.Check(f, quickConfig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// TestQuickCollectionUnionSound: the union of two collections implies
+// exactly what at least one side implies.
+func TestQuickCollectionUnionSound(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := NewPermissions()
+		b := NewPermissions()
+		for i := 0; i < r.Intn(4); i++ {
+			a.Add(NewFilePermission(genPath(r, true), genActions(r)))
+		}
+		for i := 0; i < r.Intn(4); i++ {
+			b.Add(NewFilePermission(genPath(r, true), genActions(r)))
+		}
+		u := Union(a, b)
+		probe := NewFilePermission(genPath(r, false), genActions(r))
+		return u.Implies(probe) == (a.Implies(probe) || b.Implies(probe))
+	}
+	if err := quick.Check(f, quickConfig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPolicyRoundtrip: rendering a policy to text and re-parsing
+// it yields equivalent permission decisions.
+func TestQuickPolicyRoundtrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		pol := NewPolicy()
+		for i := 0; i < r.Intn(3)+1; i++ {
+			g := &Grant{}
+			if r.Intn(2) == 0 {
+				g.CodeBase = "file:/apps/app" + itoa(r.Intn(3))
+			} else {
+				g.User = string(rune('a' + r.Intn(3)))
+			}
+			for j := 0; j < r.Intn(3)+1; j++ {
+				g.Perms = append(g.Perms, NewFilePermission(genPath(r, true), genActions(r)))
+			}
+			pol.AddGrant(g)
+		}
+		text := pol.String()
+		re, err := ParsePolicy(text)
+		if err != nil {
+			t.Logf("reparse failed for:\n%s\nerr: %v", text, err)
+			return false
+		}
+		cs := NewCodeSource("file:/apps/app" + itoa(r.Intn(3)))
+		user := string(rune('a' + r.Intn(3)))
+		probe := NewFilePermission(genPath(r, false), "read")
+		if pol.PermissionsForCode(cs).Implies(probe) != re.PermissionsForCode(cs).Implies(probe) {
+			return false
+		}
+		return pol.PermissionsForUser(user).Implies(probe) == re.PermissionsForUser(user).Implies(probe)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickGrantMonotonic: adding a grant to a policy never turns a
+// previously-allowed code-source decision into a denial.
+func TestQuickGrantMonotonic(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		pol := NewPolicy()
+		for i := 0; i < r.Intn(4)+1; i++ {
+			pol.AddGrant(&Grant{
+				CodeBase: "file:/apps/app" + itoa(r.Intn(3)),
+				Perms:    []Permission{NewFilePermission(genPath(r, true), genActions(r))},
+			})
+		}
+		cs := NewCodeSource("file:/apps/app" + itoa(r.Intn(3)))
+		probe := NewFilePermission(genPath(r, false), "read")
+		before := pol.PermissionsForCode(cs).Implies(probe)
+
+		pol.AddGrant(&Grant{
+			CodeBase: "file:/apps/app" + itoa(r.Intn(3)),
+			Perms:    []Permission{NewFilePermission(genPath(r, true), genActions(r))},
+		})
+		after := pol.PermissionsForCode(cs).Implies(probe)
+		return !before || after
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

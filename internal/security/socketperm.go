@@ -1,0 +1,130 @@
+package security
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Socket permission actions.
+const (
+	ActionConnect = "connect"
+	ActionAccept  = "accept"
+	ActionListen  = "listen"
+	ActionResolve = "resolve"
+)
+
+// SocketPermission guards network access in java.net.SocketPermission
+// style. Targets are "host", "host:port", "host:low-high", "*.domain"
+// or "*"; actions are a comma-separated subset of connect, accept,
+// listen, resolve. Any of connect/accept/listen implies resolve.
+type SocketPermission struct {
+	Host     string
+	PortLow  int
+	PortHigh int
+	actions  []string
+}
+
+var _ Permission = SocketPermission{}
+
+const maxPort = 65535
+
+// NewSocketPermission parses a target of the form "host[:portspec]" and
+// an action list. An absent port spec matches all ports.
+func NewSocketPermission(target, actions string) SocketPermission {
+	host := target
+	lo, hi := 0, maxPort
+	if i := strings.LastIndex(target, ":"); i >= 0 {
+		host = target[:i]
+		lo, hi = parsePortRange(target[i+1:])
+	}
+	acts := canonActions(actions)
+	// connect/accept/listen each imply resolve.
+	for _, a := range acts {
+		if a == ActionConnect || a == ActionAccept || a == ActionListen {
+			if !actionsSuperset(acts, []string{ActionResolve}) {
+				acts = canonActions(joinActions(acts) + "," + ActionResolve)
+			}
+			break
+		}
+	}
+	return SocketPermission{Host: strings.ToLower(host), PortLow: lo, PortHigh: hi, actions: acts}
+}
+
+// parsePortRange parses "80", "80-90", "1024-", "-1023" or "".
+func parsePortRange(s string) (lo, hi int) {
+	if s == "" || s == "*" {
+		return 0, maxPort
+	}
+	if i := strings.Index(s, "-"); i >= 0 {
+		lo, hi = 0, maxPort
+		if left := s[:i]; left != "" {
+			lo = atoiPort(left, 0)
+		}
+		if right := s[i+1:]; right != "" {
+			hi = atoiPort(right, maxPort)
+		}
+		return lo, hi
+	}
+	p := atoiPort(s, -1)
+	if p < 0 {
+		return 0, maxPort
+	}
+	return p, p
+}
+
+func atoiPort(s string, fallback int) int {
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 || n > maxPort {
+		return fallback
+	}
+	return n
+}
+
+// Type implements Permission.
+func (SocketPermission) Type() string { return "socket" }
+
+// Target implements Permission.
+func (p SocketPermission) Target() string {
+	if p.PortLow == 0 && p.PortHigh == maxPort {
+		return p.Host
+	}
+	if p.PortLow == p.PortHigh {
+		return p.Host + ":" + strconv.Itoa(p.PortLow)
+	}
+	return p.Host + ":" + strconv.Itoa(p.PortLow) + "-" + strconv.Itoa(p.PortHigh)
+}
+
+// Actions implements Permission.
+func (p SocketPermission) Actions() string { return joinActions(p.actions) }
+
+// Implies implements Permission.
+func (p SocketPermission) Implies(other Permission) bool {
+	o, ok := other.(SocketPermission)
+	if !ok {
+		return false
+	}
+	if !actionsSuperset(p.actions, o.actions) {
+		return false
+	}
+	if o.PortLow < p.PortLow || o.PortHigh > p.PortHigh {
+		return false
+	}
+	return hostImplies(p.Host, o.Host)
+}
+
+// hostImplies implements host wildcard matching: "*" matches any host,
+// "*.domain" matches any host ending in ".domain" (and "domain"
+// itself is NOT matched, as in Java).
+func hostImplies(pattern, host string) bool {
+	if pattern == "*" {
+		return true
+	}
+	if strings.HasPrefix(pattern, "*.") {
+		if strings.HasPrefix(host, "*.") {
+			// Wildcard-to-wildcard: "*.a.com" implies "*.b.a.com".
+			return host == pattern || strings.HasSuffix(host[1:], pattern[1:])
+		}
+		return strings.HasSuffix(host, pattern[1:])
+	}
+	return pattern == host
+}

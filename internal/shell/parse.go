@@ -1,0 +1,259 @@
+// Package shell implements the Bourne-like command shell of Section
+// 6.1: an infinite read-interpret-launch loop with pipes between
+// applications, input/output redirection with Unix syntax, background
+// jobs ("&"), and a few built-in commands (cd, pwd, quit, jobs, ...).
+//
+// Pipelines are wired exactly the way the paper describes: the shell
+// temporarily changes its OWN standard streams to point at the pipe or
+// file streams before launching each application (which therefore
+// inherits them), and restores its streams afterwards.
+package shell
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Parse errors.
+var (
+	// ErrSyntax is the base error for command-line syntax problems.
+	ErrSyntax = errors.New("shell: syntax error")
+)
+
+// Command is one command of a pipeline.
+type Command struct {
+	// Args is the program name followed by its arguments.
+	Args []string
+	// RedirIn is the input redirection file ("" if none).
+	RedirIn string
+	// RedirOut is the output redirection file ("" if none).
+	RedirOut string
+	// RedirAppend selects ">>" semantics for RedirOut.
+	RedirAppend bool
+}
+
+// Name returns the program name.
+func (c Command) Name() string {
+	if len(c.Args) == 0 {
+		return ""
+	}
+	return c.Args[0]
+}
+
+// Pipeline is a sequence of commands connected by pipes, optionally
+// run in the background.
+type Pipeline struct {
+	Commands   []Command
+	Background bool
+	// Text is the original source for job listings.
+	Text string
+}
+
+// token kinds produced by the lexer.
+type tokKind int
+
+const (
+	tokWord tokKind = iota + 1
+	tokPipe
+	tokAmp
+	tokSemi
+	tokLess
+	tokGreater
+	tokGreater2
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+// lex splits a command line into tokens, honoring single and double
+// quotes and backslash escapes.
+func lex(line string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(line)
+	for i < n {
+		c := line[i]
+		switch {
+		case c == ' ' || c == '\t':
+			i++
+		case c == '|':
+			toks = append(toks, token{kind: tokPipe, text: "|"})
+			i++
+		case c == '&':
+			toks = append(toks, token{kind: tokAmp, text: "&"})
+			i++
+		case c == ';':
+			toks = append(toks, token{kind: tokSemi, text: ";"})
+			i++
+		case c == '<':
+			toks = append(toks, token{kind: tokLess, text: "<"})
+			i++
+		case c == '>':
+			if i+1 < n && line[i+1] == '>' {
+				toks = append(toks, token{kind: tokGreater2, text: ">>"})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokGreater, text: ">"})
+				i++
+			}
+		default:
+			word, next, err := lexWord(line, i)
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, token{kind: tokWord, text: word})
+			i = next
+		}
+	}
+	return toks, nil
+}
+
+// lexWord consumes a (possibly quoted) word starting at i.
+func lexWord(line string, i int) (word string, next int, err error) {
+	var b strings.Builder
+	n := len(line)
+	for i < n {
+		c := line[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '|' || c == '&' || c == ';' || c == '<' || c == '>':
+			return b.String(), i, nil
+		case c == '\\':
+			if i+1 >= n {
+				return "", 0, fmt.Errorf("%w: trailing backslash", ErrSyntax)
+			}
+			b.WriteByte(line[i+1])
+			i += 2
+		case c == '\'' || c == '"':
+			quote := c
+			j := i + 1
+			for j < n && line[j] != quote {
+				if quote == '"' && line[j] == '\\' && j+1 < n {
+					b.WriteByte(line[j+1])
+					j += 2
+					continue
+				}
+				b.WriteByte(line[j])
+				j++
+			}
+			if j >= n {
+				return "", 0, fmt.Errorf("%w: unterminated quote", ErrSyntax)
+			}
+			i = j + 1
+		default:
+			b.WriteByte(c)
+			i++
+		}
+	}
+	return b.String(), i, nil
+}
+
+// Parse turns a command line into pipelines (separated by ";").
+func Parse(line string) ([]Pipeline, error) {
+	toks, err := lex(line)
+	if err != nil {
+		return nil, err
+	}
+	var pipelines []Pipeline
+	start := 0
+	for start < len(toks) {
+		end := start
+		for end < len(toks) && toks[end].kind != tokSemi {
+			end++
+		}
+		if end > start {
+			pl, err := parsePipeline(toks[start:end])
+			if err != nil {
+				return nil, err
+			}
+			pl.Text = renderTokens(toks[start:end])
+			pipelines = append(pipelines, pl)
+		}
+		start = end + 1
+	}
+	return pipelines, nil
+}
+
+// renderTokens reconstructs a readable form of the pipeline source.
+func renderTokens(toks []token) string {
+	parts := make([]string, len(toks))
+	for i, t := range toks {
+		parts[i] = t.text
+	}
+	return strings.Join(parts, " ")
+}
+
+// parsePipeline parses cmd ('|' cmd)* ['&'].
+func parsePipeline(toks []token) (Pipeline, error) {
+	var pl Pipeline
+	if len(toks) > 0 && toks[len(toks)-1].kind == tokAmp {
+		pl.Background = true
+		toks = toks[:len(toks)-1]
+	}
+	for _, t := range toks {
+		if t.kind == tokAmp {
+			return pl, fmt.Errorf("%w: '&' only allowed at end of pipeline", ErrSyntax)
+		}
+	}
+	segStart := 0
+	for i := 0; i <= len(toks); i++ {
+		if i < len(toks) && toks[i].kind != tokPipe {
+			continue
+		}
+		seg := toks[segStart:i]
+		cmd, err := parseCommand(seg)
+		if err != nil {
+			return pl, err
+		}
+		pl.Commands = append(pl.Commands, cmd)
+		segStart = i + 1
+	}
+	// Redirections only make sense at the ends of a pipeline.
+	for i, c := range pl.Commands {
+		if i > 0 && c.RedirIn != "" {
+			return pl, fmt.Errorf("%w: input redirection in the middle of a pipeline", ErrSyntax)
+		}
+		if i < len(pl.Commands)-1 && c.RedirOut != "" {
+			return pl, fmt.Errorf("%w: output redirection in the middle of a pipeline", ErrSyntax)
+		}
+	}
+	return pl, nil
+}
+
+// parseCommand parses one command segment.
+func parseCommand(toks []token) (Command, error) {
+	var cmd Command
+	i := 0
+	for i < len(toks) {
+		t := toks[i]
+		switch t.kind {
+		case tokWord:
+			cmd.Args = append(cmd.Args, t.text)
+			i++
+		case tokLess, tokGreater, tokGreater2:
+			if i+1 >= len(toks) || toks[i+1].kind != tokWord {
+				return cmd, fmt.Errorf("%w: redirection needs a file name", ErrSyntax)
+			}
+			file := toks[i+1].text
+			switch t.kind {
+			case tokLess:
+				cmd.RedirIn = file
+			case tokGreater:
+				cmd.RedirOut = file
+				cmd.RedirAppend = false
+			default:
+				cmd.RedirOut = file
+				cmd.RedirAppend = true
+			}
+			i += 2
+		default:
+			return cmd, fmt.Errorf("%w: unexpected %q", ErrSyntax, t.text)
+		}
+	}
+	if len(cmd.Args) == 0 {
+		return cmd, fmt.Errorf("%w: empty command", ErrSyntax)
+	}
+	return cmd, nil
+}

@@ -1,0 +1,150 @@
+package shell
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestParseSimpleCommand(t *testing.T) {
+	pls, err := Parse("ls -l /tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pls) != 1 || len(pls[0].Commands) != 1 {
+		t.Fatalf("pipelines = %+v", pls)
+	}
+	cmd := pls[0].Commands[0]
+	if !reflect.DeepEqual(cmd.Args, []string{"ls", "-l", "/tmp"}) {
+		t.Fatalf("args = %v", cmd.Args)
+	}
+	if pls[0].Background {
+		t.Fatal("not background")
+	}
+}
+
+func TestParsePipeline(t *testing.T) {
+	pls, err := Parse("cat f | grep x | wc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmds := pls[0].Commands
+	if len(cmds) != 3 {
+		t.Fatalf("commands = %+v", cmds)
+	}
+	names := []string{cmds[0].Name(), cmds[1].Name(), cmds[2].Name()}
+	if !reflect.DeepEqual(names, []string{"cat", "grep", "wc"}) {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestParseRedirections(t *testing.T) {
+	pls, err := Parse("wc < in.txt > out.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := pls[0].Commands[0]
+	if cmd.RedirIn != "in.txt" || cmd.RedirOut != "out.txt" || cmd.RedirAppend {
+		t.Fatalf("cmd = %+v", cmd)
+	}
+
+	pls, err = Parse("echo hi >> log.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd = pls[0].Commands[0]
+	if cmd.RedirOut != "log.txt" || !cmd.RedirAppend {
+		t.Fatalf("cmd = %+v", cmd)
+	}
+}
+
+func TestParseBackgroundAndSemicolons(t *testing.T) {
+	pls, err := Parse("sleep 100 & ; echo done")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pls) != 2 {
+		t.Fatalf("pipelines = %+v", pls)
+	}
+	if !pls[0].Background || pls[1].Background {
+		t.Fatalf("background flags = %v %v", pls[0].Background, pls[1].Background)
+	}
+	// hotjava & — the paper's own example.
+	pls, err = Parse("hotjava &")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pls[0].Background || pls[0].Commands[0].Name() != "hotjava" {
+		t.Fatalf("pipeline = %+v", pls[0])
+	}
+}
+
+func TestParseQuotingAndEscapes(t *testing.T) {
+	tests := []struct {
+		line string
+		want []string
+	}{
+		{`echo "hello world"`, []string{"echo", "hello world"}},
+		{`echo 'single | quoted & stuff'`, []string{"echo", "single | quoted & stuff"}},
+		{`echo a\ b`, []string{"echo", "a b"}},
+		{`echo "escaped \" quote"`, []string{"echo", `escaped " quote`}},
+		{`echo pre"mid"post`, []string{"echo", "premidpost"}},
+	}
+	for _, tc := range tests {
+		pls, err := Parse(tc.line)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.line, err)
+		}
+		if !reflect.DeepEqual(pls[0].Commands[0].Args, tc.want) {
+			t.Errorf("%q: args = %v, want %v", tc.line, pls[0].Commands[0].Args, tc.want)
+		}
+	}
+}
+
+func TestParseEmptyAndBlank(t *testing.T) {
+	for _, line := range []string{"", "   ", ";;", " ; "} {
+		pls, err := Parse(line)
+		if err != nil {
+			t.Fatalf("%q: %v", line, err)
+		}
+		if len(pls) != 0 {
+			t.Fatalf("%q: pipelines = %+v", line, pls)
+		}
+	}
+}
+
+func TestParseSyntaxErrors(t *testing.T) {
+	tests := []string{
+		"cat |",          // empty command after pipe
+		"| cat",          // empty command before pipe
+		"cat > ",         // redirection without file
+		"cat < > f",      // redirection without file
+		`echo "unterm`,   // unterminated quote
+		`echo unterm\`,   // trailing backslash
+		"a & b",          // & in the middle
+		"cat f | wc < g", // input redirection mid-pipeline
+		"cat f > g | wc", // output redirection mid-pipeline
+	}
+	for _, line := range tests {
+		if _, err := Parse(line); !errors.Is(err, ErrSyntax) {
+			t.Errorf("%q: err = %v, want syntax error", line, err)
+		}
+	}
+}
+
+func TestPipelineTextPreserved(t *testing.T) {
+	pls, err := Parse("cat f | wc &")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pls[0].Text == "" {
+		t.Fatal("pipeline text empty")
+	}
+}
+
+func TestCommandName(t *testing.T) {
+	var empty Command
+	if empty.Name() != "" {
+		t.Fatal("empty command name")
+	}
+}

@@ -1,0 +1,132 @@
+package shell
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests on the shell lexer/parser.
+
+// quoteArg renders an argument so the lexer must reproduce it exactly.
+func quoteArg(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		if s[i] == '"' || s[i] == '\\' {
+			b.WriteByte('\\')
+		}
+		b.WriteByte(s[i])
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// genArg builds a printable argument including shell metacharacters.
+func genArg(r *rand.Rand) string {
+	const alphabet = `abc |&;<>"'\ xyz`
+	n := r.Intn(8) + 1
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteByte(alphabet[r.Intn(len(alphabet))])
+	}
+	return b.String()
+}
+
+// TestQuickQuotedArgsRoundtrip: any argument vector, quoted, parses
+// back to exactly the same vector.
+func TestQuickQuotedArgsRoundtrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(5) + 1
+		args := make([]string, n)
+		quoted := make([]string, n)
+		for i := range args {
+			args[i] = genArg(r)
+			quoted[i] = quoteArg(args[i])
+		}
+		pls, err := Parse(strings.Join(quoted, " "))
+		if err != nil {
+			t.Logf("parse error for %v: %v", quoted, err)
+			return false
+		}
+		if len(pls) != 1 || len(pls[0].Commands) != 1 {
+			return false
+		}
+		got := pls[0].Commands[0].Args
+		if len(got) != n {
+			t.Logf("args = %v, want %v", got, args)
+			return false
+		}
+		for i := range args {
+			if got[i] != args[i] {
+				t.Logf("arg %d = %q, want %q", i, got[i], args[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickParserTotality: the parser never panics on arbitrary input;
+// it either errors or returns well-formed pipelines (no empty command
+// argument vectors).
+func TestQuickParserTotality(t *testing.T) {
+	f := func(input string) bool {
+		pls, err := Parse(input)
+		if err != nil {
+			return true
+		}
+		for _, pl := range pls {
+			if len(pl.Commands) == 0 {
+				return false
+			}
+			for _, cmd := range pl.Commands {
+				if len(cmd.Args) == 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPipelineStructure: N commands joined by pipes parse into
+// exactly N commands, for any small N and simple words.
+func TestQuickPipelineStructure(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(6) + 1
+		words := make([]string, n)
+		for i := range words {
+			words[i] = "cmd" + string(rune('a'+r.Intn(26)))
+		}
+		line := strings.Join(words, " | ")
+		if r.Intn(2) == 0 {
+			line += " &"
+		}
+		pls, err := Parse(line)
+		if err != nil || len(pls) != 1 {
+			return false
+		}
+		if len(pls[0].Commands) != n {
+			return false
+		}
+		for i, cmd := range pls[0].Commands {
+			if cmd.Name() != words[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

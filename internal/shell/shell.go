@@ -1,0 +1,405 @@
+package shell
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"mpj/internal/core"
+	"mpj/internal/streams"
+	"mpj/internal/terminal"
+)
+
+// TerminalResource is the application-resource key under which the
+// terminal object is published (Section 6.2: "applications can
+// retrieve a reference to the terminal object itself").
+const TerminalResource = "terminal"
+
+// PipeBufferSize is the capacity of shell pipeline pipes.
+const PipeBufferSize = 8 * 1024
+
+// Job is a background pipeline.
+type Job struct {
+	ID   int
+	Text string
+	Apps []*core.Application
+}
+
+// Shell is one interactive shell instance. Its Run method is the
+// program main; a Shell value carries the per-invocation state (jobs
+// table, exit request).
+type Shell struct {
+	ctx  *core.Context
+	term *terminal.Terminal
+
+	mu       sync.Mutex
+	jobs     map[int]*Job
+	nextJob  int
+	quit     bool
+	quitCode int
+	lastCode int
+}
+
+// Main is the shell program entry point, suitable for
+// core.Program{Main: shell.Main}. With "-c <command...>" it executes
+// the given command line and exits (used heavily by the tests and the
+// benchmark harness); otherwise it reads commands until EOF or quit.
+func Main(ctx *core.Context, args []string) int {
+	s := &Shell{ctx: ctx, jobs: make(map[int]*Job)}
+	if res, ok := ctx.Resource(TerminalResource); ok {
+		if term, ok := res.(*terminal.Terminal); ok {
+			s.term = term
+		}
+	}
+	if len(args) >= 2 && args[0] == "-c" {
+		code := 0
+		for _, line := range args[1:] {
+			code = s.Interpret(line)
+			s.mu.Lock()
+			done := s.quit
+			if done {
+				code = s.quitCode
+			}
+			s.mu.Unlock()
+			if done {
+				break
+			}
+		}
+		s.waitAllJobs()
+		return code
+	}
+	s.loop()
+	s.waitAllJobs()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.quitCode
+}
+
+// prompt builds the interactive prompt.
+func (s *Shell) prompt() string {
+	return fmt.Sprintf("%s@%s:%s$ ", s.ctx.User().Name, s.ctx.Platform().VM().Name(), s.ctx.Cwd())
+}
+
+// loop is the paper's "infinite loop in which the shell reads in a
+// command line, interprets it, and possibly launches one or more
+// applications".
+func (s *Shell) loop() {
+	for {
+		s.mu.Lock()
+		done := s.quit
+		s.mu.Unlock()
+		if done {
+			return
+		}
+		line, err := s.readCommand()
+		if err != nil {
+			return // EOF or terminal gone
+		}
+		s.Interpret(line)
+	}
+}
+
+// readCommand reads one command line, preferring the terminal's
+// history-aware ReadString when a terminal is attached.
+func (s *Shell) readCommand() (string, error) {
+	if s.term != nil {
+		return s.term.ReadString(s.prompt())
+	}
+	// Plain standard-input mode (e.g. when scripted through a pipe).
+	return readLine(s.ctx.Stdin())
+}
+
+// readLine reads bytes up to a newline from an unbuffered reader.
+func readLine(r io.Reader) (string, error) {
+	var b strings.Builder
+	buf := make([]byte, 1)
+	for {
+		n, err := r.Read(buf)
+		if n > 0 {
+			if buf[0] == '\n' {
+				return b.String(), nil
+			}
+			b.WriteByte(buf[0])
+			continue
+		}
+		if err != nil {
+			if err == io.EOF && b.Len() > 0 {
+				return b.String(), nil
+			}
+			return "", err
+		}
+	}
+}
+
+// Interpret parses and executes one command line, returning the exit
+// code of the last foreground pipeline. The special parameter "$?"
+// expands to the previous pipeline's exit code.
+func (s *Shell) Interpret(line string) int {
+	pipelines, err := Parse(line)
+	if err != nil {
+		s.ctx.Errorf("sh: %v\n", err)
+		return 2
+	}
+	code := 0
+	for _, pl := range pipelines {
+		s.expandSpecials(&pl)
+		code = s.runPipeline(pl)
+		s.mu.Lock()
+		s.lastCode = code
+		s.mu.Unlock()
+	}
+	return code
+}
+
+// expandSpecials substitutes "$?" in command words and redirection
+// targets with the last exit code.
+func (s *Shell) expandSpecials(pl *Pipeline) {
+	s.mu.Lock()
+	last := strconv.Itoa(s.lastCode)
+	s.mu.Unlock()
+	expand := func(w string) string { return strings.ReplaceAll(w, "$?", last) }
+	for ci := range pl.Commands {
+		cmd := &pl.Commands[ci]
+		for ai := range cmd.Args {
+			cmd.Args[ai] = expand(cmd.Args[ai])
+		}
+		cmd.RedirIn = expand(cmd.RedirIn)
+		cmd.RedirOut = expand(cmd.RedirOut)
+	}
+}
+
+// runPipeline executes one pipeline.
+func (s *Shell) runPipeline(pl Pipeline) int {
+	if len(pl.Commands) == 1 {
+		if code, handled := s.builtin(pl.Commands[0]); handled {
+			return code
+		}
+	}
+	apps, shellStreams, err := s.launch(pl)
+	if err != nil {
+		s.ctx.Errorf("sh: %v\n", err)
+		return 127
+	}
+	if pl.Background {
+		job := s.addJob(pl.Text, apps)
+		s.ctx.Printf("[%d] started\n", job.ID)
+		// A daemon waiter closes the shell-owned pipe ends once the
+		// pipeline finishes ("it is the shell's responsibility to
+		// close those streams after the application finishes").
+		_, err := s.ctx.SpawnThread(fmt.Sprintf("job-%d-waiter", job.ID), true, func(*core.Context) {
+			for _, app := range apps {
+				app.WaitFor()
+			}
+			closeAll(s.ctx, shellStreams)
+			s.removeJob(job.ID)
+		})
+		if err != nil {
+			s.ctx.Errorf("sh: job waiter: %v\n", err)
+		}
+		return 0
+	}
+	code := 0
+	for _, app := range apps {
+		code = app.WaitFor()
+	}
+	closeAll(s.ctx, shellStreams)
+	return code
+}
+
+// closeAll closes shell-owned redirection/pipe streams.
+func closeAll(ctx *core.Context, ss []*streams.Stream) {
+	for _, st := range ss {
+		_ = ctx.CloseStream(st)
+	}
+}
+
+// launch starts every command of the pipeline, connected by pipes,
+// using the paper's mechanism: the shell swaps its own standard
+// streams around each Exec so the child inherits the redirected ones,
+// then restores them.
+func (s *Shell) launch(pl Pipeline) (apps []*core.Application, opened []*streams.Stream, err error) {
+	n := len(pl.Commands)
+	origIn, origOut := s.ctx.Stdin(), s.ctx.Stdout()
+	defer func() {
+		// Always restore the shell's own streams.
+		s.ctx.SetStdin(origIn)
+		s.ctx.SetStdout(origOut)
+		if err != nil {
+			closeAll(s.ctx, opened)
+			for _, app := range apps {
+				app.RequestExit(130)
+			}
+		}
+	}()
+
+	// Pre-flight: all programs must exist before anything launches.
+	for _, cmd := range pl.Commands {
+		if _, ok := s.ctx.Platform().Programs().Lookup(cmd.Name()); !ok {
+			return nil, opened, fmt.Errorf("%s: command not found", cmd.Name())
+		}
+	}
+
+	// The reading end the next command's stdin should use.
+	var nextIn *streams.Stream
+	for i, cmd := range pl.Commands {
+		stdin := origIn
+		stdout := origOut
+		// Streams whose lifetime is tied to THIS command: they are
+		// closed as soon as the command's application is destroyed, so
+		// pipe neighbours observe EOF / broken-pipe no matter in which
+		// order the pipeline stages finish (the role SIGPIPE and
+		// per-process file descriptors play in Unix).
+		var assigned []*streams.Stream
+
+		switch {
+		case i == 0 && cmd.RedirIn != "":
+			in, rerr := s.ctx.OpenRead(cmd.RedirIn)
+			if rerr != nil {
+				return apps, opened, rerr
+			}
+			opened = append(opened, in)
+			assigned = append(assigned, in)
+			stdin = in
+		case i > 0:
+			stdin = nextIn
+			assigned = append(assigned, nextIn)
+		}
+
+		last := i == n-1
+		if last && cmd.RedirOut != "" {
+			out, werr := s.ctx.OpenWrite(cmd.RedirOut, cmd.RedirAppend)
+			if werr != nil {
+				return apps, opened, werr
+			}
+			opened = append(opened, out)
+			assigned = append(assigned, out)
+			stdout = out
+		}
+		if !last {
+			pr, pw := streams.NewPipe(PipeBufferSize)
+			owner := streams.OwnerID(s.ctx.App().ID())
+			wStream := streams.NewWriteStream(fmt.Sprintf("pipe-%d-w", i), owner, pw)
+			rStream := streams.NewReadStream(fmt.Sprintf("pipe-%d-r", i), owner, pr)
+			opened = append(opened, wStream, rStream)
+			assigned = append(assigned, wStream)
+			stdout = wStream
+			nextIn = rStream
+		}
+
+		// The paper's stream-swapping launch protocol.
+		s.ctx.SetStdin(stdin)
+		s.ctx.SetStdout(stdout)
+		app, xerr := s.ctx.Exec(cmd.Name(), cmd.Args[1:]...)
+		if xerr != nil {
+			return apps, opened, xerr
+		}
+		toClose := assigned
+		app.AddCleanup(func() {
+			// Closing on the shell's behalf: the shell opened these
+			// streams for exactly this command.
+			for _, st := range toClose {
+				_ = st.CloseBy(streams.OwnerSystem)
+			}
+		})
+		apps = append(apps, app)
+	}
+	return apps, opened, nil
+}
+
+// addJob records a background job.
+func (s *Shell) addJob(text string, apps []*core.Application) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextJob++
+	job := &Job{ID: s.nextJob, Text: text, Apps: apps}
+	s.jobs[job.ID] = job
+	return job
+}
+
+// removeJob drops a finished job.
+func (s *Shell) removeJob(id int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.jobs, id)
+}
+
+// waitAllJobs blocks until every background job finished.
+func (s *Shell) waitAllJobs() {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		for _, app := range j.Apps {
+			app.WaitFor()
+		}
+	}
+}
+
+// builtin executes shell built-ins; handled reports whether the
+// command was one.
+func (s *Shell) builtin(cmd Command) (code int, handled bool) {
+	switch cmd.Name() {
+	case "cd":
+		target := s.ctx.User().Home
+		if len(cmd.Args) > 1 {
+			target = cmd.Args[1]
+		}
+		if err := s.ctx.Chdir(target); err != nil {
+			s.ctx.Errorf("cd: %v\n", err)
+			return 1, true
+		}
+		return 0, true
+	case "pwd":
+		s.ctx.Println(s.ctx.Cwd())
+		return 0, true
+	case "quit", "exit":
+		code := 0
+		if len(cmd.Args) > 1 {
+			n, err := strconv.Atoi(cmd.Args[1])
+			if err != nil {
+				s.ctx.Errorf("%s: bad exit code %q\n", cmd.Name(), cmd.Args[1])
+				return 2, true
+			}
+			code = n
+		}
+		s.mu.Lock()
+		s.quit = true
+		s.quitCode = code
+		s.mu.Unlock()
+		return code, true
+	case "jobs":
+		s.mu.Lock()
+		ids := make([]int, 0, len(s.jobs))
+		for id := range s.jobs {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			s.ctx.Printf("[%d] %s\n", id, s.jobs[id].Text)
+		}
+		s.mu.Unlock()
+		return 0, true
+	case "wait":
+		s.waitAllJobs()
+		return 0, true
+	case "history":
+		if s.term != nil {
+			for i, h := range s.term.History() {
+				s.ctx.Printf("%4d  %s\n", i+1, h)
+			}
+		}
+		return 0, true
+	case "help":
+		s.ctx.Println("builtins: cd pwd quit exit jobs wait history help")
+		s.ctx.Printf("programs: %s\n", strings.Join(s.ctx.Platform().Programs().Names(), " "))
+		return 0, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,451 @@
+package shell_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mpj/internal/core"
+	"mpj/internal/coreutils"
+	"mpj/internal/streams"
+	"mpj/internal/user"
+	"mpj/internal/vfs"
+)
+
+// world is a booted platform with coreutils installed and users alice
+// and bob.
+type world struct {
+	p *core.Platform
+}
+
+func newWorld(t *testing.T) *world {
+	t.Helper()
+	p, err := core.NewPlatform(core.Config{Name: "shelltest"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Shutdown)
+	if err := coreutils.InstallAll(p); err != nil {
+		t.Fatal(err)
+	}
+	for _, acc := range []struct{ name, pass string }{{"alice", "wonderland"}, {"bob", "builder"}} {
+		if _, err := p.AddUser(acc.name, acc.pass); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &world{p: p}
+}
+
+func (w *world) user(t *testing.T, name string) *user.User {
+	t.Helper()
+	u, err := w.p.Users().Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+// runShell executes command lines through "sh -c" as the given user
+// and returns stdout, stderr and the exit code.
+func (w *world) runShell(t *testing.T, userName string, lines ...string) (string, string, int) {
+	t.Helper()
+	var out, errOut streams.Buffer
+	args := append([]string{"-c"}, lines...)
+	app, err := w.p.Exec(core.ExecSpec{
+		Program: "sh",
+		Args:    args,
+		User:    w.user(t, userName),
+		Dir:     "/home/" + userName,
+		Stdout:  streams.NewWriteStream("test-out", streams.OwnerSystem, &out),
+		Stderr:  streams.NewWriteStream("test-err", streams.OwnerSystem, &errOut),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := app.WaitFor()
+	return out.String(), errOut.String(), code
+}
+
+func TestShellEchoAndExitCode(t *testing.T) {
+	w := newWorld(t)
+	out, errOut, code := w.runShell(t, "alice", "echo hello multi-processing")
+	if code != 0 || errOut != "" {
+		t.Fatalf("code=%d err=%q", code, errOut)
+	}
+	if out != "hello multi-processing\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestShellCommandNotFound(t *testing.T) {
+	w := newWorld(t)
+	_, errOut, code := w.runShell(t, "alice", "no-such-tool")
+	if code != 127 {
+		t.Fatalf("code = %d, want 127", code)
+	}
+	if !strings.Contains(errOut, "command not found") {
+		t.Fatalf("err = %q", errOut)
+	}
+}
+
+func TestShellSyntaxError(t *testing.T) {
+	w := newWorld(t)
+	_, errOut, code := w.runShell(t, "alice", "cat |")
+	if code != 2 || !strings.Contains(errOut, "syntax error") {
+		t.Fatalf("code=%d err=%q", code, errOut)
+	}
+}
+
+func TestShellRedirectionRoundtrip(t *testing.T) {
+	w := newWorld(t)
+	out, errOut, code := w.runShell(t, "alice",
+		"echo first line > notes.txt",
+		"echo second line >> notes.txt",
+		"cat notes.txt",
+	)
+	if code != 0 || errOut != "" {
+		t.Fatalf("code=%d err=%q", code, errOut)
+	}
+	if out != "first line\nsecond line\n" {
+		t.Fatalf("out = %q", out)
+	}
+	// The file really lives in alice's home (cwd was /home/alice).
+	data, err := w.p.FS().ReadFile("alice", "/home/alice/notes.txt")
+	if err != nil || string(data) != "first line\nsecond line\n" {
+		t.Fatalf("file = %q, %v", data, err)
+	}
+}
+
+func TestShellInputRedirection(t *testing.T) {
+	w := newWorld(t)
+	if err := w.p.FS().WriteFile("alice", "/home/alice/data.txt", []byte("a b c\nd e\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, _, code := w.runShell(t, "alice", "wc < data.txt")
+	if code != 0 {
+		t.Fatalf("code = %d", code)
+	}
+	fields := strings.Fields(out)
+	if len(fields) != 3 || fields[0] != "2" || fields[1] != "5" || fields[2] != "10" {
+		t.Fatalf("wc out = %q", out)
+	}
+}
+
+// TestShellPipelines is the paper's headline demo: applications
+// connected through pipes inside one VM.
+func TestShellPipelines(t *testing.T) {
+	w := newWorld(t)
+	if err := w.p.FS().WriteFile("alice", "/home/alice/words.txt",
+		[]byte("apple\nbanana\navocado\ncherry\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	tests := []struct {
+		name string
+		line string
+		want string
+	}{
+		{"two stage", "cat words.txt | grep a", "apple\nbanana\navocado\n"},
+		{"three stage", "cat words.txt | grep a | grep av", "avocado\n"},
+		{"with wc", "cat words.txt | wc", "      4       4      28\n"},
+		{"yes head", "yes | head -n 3", "y\ny\ny\n"},
+		{"echo through pipe", "echo piped | cat", "piped\n"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			out, errOut, code := w.runShell(t, "alice", tc.line)
+			if code != 0 {
+				t.Fatalf("code=%d err=%q", code, errOut)
+			}
+			if out != tc.want {
+				t.Fatalf("out = %q, want %q", out, tc.want)
+			}
+		})
+	}
+}
+
+func TestShellPipelineIntoRedirection(t *testing.T) {
+	w := newWorld(t)
+	_, errOut, code := w.runShell(t, "alice",
+		"yes data | head -n 5 > five.txt",
+		"wc < five.txt",
+	)
+	if code != 0 {
+		t.Fatalf("code=%d err=%q", code, errOut)
+	}
+	data, err := w.p.FS().ReadFile("alice", "/home/alice/five.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != strings.Repeat("data\n", 5) {
+		t.Fatalf("file = %q", data)
+	}
+}
+
+func TestShellBuiltins(t *testing.T) {
+	w := newWorld(t)
+	out, _, code := w.runShell(t, "alice", "pwd", "cd /tmp", "pwd", "cd", "pwd")
+	if code != 0 {
+		t.Fatalf("code = %d", code)
+	}
+	if out != "/home/alice\n/tmp\n/home/alice\n" {
+		t.Fatalf("out = %q", out)
+	}
+	out, _, _ = w.runShell(t, "alice", "help")
+	if !strings.Contains(out, "builtins:") || !strings.Contains(out, "cat") {
+		t.Fatalf("help out = %q", out)
+	}
+	_, errOut, code := w.runShell(t, "alice", "cd /no/such/dir")
+	if code != 1 || !strings.Contains(errOut, "cd:") {
+		t.Fatalf("bad cd: code=%d err=%q", code, errOut)
+	}
+}
+
+func TestShellWhoamiAndEnv(t *testing.T) {
+	w := newWorld(t)
+	out, _, _ := w.runShell(t, "bob", "whoami")
+	if out != "bob\n" {
+		t.Fatalf("whoami = %q", out)
+	}
+	out, _, _ = w.runShell(t, "bob", "env")
+	if !strings.Contains(out, "user.name=bob") || !strings.Contains(out, "os.name=mpj-os") {
+		t.Fatalf("env = %q", out)
+	}
+}
+
+func TestShellBackgroundJobs(t *testing.T) {
+	w := newWorld(t)
+	out, errOut, code := w.runShell(t, "alice",
+		"sleep 30 &",
+		"jobs",
+		"wait",
+	)
+	if code != 0 {
+		t.Fatalf("code=%d err=%q", code, errOut)
+	}
+	if !strings.Contains(out, "[1] started") {
+		t.Fatalf("out = %q", out)
+	}
+	if !strings.Contains(out, "sleep 30") {
+		t.Fatalf("jobs listing missing: %q", out)
+	}
+}
+
+func TestShellSecurityIsolationBetweenUsers(t *testing.T) {
+	w := newWorld(t)
+	// Alice writes a private note.
+	_, errOut, code := w.runShell(t, "alice", "echo private > /home/alice/secret.txt")
+	if code != 0 {
+		t.Fatalf("alice write: code=%d err=%q", code, errOut)
+	}
+	// Bob cannot cat it: the cat program, run by bob, exercises bob's
+	// permissions only (Section 5.3).
+	out, errOut, code := w.runShell(t, "bob", "cat /home/alice/secret.txt")
+	if code == 0 || out != "" {
+		t.Fatalf("bob read alice's secret: out=%q code=%d", out, code)
+	}
+	if !strings.Contains(errOut, "access denied") {
+		t.Fatalf("err = %q, want security denial", errOut)
+	}
+	// And bob cannot redirect output into alice's home either.
+	_, errOut, code = w.runShell(t, "bob", "echo x > /home/alice/planted.txt")
+	if code == 0 || !strings.Contains(errOut, "access denied") {
+		t.Fatalf("bob redirect into alice home: code=%d err=%q", code, errOut)
+	}
+}
+
+func TestShellPsAndKill(t *testing.T) {
+	w := newWorld(t)
+	// Start a long sleeper in the background, list it with ps (through
+	// a pipe), kill it by id, and wait. If the kill failed, the final
+	// wait would block on the 60-second sleeper and the test would
+	// time out.
+	var out, errOut string
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		out, errOut, _ = w.runShell(t, "alice",
+			"sleep 60000 &",
+			"ps | grep sleep",
+			// The first launched app in a fresh platform is the shell
+			// (id 1); the sleeper is id 2.
+			"kill 2",
+			"wait",
+		)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("kill did not terminate the background sleeper")
+	}
+	if !strings.Contains(out, "sleep") {
+		t.Fatalf("ps|grep out=%q err=%q", out, errOut)
+	}
+}
+
+func TestKillDeniedAcrossApplications(t *testing.T) {
+	w := newWorld(t)
+	// A root-level sleeper that is NOT a descendant of the shell.
+	sleeper, err := w.p.Exec(core.ExecSpec{Program: "sleep", Args: []string{"60000"}, User: w.user(t, "alice")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		sleeper.RequestExit(0)
+		sleeper.WaitFor()
+	}()
+	_, errOut, code := w.runShell(t, "bob", "kill 1")
+	if code == 0 {
+		t.Fatal("kill of a non-descendant application succeeded")
+	}
+	if !strings.Contains(errOut, "access denied") {
+		t.Fatalf("err = %q", errOut)
+	}
+	if sleeper.Destroyed() {
+		t.Fatal("sleeper was killed despite denial")
+	}
+}
+
+func TestLsFormats(t *testing.T) {
+	w := newWorld(t)
+	if err := w.p.FS().WriteFile("alice", "/home/alice/file.txt", []byte("12345"), 0o640); err != nil {
+		t.Fatal(err)
+	}
+	out, _, code := w.runShell(t, "alice", "ls")
+	if code != 0 || !strings.Contains(out, "file.txt") {
+		t.Fatalf("ls out = %q code=%d", out, code)
+	}
+	out, _, code = w.runShell(t, "alice", "ls -l")
+	if code != 0 {
+		t.Fatalf("ls -l code = %d", code)
+	}
+	if !strings.Contains(out, "rw-r-----") || !strings.Contains(out, "alice") || !strings.Contains(out, "5") {
+		t.Fatalf("ls -l out = %q", out)
+	}
+	// ls on a single file.
+	out, _, _ = w.runShell(t, "alice", "ls /tmp")
+	_ = out
+	_, errOut, code := w.runShell(t, "bob", "ls /home/alice")
+	if code == 0 || !strings.Contains(errOut, "access denied") {
+		t.Fatalf("bob ls alice home: code=%d err=%q", code, errOut)
+	}
+}
+
+func TestTouchRmMkdir(t *testing.T) {
+	w := newWorld(t)
+	out, errOut, code := w.runShell(t, "alice",
+		"mkdir proj",
+		"touch proj/a proj/b",
+		"ls proj",
+		"rm proj/a",
+		"ls proj",
+	)
+	if code != 0 {
+		t.Fatalf("code=%d err=%q", code, errOut)
+	}
+	if out != "a\nb\nb\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+// TestLoginFlow drives term → login → shell end to end over in-VM
+// pipes, including echo-off password entry (Sections 5.2, 6.2).
+func TestLoginFlow(t *testing.T) {
+	w := newWorld(t)
+	if err := w.p.FS().WriteFile(vfs.Root, "/etc/motd", []byte("Welcome to mpj!\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	inR, inW := streams.NewPipe(1024)
+	var out streams.Buffer
+	stdin := streams.NewReadStream("term-in", streams.OwnerSystem, inR)
+	stdout := streams.NewWriteStream("term-out", streams.OwnerSystem, &out)
+
+	app, err := w.p.Exec(core.ExecSpec{Program: "term", Stdin: stdin, Stdout: stdout, Stderr: stdout})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Type: username, password, then a couple of shell commands.
+	script := "alice\nwonderland\nwhoami\npwd\nquit\n"
+	if _, err := inW.Write([]byte(script)); err != nil {
+		t.Fatal(err)
+	}
+	_ = inW.Close()
+
+	done := make(chan int, 1)
+	go func() { done <- app.WaitFor() }()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("login session exit = %d\noutput:\n%s", code, out.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("login session hung\noutput:\n%s", out.String())
+	}
+
+	text := out.String()
+	for _, want := range []string{"login: ", "Password: ", "Welcome to mpj!", "whoami", "alice", "/home/alice"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("session output missing %q:\n%s", want, text)
+		}
+	}
+	// The password must never be echoed.
+	if strings.Contains(text, "wonderland") {
+		t.Errorf("password echoed:\n%s", text)
+	}
+	// The prompt shows the authenticated user.
+	if !strings.Contains(text, "alice@shelltest:/home/alice$") {
+		t.Errorf("prompt missing:\n%s", text)
+	}
+}
+
+func TestLoginRejectsBadPassword(t *testing.T) {
+	w := newWorld(t)
+	var out streams.Buffer
+	app, err := w.p.Exec(core.ExecSpec{
+		Program: "login",
+		Args:    []string{"alice", "wrongpass"},
+		Stdout:  streams.NewWriteStream("o", streams.OwnerSystem, &out),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := app.WaitFor(); code == 0 {
+		t.Fatal("login succeeded with a bad password")
+	}
+	if !strings.Contains(out.String(), "Login incorrect") {
+		t.Fatalf("out = %q", out.String())
+	}
+}
+
+func TestShellExitCodeBuiltin(t *testing.T) {
+	w := newWorld(t)
+	_, _, code := w.runShell(t, "alice", "exit 42", "echo never-runs")
+	if code != 42 {
+		t.Fatalf("exit code = %d, want 42", code)
+	}
+	out, _, code := w.runShell(t, "alice", "echo before", "quit", "echo after")
+	if code != 0 || out != "before\n" {
+		t.Fatalf("quit: out=%q code=%d", out, code)
+	}
+	_, errOut, code := w.runShell(t, "alice", "exit NaN")
+	if code != 2 || !strings.Contains(errOut, "bad exit code") {
+		t.Fatalf("bad exit: code=%d err=%q", code, errOut)
+	}
+}
+
+func TestShellDollarQuestion(t *testing.T) {
+	w := newWorld(t)
+	out, _, code := w.runShell(t, "alice",
+		"no-such-tool",
+		"echo last=$?",
+		"echo ok",
+		"echo last=$?",
+	)
+	if code != 0 {
+		t.Fatalf("code = %d", code)
+	}
+	if !strings.Contains(out, "last=127") || !strings.Contains(out, "last=0") {
+		t.Fatalf("out = %q", out)
+	}
+}

@@ -1,0 +1,152 @@
+// Package streams implements the stream substrate of the platform:
+// buffered in-VM pipes (the cheap same-address-space IPC that Section 2
+// of the paper argues for), and ownership-tracked standard streams with
+// the Section 5.1 rule that "applications may only close streams that
+// they opened" — streams passed to them, like inherited stdin/stdout,
+// must not be closed by the receiver.
+package streams
+
+import (
+	"errors"
+	"io"
+	"sync"
+)
+
+// Pipe errors.
+var (
+	// ErrClosedPipe is returned when writing to a pipe whose read end
+	// is closed, or using an end that is itself closed.
+	ErrClosedPipe = errors.New("streams: read/write on closed pipe")
+)
+
+// pipe is a bounded ring buffer shared by a PipeReader/PipeWriter pair.
+type pipe struct {
+	mu       sync.Mutex
+	notEmpty *sync.Cond
+	notFull  *sync.Cond
+
+	buf  []byte
+	r, w int  // read / write cursors
+	n    int  // bytes buffered
+	wErr bool // writer closed
+	rErr bool // reader closed
+}
+
+// PipeReader is the read end of an in-VM pipe.
+type PipeReader struct{ p *pipe }
+
+// PipeWriter is the write end of an in-VM pipe.
+type PipeWriter struct{ p *pipe }
+
+var (
+	_ io.ReadCloser  = (*PipeReader)(nil)
+	_ io.WriteCloser = (*PipeWriter)(nil)
+)
+
+// NewPipe creates a buffered pipe with the given capacity (minimum 1
+// byte; a typical shell pipeline uses a few KiB). Unlike io.Pipe,
+// writes complete as soon as they fit in the buffer, which is the
+// semantics Unix pipes provide and what the shell and the IPC
+// benchmarks need.
+func NewPipe(capacity int) (*PipeReader, *PipeWriter) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	p := &pipe{buf: make([]byte, capacity)}
+	p.notEmpty = sync.NewCond(&p.mu)
+	p.notFull = sync.NewCond(&p.mu)
+	return &PipeReader{p: p}, &PipeWriter{p: p}
+}
+
+// Read implements io.Reader. It blocks until data is available, the
+// writer closes (io.EOF after the buffer drains), or the reader is
+// closed.
+func (r *PipeReader) Read(b []byte) (int, error) {
+	p := r.p
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.n == 0 {
+		if p.rErr {
+			return 0, ErrClosedPipe
+		}
+		if p.wErr {
+			return 0, io.EOF
+		}
+		p.notEmpty.Wait()
+	}
+	if p.rErr {
+		return 0, ErrClosedPipe
+	}
+	total := 0
+	for total < len(b) && p.n > 0 {
+		chunk := len(p.buf) - p.r
+		if chunk > p.n {
+			chunk = p.n
+		}
+		if chunk > len(b)-total {
+			chunk = len(b) - total
+		}
+		copy(b[total:], p.buf[p.r:p.r+chunk])
+		p.r = (p.r + chunk) % len(p.buf)
+		p.n -= chunk
+		total += chunk
+	}
+	p.notFull.Broadcast()
+	return total, nil
+}
+
+// Close closes the read end; subsequent writes fail with
+// ErrClosedPipe.
+func (r *PipeReader) Close() error {
+	p := r.p
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.rErr = true
+	p.notEmpty.Broadcast()
+	p.notFull.Broadcast()
+	return nil
+}
+
+// Write implements io.Writer. It blocks while the buffer is full and
+// returns ErrClosedPipe if either end has been closed.
+func (w *PipeWriter) Write(b []byte) (int, error) {
+	p := w.p
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	total := 0
+	for total < len(b) {
+		for p.n == len(p.buf) && !p.rErr && !p.wErr {
+			p.notFull.Wait()
+		}
+		if p.rErr || p.wErr {
+			return total, ErrClosedPipe
+		}
+		for total < len(b) && p.n < len(p.buf) {
+			chunk := len(p.buf) - p.w
+			if free := len(p.buf) - p.n; chunk > free {
+				chunk = free
+			}
+			if chunk > len(b)-total {
+				chunk = len(b) - total
+			}
+			copy(p.buf[p.w:p.w+chunk], b[total:total+chunk])
+			p.w = (p.w + chunk) % len(p.buf)
+			p.n += chunk
+			total += chunk
+		}
+		p.notEmpty.Broadcast()
+	}
+	return total, nil
+}
+
+// Close closes the write end; the reader sees io.EOF after draining
+// buffered data.
+func (w *PipeWriter) Close() error {
+	p := w.p
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.wErr = true
+	p.notEmpty.Broadcast()
+	p.notFull.Broadcast()
+	return nil
+}

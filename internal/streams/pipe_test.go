@@ -1,0 +1,173 @@
+package streams
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPipeBasicTransfer(t *testing.T) {
+	r, w := NewPipe(16)
+	go func() {
+		_, _ = w.Write([]byte("hello pipe"))
+		_ = w.Close()
+	}()
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "hello pipe" {
+		t.Fatalf("read %q", data)
+	}
+}
+
+func TestPipeLargerThanBuffer(t *testing.T) {
+	r, w := NewPipe(4)
+	payload := bytes.Repeat([]byte("abcdefgh"), 100)
+	go func() {
+		n, err := w.Write(payload)
+		if err != nil || n != len(payload) {
+			t.Errorf("write = %d, %v", n, err)
+		}
+		_ = w.Close()
+	}()
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, payload) {
+		t.Fatalf("payload mismatch: %d vs %d bytes", len(data), len(payload))
+	}
+}
+
+func TestPipeEOFAfterDrain(t *testing.T) {
+	r, w := NewPipe(8)
+	if _, err := w.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	_ = w.Close()
+	buf := make([]byte, 4)
+	n, err := r.Read(buf)
+	if n != 1 || err != nil {
+		t.Fatalf("first read = %d, %v", n, err)
+	}
+	if _, err := r.Read(buf); err != io.EOF {
+		t.Fatalf("second read err = %v, want EOF", err)
+	}
+}
+
+func TestPipeWriteAfterReaderClose(t *testing.T) {
+	r, w := NewPipe(8)
+	_ = r.Close()
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrClosedPipe) {
+		t.Fatalf("write err = %v", err)
+	}
+}
+
+func TestPipeReadAfterReaderClose(t *testing.T) {
+	r, _ := NewPipe(8)
+	_ = r.Close()
+	if _, err := r.Read(make([]byte, 1)); !errors.Is(err, ErrClosedPipe) {
+		t.Fatalf("read err = %v", err)
+	}
+}
+
+func TestPipeWriteAfterWriterClose(t *testing.T) {
+	_, w := NewPipe(8)
+	_ = w.Close()
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrClosedPipe) {
+		t.Fatalf("write err = %v", err)
+	}
+}
+
+func TestPipeReaderCloseUnblocksWriter(t *testing.T) {
+	r, w := NewPipe(1)
+	if _, err := w.Write([]byte("x")); err != nil { // fill the buffer
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := w.Write([]byte("y")) // blocks: buffer full
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	_ = r.Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrClosedPipe) {
+			t.Fatalf("unblocked write err = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("writer still blocked after reader close")
+	}
+}
+
+func TestPipeWriterCloseUnblocksReader(t *testing.T) {
+	r, w := NewPipe(8)
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := r.Read(make([]byte, 1))
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	_ = w.Close()
+	select {
+	case err := <-errCh:
+		if err != io.EOF {
+			t.Fatalf("unblocked read err = %v, want EOF", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("reader still blocked after writer close")
+	}
+}
+
+func TestPipeMinimumCapacity(t *testing.T) {
+	r, w := NewPipe(0) // clamps to 1
+	go func() {
+		_, _ = w.Write([]byte("ab"))
+		_ = w.Close()
+	}()
+	data, err := io.ReadAll(r)
+	if err != nil || string(data) != "ab" {
+		t.Fatalf("read %q, %v", data, err)
+	}
+}
+
+// TestQuickPipePreservesByteStream: arbitrary chunked writes come out
+// in order, byte-for-byte, across random buffer sizes.
+func TestQuickPipePreservesByteStream(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		capacity := rng.Intn(64) + 1
+		payload := make([]byte, rng.Intn(4096))
+		rng.Read(payload)
+
+		r, w := NewPipe(capacity)
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rest := payload
+			for len(rest) > 0 {
+				n := rng.Intn(len(rest)) + 1
+				if _, err := w.Write(rest[:n]); err != nil {
+					t.Error(err)
+					return
+				}
+				rest = rest[n:]
+			}
+			_ = w.Close()
+		}()
+		got, err := io.ReadAll(r)
+		wg.Wait()
+		return err == nil && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,185 @@
+package streams
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Stream errors.
+var (
+	// ErrNotOwner is returned when an application tries to close a
+	// stream it did not open (Section 5.1: closing an inherited stream
+	// would break other applications sharing it).
+	ErrNotOwner = errors.New("streams: stream not owned by caller")
+
+	// ErrStreamClosed is returned by operations on a closed stream.
+	ErrStreamClosed = errors.New("streams: stream closed")
+)
+
+// OwnerID identifies the application (or the system, OwnerSystem) that
+// opened a stream.
+type OwnerID int64
+
+// OwnerSystem is the owner id of streams created by the platform
+// itself.
+const OwnerSystem OwnerID = 0
+
+// Stream is an ownership-tracked byte stream: the standard-stream
+// object applications see as System.in / System.out / System.err. It
+// wraps an underlying reader and/or writer and records which
+// application created it; only that application (or the system) may
+// close it.
+type Stream struct {
+	name  string
+	owner OwnerID
+
+	mu     sync.Mutex
+	r      io.Reader
+	w      io.Writer
+	c      io.Closer
+	closed bool
+}
+
+var _ io.ReadWriter = (*Stream)(nil)
+
+// NewReadStream wraps a reader as an owned stream. If r also implements
+// io.Closer, CloseBy will close it.
+func NewReadStream(name string, owner OwnerID, r io.Reader) *Stream {
+	s := &Stream{name: name, owner: owner, r: r}
+	if c, ok := r.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// NewWriteStream wraps a writer as an owned stream.
+func NewWriteStream(name string, owner OwnerID, w io.Writer) *Stream {
+	s := &Stream{name: name, owner: owner, w: w}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// NewStream wraps a reader/writer pair (either may be nil).
+func NewStream(name string, owner OwnerID, r io.Reader, w io.Writer, c io.Closer) *Stream {
+	return &Stream{name: name, owner: owner, r: r, w: w, c: c}
+}
+
+// Name returns the stream's diagnostic name.
+func (s *Stream) Name() string { return s.name }
+
+// Owner returns the id of the application that opened the stream.
+func (s *Stream) Owner() OwnerID { return s.owner }
+
+// String implements fmt.Stringer.
+func (s *Stream) String() string {
+	return fmt.Sprintf("Stream[%s owner=%d]", s.name, s.owner)
+}
+
+// Read implements io.Reader.
+func (s *Stream) Read(p []byte) (int, error) {
+	s.mu.Lock()
+	r := s.r
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return 0, ErrStreamClosed
+	}
+	if r == nil {
+		return 0, fmt.Errorf("streams: %s: not readable", s.name)
+	}
+	return r.Read(p)
+}
+
+// Write implements io.Writer.
+func (s *Stream) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	w := s.w
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return 0, ErrStreamClosed
+	}
+	if w == nil {
+		return 0, fmt.Errorf("streams: %s: not writable", s.name)
+	}
+	return w.Write(p)
+}
+
+// CloseBy closes the stream on behalf of the given application. Per
+// Section 5.1, only the opener (or the system) may close a stream; any
+// other caller gets ErrNotOwner and the stream stays usable for its
+// other sharers.
+func (s *Stream) CloseBy(caller OwnerID) error {
+	if caller != s.owner && caller != OwnerSystem {
+		return fmt.Errorf("streams: close %s by app %d (owner %d): %w", s.name, caller, s.owner, ErrNotOwner)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrStreamClosed
+	}
+	s.closed = true
+	if s.c != nil {
+		return s.c.Close()
+	}
+	return nil
+}
+
+// Closed reports whether the stream has been closed.
+func (s *Stream) Closed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// Null returns a stream that discards writes and reads EOF, owned by
+// the system — the /dev/null analogue.
+func Null() *Stream {
+	return NewStream("null", OwnerSystem, eofReader{}, io.Discard, nil)
+}
+
+type eofReader struct{}
+
+func (eofReader) Read([]byte) (int, error) { return 0, io.EOF }
+
+// Buffer is a concurrency-safe growable byte buffer usable as a stream
+// sink in tests and examples.
+type Buffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+var _ io.Writer = (*Buffer)(nil)
+
+// Write implements io.Writer.
+func (b *Buffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+// String returns the buffered contents.
+func (b *Buffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// Len returns the number of buffered bytes.
+func (b *Buffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Len()
+}
+
+// Reset clears the buffer.
+func (b *Buffer) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.buf.Reset()
+}

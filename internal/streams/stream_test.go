@@ -1,0 +1,119 @@
+package streams
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestStreamOwnershipCloseRule(t *testing.T) {
+	r, w := NewPipe(64)
+	_ = r
+	// A stream opened by application 7 ...
+	s := NewWriteStream("stdout-redirect", OwnerID(7), w)
+
+	// ... cannot be closed by application 9 (it was merely passed to it).
+	if err := s.CloseBy(OwnerID(9)); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("foreign close err = %v, want ErrNotOwner", err)
+	}
+	if s.Closed() {
+		t.Fatal("stream must stay open after denied close")
+	}
+	if _, err := s.Write([]byte("still works")); err != nil {
+		t.Fatalf("write after denied close: %v", err)
+	}
+	// The owner may close it.
+	if err := s.CloseBy(OwnerID(7)); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Closed() {
+		t.Fatal("stream should be closed")
+	}
+	if err := s.CloseBy(OwnerID(7)); !errors.Is(err, ErrStreamClosed) {
+		t.Fatalf("double close err = %v", err)
+	}
+	if _, err := s.Write([]byte("x")); !errors.Is(err, ErrStreamClosed) {
+		t.Fatalf("write after close err = %v", err)
+	}
+}
+
+func TestSystemMayCloseAnyStream(t *testing.T) {
+	_, w := NewPipe(8)
+	s := NewWriteStream("s", OwnerID(3), w)
+	if err := s.CloseBy(OwnerSystem); err != nil {
+		t.Fatalf("system close: %v", err)
+	}
+}
+
+func TestStreamDirectionality(t *testing.T) {
+	ro := NewReadStream("in", OwnerSystem, strings.NewReader("data"))
+	if _, err := ro.Write([]byte("x")); err == nil {
+		t.Fatal("write to read stream must fail")
+	}
+	buf := make([]byte, 4)
+	if n, err := ro.Read(buf); err != nil || n != 4 {
+		t.Fatalf("read = %d, %v", n, err)
+	}
+
+	var sink Buffer
+	wo := NewWriteStream("out", OwnerSystem, &sink)
+	if _, err := wo.Read(buf); err == nil {
+		t.Fatal("read from write stream must fail")
+	}
+	if _, err := wo.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if sink.String() != "hello" {
+		t.Fatalf("sink = %q", sink.String())
+	}
+}
+
+func TestStreamCloserPropagation(t *testing.T) {
+	r, w := NewPipe(8)
+	s := NewWriteStream("pipe-out", OwnerID(1), w)
+	if err := s.CloseBy(OwnerID(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Closing the stream closed the underlying pipe writer: reader EOFs.
+	if _, err := r.Read(make([]byte, 1)); err != io.EOF {
+		t.Fatalf("read err = %v, want EOF", err)
+	}
+}
+
+func TestNullStream(t *testing.T) {
+	n := Null()
+	if _, err := n.Write([]byte("discarded")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Read(make([]byte, 1)); err != io.EOF {
+		t.Fatalf("null read err = %v", err)
+	}
+	if n.Owner() != OwnerSystem {
+		t.Fatal("null stream must be system-owned")
+	}
+}
+
+func TestBufferHelpers(t *testing.T) {
+	var b Buffer
+	if _, err := b.Write([]byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 3 || b.String() != "abc" {
+		t.Fatalf("buffer = %q len %d", b.String(), b.Len())
+	}
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestStreamStringer(t *testing.T) {
+	s := NewWriteStream("out", OwnerID(4), io.Discard)
+	if got := s.String(); !strings.Contains(got, "out") || !strings.Contains(got, "4") {
+		t.Fatalf("string = %q", got)
+	}
+	if s.Name() != "out" {
+		t.Fatalf("name = %q", s.Name())
+	}
+}

@@ -1,0 +1,245 @@
+// Package terminal implements the prototypical Java terminal of
+// Section 6.2: a line-oriented device with controllable echo (needed
+// for password entry), a history buffer with csh-style "!" expansion
+// (the readline-like convenience the paper mentions), and plain
+// read/write methods for applications that only use standard streams.
+package terminal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Errors returned by the terminal.
+var (
+	// ErrClosed is returned after the terminal is closed.
+	ErrClosed = errors.New("terminal: closed")
+
+	// ErrBadHistoryRef is returned for an unresolvable "!" reference.
+	ErrBadHistoryRef = errors.New("terminal: no such history entry")
+)
+
+// DefaultHistorySize bounds the history buffer.
+const DefaultHistorySize = 100
+
+// Terminal is a simple character terminal over a reader/writer pair.
+// It is safe for concurrent use, though interleaving concurrent
+// ReadLine calls makes little sense.
+type Terminal struct {
+	mu      sync.Mutex
+	in      io.Reader
+	out     io.Writer
+	echo    bool
+	closed  bool
+	history []string
+	maxHist int
+	rbuf    [1]byte
+}
+
+// New creates a terminal reading keystrokes from in and drawing to
+// out. Echo starts on, as on a real terminal.
+func New(in io.Reader, out io.Writer) *Terminal {
+	return &Terminal{in: in, out: out, echo: true, maxHist: DefaultHistorySize}
+}
+
+// TurnEchoOff disables echoing of input characters (the call the login
+// program uses before asking for a password).
+func (t *Terminal) TurnEchoOff() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.echo = false
+}
+
+// TurnEchoOn re-enables echoing.
+func (t *Terminal) TurnEchoOn() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.echo = true
+}
+
+// Echo reports whether echo is on.
+func (t *Terminal) Echo() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.echo
+}
+
+// Close marks the terminal closed; subsequent reads fail.
+func (t *Terminal) Close() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.closed = true
+}
+
+// WriteString draws text on the terminal.
+func (t *Terminal) WriteString(s string) error {
+	t.mu.Lock()
+	out := t.out
+	closed := t.closed
+	t.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	_, err := io.WriteString(out, s)
+	return err
+}
+
+// Write implements io.Writer.
+func (t *Terminal) Write(p []byte) (int, error) {
+	if err := t.WriteString(string(p)); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// readByte reads one input byte, echoing it if echo is on.
+func (t *Terminal) readByte() (byte, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return 0, ErrClosed
+	}
+	in, out, echo := t.in, t.out, t.echo
+	t.mu.Unlock()
+
+	var b [1]byte
+	if _, err := io.ReadFull(in, b[:]); err != nil {
+		return 0, err
+	}
+	if echo {
+		_, _ = out.Write(b[:])
+	}
+	return b[0], nil
+}
+
+// ReadLine reads one line (without the trailing newline), echoing
+// according to the echo flag. It does not touch the history.
+func (t *Terminal) ReadLine() (string, error) {
+	var b strings.Builder
+	for {
+		c, err := t.readByte()
+		if err != nil {
+			if err == io.EOF && b.Len() > 0 {
+				return b.String(), nil
+			}
+			return b.String(), err
+		}
+		switch c {
+		case '\n':
+			return b.String(), nil
+		case '\r':
+			// swallow; the matching \n follows on CRLF input
+		case 0x08, 0x7f: // backspace / delete
+			s := b.String()
+			if len(s) > 0 {
+				b.Reset()
+				b.WriteString(s[:len(s)-1])
+			}
+		default:
+			b.WriteByte(c)
+		}
+	}
+}
+
+// ReadString prints a prompt, reads a line, applies history expansion
+// ("!!" repeats the previous command, "!n" repeats entry n, "!prefix"
+// repeats the most recent entry starting with prefix), records the
+// result in the history, and returns it. This is the "advanced"
+// shell-facing read of Section 6.2.
+func (t *Terminal) ReadString(prompt string) (string, error) {
+	if prompt != "" {
+		if err := t.WriteString(prompt); err != nil {
+			return "", err
+		}
+	}
+	line, err := t.ReadLine()
+	if err != nil {
+		return line, err
+	}
+	expanded, wasRef, err := t.expandHistory(line)
+	if err != nil {
+		return "", err
+	}
+	if wasRef {
+		// Show the user what actually ran, like csh.
+		_ = t.WriteString(expanded + "\n")
+	}
+	t.addHistory(expanded)
+	return expanded, nil
+}
+
+// ReadPassword prints a prompt and reads a line with echo disabled,
+// restoring the previous echo state afterwards — exactly how the login
+// program asks for a password.
+func (t *Terminal) ReadPassword(prompt string) (string, error) {
+	wasEcho := t.Echo()
+	t.TurnEchoOff()
+	defer func() {
+		if wasEcho {
+			t.TurnEchoOn()
+		}
+		_ = t.WriteString("\n")
+	}()
+	if prompt != "" {
+		if err := t.WriteString(prompt); err != nil {
+			return "", err
+		}
+	}
+	return t.ReadLine()
+}
+
+// addHistory appends a non-empty line to the bounded history.
+func (t *Terminal) addHistory(line string) {
+	if strings.TrimSpace(line) == "" {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.history = append(t.history, line)
+	if len(t.history) > t.maxHist {
+		t.history = t.history[len(t.history)-t.maxHist:]
+	}
+}
+
+// History returns a copy of the history buffer, oldest first.
+func (t *Terminal) History() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, len(t.history))
+	copy(out, t.history)
+	return out
+}
+
+// expandHistory resolves a leading "!" reference.
+func (t *Terminal) expandHistory(line string) (expanded string, wasRef bool, err error) {
+	trimmed := strings.TrimSpace(line)
+	if !strings.HasPrefix(trimmed, "!") || trimmed == "!" {
+		return line, false, nil
+	}
+	hist := t.History()
+	ref := trimmed[1:]
+	switch {
+	case ref == "!":
+		if len(hist) == 0 {
+			return "", false, fmt.Errorf("%w: !!", ErrBadHistoryRef)
+		}
+		return hist[len(hist)-1], true, nil
+	default:
+		if n, convErr := strconv.Atoi(ref); convErr == nil {
+			if n < 1 || n > len(hist) {
+				return "", false, fmt.Errorf("%w: !%d", ErrBadHistoryRef, n)
+			}
+			return hist[n-1], true, nil
+		}
+		for i := len(hist) - 1; i >= 0; i-- {
+			if strings.HasPrefix(hist[i], ref) {
+				return hist[i], true, nil
+			}
+		}
+		return "", false, fmt.Errorf("%w: !%s", ErrBadHistoryRef, ref)
+	}
+}

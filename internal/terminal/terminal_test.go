@@ -1,0 +1,199 @@
+package terminal
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"mpj/internal/streams"
+)
+
+// newTerm builds a terminal fed by the given input, capturing output.
+func newTerm(input string) (*Terminal, *streams.Buffer) {
+	var out streams.Buffer
+	return New(strings.NewReader(input), &out), &out
+}
+
+func TestReadLineBasics(t *testing.T) {
+	term, _ := newTerm("hello world\nsecond\n")
+	line, err := term.ReadLine()
+	if err != nil || line != "hello world" {
+		t.Fatalf("line = %q, %v", line, err)
+	}
+	line, err = term.ReadLine()
+	if err != nil || line != "second" {
+		t.Fatalf("line 2 = %q, %v", line, err)
+	}
+	if _, err := term.ReadLine(); err != io.EOF {
+		t.Fatalf("err at end = %v", err)
+	}
+}
+
+func TestReadLineCRLFAndBackspace(t *testing.T) {
+	term, _ := newTerm("abc\r\nxyz\x08w\n")
+	line, _ := term.ReadLine()
+	if line != "abc" {
+		t.Fatalf("crlf line = %q", line)
+	}
+	line, _ = term.ReadLine()
+	if line != "xyw" {
+		t.Fatalf("backspace line = %q", line)
+	}
+}
+
+func TestReadLineEOFWithPartialLine(t *testing.T) {
+	term, _ := newTerm("unterminated")
+	line, err := term.ReadLine()
+	if err != nil || line != "unterminated" {
+		t.Fatalf("line = %q, %v", line, err)
+	}
+}
+
+func TestEchoBehaviour(t *testing.T) {
+	term, out := newTerm("visible\nhidden\n")
+	if _, err := term.ReadLine(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "visible") {
+		t.Fatalf("echo-on output = %q", out.String())
+	}
+	term.TurnEchoOff()
+	if term.Echo() {
+		t.Fatal("echo still on")
+	}
+	before := out.Len()
+	if _, err := term.ReadLine(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String()[before:], "hidden") {
+		t.Fatalf("echo-off leaked input: %q", out.String()[before:])
+	}
+	term.TurnEchoOn()
+	if !term.Echo() {
+		t.Fatal("echo not restored")
+	}
+}
+
+func TestReadPasswordDisablesEchoAndRestores(t *testing.T) {
+	term, out := newTerm("s3cr3t\n")
+	pw, err := term.ReadPassword("Password: ")
+	if err != nil || pw != "s3cr3t" {
+		t.Fatalf("pw = %q, %v", pw, err)
+	}
+	if strings.Contains(out.String(), "s3cr3t") {
+		t.Fatalf("password echoed: %q", out.String())
+	}
+	if !strings.Contains(out.String(), "Password: ") {
+		t.Fatal("prompt not printed")
+	}
+	if !term.Echo() {
+		t.Fatal("echo not restored after password read")
+	}
+}
+
+func TestReadStringPromptAndHistory(t *testing.T) {
+	term, out := newTerm("ls /tmp\ncat f\n")
+	line, err := term.ReadString("$ ")
+	if err != nil || line != "ls /tmp" {
+		t.Fatalf("line = %q, %v", line, err)
+	}
+	if !strings.Contains(out.String(), "$ ") {
+		t.Fatal("prompt not written")
+	}
+	if _, err := term.ReadString("$ "); err != nil {
+		t.Fatal(err)
+	}
+	hist := term.History()
+	if len(hist) != 2 || hist[0] != "ls /tmp" || hist[1] != "cat f" {
+		t.Fatalf("history = %v", hist)
+	}
+}
+
+func TestHistoryExpansion(t *testing.T) {
+	term, _ := newTerm("ls /tmp\ncat f\n!!\n!1\n!ca\n")
+	want := []string{"ls /tmp", "cat f", "cat f", "ls /tmp", "cat f"}
+	for i, w := range want {
+		got, err := term.ReadString("> ")
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if got != w {
+			t.Fatalf("read %d = %q, want %q", i, got, w)
+		}
+	}
+	// All five (expanded) commands are in the history.
+	if len(term.History()) != 5 {
+		t.Fatalf("history = %v", term.History())
+	}
+}
+
+func TestHistoryExpansionErrors(t *testing.T) {
+	term, _ := newTerm("!!\n")
+	if _, err := term.ReadString(""); !errors.Is(err, ErrBadHistoryRef) {
+		t.Fatalf("!! on empty history: %v", err)
+	}
+	term2, _ := newTerm("ok\n!99\n!zzz\n")
+	if _, err := term2.ReadString(""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := term2.ReadString(""); !errors.Is(err, ErrBadHistoryRef) {
+		t.Fatalf("!99: %v", err)
+	}
+	if _, err := term2.ReadString(""); !errors.Is(err, ErrBadHistoryRef) {
+		t.Fatalf("!zzz: %v", err)
+	}
+}
+
+func TestHistoryBounded(t *testing.T) {
+	var input strings.Builder
+	for i := 0; i < DefaultHistorySize+50; i++ {
+		input.WriteString("cmd\n")
+	}
+	term, _ := newTerm(input.String())
+	for i := 0; i < DefaultHistorySize+50; i++ {
+		if _, err := term.ReadString(""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(term.History()); got != DefaultHistorySize {
+		t.Fatalf("history size = %d, want %d", got, DefaultHistorySize)
+	}
+}
+
+func TestBlankLinesNotRecorded(t *testing.T) {
+	term, _ := newTerm("\n   \nreal\n")
+	for i := 0; i < 3; i++ {
+		if _, err := term.ReadString(""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hist := term.History()
+	if len(hist) != 1 || hist[0] != "real" {
+		t.Fatalf("history = %v", hist)
+	}
+}
+
+func TestWriteAndWriter(t *testing.T) {
+	term, out := newTerm("")
+	if err := term.WriteString("drawn"); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := term.Write([]byte("+more")); err != nil || n != 5 {
+		t.Fatalf("write = %d, %v", n, err)
+	}
+	if out.String() != "drawn+more" {
+		t.Fatalf("out = %q", out.String())
+	}
+}
+
+func TestClosedTerminal(t *testing.T) {
+	term, _ := newTerm("data\n")
+	term.Close()
+	if _, err := term.ReadLine(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("read after close: %v", err)
+	}
+	if err := term.WriteString("x"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("write after close: %v", err)
+	}
+}

@@ -1,0 +1,263 @@
+// Package user implements the user subsystem of the multi-user
+// platform: named users with salted password hashes, an authentication
+// API for the login program (Section 5.2 of the paper), and
+// persistence of the account database to the virtual filesystem in an
+// /etc/passwd-like format.
+package user
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Errors returned by the user database.
+var (
+	// ErrUnknownUser is returned when the named user does not exist.
+	ErrUnknownUser = errors.New("user: unknown user")
+
+	// ErrBadPassword is returned when authentication fails.
+	ErrBadPassword = errors.New("user: authentication failed")
+
+	// ErrExists is returned when adding a user that already exists.
+	ErrExists = errors.New("user: user already exists")
+
+	// ErrMalformed is returned when parsing a corrupt passwd file.
+	ErrMalformed = errors.New("user: malformed passwd entry")
+)
+
+// Nobody is the unauthenticated bootstrap user: the "null user for
+// bootstrapping purposes" the paper mentions — the login program runs
+// as nobody and, having the setUser privilege, becomes the
+// authenticated user.
+const Nobody = "nobody"
+
+// Root is the administrative user.
+const Root = "root"
+
+// User describes an account.
+type User struct {
+	// Name is the login name.
+	Name string
+	// UID is a small numeric id.
+	UID int
+	// Home is the user's home directory.
+	Home string
+	// Shell is the program started at login.
+	Shell string
+}
+
+// String implements fmt.Stringer.
+func (u *User) String() string {
+	return fmt.Sprintf("%s(uid=%d home=%s)", u.Name, u.UID, u.Home)
+}
+
+// record is a stored account: user info plus credentials.
+type record struct {
+	user User
+	salt []byte
+	hash []byte
+}
+
+// DB is a thread-safe account database.
+type DB struct {
+	mu      sync.RWMutex
+	records map[string]*record
+	nextUID int
+	// saltSource allows deterministic salts in tests.
+	saltSource func([]byte) error
+}
+
+// NewDB returns an empty account database.
+func NewDB() *DB {
+	return &DB{
+		records: make(map[string]*record),
+		nextUID: 1000,
+		saltSource: func(b []byte) error {
+			_, err := rand.Read(b)
+			return err
+		},
+	}
+}
+
+// hashPassword derives the stored hash from salt and password.
+func hashPassword(salt []byte, password string) []byte {
+	h := sha256.New()
+	h.Write(salt)
+	h.Write([]byte(password))
+	return h.Sum(nil)
+}
+
+// Add creates an account. UID is assigned automatically (root gets 0).
+func (db *DB) Add(name, password, home, shell string) (*User, error) {
+	if name == "" || strings.ContainsAny(name, ":\n") {
+		return nil, fmt.Errorf("%w: invalid name %q", ErrMalformed, name)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.records[name]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrExists, name)
+	}
+	salt := make([]byte, 8)
+	if err := db.saltSource(salt); err != nil {
+		return nil, fmt.Errorf("user: generate salt: %w", err)
+	}
+	uid := db.nextUID
+	if name == Root {
+		uid = 0
+	} else {
+		db.nextUID++
+	}
+	if home == "" {
+		home = "/home/" + name
+	}
+	if shell == "" {
+		shell = "sh"
+	}
+	rec := &record{
+		user: User{Name: name, UID: uid, Home: home, Shell: shell},
+		salt: salt,
+		hash: hashPassword(salt, password),
+	}
+	db.records[name] = rec
+	u := rec.user
+	return &u, nil
+}
+
+// Remove deletes an account.
+func (db *DB) Remove(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.records[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownUser, name)
+	}
+	delete(db.records, name)
+	return nil
+}
+
+// Lookup returns the account with the given name.
+func (db *DB) Lookup(name string) (*User, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	rec, ok := db.records[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownUser, name)
+	}
+	u := rec.user
+	return &u, nil
+}
+
+// Names returns all account names, sorted.
+func (db *DB) Names() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.records))
+	for n := range db.records {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Authenticate verifies a name/password pair and returns the account.
+// It performs a constant-time comparison of the derived hash.
+func (db *DB) Authenticate(name, password string) (*User, error) {
+	db.mu.RLock()
+	rec, ok := db.records[name]
+	db.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownUser, name)
+	}
+	got := hashPassword(rec.salt, password)
+	if subtle.ConstantTimeCompare(got, rec.hash) != 1 {
+		return nil, fmt.Errorf("%w: %s", ErrBadPassword, name)
+	}
+	u := rec.user
+	return &u, nil
+}
+
+// SetPassword replaces an account's password.
+func (db *DB) SetPassword(name, password string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	rec, ok := db.records[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownUser, name)
+	}
+	salt := make([]byte, 8)
+	if err := db.saltSource(salt); err != nil {
+		return fmt.Errorf("user: generate salt: %w", err)
+	}
+	rec.salt = salt
+	rec.hash = hashPassword(salt, password)
+	return nil
+}
+
+// Serialize renders the database in passwd format:
+//
+//	name:salthex:hashhex:uid:home:shell
+func (db *DB) Serialize() string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.records))
+	for n := range db.records {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		rec := db.records[n]
+		fmt.Fprintf(&b, "%s:%s:%s:%d:%s:%s\n",
+			rec.user.Name,
+			hex.EncodeToString(rec.salt),
+			hex.EncodeToString(rec.hash),
+			rec.user.UID,
+			rec.user.Home,
+			rec.user.Shell,
+		)
+	}
+	return b.String()
+}
+
+// Parse loads a database from passwd format.
+func Parse(text string) (*DB, error) {
+	db := NewDB()
+	for lineNo, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, ":")
+		if len(parts) != 6 {
+			return nil, fmt.Errorf("%w: line %d", ErrMalformed, lineNo+1)
+		}
+		salt, err := hex.DecodeString(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: bad salt", ErrMalformed, lineNo+1)
+		}
+		hash, err := hex.DecodeString(parts[2])
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: bad hash", ErrMalformed, lineNo+1)
+		}
+		uid, err := strconv.Atoi(parts[3])
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: bad uid", ErrMalformed, lineNo+1)
+		}
+		db.records[parts[0]] = &record{
+			user: User{Name: parts[0], UID: uid, Home: parts[4], Shell: parts[5]},
+			salt: salt,
+			hash: hash,
+		}
+		if uid >= db.nextUID {
+			db.nextUID = uid + 1
+		}
+	}
+	return db, nil
+}

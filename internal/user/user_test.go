@@ -1,0 +1,187 @@
+package user
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func testDB(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB()
+	for _, acc := range []struct{ name, pass string }{
+		{"root", "toor"},
+		{"alice", "wonderland"},
+		{"bob", "builder"},
+	} {
+		if _, err := db.Add(acc.name, acc.pass, "", ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestAddAssignsDefaults(t *testing.T) {
+	db := testDB(t)
+	alice, err := db.Lookup("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alice.Home != "/home/alice" || alice.Shell != "sh" {
+		t.Fatalf("alice = %+v", alice)
+	}
+	root, err := db.Lookup("root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.UID != 0 {
+		t.Fatalf("root uid = %d, want 0", root.UID)
+	}
+	if alice.UID == 0 {
+		t.Fatal("non-root got uid 0")
+	}
+	bob, _ := db.Lookup("bob")
+	if bob.UID == alice.UID {
+		t.Fatal("duplicate uids")
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	db := testDB(t)
+	if _, err := db.Add("alice", "x", "", ""); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate add: %v", err)
+	}
+	for _, bad := range []string{"", "with:colon", "with\nnewline"} {
+		if _, err := db.Add(bad, "x", "", ""); !errors.Is(err, ErrMalformed) {
+			t.Fatalf("bad name %q: %v", bad, err)
+		}
+	}
+}
+
+func TestAuthenticate(t *testing.T) {
+	db := testDB(t)
+	u, err := db.Authenticate("alice", "wonderland")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Name != "alice" {
+		t.Fatalf("user = %v", u)
+	}
+	if _, err := db.Authenticate("alice", "wrong"); !errors.Is(err, ErrBadPassword) {
+		t.Fatalf("wrong password: %v", err)
+	}
+	if _, err := db.Authenticate("mallory", "x"); !errors.Is(err, ErrUnknownUser) {
+		t.Fatalf("unknown user: %v", err)
+	}
+	if _, err := db.Authenticate("alice", ""); !errors.Is(err, ErrBadPassword) {
+		t.Fatalf("empty password: %v", err)
+	}
+}
+
+func TestSetPassword(t *testing.T) {
+	db := testDB(t)
+	if err := db.SetPassword("alice", "newpass"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Authenticate("alice", "wonderland"); !errors.Is(err, ErrBadPassword) {
+		t.Fatal("old password still works")
+	}
+	if _, err := db.Authenticate("alice", "newpass"); err != nil {
+		t.Fatalf("new password rejected: %v", err)
+	}
+	if err := db.SetPassword("ghost", "x"); !errors.Is(err, ErrUnknownUser) {
+		t.Fatalf("set password on ghost: %v", err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	db := testDB(t)
+	if err := db.Remove("bob"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Lookup("bob"); !errors.Is(err, ErrUnknownUser) {
+		t.Fatal("bob still present")
+	}
+	if err := db.Remove("bob"); !errors.Is(err, ErrUnknownUser) {
+		t.Fatalf("double remove: %v", err)
+	}
+}
+
+func TestSaltsDiffer(t *testing.T) {
+	db := NewDB()
+	if _, err := db.Add("u1", "same", "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Add("u2", "same", "", ""); err != nil {
+		t.Fatal(err)
+	}
+	r1, r2 := db.records["u1"], db.records["u2"]
+	if string(r1.hash) == string(r2.hash) {
+		t.Fatal("same password must hash differently under different salts")
+	}
+}
+
+func TestSerializeParseRoundtrip(t *testing.T) {
+	db := testDB(t)
+	text := db.Serialize()
+	re, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(re.Names(), ",") != strings.Join(db.Names(), ",") {
+		t.Fatalf("names differ: %v vs %v", re.Names(), db.Names())
+	}
+	// Credentials survive the roundtrip.
+	if _, err := re.Authenticate("alice", "wonderland"); err != nil {
+		t.Fatalf("post-roundtrip auth: %v", err)
+	}
+	if _, err := re.Authenticate("alice", "bad"); !errors.Is(err, ErrBadPassword) {
+		t.Fatal("post-roundtrip auth accepts bad password")
+	}
+	// New accounts get fresh uids beyond the parsed ones.
+	u, err := re.Add("carol", "x", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, _ := re.Lookup("alice")
+	bob, _ := re.Lookup("bob")
+	if u.UID <= alice.UID || u.UID <= bob.UID {
+		t.Fatalf("new uid %d not beyond existing", u.UID)
+	}
+}
+
+func TestParseTolerantOfCommentsAndBlanks(t *testing.T) {
+	db := testDB(t)
+	text := "# passwd file\n\n" + db.Serialize() + "\n# trailing comment\n"
+	re, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(re.Names()) != 3 {
+		t.Fatalf("names = %v", re.Names())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct{ name, text string }{
+		{"wrong field count", "alice:xx:yy\n"},
+		{"bad salt hex", "alice:zz:00:1:/h:/s\n"},
+		{"bad hash hex", "alice:00:zz:1:/h:/s\n"},
+		{"bad uid", "alice:00:00:NaN:/h:/s\n"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Parse(tc.text); !errors.Is(err, ErrMalformed) {
+				t.Fatalf("err = %v", err)
+			}
+		})
+	}
+}
+
+func TestUserStringer(t *testing.T) {
+	u := &User{Name: "alice", UID: 1000, Home: "/home/alice"}
+	s := u.String()
+	if !strings.Contains(s, "alice") || !strings.Contains(s, "1000") {
+		t.Fatalf("string = %q", s)
+	}
+}

@@ -1,0 +1,215 @@
+package vfs
+
+import (
+	"io"
+	"sync"
+)
+
+// OpenFlag selects how a file is opened.
+type OpenFlag int
+
+// Open flags, combinable with bitwise OR.
+const (
+	// OpenRead opens for reading.
+	OpenRead OpenFlag = 1 << iota
+	// OpenWrite opens for writing.
+	OpenWrite
+	// OpenCreate creates the file if it does not exist.
+	OpenCreate
+	// OpenTrunc truncates the file on open.
+	OpenTrunc
+	// OpenAppend positions every write at the end of the file.
+	OpenAppend
+	// OpenExcl, with OpenCreate, fails if the file already exists.
+	OpenExcl
+)
+
+// Handle is an open file. It implements io.Reader, io.Writer, io.Seeker
+// and io.Closer. Handles are safe for concurrent use.
+type Handle struct {
+	fs    *FS
+	node  *inode
+	path  string
+	flags OpenFlag
+
+	mu     sync.Mutex
+	offset int64
+	closed bool
+}
+
+var (
+	_ io.ReadWriteSeeker = (*Handle)(nil)
+	_ io.Closer          = (*Handle)(nil)
+)
+
+// Open opens an existing file (or, with OpenCreate, creates it with
+// mode rw-r--r--).
+func (fs *FS) Open(user, path string, flags OpenFlag) (*Handle, error) {
+	return fs.OpenFile(user, path, flags, 0o644)
+}
+
+// OpenFile opens path with the given flags, creating it with mode if
+// OpenCreate is set and the file does not exist.
+func (fs *FS) OpenFile(user, path string, flags OpenFlag, mode Mode) (*Handle, error) {
+	path, err := normalize(path)
+	if err != nil {
+		return nil, &Error{Op: "open", Path: path, Err: err}
+	}
+	if flags&(OpenRead|OpenWrite) == 0 {
+		return nil, &Error{Op: "open", Path: path, Err: ErrInvalid}
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+
+	dir, name, err := fs.lookupParent(user, path, "open")
+	if err != nil {
+		return nil, err
+	}
+	n, exists := dir.children[name]
+	switch {
+	case !exists && flags&OpenCreate == 0:
+		return nil, &Error{Op: "open", Path: path, Err: ErrNotExist}
+	case !exists:
+		if !dir.allows(user, accessWrite) || !dir.allows(user, accessExec) {
+			return nil, &Error{Op: "open", Path: path, Err: ErrPermission}
+		}
+		n = &inode{name: name, mode: mode & 0o777, owner: user, mtime: fs.now()}
+		dir.children[name] = n
+		dir.mtime = fs.now()
+	case flags&OpenExcl != 0 && flags&OpenCreate != 0:
+		return nil, &Error{Op: "open", Path: path, Err: ErrExist}
+	}
+	if n.dir {
+		if flags&OpenWrite != 0 {
+			return nil, &Error{Op: "open", Path: path, Err: ErrIsDir}
+		}
+		return nil, &Error{Op: "open", Path: path, Err: ErrIsDir}
+	}
+	if flags&OpenRead != 0 && !n.allows(user, accessRead) {
+		return nil, &Error{Op: "open", Path: path, Err: ErrPermission}
+	}
+	if flags&OpenWrite != 0 && !n.allows(user, accessWrite) {
+		return nil, &Error{Op: "open", Path: path, Err: ErrPermission}
+	}
+	if flags&OpenTrunc != 0 && flags&OpenWrite != 0 {
+		n.data = nil
+		n.mtime = fs.now()
+	}
+	n.nlink++
+	return &Handle{fs: fs, node: n, path: path, flags: flags}, nil
+}
+
+// Path returns the path the handle was opened with.
+func (h *Handle) Path() string { return h.path }
+
+// Read implements io.Reader.
+func (h *Handle) Read(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return 0, &Error{Op: "read", Path: h.path, Err: ErrClosed}
+	}
+	if h.flags&OpenRead == 0 {
+		return 0, &Error{Op: "read", Path: h.path, Err: ErrWriteOnly}
+	}
+	h.fs.mu.RLock()
+	defer h.fs.mu.RUnlock()
+	if h.offset >= int64(len(h.node.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.node.data[h.offset:])
+	h.offset += int64(n)
+	return n, nil
+}
+
+// Write implements io.Writer.
+func (h *Handle) Write(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return 0, &Error{Op: "write", Path: h.path, Err: ErrClosed}
+	}
+	if h.flags&OpenWrite == 0 {
+		return 0, &Error{Op: "write", Path: h.path, Err: ErrReadOnly}
+	}
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.flags&OpenAppend != 0 {
+		h.offset = int64(len(h.node.data))
+	}
+	end := h.offset + int64(len(p))
+	if end > int64(len(h.node.data)) {
+		grown := make([]byte, end)
+		copy(grown, h.node.data)
+		h.node.data = grown
+	}
+	copy(h.node.data[h.offset:end], p)
+	h.offset = end
+	h.node.mtime = h.fs.now()
+	return len(p), nil
+}
+
+// Seek implements io.Seeker.
+func (h *Handle) Seek(offset int64, whence int) (int64, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return 0, &Error{Op: "seek", Path: h.path, Err: ErrClosed}
+	}
+	h.fs.mu.RLock()
+	size := int64(len(h.node.data))
+	h.fs.mu.RUnlock()
+	var abs int64
+	switch whence {
+	case io.SeekStart:
+		abs = offset
+	case io.SeekCurrent:
+		abs = h.offset + offset
+	case io.SeekEnd:
+		abs = size + offset
+	default:
+		return 0, &Error{Op: "seek", Path: h.path, Err: ErrInvalid}
+	}
+	if abs < 0 {
+		return 0, &Error{Op: "seek", Path: h.path, Err: ErrInvalid}
+	}
+	h.offset = abs
+	return abs, nil
+}
+
+// Close implements io.Closer. Closing twice returns ErrClosed.
+func (h *Handle) Close() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return &Error{Op: "close", Path: h.path, Err: ErrClosed}
+	}
+	h.closed = true
+	h.fs.mu.Lock()
+	h.node.nlink--
+	h.fs.mu.Unlock()
+	return nil
+}
+
+// Size returns the file's current size.
+func (h *Handle) Size() int64 {
+	h.fs.mu.RLock()
+	defer h.fs.mu.RUnlock()
+	return int64(len(h.node.data))
+}
+
+// readAll reads the remainder of the file.
+func (h *Handle) readAll() ([]byte, error) {
+	var out []byte
+	buf := make([]byte, 4096)
+	for {
+		n, err := h.Read(buf)
+		out = append(out, buf[:n]...)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package vfs
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests on filesystem invariants, driven by random
+// operation sequences from a tiny path alphabet (so collisions and
+// deep nesting are common).
+
+var quickCfg = &quick.Config{MaxCount: 200}
+
+// genName picks a short name from {a,b,c}.
+func genName(r *rand.Rand) string {
+	return string(rune('a' + r.Intn(3)))
+}
+
+// genPath builds /seg{1..3} paths.
+func genPath(r *rand.Rand) string {
+	n := r.Intn(3) + 1
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = genName(r)
+	}
+	return "/" + strings.Join(parts, "/")
+}
+
+// TestQuickWriteReadRoundtrip: whatever WriteFile accepts, ReadFile
+// returns verbatim (as root, so permissions never interfere).
+func TestQuickWriteReadRoundtrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		fs := New()
+		for i := 0; i < 20; i++ {
+			p := genPath(r)
+			data := make([]byte, r.Intn(256))
+			r.Read(data)
+			if err := fs.MkdirAll(Root, parentOf(p), 0o755); err != nil {
+				continue // an ancestor is a file: skip this path
+			}
+			if err := fs.WriteFile(Root, p, data, 0o644); err != nil {
+				// Writing over a directory is legitimately refused.
+				if errors.Is(err, ErrIsDir) || errors.Is(err, ErrNotDir) {
+					continue
+				}
+				t.Logf("write %s: %v", p, err)
+				return false
+			}
+			got, err := fs.ReadFile(Root, p)
+			if err != nil || string(got) != string(data) {
+				t.Logf("read %s: %q vs %q, %v", p, got, data, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func parentOf(p string) string {
+	i := strings.LastIndex(p, "/")
+	if i <= 0 {
+		return "/"
+	}
+	return p[:i]
+}
+
+// TestQuickRemoveInvertsCreate: after Remove succeeds the path is gone
+// and a second Remove reports ErrNotExist.
+func TestQuickRemoveInvertsCreate(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		fs := New()
+		p := genPath(r)
+		if err := fs.MkdirAll(Root, parentOf(p), 0o755); err != nil {
+			return false
+		}
+		if err := fs.WriteFile(Root, p, []byte("x"), 0o644); err != nil {
+			return true // p collided with a directory: skip
+		}
+		if err := fs.Remove(Root, p); err != nil {
+			return false
+		}
+		if fs.Exists(Root, p) {
+			return false
+		}
+		return errors.Is(fs.Remove(Root, p), ErrNotExist)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickWalkCountsMatchCreates: Walk visits exactly the nodes that
+// were created (plus the root and intermediate directories).
+func TestQuickWalkCountsMatchCreates(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		fs := New()
+		want := map[string]bool{"/": true}
+		for i := 0; i < 15; i++ {
+			p := genPath(r)
+			if err := fs.MkdirAll(Root, parentOf(p), 0o755); err != nil {
+				continue // an ancestor is a file: skip this path
+			}
+			if err := fs.WriteFile(Root, p, nil, 0o644); err != nil {
+				continue
+			}
+			// Record p and every ancestor.
+			for cur := p; cur != "/"; cur = parentOf(cur) {
+				want[cur] = true
+			}
+		}
+		seen := map[string]bool{}
+		if err := fs.Walk("/", func(p string, info FileInfo) error {
+			seen[p] = true
+			return nil
+		}); err != nil {
+			return false
+		}
+		if len(seen) != len(want) {
+			t.Logf("seen %v want %v", seen, want)
+			return false
+		}
+		for p := range want {
+			if !seen[p] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPermissionMonotone: widening a file's mode never turns an
+// allowed access into a denial.
+func TestQuickPermissionMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		fs := New()
+		if err := fs.WriteFile(Root, "/f", []byte("x"), Mode(r.Intn(0o1000))); err != nil {
+			return false
+		}
+		user := "mallory"
+		_, errBefore := fs.ReadFile(user, "/f")
+		// Widen to full access.
+		if err := fs.Chmod(Root, "/f", 0o777); err != nil {
+			return false
+		}
+		_, errAfter := fs.ReadFile(user, "/f")
+		if errBefore == nil && errAfter != nil {
+			return false
+		}
+		return errAfter == nil
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRenamePreservesContent: rename never alters file bytes.
+func TestQuickRenamePreservesContent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		fs := New()
+		data := make([]byte, r.Intn(128))
+		r.Read(data)
+		if err := fs.WriteFile(Root, "/src", data, 0o644); err != nil {
+			return false
+		}
+		if err := fs.Rename(Root, "/src", "/dst"); err != nil {
+			return false
+		}
+		got, err := fs.ReadFile(Root, "/dst")
+		return err == nil && string(got) == string(data) && !fs.Exists(Root, "/src")
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}

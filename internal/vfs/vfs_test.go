@@ -1,0 +1,456 @@
+package vfs
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// newWorld builds a filesystem with the standard skeleton used by the
+// platform: /etc, /tmp (world-writable), /home/alice, /home/bob.
+func newWorld(t *testing.T) *FS {
+	t.Helper()
+	fs := New()
+	mustRun := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustRun(fs.Mkdir(Root, "/etc", 0o755))
+	mustRun(fs.Mkdir(Root, "/tmp", 0o777))
+	mustRun(fs.MkdirAll(Root, "/home/alice", 0o755))
+	mustRun(fs.MkdirAll(Root, "/home/bob", 0o755))
+	mustRun(fs.Chown(Root, "/home/alice", "alice"))
+	mustRun(fs.Chown(Root, "/home/bob", "bob"))
+	mustRun(fs.Chmod(Root, "/home/alice", 0o700))
+	mustRun(fs.Chmod(Root, "/home/bob", 0o700))
+	return fs
+}
+
+func TestMkdirAndStat(t *testing.T) {
+	fs := newWorld(t)
+	info, err := fs.Stat(Root, "/home/alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.IsDir || info.Owner != "alice" || info.Mode != 0o700 {
+		t.Fatalf("info = %+v", info)
+	}
+	if _, err := fs.Stat(Root, "/nope"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("stat missing: %v", err)
+	}
+	if err := fs.Mkdir(Root, "/etc", 0o755); !errors.Is(err, ErrExist) {
+		t.Fatalf("mkdir existing: %v", err)
+	}
+	if err := fs.Mkdir(Root, "relative", 0o755); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("relative path: %v", err)
+	}
+}
+
+func TestWriteReadRoundtrip(t *testing.T) {
+	fs := newWorld(t)
+	data := []byte("hello, multi-processing world\n")
+	if err := fs.WriteFile("alice", "/home/alice/hello.txt", data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("alice", "/home/alice/hello.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(data) {
+		t.Fatalf("roundtrip = %q", got)
+	}
+	info, err := fs.Stat("alice", "/home/alice/hello.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size != int64(len(data)) || info.Owner != "alice" {
+		t.Fatalf("info = %+v", info)
+	}
+}
+
+func TestUnixPermissionMatrix(t *testing.T) {
+	fs := newWorld(t)
+	if err := fs.WriteFile("alice", "/home/alice/secret", []byte("s3cr3t"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("alice", "/tmp/public", []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	tests := []struct {
+		name string
+		op   func() error
+		deny bool
+	}{
+		{"owner reads own 0600 file", func() error { _, e := fs.ReadFile("alice", "/home/alice/secret"); return e }, false},
+		{"other cannot traverse 0700 home", func() error { _, e := fs.ReadFile("bob", "/home/alice/secret"); return e }, true},
+		{"other reads 0644 in /tmp", func() error { _, e := fs.ReadFile("bob", "/tmp/public"); return e }, false},
+		{"other cannot write 0644 file", func() error { return fs.WriteFile("bob", "/tmp/public", []byte("x"), 0o644) }, true},
+		{"other cannot create in 0755 dir", func() error { return fs.WriteFile("bob", "/etc/evil", nil, 0o644) }, true},
+		{"anyone creates in 0777 /tmp", func() error { return fs.WriteFile("bob", "/tmp/bob.txt", nil, 0o644) }, false},
+		{"root reads anything", func() error { _, e := fs.ReadFile(Root, "/home/alice/secret"); return e }, false},
+		{"root writes anywhere", func() error { return fs.WriteFile(Root, "/etc/passwd", []byte("x"), 0o644) }, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.op()
+			if tc.deny && !errors.Is(err, ErrPermission) {
+				t.Fatalf("want permission denial, got %v", err)
+			}
+			if !tc.deny && err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+		})
+	}
+}
+
+// TestHiddenTreeReadsAsNotExist mirrors the paper's Feature 3
+// observation: a file beneath an untraversable directory is
+// indistinguishable from a missing one at the permission layer... but
+// in Unix the traversal failure is EACCES; what matters is that the
+// error is a permission error on the directory, not ErrNotExist on the
+// file, and Exists() reports false.
+func TestHiddenTreeReadsAsNotExist(t *testing.T) {
+	fs := newWorld(t)
+	if err := fs.WriteFile("alice", "/home/alice/x", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("bob", "/home/alice/x") {
+		t.Fatal("bob should not see into alice's 0700 home")
+	}
+	if !fs.Exists("alice", "/home/alice/x") {
+		t.Fatal("alice should see her own file")
+	}
+}
+
+func TestReadDirSortedAndGuarded(t *testing.T) {
+	fs := newWorld(t)
+	for _, f := range []string{"c", "a", "b"} {
+		if err := fs.WriteFile("alice", "/home/alice/"+f, nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	infos, err := fs.ReadDir("alice", "/home/alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, len(infos))
+	for i, fi := range infos {
+		names[i] = fi.Name
+	}
+	if strings.Join(names, ",") != "a,b,c" {
+		t.Fatalf("names = %v", names)
+	}
+	if _, err := fs.ReadDir("bob", "/home/alice"); !errors.Is(err, ErrPermission) {
+		t.Fatalf("bob listing alice home: %v", err)
+	}
+	if _, err := fs.ReadDir("alice", "/home/alice/a"); !errors.Is(err, ErrNotDir) {
+		t.Fatalf("readdir on file: %v", err)
+	}
+}
+
+func TestRemoveSemantics(t *testing.T) {
+	fs := newWorld(t)
+	if err := fs.WriteFile("alice", "/home/alice/x", nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("bob", "/home/alice/x"); !errors.Is(err, ErrPermission) {
+		t.Fatalf("bob removing alice's file: %v", err)
+	}
+	if err := fs.Remove("alice", "/home/alice/x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("alice", "/home/alice/x"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("double remove: %v", err)
+	}
+	if err := fs.Mkdir("alice", "/home/alice/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("alice", "/home/alice/d/f", nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("alice", "/home/alice/d"); !errors.Is(err, ErrNotEmpty) {
+		t.Fatalf("remove non-empty dir: %v", err)
+	}
+	if err := fs.Remove("alice", "/home/alice/d/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("alice", "/home/alice/d"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenameSemantics(t *testing.T) {
+	fs := newWorld(t)
+	if err := fs.WriteFile("alice", "/home/alice/a", []byte("data"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("alice", "/home/alice/a", "/home/alice/b"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("alice", "/home/alice/a") {
+		t.Fatal("source still exists after rename")
+	}
+	got, err := fs.ReadFile("alice", "/home/alice/b")
+	if err != nil || string(got) != "data" {
+		t.Fatalf("renamed content = %q, %v", got, err)
+	}
+	// Cross-user rename denied.
+	if err := fs.Rename("bob", "/home/alice/b", "/tmp/stolen"); !errors.Is(err, ErrPermission) {
+		t.Fatalf("cross-user rename: %v", err)
+	}
+	// Rename into own subtree is invalid.
+	if err := fs.Mkdir("alice", "/home/alice/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("alice", "/home/alice/d", "/home/alice/d/sub"); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("rename into self: %v", err)
+	}
+	// Rename over an existing file replaces it.
+	if err := fs.WriteFile("alice", "/home/alice/c", []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("alice", "/home/alice/b", "/home/alice/c"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = fs.ReadFile("alice", "/home/alice/c")
+	if string(got) != "data" {
+		t.Fatalf("replaced content = %q", got)
+	}
+}
+
+func TestChmodChownRules(t *testing.T) {
+	fs := newWorld(t)
+	if err := fs.WriteFile("alice", "/tmp/f", nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Chmod("bob", "/tmp/f", 0o777); !errors.Is(err, ErrPermission) {
+		t.Fatalf("non-owner chmod: %v", err)
+	}
+	if err := fs.Chmod("alice", "/tmp/f", 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Chown("alice", "/tmp/f", "bob"); !errors.Is(err, ErrPermission) {
+		t.Fatalf("non-root chown: %v", err)
+	}
+	if err := fs.Chown(Root, "/tmp/f", "bob"); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := fs.Stat(Root, "/tmp/f")
+	if info.Owner != "bob" || info.Mode != 0o600 {
+		t.Fatalf("info = %+v", info)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	tests := []struct {
+		mode Mode
+		want string
+	}{
+		{0o755, "rwxr-xr-x"},
+		{0o600, "rw-------"},
+		{0o777, "rwxrwxrwx"},
+		{0, "---------"},
+	}
+	for _, tc := range tests {
+		if got := tc.mode.String(); got != tc.want {
+			t.Errorf("Mode(%o) = %q, want %q", tc.mode, got, tc.want)
+		}
+	}
+}
+
+func TestWalk(t *testing.T) {
+	fs := newWorld(t)
+	if err := fs.WriteFile(Root, "/etc/passwd", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	err := fs.Walk("/", func(p string, info FileInfo) error {
+		paths = append(paths, p)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(paths, " ")
+	for _, want := range []string{"/", "/etc", "/etc/passwd", "/home/alice", "/tmp"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("walk missing %s in %v", want, paths)
+		}
+	}
+	// Early termination propagates.
+	sentinel := errors.New("stop")
+	err = fs.Walk("/", func(p string, info FileInfo) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("walk err = %v", err)
+	}
+}
+
+func TestErrorFormatting(t *testing.T) {
+	fs := newWorld(t)
+	_, err := fs.ReadFile("bob", "/home/alice/x")
+	var pe *Error
+	if !errors.As(err, &pe) {
+		t.Fatalf("error type %T", err)
+	}
+	if pe.Path == "" || pe.Op == "" || !strings.Contains(pe.Error(), "permission denied") {
+		t.Fatalf("error = %v", pe)
+	}
+}
+
+func TestHandleReadWriteSeek(t *testing.T) {
+	fs := newWorld(t)
+	h, err := fs.OpenFile("alice", "/tmp/seek", OpenRead|OpenWrite|OpenCreate, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = h.Close() }()
+	if _, err := h.Write([]byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Seek(2, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 3)
+	if n, err := h.Read(buf); err != nil || n != 3 || string(buf) != "234" {
+		t.Fatalf("read = %q n=%d err=%v", buf, n, err)
+	}
+	if pos, err := h.Seek(-2, io.SeekEnd); err != nil || pos != 8 {
+		t.Fatalf("seek end = %d, %v", pos, err)
+	}
+	if pos, err := h.Seek(1, io.SeekCurrent); err != nil || pos != 9 {
+		t.Fatalf("seek current = %d, %v", pos, err)
+	}
+	if _, err := h.Seek(-100, io.SeekStart); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("negative seek: %v", err)
+	}
+	if _, err := h.Seek(0, 42); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("bad whence: %v", err)
+	}
+	// Overwrite in the middle.
+	if _, err := h.Seek(0, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte("AB")); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := fs.ReadFile("alice", "/tmp/seek")
+	if string(data) != "AB23456789" {
+		t.Fatalf("after overwrite = %q", data)
+	}
+	if h.Size() != 10 {
+		t.Fatalf("size = %d", h.Size())
+	}
+}
+
+func TestHandleFlagsEnforced(t *testing.T) {
+	fs := newWorld(t)
+	if err := fs.WriteFile("alice", "/tmp/f", []byte("x"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	ro, err := fs.Open("alice", "/tmp/f", OpenRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ro.Write([]byte("y")); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("write to read-only: %v", err)
+	}
+	_ = ro.Close()
+	wo, err := fs.Open("alice", "/tmp/f", OpenWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wo.Read(make([]byte, 1)); !errors.Is(err, ErrWriteOnly) {
+		t.Fatalf("read from write-only: %v", err)
+	}
+	_ = wo.Close()
+	if _, err := fs.Open("alice", "/tmp/f", 0); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("openless flags: %v", err)
+	}
+}
+
+func TestOpenAppendAndTruncAndExcl(t *testing.T) {
+	fs := newWorld(t)
+	if err := fs.WriteFile("alice", "/tmp/log", []byte("one\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	a, err := fs.Open("alice", "/tmp/log", OpenWrite|OpenAppend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Write([]byte("two\n")); err != nil {
+		t.Fatal(err)
+	}
+	_ = a.Close()
+	data, _ := fs.ReadFile("alice", "/tmp/log")
+	if string(data) != "one\ntwo\n" {
+		t.Fatalf("append result = %q", data)
+	}
+
+	tr, err := fs.Open("alice", "/tmp/log", OpenWrite|OpenTrunc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = tr.Close()
+	data, _ = fs.ReadFile("alice", "/tmp/log")
+	if len(data) != 0 {
+		t.Fatalf("after trunc = %q", data)
+	}
+
+	if _, err := fs.OpenFile("alice", "/tmp/log", OpenWrite|OpenCreate|OpenExcl, 0o644); !errors.Is(err, ErrExist) {
+		t.Fatalf("excl on existing: %v", err)
+	}
+}
+
+func TestHandleCloseSemantics(t *testing.T) {
+	fs := newWorld(t)
+	h, err := fs.OpenFile("alice", "/tmp/c", OpenRead|OpenWrite|OpenCreate, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("double close: %v", err)
+	}
+	if _, err := h.Read(make([]byte, 1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("read after close: %v", err)
+	}
+	if _, err := h.Write([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("write after close: %v", err)
+	}
+	if _, err := h.Seek(0, io.SeekStart); !errors.Is(err, ErrClosed) {
+		t.Fatalf("seek after close: %v", err)
+	}
+}
+
+func TestOpenDirFails(t *testing.T) {
+	fs := newWorld(t)
+	if _, err := fs.Open(Root, "/etc", OpenRead); !errors.Is(err, ErrIsDir) {
+		t.Fatalf("open dir: %v", err)
+	}
+}
+
+func TestUnlinkedFileStillReadableThroughHandle(t *testing.T) {
+	// Unix semantics: an open handle survives unlink.
+	fs := newWorld(t)
+	if err := fs.WriteFile("alice", "/tmp/ghost", []byte("boo"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h, err := fs.Open("alice", "/tmp/ghost", OpenRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = h.Close() }()
+	if err := fs.Remove("alice", "/tmp/ghost"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := h.readAll()
+	if err != nil || string(data) != "boo" {
+		t.Fatalf("ghost read = %q, %v", data, err)
+	}
+}

@@ -1,0 +1,246 @@
+package vm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ThreadGroup is a node in the VM's thread-group hierarchy. The paper
+// defines an application as a set of threads and uses one thread group
+// per application as the containment mechanism ("the new application is
+// allowed to create threads only in its own thread group"); the system
+// security manager's access rules (Section 5.6) are phrased in terms of
+// group ancestry.
+type ThreadGroup struct {
+	id     int64
+	name   string
+	parent *ThreadGroup
+	vm     *VM
+	depth  int
+
+	mu        sync.Mutex
+	children  []*ThreadGroup
+	threads   map[ThreadID]*Thread
+	destroyed bool
+
+	// nonDaemon counts live non-daemon threads that are direct members
+	// of this group (not of subgroups). An application's lifetime is
+	// defined by this count on its own group.
+	nonDaemon int
+
+	// onEmpty, if set, fires (once per transition) when the last direct
+	// non-daemon member thread terminates. The core package uses this to
+	// detect application exit.
+	onEmpty func()
+}
+
+// newGroupLocked creates a group. Caller holds v.mu.
+func (v *VM) newGroupLocked(parent *ThreadGroup, name string) *ThreadGroup {
+	v.nextGroupID++
+	g := &ThreadGroup{
+		id:      v.nextGroupID,
+		name:    name,
+		parent:  parent,
+		vm:      v,
+		threads: make(map[ThreadID]*Thread),
+	}
+	if parent != nil {
+		g.depth = parent.depth + 1
+		parent.mu.Lock()
+		parent.children = append(parent.children, g)
+		parent.mu.Unlock()
+	}
+	v.stats.GroupsCreated++
+	return g
+}
+
+// NewGroup creates a child thread group under parent.
+func (v *VM) NewGroup(parent *ThreadGroup, name string) (*ThreadGroup, error) {
+	if parent == nil {
+		return nil, fmt.Errorf("vm: new group %q: nil parent", name)
+	}
+	if parent.vm != v {
+		return nil, fmt.Errorf("vm: new group %q: parent belongs to a different VM", name)
+	}
+	parent.mu.Lock()
+	dead := parent.destroyed
+	parent.mu.Unlock()
+	if dead {
+		return nil, fmt.Errorf("vm: new group %q under %q: %w", name, parent.name, ErrGroupDestroyed)
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.halted {
+		return nil, ErrHalted
+	}
+	return v.newGroupLocked(parent, name), nil
+}
+
+// ID returns the group's VM-unique identifier.
+func (g *ThreadGroup) ID() int64 { return g.id }
+
+// Name returns the group's name.
+func (g *ThreadGroup) Name() string { return g.name }
+
+// Parent returns the parent group (nil for the system group).
+func (g *ThreadGroup) Parent() *ThreadGroup { return g.parent }
+
+// VM returns the owning virtual machine.
+func (g *ThreadGroup) VM() *VM { return g.vm }
+
+// Depth returns the group's distance from the root group.
+func (g *ThreadGroup) Depth() int { return g.depth }
+
+// String implements fmt.Stringer.
+func (g *ThreadGroup) String() string {
+	return fmt.Sprintf("ThreadGroup[%d %q depth=%d]", g.id, g.name, g.depth)
+}
+
+// IsAncestorOf reports whether g is other or a (transitive) ancestor of
+// other. This is the relation the system security manager uses: "a
+// thread T may access another thread U if T's thread group is an
+// ancestor of U's thread group".
+func (g *ThreadGroup) IsAncestorOf(other *ThreadGroup) bool {
+	for cur := other; cur != nil; cur = cur.parent {
+		if cur == g {
+			return true
+		}
+	}
+	return false
+}
+
+// SetOnEmpty installs the callback fired when the last direct
+// non-daemon member thread of this group terminates. If the group
+// already has no non-daemon members, the callback does not fire until a
+// non-daemon thread joins and the count next returns to zero.
+func (g *ThreadGroup) SetOnEmpty(fn func()) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.onEmpty = fn
+}
+
+// add registers a thread as a direct member. Called with v.mu held by
+// SpawnThread; takes g.mu itself.
+func (g *ThreadGroup) add(t *Thread) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.destroyed {
+		return fmt.Errorf("vm: add thread %q to group %q: %w", t.name, g.name, ErrGroupDestroyed)
+	}
+	g.threads[t.id] = t
+	if !t.daemon {
+		g.nonDaemon++
+	}
+	return nil
+}
+
+// remove unregisters a terminated thread and fires onEmpty if this was
+// the last non-daemon member.
+func (g *ThreadGroup) remove(t *Thread) {
+	g.mu.Lock()
+	delete(g.threads, t.id)
+	var fire func()
+	if !t.daemon {
+		g.nonDaemon--
+		if g.nonDaemon == 0 {
+			fire = g.onEmpty
+		}
+	}
+	g.mu.Unlock()
+	if fire != nil {
+		fire()
+	}
+}
+
+// Threads returns a snapshot of the group's direct member threads.
+func (g *ThreadGroup) Threads() []*Thread {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]*Thread, 0, len(g.threads))
+	for _, t := range g.threads {
+		out = append(out, t)
+	}
+	return out
+}
+
+// Children returns a snapshot of the group's direct child groups.
+func (g *ThreadGroup) Children() []*ThreadGroup {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]*ThreadGroup, len(g.children))
+	copy(out, g.children)
+	return out
+}
+
+// ActiveCount returns the number of live threads in this group and all
+// of its subgroups.
+func (g *ThreadGroup) ActiveCount() int {
+	n := 0
+	g.Walk(func(t *Thread) { n++ })
+	return n
+}
+
+// NonDaemonCount returns the number of live non-daemon threads that are
+// direct members of this group.
+func (g *ThreadGroup) NonDaemonCount() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.nonDaemon
+}
+
+// Walk visits every live thread in this group and its subgroups.
+func (g *ThreadGroup) Walk(visit func(t *Thread)) {
+	for _, t := range g.Threads() {
+		visit(t)
+	}
+	for _, c := range g.Children() {
+		c.Walk(visit)
+	}
+}
+
+// StopAll cooperatively stops every thread in this group and its
+// subgroups. Used when an application is scheduled for destruction.
+func (g *ThreadGroup) StopAll() {
+	g.Walk(func(t *Thread) { t.Stop() })
+}
+
+// InterruptAll interrupts every thread in this group and its subgroups.
+func (g *ThreadGroup) InterruptAll() {
+	g.Walk(func(t *Thread) { t.Interrupt() })
+}
+
+// Destroy marks an empty group destroyed and detaches it from its
+// parent. A group with live threads (directly or in subgroups) cannot
+// be destroyed.
+func (g *ThreadGroup) Destroy() error {
+	if g.ActiveCount() > 0 {
+		return fmt.Errorf("vm: destroy group %q: %w", g.name, ErrThreadRunning)
+	}
+	for _, c := range g.Children() {
+		if err := c.Destroy(); err != nil {
+			return err
+		}
+	}
+	g.mu.Lock()
+	g.destroyed = true
+	g.mu.Unlock()
+	if g.parent != nil {
+		g.parent.mu.Lock()
+		kids := g.parent.children
+		for i, c := range kids {
+			if c == g {
+				g.parent.children = append(kids[:i], kids[i+1:]...)
+				break
+			}
+		}
+		g.parent.mu.Unlock()
+	}
+	return nil
+}
+
+// Destroyed reports whether the group has been destroyed.
+func (g *ThreadGroup) Destroyed() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.destroyed
+}

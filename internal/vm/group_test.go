@@ -1,0 +1,255 @@
+package vm
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGroupHierarchyAndAncestry(t *testing.T) {
+	v := idleVM(t)
+	app1, err := v.NewGroup(v.MainGroup(), "app-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app2, err := v.NewGroup(v.MainGroup(), "app-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	child, err := v.NewGroup(app1, "app-1-child")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tests := []struct {
+		name   string
+		a, b   *ThreadGroup
+		expect bool
+	}{
+		{"system ancestor of all", v.SystemGroup(), child, true},
+		{"main ancestor of app1", v.MainGroup(), app1, true},
+		{"app1 ancestor of its child", app1, child, true},
+		{"group is ancestor of itself", app1, app1, true},
+		{"sibling not ancestor", app1, app2, false},
+		{"child not ancestor of parent", child, app1, false},
+		{"app2 not ancestor of app1 child", app2, child, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.a.IsAncestorOf(tc.b); got != tc.expect {
+				t.Fatalf("IsAncestorOf = %v, want %v", got, tc.expect)
+			}
+		})
+	}
+}
+
+func TestNewGroupValidation(t *testing.T) {
+	v := idleVM(t)
+	if _, err := v.NewGroup(nil, "orphan"); err == nil {
+		t.Fatal("expected error for nil parent")
+	}
+	other := idleVM(t)
+	if _, err := v.NewGroup(other.MainGroup(), "cross"); err == nil {
+		t.Fatal("expected error for foreign parent")
+	}
+}
+
+func TestGroupOnEmptyFiresWhenLastNonDaemonExits(t *testing.T) {
+	v := idleVM(t)
+	g, err := v.NewGroup(v.MainGroup(), "app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := make(chan struct{}, 1)
+	g.SetOnEmpty(func() { empty <- struct{}{} })
+
+	// A daemon thread alone must not suppress or trigger onEmpty.
+	d := spawn(t, v, ThreadSpec{Group: g, Name: "d", Daemon: true,
+		Run: func(th *Thread) { <-th.StopChan() }})
+	defer d.Stop()
+
+	gate := make(chan struct{})
+	nd1 := spawn(t, v, ThreadSpec{Group: g, Name: "nd1", Run: func(*Thread) { <-gate }})
+	nd2 := spawn(t, v, ThreadSpec{Group: g, Name: "nd2", Run: func(*Thread) { <-gate }})
+
+	close(gate)
+	nd1.Join()
+	nd2.Join()
+	select {
+	case <-empty:
+	case <-time.After(5 * time.Second):
+		t.Fatal("onEmpty did not fire")
+	}
+	// The daemon thread is still alive; only non-daemon members count.
+	if got := g.NonDaemonCount(); got != 0 {
+		t.Fatalf("non-daemon count = %d, want 0", got)
+	}
+	if got := g.ActiveCount(); got != 1 {
+		t.Fatalf("active count = %d, want 1 (the daemon)", got)
+	}
+}
+
+func TestOnEmptyCountsOnlyDirectMembers(t *testing.T) {
+	// A child application's threads must not keep the parent
+	// application alive: onEmpty counts direct members only.
+	v := idleVM(t)
+	parent, err := v.NewGroup(v.MainGroup(), "parent-app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	child, err := v.NewGroup(parent, "child-app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	parentEmpty := make(chan struct{}, 1)
+	parent.SetOnEmpty(func() { parentEmpty <- struct{}{} })
+
+	childGate := make(chan struct{})
+	ct := spawn(t, v, ThreadSpec{Group: child, Name: "child-main", Run: func(*Thread) { <-childGate }})
+
+	pt := spawn(t, v, ThreadSpec{Group: parent, Name: "parent-main", Run: func(*Thread) {}})
+	pt.Join()
+
+	select {
+	case <-parentEmpty:
+	case <-time.After(5 * time.Second):
+		t.Fatal("parent onEmpty blocked by child application's thread")
+	}
+	close(childGate)
+	ct.Join()
+}
+
+func TestStopAllAndInterruptAll(t *testing.T) {
+	v := idleVM(t)
+	g, err := v.NewGroup(v.MainGroup(), "app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := v.NewGroup(g, "sub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for _, grp := range []*ThreadGroup{g, sub} {
+		for i := 0; i < 3; i++ {
+			wg.Add(1)
+			spawn(t, v, ThreadSpec{Group: grp, Name: "w", Run: func(th *Thread) {
+				defer wg.Done()
+				<-th.StopChan()
+				if !th.IsInterrupted() {
+					t.Error("thread not interrupted")
+				}
+			}})
+		}
+	}
+	g.InterruptAll()
+	g.StopAll()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("threads did not stop")
+	}
+}
+
+func TestDestroyRules(t *testing.T) {
+	v := idleVM(t)
+	g, err := v.NewGroup(v.MainGroup(), "app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := make(chan struct{})
+	th := spawn(t, v, ThreadSpec{Group: g, Name: "w", Run: func(*Thread) { <-gate }})
+
+	if err := g.Destroy(); err == nil {
+		t.Fatal("destroy must fail while threads are live")
+	}
+	close(gate)
+	th.Join()
+
+	if err := g.Destroy(); err != nil {
+		t.Fatalf("destroy empty group: %v", err)
+	}
+	if !g.Destroyed() {
+		t.Fatal("group not marked destroyed")
+	}
+	// Spawning into a destroyed group fails.
+	if _, err := v.SpawnThread(ThreadSpec{Group: g, Name: "late", Run: func(*Thread) {}}); err == nil {
+		t.Fatal("expected spawn into destroyed group to fail")
+	}
+	// Creating a subgroup of a destroyed group fails.
+	if _, err := v.NewGroup(g, "sub"); err == nil {
+		t.Fatal("expected subgroup creation under destroyed group to fail")
+	}
+	// The destroyed group is detached from its parent.
+	for _, c := range v.MainGroup().Children() {
+		if c == g {
+			t.Fatal("destroyed group still attached to parent")
+		}
+	}
+}
+
+func TestDestroyRecursesIntoChildren(t *testing.T) {
+	v := idleVM(t)
+	g, err := v.NewGroup(v.MainGroup(), "app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := v.NewGroup(g, "sub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if !sub.Destroyed() {
+		t.Fatal("child group not destroyed with parent")
+	}
+}
+
+func TestWalkVisitsSubgroups(t *testing.T) {
+	v := idleVM(t)
+	g, err := v.NewGroup(v.MainGroup(), "app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := v.NewGroup(g, "sub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := make(chan struct{})
+	defer close(gate)
+	spawn(t, v, ThreadSpec{Group: g, Name: "a", Run: func(*Thread) { <-gate }})
+	spawn(t, v, ThreadSpec{Group: sub, Name: "b", Run: func(*Thread) { <-gate }})
+
+	seen := map[string]bool{}
+	g.Walk(func(th *Thread) { seen[th.Name()] = true })
+	if !seen["a"] || !seen["b"] {
+		t.Fatalf("walk saw %v, want a and b", seen)
+	}
+	if got := g.ActiveCount(); got != 2 {
+		t.Fatalf("active count = %d, want 2", got)
+	}
+}
+
+func TestOnEmptyRefiresPerWave(t *testing.T) {
+	// Each transition of the non-daemon count to zero fires onEmpty
+	// again (the core layer's destroy is idempotent on top of this).
+	v := idleVM(t)
+	g, err := v.NewGroup(v.MainGroup(), "waves")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := make(chan struct{}, 2)
+	g.SetOnEmpty(func() { fired <- struct{}{} })
+	for wave := 0; wave < 2; wave++ {
+		th := spawn(t, v, ThreadSpec{Group: g, Name: "w", Run: func(*Thread) {}})
+		th.Join()
+		select {
+		case <-fired:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("onEmpty did not fire for wave %d", wave)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package vm
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func spawn(t *testing.T, v *VM, spec ThreadSpec) *Thread {
+	t.Helper()
+	th, err := v.SpawnThread(spec)
+	if err != nil {
+		t.Fatalf("spawn %q: %v", spec.Name, err)
+	}
+	return th
+}
+
+func idleVM(t *testing.T) *VM {
+	t.Helper()
+	return newTestVM(t, Config{IdlePolicy: StayOnIdle, NoBootThreads: true})
+}
+
+func TestSpawnValidation(t *testing.T) {
+	v := idleVM(t)
+	other := newTestVM(t, Config{IdlePolicy: StayOnIdle, NoBootThreads: true})
+
+	tests := []struct {
+		name string
+		spec ThreadSpec
+	}{
+		{"nil group", ThreadSpec{Name: "x", Run: func(*Thread) {}}},
+		{"nil body", ThreadSpec{Group: v.MainGroup(), Name: "x"}},
+		{"foreign group", ThreadSpec{Group: other.MainGroup(), Name: "x", Run: func(*Thread) {}}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := v.SpawnThread(tc.spec); err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+}
+
+func TestThreadLifecycleStates(t *testing.T) {
+	v := idleVM(t)
+	gate := make(chan struct{})
+	th := spawn(t, v, ThreadSpec{Group: v.MainGroup(), Name: "s", Run: func(*Thread) { <-gate }})
+	// The body is blocked, so the thread must be runnable (or, very
+	// briefly, new).
+	if st := th.State(); st == StateTerminated {
+		t.Fatalf("state = %v before body completion", st)
+	}
+	close(gate)
+	th.Join()
+	if st := th.State(); st != StateTerminated {
+		t.Fatalf("state = %v after join, want terminated", st)
+	}
+}
+
+func TestInterruptFlagSemantics(t *testing.T) {
+	v := idleVM(t)
+	th := spawn(t, v, ThreadSpec{Group: v.MainGroup(), Name: "i", Run: func(th *Thread) { <-th.StopChan() }})
+	defer th.Stop()
+	if th.IsInterrupted() {
+		t.Fatal("fresh thread is interrupted")
+	}
+	th.Interrupt()
+	if !th.IsInterrupted() {
+		t.Fatal("IsInterrupted must report true after Interrupt")
+	}
+	if !th.Interrupted() {
+		t.Fatal("Interrupted must report true once")
+	}
+	if th.Interrupted() {
+		t.Fatal("Interrupted must clear the flag")
+	}
+}
+
+func TestOnExitHook(t *testing.T) {
+	v := idleVM(t)
+	done := make(chan *Thread, 1)
+	th := spawn(t, v, ThreadSpec{
+		Group:  v.MainGroup(),
+		Name:   "hooked",
+		Run:    func(*Thread) {},
+		OnExit: func(th *Thread) { done <- th },
+	})
+	select {
+	case got := <-done:
+		if got != th {
+			t.Fatalf("OnExit got %v, want %v", got, th)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("OnExit hook never fired")
+	}
+}
+
+func TestFrameInheritance(t *testing.T) {
+	v := idleVM(t)
+	seed := []Frame{{Class: "Launcher"}, {Class: "Shell"}}
+	got := make(chan []Frame, 1)
+	th := spawn(t, v, ThreadSpec{
+		Group:         v.MainGroup(),
+		Name:          "child",
+		InheritFrames: seed,
+		Run:           func(th *Thread) { got <- append([]Frame(nil), th.Frames()...) },
+	})
+	th.Join()
+	frames := <-got
+	if len(frames) != 2 || frames[0].Class != "Launcher" || frames[1].Class != "Shell" {
+		t.Fatalf("inherited frames = %+v", frames)
+	}
+	// Mutating the seed after spawn must not affect the thread's copy.
+	seed[0].Class = "Evil"
+	if frames[0].Class != "Launcher" {
+		t.Fatal("frame inheritance must copy")
+	}
+}
+
+func TestFramePushPopAndPrivileged(t *testing.T) {
+	v := idleVM(t)
+	result := make(chan string, 1)
+	th := spawn(t, v, ThreadSpec{
+		Group: v.MainGroup(),
+		Name:  "frames",
+		Run: func(th *Thread) {
+			th.PushFrame(Frame{Class: "A"})
+			th.PushFrame(Frame{Class: "B"})
+			restore := th.MarkTopFramePrivileged()
+			if !th.Frames()[1].Privileged {
+				result <- "top frame not privileged"
+				return
+			}
+			restore()
+			if th.Frames()[1].Privileged {
+				result <- "privilege not restored"
+				return
+			}
+			th.PopFrame()
+			if d := th.FrameDepth(); d != 1 {
+				result <- "depth after pop wrong"
+				return
+			}
+			th.PopFrame()
+			th.PopFrame() // pop on empty stack is a no-op
+			result <- "ok"
+		},
+	})
+	th.Join()
+	if msg := <-result; msg != "ok" {
+		t.Fatal(msg)
+	}
+}
+
+func TestMarkPrivilegedOnEmptyStack(t *testing.T) {
+	v := idleVM(t)
+	th := spawn(t, v, ThreadSpec{
+		Group: v.MainGroup(),
+		Name:  "empty",
+		Run: func(th *Thread) {
+			restore := th.MarkTopFramePrivileged()
+			restore() // must not panic
+		},
+	})
+	th.Join()
+}
+
+func TestThreadLocals(t *testing.T) {
+	v := idleVM(t)
+	th := spawn(t, v, ThreadSpec{Group: v.MainGroup(), Name: "tl", Run: func(th *Thread) { <-th.StopChan() }})
+	defer th.Stop()
+	if _, ok := th.Local("k"); ok {
+		t.Fatal("unexpected local")
+	}
+	th.SetLocal("k", 42)
+	got, ok := th.Local("k")
+	if !ok || got.(int) != 42 {
+		t.Fatalf("local = %v,%v", got, ok)
+	}
+	th.SetLocal("k", "replaced")
+	got, _ = th.Local("k")
+	if got.(string) != "replaced" {
+		t.Fatalf("local after replace = %v", got)
+	}
+}
+
+func TestDaemonThreadDoesNotBlockIdle(t *testing.T) {
+	idleSeen := make(chan struct{}, 1)
+	v := New(Config{
+		Name:          "daemonidle",
+		IdlePolicy:    StayOnIdle,
+		NoBootThreads: true,
+		OnIdle:        func() { idleSeen <- struct{}{} },
+	})
+	defer v.Exit(0)
+
+	d := spawn(t, v, ThreadSpec{Group: v.MainGroup(), Name: "d", Daemon: true,
+		Run: func(th *Thread) { <-th.StopChan() }})
+	defer d.Stop()
+
+	nd := spawn(t, v, ThreadSpec{Group: v.MainGroup(), Name: "nd", Run: func(*Thread) {}})
+	nd.Join()
+	select {
+	case <-idleSeen:
+	case <-time.After(5 * time.Second):
+		t.Fatal("idle not detected although only a daemon thread remains")
+	}
+}
+
+func TestStringerOutputs(t *testing.T) {
+	v := idleVM(t)
+	th := spawn(t, v, ThreadSpec{Group: v.MainGroup(), Name: "str", Daemon: true,
+		Run: func(th *Thread) { <-th.StopChan() }})
+	defer th.Stop()
+	if s := th.String(); s == "" {
+		t.Fatal("empty thread string")
+	}
+	if s := v.MainGroup().String(); s == "" {
+		t.Fatal("empty group string")
+	}
+	for _, st := range []ThreadState{StateNew, StateRunnable, StateTerminated, ThreadState(99)} {
+		if st.String() == "" {
+			t.Fatalf("state %d has empty name", st)
+		}
+	}
+}
+
+func TestManyConcurrentSpawns(t *testing.T) {
+	v := idleVM(t)
+	const n = 200
+	var count atomic.Int64
+	threads := make([]*Thread, 0, n)
+	for i := 0; i < n; i++ {
+		threads = append(threads, spawn(t, v, ThreadSpec{
+			Group: v.MainGroup(),
+			Name:  "w",
+			Run:   func(*Thread) { count.Add(1) },
+		}))
+	}
+	for _, th := range threads {
+		th.Join()
+	}
+	if count.Load() != n {
+		t.Fatalf("ran %d bodies, want %d", count.Load(), n)
+	}
+	ids := map[ThreadID]bool{}
+	for _, th := range threads {
+		if ids[th.ID()] {
+			t.Fatalf("duplicate thread id %d", th.ID())
+		}
+		ids[th.ID()] = true
+	}
+}

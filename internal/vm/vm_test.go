@@ -1,0 +1,264 @@
+package vm
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func newTestVM(t *testing.T, cfg Config) *VM {
+	t.Helper()
+	if cfg.DaemonShutdownGrace == 0 {
+		cfg.DaemonShutdownGrace = time.Second
+	}
+	v := New(cfg)
+	t.Cleanup(func() { v.Exit(0) })
+	return v
+}
+
+func TestBootCreatesSystemAndMainGroups(t *testing.T) {
+	v := newTestVM(t, Config{Name: "boot"})
+	if v.SystemGroup() == nil || v.MainGroup() == nil {
+		t.Fatal("expected system and main groups")
+	}
+	if v.MainGroup().Parent() != v.SystemGroup() {
+		t.Fatal("main group must be a child of the system group")
+	}
+	if got := v.SystemGroup().Depth(); got != 0 {
+		t.Fatalf("system group depth = %d, want 0", got)
+	}
+	if got := v.MainGroup().Depth(); got != 1 {
+		t.Fatalf("main group depth = %d, want 1", got)
+	}
+}
+
+func TestBootThreadsAreDaemons(t *testing.T) {
+	v := newTestVM(t, Config{})
+	names := map[string]bool{}
+	for _, th := range v.SystemGroup().Threads() {
+		if !th.IsDaemon() {
+			t.Errorf("boot thread %q is not a daemon", th.Name())
+		}
+		names[th.Name()] = true
+	}
+	for _, want := range []string{"gc", "finalizer", "idle"} {
+		if !names[want] {
+			t.Errorf("missing boot thread %q", want)
+		}
+	}
+	if v.NonDaemonCount() != 0 {
+		t.Fatalf("non-daemon count = %d, want 0 at boot", v.NonDaemonCount())
+	}
+}
+
+// TestFigure1Lifecycle reproduces Figure 1 of the paper: the VM exits
+// once all non-daemon threads have finished, even though daemon threads
+// may still be running.
+func TestFigure1Lifecycle(t *testing.T) {
+	v := New(Config{Name: "fig1"})
+	release := v.Hold()
+
+	var daemonStopped atomic.Bool
+	_, err := v.SpawnThread(ThreadSpec{
+		Group:  v.MainGroup(),
+		Name:   "background",
+		Daemon: true,
+		Run: func(th *Thread) {
+			<-th.StopChan()
+			daemonStopped.Store(true)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	main, err := v.SpawnThread(ThreadSpec{
+		Group: v.MainGroup(),
+		Name:  "main",
+		Run:   func(th *Thread) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	main.Join()
+	release()
+
+	select {
+	case <-v.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("VM did not exit after last non-daemon thread finished")
+	}
+	if !v.Halted() {
+		t.Fatal("VM should be halted")
+	}
+	if !daemonStopped.Load() {
+		t.Fatal("daemon thread should have been stopped at VM exit")
+	}
+}
+
+func TestHoldKeepsVMAlive(t *testing.T) {
+	v := New(Config{Name: "hold"})
+	release := v.Hold()
+	th, err := v.SpawnThread(ThreadSpec{Group: v.MainGroup(), Name: "m", Run: func(*Thread) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th.Join()
+	// The hold is still outstanding: the VM must not halt.
+	select {
+	case <-v.Done():
+		t.Fatal("VM halted despite outstanding hold")
+	case <-time.After(20 * time.Millisecond):
+	}
+	release()
+	select {
+	case <-v.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("VM did not halt after hold release")
+	}
+}
+
+func TestHoldReleaseIsIdempotent(t *testing.T) {
+	v := New(Config{Name: "idem"})
+	r1 := v.Hold()
+	r2 := v.Hold()
+	r1()
+	r1() // double release of the same hold must not double-decrement
+	select {
+	case <-v.Done():
+		t.Fatal("VM halted while a distinct hold is outstanding")
+	case <-time.After(20 * time.Millisecond):
+	}
+	r2()
+	select {
+	case <-v.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("VM did not halt")
+	}
+}
+
+func TestExplicitExitStopsThreads(t *testing.T) {
+	v := New(Config{Name: "exit"})
+	started := make(chan struct{})
+	var sawStop atomic.Bool
+	_, err := v.SpawnThread(ThreadSpec{
+		Group: v.MainGroup(),
+		Name:  "looper",
+		Run: func(th *Thread) {
+			close(started)
+			<-th.StopChan()
+			sawStop.Store(true)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	v.Exit(42)
+	if code := v.AwaitExit(); code != 42 {
+		t.Fatalf("exit code = %d, want 42", code)
+	}
+	if !sawStop.Load() {
+		t.Fatal("thread did not observe stop signal")
+	}
+	// Exit is idempotent; a second call must not change the code.
+	v.Exit(7)
+	if code := v.ExitCode(); code != 42 {
+		t.Fatalf("exit code after second Exit = %d, want 42", code)
+	}
+}
+
+func TestSpawnAfterHaltFails(t *testing.T) {
+	v := New(Config{Name: "dead"})
+	v.Exit(0)
+	_, err := v.SpawnThread(ThreadSpec{Group: v.MainGroup(), Name: "x", Run: func(*Thread) {}})
+	if err == nil {
+		t.Fatal("expected error spawning into halted VM")
+	}
+}
+
+func TestStayOnIdlePolicy(t *testing.T) {
+	v := newTestVM(t, Config{Name: "stay", IdlePolicy: StayOnIdle})
+	th, err := v.SpawnThread(ThreadSpec{Group: v.MainGroup(), Name: "m", Run: func(*Thread) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th.Join()
+	select {
+	case <-v.Done():
+		t.Fatal("StayOnIdle VM must not halt when idle")
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+func TestOnIdleHookFires(t *testing.T) {
+	fired := make(chan struct{})
+	var once sync.Once
+	v := New(Config{
+		Name:       "hook",
+		IdlePolicy: StayOnIdle,
+		OnIdle:     func() { once.Do(func() { close(fired) }) },
+	})
+	defer v.Exit(0)
+	th, err := v.SpawnThread(ThreadSpec{Group: v.MainGroup(), Name: "m", Run: func(*Thread) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th.Join()
+	select {
+	case <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("OnIdle hook did not fire")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	v := newTestVM(t, Config{Name: "stats", NoBootThreads: true, IdlePolicy: StayOnIdle})
+	const n = 10
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		_, err := v.SpawnThread(ThreadSpec{
+			Group: v.MainGroup(),
+			Name:  "w",
+			Run:   func(*Thread) { wg.Done() },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	// Wait for all finish() bookkeeping to complete.
+	deadline := time.Now().Add(5 * time.Second)
+	for v.Stats().ThreadsTerminated < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("terminated = %d, want %d", v.Stats().ThreadsTerminated, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s := v.Stats()
+	if s.ThreadsSpawned != n {
+		t.Fatalf("spawned = %d, want %d", s.ThreadsSpawned, n)
+	}
+}
+
+func TestLiveThreadsSnapshot(t *testing.T) {
+	v := newTestVM(t, Config{Name: "live", NoBootThreads: true, IdlePolicy: StayOnIdle})
+	block := make(chan struct{})
+	defer close(block)
+	th, err := v.SpawnThread(ThreadSpec{Group: v.MainGroup(), Name: "blocked", Run: func(*Thread) { <-block }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := v.LiveThreads()
+	if len(live) != 1 || live[0].ID() != th.ID() {
+		t.Fatalf("live threads = %v, want just %v", live, th)
+	}
+	if got := v.FindThread(th.ID()); got != th {
+		t.Fatalf("FindThread = %v, want %v", got, th)
+	}
+	if got := v.FindThread(9999); got != nil {
+		t.Fatalf("FindThread(9999) = %v, want nil", got)
+	}
+}

@@ -1,0 +1,225 @@
+// Package mpj is the public API of the multi-processing Java-style
+// platform: a reproduction of Balfanz and Gong, "Experience with
+// Secure Multi-Processing in Java" (ICDCS 1998).
+//
+// The platform runs multiple applications — each a set of threads with
+// its own running user, standard streams, working directory,
+// properties and reloaded System class — inside one virtual machine,
+// protected from each other by namespace separation and a security
+// architecture that combines code-source-based with user-based access
+// control.
+//
+// Quick start:
+//
+//	p, _ := mpj.NewStandardPlatform(mpj.StandardConfig{})
+//	defer p.Shutdown()
+//	alice, _ := p.Users().Lookup("alice")
+//	app, _ := p.Exec(mpj.ExecSpec{Program: "sh", Args: []string{"-c", "echo hi"}, User: alice})
+//	app.WaitFor()
+//
+// The subsystems are organized as:
+//
+//	internal/vm        virtual-machine kernel (threads, groups, Figure 1)
+//	internal/classes   class files, loaders, namespaces (Figure 5)
+//	internal/security  permissions, policy, stack inspection (§5.3, §5.6)
+//	internal/user      accounts and authentication (§5.2)
+//	internal/vfs       Unix-like in-memory filesystem
+//	internal/netsim    in-memory network (applet connect-back, §6.3)
+//	internal/streams   pipes and owned standard streams (§5.1)
+//	internal/core      the Application abstraction — the contribution
+//	internal/events    display server; Figure 2 vs Figure 4 dispatching
+//	internal/terminal  the Java terminal (§6.2)
+//	internal/shell     the Bourne-like shell (§6.1)
+//	internal/coreutils ls, cat, login and friends (§6)
+//	internal/applet    the ported Appletviewer and sandbox (§6.3)
+package mpj
+
+import (
+	"fmt"
+
+	"mpj/internal/applet"
+	"mpj/internal/classes"
+	"mpj/internal/core"
+	"mpj/internal/coreutils"
+	"mpj/internal/events"
+	"mpj/internal/netsim"
+	"mpj/internal/security"
+	"mpj/internal/streams"
+	"mpj/internal/terminal"
+	"mpj/internal/user"
+	"mpj/internal/vfs"
+	"mpj/internal/vm"
+)
+
+// Core platform types.
+type (
+	// Platform is the assembled multi-processing virtual machine.
+	Platform = core.Platform
+	// Config configures a bare platform.
+	Config = core.Config
+	// Application is one running application (Section 5.1).
+	Application = core.Application
+	// AppID identifies an application.
+	AppID = core.AppID
+	// Context is the API surface application code sees.
+	Context = core.Context
+	// ExecSpec describes an application launch.
+	ExecSpec = core.ExecSpec
+	// Program is an installable program.
+	Program = core.Program
+	// MainFunc is a program entry point.
+	MainFunc = core.MainFunc
+)
+
+// Substrate types commonly needed by users of the platform.
+type (
+	// VM is the virtual-machine kernel.
+	VM = vm.VM
+	// Thread is a VM green thread.
+	Thread = vm.Thread
+	// ThreadGroup is a node of the thread-group hierarchy.
+	ThreadGroup = vm.ThreadGroup
+	// User is an account.
+	User = user.User
+	// Stream is an ownership-tracked byte stream.
+	Stream = streams.Stream
+	// Buffer is a concurrency-safe output sink.
+	Buffer = streams.Buffer
+	// Terminal is the Section 6.2 terminal.
+	Terminal = terminal.Terminal
+	// Window is a display-server window.
+	Window = events.Window
+	// Event is an input event.
+	Event = events.Event
+	// DisplayServer owns windows and dispatches events.
+	DisplayServer = events.Server
+	// AppletDefinition describes a downloadable applet.
+	AppletDefinition = applet.Definition
+	// AppletStore is the simulated web of applets.
+	AppletStore = applet.Store
+	// AppletContext is the sandboxed applet API.
+	AppletContext = applet.Context
+	// Policy is the system security policy.
+	Policy = security.Policy
+	// Permission is a typed capability.
+	Permission = security.Permission
+	// Grant is one policy entry.
+	Grant = security.Grant
+	// FileInfo describes a file.
+	FileInfo = vfs.FileInfo
+	// Network is the simulated network.
+	Network = netsim.Network
+	// Class is a linked class.
+	Class = classes.Class
+)
+
+// Dispatch architectures (Figure 2 baseline vs Figure 4 redesign).
+const (
+	SingleDispatcher = events.SingleDispatcher
+	PerAppDispatcher = events.PerAppDispatcher
+)
+
+// NewPlatform assembles a bare platform (no programs installed).
+func NewPlatform(cfg Config) (*Platform, error) { return core.NewPlatform(cfg) }
+
+// DefaultPolicy returns the Section 5.3 example policy.
+func DefaultPolicy() *Policy { return core.DefaultPolicy() }
+
+// ParsePolicy parses policy-file text.
+func ParsePolicy(text string) (*Policy, error) { return security.ParsePolicy(text) }
+
+// InstallCoreutils registers the shell and the utility programs.
+func InstallCoreutils(p *Platform) error { return coreutils.InstallAll(p) }
+
+// InstallAppletviewer registers the appletviewer over a store.
+func InstallAppletviewer(p *Platform, store *AppletStore) error { return applet.Install(p, store) }
+
+// NewAppletStore creates an empty applet store.
+func NewAppletStore() *AppletStore { return applet.NewStore() }
+
+// NewPipe creates a buffered in-VM pipe.
+func NewPipe(capacity int) (*streams.PipeReader, *streams.PipeWriter) {
+	return streams.NewPipe(capacity)
+}
+
+// NewReadStream wraps a reader as a system-owned stream (for wiring
+// test or host input into an application).
+func NewReadStream(name string, r interface{ Read([]byte) (int, error) }) *Stream {
+	return streams.NewReadStream(name, streams.OwnerSystem, r)
+}
+
+// NewWriteStream wraps a writer as a system-owned stream.
+func NewWriteStream(name string, w interface{ Write([]byte) (int, error) }) *Stream {
+	return streams.NewWriteStream(name, streams.OwnerSystem, w)
+}
+
+// NewTerminal creates a terminal over arbitrary reader/writer.
+func NewTerminal(in interface{ Read([]byte) (int, error) }, out interface{ Write([]byte) (int, error) }) *Terminal {
+	return terminal.New(in, out)
+}
+
+// ContextFor recovers the application context bound to a thread (e.g.
+// inside an event listener).
+func ContextFor(t *Thread) *Context { return core.ContextFor(t) }
+
+// UserSpec declares an account for NewStandardPlatform.
+type UserSpec struct {
+	Name     string
+	Password string
+}
+
+// StandardConfig configures a batteries-included platform.
+type StandardConfig struct {
+	// Name names the VM. Defaults to "mpj".
+	Name string
+	// Users lists accounts to create. Defaults to alice and bob (with
+	// passwords "wonderland" and "builder").
+	Users []UserSpec
+	// DisplayMode enables the display server (0 = no display).
+	DisplayMode events.DispatchMode
+	// ExitWhenIdle reproduces the Figure 1 lifecycle: the VM halts
+	// when the last application finishes.
+	ExitWhenIdle bool
+	// Motd, if non-empty, is written to /etc/motd.
+	Motd string
+}
+
+// NewStandardPlatform boots a platform with the default policy, the
+// coreutils and appletviewer installed, user accounts created, and
+// (optionally) a display server — the configuration the examples, the
+// interactive shell and the benchmark harness all build on.
+func NewStandardPlatform(cfg StandardConfig) (*Platform, *AppletStore, error) {
+	p, err := core.NewPlatform(core.Config{Name: cfg.Name, ExitWhenIdle: cfg.ExitWhenIdle})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := coreutils.InstallAll(p); err != nil {
+		p.Shutdown()
+		return nil, nil, fmt.Errorf("mpj: install coreutils: %w", err)
+	}
+	store := applet.NewStore()
+	if err := applet.Install(p, store); err != nil {
+		p.Shutdown()
+		return nil, nil, fmt.Errorf("mpj: install appletviewer: %w", err)
+	}
+	accounts := cfg.Users
+	if accounts == nil {
+		accounts = []UserSpec{{Name: "alice", Password: "wonderland"}, {Name: "bob", Password: "builder"}}
+	}
+	for _, acc := range accounts {
+		if _, err := p.AddUser(acc.Name, acc.Password); err != nil {
+			p.Shutdown()
+			return nil, nil, fmt.Errorf("mpj: add user %s: %w", acc.Name, err)
+		}
+	}
+	if cfg.Motd != "" {
+		if err := p.FS().WriteFile(vfs.Root, "/etc/motd", []byte(cfg.Motd), 0o644); err != nil {
+			p.Shutdown()
+			return nil, nil, fmt.Errorf("mpj: write motd: %w", err)
+		}
+	}
+	if cfg.DisplayMode != 0 {
+		p.EnableDisplay(cfg.DisplayMode)
+	}
+	return p, store, nil
+}

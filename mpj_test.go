@@ -1,0 +1,216 @@
+package mpj
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// execShell runs a command line through "sh -c" as the given user.
+func execShell(t *testing.T, p *Platform, userName, line string) (string, int) {
+	t.Helper()
+	u, err := p.Users().Lookup(userName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink Buffer
+	app, err := p.Exec(ExecSpec{
+		Program: "sh",
+		Args:    []string{"-c", line},
+		User:    u,
+		Dir:     u.Home,
+		Stdout:  NewWriteStream("out", &sink),
+		Stderr:  NewWriteStream("err", &sink),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := app.WaitFor()
+	return sink.String(), code
+}
+
+func TestStandardPlatformQuickstart(t *testing.T) {
+	p, store, err := NewStandardPlatform(StandardConfig{Motd: "welcome\n"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Shutdown()
+	if store == nil {
+		t.Fatal("nil applet store")
+	}
+	out, code := execShell(t, p, "alice", "echo quickstart works")
+	if code != 0 || out != "quickstart works\n" {
+		t.Fatalf("out=%q code=%d", out, code)
+	}
+	// Default users exist.
+	for _, name := range []string{"alice", "bob"} {
+		if _, err := p.Users().Lookup(name); err != nil {
+			t.Errorf("missing default user %s: %v", name, err)
+		}
+	}
+	// The motd landed.
+	data, err := p.FS().ReadFile("root", "/etc/motd")
+	if err != nil || string(data) != "welcome\n" {
+		t.Fatalf("motd = %q, %v", data, err)
+	}
+}
+
+// TestTwoUsersConcurrentSessions is the headline scenario of the
+// paper's abstract: multiple applications, run by different users,
+// inside one VM, isolated from each other.
+func TestTwoUsersConcurrentSessions(t *testing.T) {
+	p, _, err := NewStandardPlatform(StandardConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Shutdown()
+
+	type result struct {
+		out  string
+		code int
+	}
+	results := make(chan result, 2)
+	for _, who := range []string{"alice", "bob"} {
+		go func(who string) {
+			out, code := execShell(t, p, who,
+				"whoami; echo private-"+who+" > note.txt; cat note.txt")
+			results <- result{out: out, code: code}
+		}(who)
+	}
+	outs := map[string]bool{}
+	for i := 0; i < 2; i++ {
+		select {
+		case r := <-results:
+			if r.code != 0 {
+				t.Fatalf("session failed: %q", r.out)
+			}
+			outs[r.out] = true
+		case <-time.After(10 * time.Second):
+			t.Fatal("sessions hung")
+		}
+	}
+	if !outs["alice\nprivate-alice\n"] || !outs["bob\nprivate-bob\n"] {
+		t.Fatalf("session outputs = %v", outs)
+	}
+	// Cross-user isolation held.
+	out, code := execShell(t, p, "bob", "cat /home/alice/note.txt")
+	if code == 0 || !strings.Contains(out, "access denied") {
+		t.Fatalf("bob read alice's note: %q (code %d)", out, code)
+	}
+}
+
+func TestPolicyRoundtripThroughFacade(t *testing.T) {
+	pol, err := ParsePolicy(`grant user "carol" { permission file "/data/-", "read"; };`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.PermissionsForUser("carol").Len() != 1 {
+		t.Fatal("grant missing")
+	}
+	if DefaultPolicy() == nil {
+		t.Fatal("nil default policy")
+	}
+}
+
+func TestFacadePipesAndTerminal(t *testing.T) {
+	r, w := NewPipe(64)
+	term := NewTerminal(r, &Buffer{})
+	go func() {
+		_, _ = w.Write([]byte("typed\n"))
+		_ = w.Close()
+	}()
+	line, err := term.ReadLine()
+	if err != nil || line != "typed" {
+		t.Fatalf("line = %q, %v", line, err)
+	}
+}
+
+// TestVMHaltsWhenLastAppExits wires the full stack in Figure 1 mode.
+func TestVMHaltsWhenLastAppExits(t *testing.T) {
+	p, _, err := NewStandardPlatform(StandardConfig{ExitWhenIdle: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := p.Users().Lookup("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := p.Exec(ExecSpec{Program: "sh", Args: []string{"-c", "echo bye"}, User: u})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.WaitFor()
+	select {
+	case <-p.VM().Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("VM did not halt after last application")
+	}
+}
+
+// TestStressConcurrentSessions hammers the platform with many
+// concurrent shell sessions running pipelines, redirections and
+// per-user file traffic — shaking out lifecycle and locking races
+// (run under -race in CI).
+func TestStressConcurrentSessions(t *testing.T) {
+	p, _, err := NewStandardPlatform(StandardConfig{Name: "stress"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Shutdown()
+
+	const sessions = 12
+	const rounds = 5
+	errs := make(chan error, sessions)
+	for s := 0; s < sessions; s++ {
+		who := "alice"
+		if s%2 == 1 {
+			who = "bob"
+		}
+		go func(id int, who string) {
+			u, err := p.Users().Lookup(who)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for r := 0; r < rounds; r++ {
+				var sink Buffer
+				line := fmt.Sprintf(
+					"echo round-%d-%d > s%d.txt ; cat s%d.txt | grep round | wc ; rm s%d.txt",
+					id, r, id, id, id)
+				app, err := p.Exec(ExecSpec{
+					Program: "sh", Args: []string{"-c", line},
+					User: u, Dir: u.Home,
+					Stdout: NewWriteStream("out", &sink),
+					Stderr: NewWriteStream("err", &sink),
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if code := app.WaitFor(); code != 0 {
+					errs <- fmt.Errorf("session %d round %d: exit %d: %q", id, r, code, sink.String())
+					return
+				}
+				if !strings.Contains(sink.String(), "1       1") {
+					errs <- fmt.Errorf("session %d round %d: output %q", id, r, sink.String())
+					return
+				}
+			}
+			errs <- nil
+		}(s, who)
+	}
+	for s := 0; s < sessions; s++ {
+		select {
+		case err := <-errs:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatal("stress sessions hung")
+		}
+	}
+	if got := len(p.Applications()); got != 0 {
+		t.Fatalf("%d applications leaked", got)
+	}
+}
