@@ -1,0 +1,32 @@
+# Tier-1 gate for the repository: `make check` is what CI (and every
+# PR) must keep green. Individual targets:
+#
+#   make build        compile everything
+#   make vet          go vet over all packages
+#   make test         full test suite, including the data-race detector
+#   make bench-smoke  one fast pass over the E8 access-control benchmarks
+#   make check        all of the above
+#   make bench        the full experiment harness (slow)
+
+GO ?= go
+
+.PHONY: build vet test bench-smoke bench check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+	$(GO) test -race ./internal/security/ ./internal/vm/
+
+bench-smoke:
+	$(GO) test -run xxx -bench 'BenchmarkE8AccessControl|BenchmarkE8PolicyScale' -benchtime=100x .
+	$(GO) test -run xxx -bench . -benchtime=100x ./internal/security/
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+check: build vet test bench-smoke

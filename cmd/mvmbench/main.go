@@ -95,6 +95,9 @@ func run(iters int) error {
 	if err := e8(iters); err != nil {
 		return err
 	}
+	if err := e8fast(iters); err != nil {
+		return err
+	}
 	if err := e9(iters); err != nil {
 		return err
 	}
@@ -512,6 +515,70 @@ grant user "alice" { permission file "/data/-", "read"; };
 			fmt.Sprintf("%v / %v", cs, ub))
 	}
 	row("depth 64 with doPrivileged at top", runCheck(64, codeDomain, false, true))
+	return nil
+}
+
+// e8fast isolates the layers of the access-control fast path
+// (EXPERIMENTS.md §E8-fast): cold vs cached decisions, the policy
+// match cache, and runtime grant delegation invalidating a cached
+// denial.
+func e8fast(iters int) error {
+	header("E8-fast", "decision caching: cold vs cached, match cache, AddGrant invalidation")
+
+	// Cold vs warm collection implication: a fresh collection per
+	// query pays for sealing the typed index; a warm one answers from
+	// the decision memo.
+	perms := make([]security.Permission, 16)
+	for i := range perms {
+		perms[i] = security.NewFilePermission(fmt.Sprintf("/data/%d/-", i), "read")
+	}
+	probe := security.NewFilePermission("/data/8/x", "read")
+	cold := measure(iters, func() {
+		if !security.NewPermissions(perms...).Implies(probe) {
+			panic("denied")
+		}
+	})
+	warm16 := security.NewPermissions(perms...)
+	warm := measure(iters, func() {
+		if !warm16.Implies(probe) {
+			panic("denied")
+		}
+	})
+	row("Implies, 16 perms  cold / cached", fmt.Sprintf("%v / %v", cold, warm))
+
+	// Policy evaluation with the generation-scoped match cache: the
+	// cost paid per class definition when the same code source loads
+	// many classes.
+	pol := security.NewPolicy()
+	for i := 0; i < 512; i++ {
+		pol.AddGrant(&security.Grant{
+			CodeBase: fmt.Sprintf("file:/apps/app%d", i),
+			Perms:    []security.Permission{security.NewFilePermission(fmt.Sprintf("/data/%d/-", i), "read")},
+		})
+	}
+	cs := security.NewCodeSource("file:/apps/app256")
+	warmMatch := measure(iters, func() {
+		if pol.PermissionsForCode(cs).Len() != 1 {
+			panic("wrong match count")
+		}
+	})
+	row("PermissionsForCode, 512 grants, warm cache", warmMatch)
+
+	// Runtime delegation: a cached denial must be lifted by AddGrant
+	// (generation-counter invalidation), at a cost comparable to one
+	// cold check.
+	d := pol.DomainFor("late", security.NewCodeSource("file:/apps/late"))
+	if d.Implies(probe) {
+		panic("unexpected grant")
+	}
+	pol.AddGrant(&security.Grant{
+		CodeBase: "file:/apps/late",
+		Perms:    []security.Permission{security.NewFilePermission("/data/8/-", "read")},
+	})
+	if !d.Implies(probe) {
+		panic("AddGrant not observed by cached domain")
+	}
+	row("AddGrant invalidation observed by cached domain", "ok")
 	return nil
 }
 

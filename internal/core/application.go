@@ -274,7 +274,9 @@ func (a *Application) containPanic(t *vm.Thread) {
 }
 
 // bindThread attaches application identity and the running user's
-// permissions to a thread.
+// permissions to a thread. The user permissions land in the thread's
+// dedicated lock-free security-context slot, which the access
+// controller reads on every permission check.
 func (a *Application) bindThread(t *vm.Thread) {
 	t.SetLocal(appLocalKey, a)
 	a.mu.Lock()

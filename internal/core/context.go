@@ -136,8 +136,9 @@ func (c *Context) SetUser(u *user.User) error {
 	c.app.mu.Lock()
 	c.app.usr = u
 	c.app.mu.Unlock()
-	// Rebind the calling thread's user permissions; threads spawned
-	// from now on inherit the new user.
+	// Rebind the calling thread's user permissions (an atomic swap of
+	// the thread's security-context slot); threads spawned from now on
+	// inherit the new user.
 	security.BindUserPermissions(c.t, u.Name, c.app.platform.policy.PermissionsForUser(u.Name))
 	return nil
 }

@@ -6,15 +6,15 @@ import (
 	"mpj/internal/vm"
 )
 
-// userPermsKey is the thread-local slot where the platform binds the
-// permission set of the application's running user. The
-// AccessController consults it when a domain on the stack holds
-// UserPermission (Section 5.3).
-const userPermsKey = "security.userPermissions"
-
-// userNameKey is the thread-local slot holding the running user's name
-// (diagnostics only).
-const userNameKey = "security.userName"
+// userContext is the per-thread security context: the running user's
+// name and permission set. It is published through the thread's
+// lock-free security-context slot, so the stack-inspection hot path
+// resolves it with a single atomic load instead of a mutex-guarded
+// thread-local lookup.
+type userContext struct {
+	name  string
+	perms *Permissions
+}
 
 // AccessControlError is returned when a permission check fails. It
 // identifies the denied permission and the protection domain on the
@@ -45,30 +45,37 @@ func (e *AccessControlError) Error() string {
 // set with a thread. The core package calls this when it creates
 // application threads and when an application's user changes.
 func BindUserPermissions(t *vm.Thread, userName string, perms *Permissions) {
-	t.SetLocal(userNameKey, userName)
-	t.SetLocal(userPermsKey, perms)
+	t.SetSecurityContext(&userContext{name: userName, perms: perms})
+}
+
+// userContextOf returns the thread's bound user context, or nil.
+func userContextOf(t *vm.Thread) *userContext {
+	uc, _ := t.SecurityContext().(*userContext)
+	return uc
 }
 
 // UserPermissionsOf returns the user permission set bound to the
 // thread, or nil.
 func UserPermissionsOf(t *vm.Thread) *Permissions {
-	v, ok := t.Local(userPermsKey)
-	if !ok {
-		return nil
+	if uc := userContextOf(t); uc != nil {
+		return uc.perms
 	}
-	perms, _ := v.(*Permissions)
-	return perms
+	return nil
 }
 
 // UserNameOf returns the user name bound to the thread, or "".
 func UserNameOf(t *vm.Thread) string {
-	v, ok := t.Local(userNameKey)
-	if !ok {
-		return ""
+	if uc := userContextOf(t); uc != nil {
+		return uc.name
 	}
-	name, _ := v.(string)
-	return name
+	return ""
 }
+
+// maxWalkDedup bounds the fixed-size (stack-allocated) set of distinct
+// domains remembered during one stack walk. Deeper domain diversity is
+// legal; excess domains are simply re-checked, which is only a cache
+// miss, never a correctness issue.
+const maxWalkDedup = 8
 
 // CheckPermission performs JDK-1.2-style stack inspection: every
 // protection domain on the calling thread's frame stack — from the
@@ -79,11 +86,23 @@ func UserNameOf(t *vm.Thread) string {
 // running user. Frames with a nil domain belong to bootstrap system
 // code and are fully trusted.
 //
+// Fast path: the permission's canonical Key is computed once; each
+// distinct domain is consulted once per walk (deep call chains repeat
+// the same few domains heavily) and answers repeated checks from its
+// lock-free decision cache.
+//
 // An empty stack means VM-internal code is executing; it is trusted.
 func CheckPermission(t *vm.Thread, perm Permission) error {
 	frames := t.Frames()
-	var userPerms *Permissions
+	if len(frames) == 0 {
+		return nil
+	}
+	key := Key(perm)
+	var uc *userContext
 	userLoaded := false
+	var passed [maxWalkDedup]*ProtectionDomain
+	nPassed := 0
+walk:
 	for i := len(frames) - 1; i >= 0; i-- {
 		f := frames[i]
 		if f.Domain != nil {
@@ -91,18 +110,36 @@ func CheckPermission(t *vm.Thread, perm Permission) error {
 			if !ok {
 				return &AccessControlError{Perm: perm, Domain: f.Domain.DomainName()}
 			}
-			if !d.Static.Implies(perm) {
-				allowed := false
-				if d.ExercisesUser {
-					if !userLoaded {
-						userPerms = UserPermissionsOf(t)
-						userLoaded = true
+			for j := 0; j < nPassed; j++ {
+				if passed[j] == d {
+					// Already checked (and passed) earlier in this walk.
+					if f.Privileged {
+						return nil
 					}
-					allowed = userPerms.Implies(perm)
+					continue walk
 				}
-				if !allowed {
-					return &AccessControlError{Perm: perm, Domain: d.Name, User: UserNameOf(t)}
+			}
+			st := d.currentState()
+			allowed, cached := st.decisions[key]
+			if !cached {
+				allowed = st.perms.impliesKeyed(key, perm)
+				d.memoize(st, key, allowed)
+			}
+			if !allowed && st.exercisesUser {
+				if !userLoaded {
+					uc = userContextOf(t)
+					userLoaded = true
 				}
+				if uc != nil {
+					allowed = uc.perms.impliesKeyed(key, perm)
+				}
+			}
+			if !allowed {
+				return &AccessControlError{Perm: perm, Domain: d.Name, User: UserNameOf(t)}
+			}
+			if nPassed < maxWalkDedup {
+				passed[nPassed] = d
+				nPassed++
 			}
 		}
 		if f.Privileged {

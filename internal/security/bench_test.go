@@ -1,0 +1,130 @@
+package security
+
+import (
+	"fmt"
+	"testing"
+
+	"mpj/internal/vm"
+)
+
+// Microbenchmarks for the access-control fast path. The end-to-end
+// numbers (stack depth × policy shape) live in the repository root's
+// BenchmarkE8*; these isolate the individual layers: the sealed
+// collection index, the per-domain decision cache, the policy match
+// cache, and the full walk with domain deduplication.
+
+// BenchmarkSealedImplies measures repeated Implies against collections
+// of growing size; the decision memo answers every iteration after the
+// first.
+func BenchmarkSealedImplies(b *testing.B) {
+	for _, n := range []int{1, 16, 256} {
+		b.Run(fmt.Sprintf("perms%d", n), func(b *testing.B) {
+			c := NewPermissions()
+			for i := 0; i < n; i++ {
+				c.Add(NewFilePermission(fmt.Sprintf("/data/%d/-", i), "read"))
+			}
+			probe := NewFilePermission(fmt.Sprintf("/data/%d/x", n/2), "read")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !c.Implies(probe) {
+					b.Fatal("unexpected denial")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSealedImpliesCold measures the cold path: a fresh collection
+// every iteration, so each query pays for building the typed index.
+func BenchmarkSealedImpliesCold(b *testing.B) {
+	perms := make([]Permission, 16)
+	for i := range perms {
+		perms[i] = NewFilePermission(fmt.Sprintf("/data/%d/-", i), "read")
+	}
+	probe := NewFilePermission("/data/8/x", "read")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := NewPermissions(perms...)
+		if !c.Implies(probe) {
+			b.Fatal("unexpected denial")
+		}
+	}
+}
+
+// BenchmarkDomainDecisionCache measures the per-domain decision cache:
+// one warmed domain answering the same permission.
+func BenchmarkDomainDecisionCache(b *testing.B) {
+	pol := MustParsePolicy(`
+grant codeBase "file:/apps/-" { permission file "/data/-", "read"; };
+`)
+	d := pol.DomainFor("app", NewCodeSource("file:/apps/app"))
+	probe := NewFilePermission("/data/x", "read")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !d.Implies(probe) {
+			b.Fatal("unexpected denial")
+		}
+	}
+}
+
+// BenchmarkPermissionsForCode measures policy evaluation with a warm
+// match cache (the repeated-class-load path) at growing grant counts.
+func BenchmarkPermissionsForCode(b *testing.B) {
+	for _, grants := range []int{8, 64, 512} {
+		b.Run(fmt.Sprintf("grants%d", grants), func(b *testing.B) {
+			pol := NewPolicy()
+			for i := 0; i < grants; i++ {
+				pol.AddGrant(&Grant{
+					CodeBase: fmt.Sprintf("file:/apps/app%d", i),
+					Perms:    []Permission{NewFilePermission(fmt.Sprintf("/data/%d/-", i), "read")},
+				})
+			}
+			cs := NewCodeSource(fmt.Sprintf("file:/apps/app%d", grants/2))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if pol.PermissionsForCode(cs).Len() != 1 {
+					b.Fatal("wrong match count")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCheckPermissionDedup measures the full stack walk at depth
+// 64 where every frame shares one domain — the fast path's domain
+// deduplication collapses the walk to one cached decision.
+func BenchmarkCheckPermissionDedup(b *testing.B) {
+	pol := MustParsePolicy(`
+grant codeBase "file:/apps/-" { permission file "/data/-", "read"; };
+`)
+	d := pol.DomainFor("app", NewCodeSource("file:/apps/app"))
+	probe := NewFilePermission("/data/x", "read")
+
+	v := vm.New(vm.Config{IdlePolicy: vm.StayOnIdle, NoBootThreads: true})
+	defer v.Exit(0)
+	done := make(chan struct{})
+	th, err := v.SpawnThread(vm.ThreadSpec{Group: v.MainGroup(), Name: "bench", Run: func(t *vm.Thread) {
+		for i := 0; i < 64; i++ {
+			t.PushFrame(vm.Frame{Class: "C", Domain: d})
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := CheckPermission(t, probe); err != nil {
+				b.Errorf("unexpected denial: %v", err)
+				break
+			}
+		}
+		b.StopTimer()
+		close(done)
+	}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	<-done
+	th.Join()
+}

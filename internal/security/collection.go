@@ -3,15 +3,55 @@ package security
 import (
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Permissions is a heterogeneous, thread-safe permission collection.
 // The zero value is an empty collection ready for use.
+//
+// Reads are served from an immutable "sealed" snapshot published via an
+// atomic pointer: the hot Implies path takes no lock and consults a
+// typed index (permissions partitioned by Type(), plus an exact-match
+// map keyed by canonical permission Key) instead of linearly scanning a
+// heterogeneous slice. Mutations bump a version counter; the next read
+// reseals the snapshot lazily.
 type Permissions struct {
 	mu    sync.RWMutex
 	perms []Permission
 	all   bool // fast path: collection contains AllPermission
+
+	// version counts mutations; a sealed snapshot is valid only while
+	// its recorded version matches.
+	version atomic.Uint64
+	// sealed is the last published immutable index (nil or stale after
+	// a mutation; reads rebuild it on demand).
+	sealed atomic.Pointer[permIndex]
 }
+
+// maxIndexDecisions caps the per-snapshot decision memo; once full,
+// further queries are computed but not memoized.
+const maxIndexDecisions = 512
+
+// permIndex is an immutable snapshot of a Permissions collection,
+// indexed for O(1)-ish implication checks. It relies on the Permission
+// contract that permissions of different types never imply each other;
+// the sole exception, AllPermission, is pre-folded into the all flag.
+type permIndex struct {
+	version uint64
+	all     bool
+	// exact maps the canonical Key of a held permission to that
+	// permission: a query with an identical key is answered by a single
+	// map hit plus one Implies call.
+	exact map[string]Permission
+	// byType partitions the held permissions by Type(), so a query only
+	// scans candidates that could possibly imply it.
+	byType map[string][]Permission
+	// decisions memoizes query outcomes (positive and negative) by
+	// canonical Key; it grows copy-on-write with the snapshot.
+	decisions map[string]bool
+}
+
+var emptyIndex = &permIndex{}
 
 // NewPermissions returns a collection pre-populated with perms.
 func NewPermissions(perms ...Permission) *Permissions {
@@ -19,6 +59,25 @@ func NewPermissions(perms ...Permission) *Permissions {
 	for _, p := range perms {
 		c.Add(p)
 	}
+	return c
+}
+
+// newPermissionsFrom builds a collection from an already-collected
+// slice in one shot, without per-Add lock traffic. It takes ownership
+// of perms; nil entries are dropped (as Add drops them).
+func newPermissionsFrom(perms []Permission) *Permissions {
+	filtered := perms[:0]
+	c := &Permissions{}
+	for _, p := range perms {
+		if p == nil {
+			continue
+		}
+		if _, ok := p.(AllPermission); ok {
+			c.all = true
+		}
+		filtered = append(filtered, p)
+	}
+	c.perms = filtered
 	return c
 }
 
@@ -33,6 +92,7 @@ func (c *Permissions) Add(p Permission) {
 		c.all = true
 	}
 	c.perms = append(c.perms, p)
+	c.version.Add(1)
 }
 
 // AddAll inserts every permission of other into the collection.
@@ -45,17 +105,99 @@ func (c *Permissions) AddAll(other *Permissions) {
 	}
 }
 
+// seal returns a current immutable index for the collection, building
+// and publishing one if the cached snapshot is missing or stale.
+func (c *Permissions) seal() *permIndex {
+	if c == nil {
+		return emptyIndex
+	}
+	ver := c.version.Load()
+	if idx := c.sealed.Load(); idx != nil && idx.version == ver {
+		return idx
+	}
+	c.mu.RLock()
+	// Re-read under the lock: writers hold the write lock while
+	// bumping, so the version is stable for the duration of the build.
+	idx := &permIndex{
+		version: c.version.Load(),
+		all:     c.all,
+		exact:   make(map[string]Permission, len(c.perms)),
+		byType:  make(map[string][]Permission),
+	}
+	for _, p := range c.perms {
+		idx.exact[Key(p)] = p
+		t := p.Type()
+		idx.byType[t] = append(idx.byType[t], p)
+	}
+	c.mu.RUnlock()
+	// A concurrent resealer may overwrite a newer snapshot with this
+	// one; harmless, since validity is re-checked against version.
+	c.sealed.Store(idx)
+	return idx
+}
+
 // Implies reports whether any contained permission implies p.
 func (c *Permissions) Implies(p Permission) bool {
 	if c == nil {
 		return false
 	}
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	if c.all {
+	return c.impliesKeyed(Key(p), p)
+}
+
+// impliesKeyed is Implies with the canonical Key precomputed by the
+// caller (the access controller computes it once per stack walk).
+// Repeated queries are answered from the snapshot's decision memo: an
+// atomic load plus a map hit.
+func (c *Permissions) impliesKeyed(key string, p Permission) bool {
+	if c == nil {
+		return false
+	}
+	idx := c.seal()
+	if idx.all {
 		return true
 	}
-	for _, held := range c.perms {
+	if v, ok := idx.decisions[key]; ok {
+		return v
+	}
+	v := idx.implies(p)
+	c.memoize(idx, key, v)
+	return v
+}
+
+// memoize publishes a copy of the snapshot with one more cached
+// decision. A lost CAS race drops the memo, never correctness.
+func (c *Permissions) memoize(idx *permIndex, key string, v bool) {
+	if len(idx.decisions) >= maxIndexDecisions {
+		return
+	}
+	decisions := make(map[string]bool, len(idx.decisions)+1)
+	for k, dv := range idx.decisions {
+		decisions[k] = dv
+	}
+	decisions[key] = v
+	next := &permIndex{
+		version:   idx.version,
+		all:       idx.all,
+		exact:     idx.exact,
+		byType:    idx.byType,
+		decisions: decisions,
+	}
+	c.sealed.CompareAndSwap(idx, next)
+}
+
+// implies answers a query against the snapshot.
+func (idx *permIndex) implies(p Permission) bool {
+	if idx.all {
+		return true
+	}
+	if p == nil {
+		// Matches the linear scan: no typed permission implies nil.
+		return false
+	}
+	if held, ok := idx.exact[Key(p)]; ok && held.Implies(p) {
+		return true
+	}
+	for _, held := range idx.byType[p.Type()] {
 		if held.Implies(p) {
 			return true
 		}

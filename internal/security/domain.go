@@ -3,6 +3,7 @@ package security
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"mpj/internal/vm"
 )
@@ -34,6 +35,19 @@ func (cs *CodeSource) String() string {
 		return cs.Location
 	}
 	return fmt.Sprintf("%s signedBy %s", cs.Location, strings.Join(cs.Signers, ","))
+}
+
+// cacheKey returns a string identifying the code source for policy
+// match caching. Signer order is preserved; two orderings of the same
+// signer set hash to different entries, which is merely a duplicate.
+func (cs *CodeSource) cacheKey() string {
+	if cs == nil {
+		return "\x00nil"
+	}
+	if len(cs.Signers) == 0 {
+		return cs.Location
+	}
+	return cs.Location + "\x00" + strings.Join(cs.Signers, "\x00")
 }
 
 // SignedBy reports whether the code source carries a signature by the
@@ -76,10 +90,44 @@ func locationImplies(pattern, loc string) bool {
 	}
 }
 
+// maxDomainDecisions caps the per-domain decision cache so an adversary
+// probing many distinct permissions cannot grow it without bound; once
+// full, further decisions are computed but not memoized.
+const maxDomainDecisions = 256
+
+// domainState is an immutable snapshot of a domain's effective static
+// permissions plus the decisions derived from them. It is replaced
+// wholesale (copy-on-write) when the decision memo grows, when the
+// domain's permission collection mutates, or — for policy-backed
+// domains — when the policy generation advances.
+type domainState struct {
+	// gen is the policy generation this state reflects (0 and unused
+	// for detached domains).
+	gen uint64
+	// permsVer is the version of perms at build time; a direct Add to
+	// the collection invalidates the memoized decisions.
+	permsVer uint64
+	// perms is the effective static permission set.
+	perms *Permissions
+	// exercisesUser mirrors ProtectionDomain.ExercisesUser, re-derived
+	// on policy refresh (a runtime grant may confer UserPermission).
+	exercisesUser bool
+	// decisions memoizes static implication results (positive and
+	// negative) by canonical permission Key.
+	decisions map[string]bool
+}
+
 // ProtectionDomain associates a code source with the permissions that
 // policy statically grants it. Every class belongs to exactly one
 // protection domain; the AccessController intersects the domains on a
 // thread's call stack.
+//
+// Domains built by Policy.DomainFor are policy-backed: they watch the
+// policy's generation counter and re-derive their effective permission
+// set when grants are added at runtime (the Appletviewer's delegation
+// path), so a cached denial never outlives the grant that would lift
+// it. Domains built directly via NewProtectionDomain are detached
+// snapshots, exactly as before.
 type ProtectionDomain struct {
 	// Name identifies the domain for diagnostics (usually the defining
 	// class or program name).
@@ -87,18 +135,24 @@ type ProtectionDomain struct {
 	// Source is the code source of the domain's classes.
 	Source *CodeSource
 	// Static holds the permissions granted to the code source by
-	// policy.
+	// policy at construction time.
 	Static *Permissions
 	// ExercisesUser is true when policy grants the code source
 	// UserPermission: the domain may additionally exercise the
 	// permissions of the application's running user (Section 5.3).
 	ExercisesUser bool
+
+	// policy, when non-nil, backs the domain: the effective permission
+	// set tracks the policy across generations.
+	policy *Policy
+	// state is the current decision-cache snapshot.
+	state atomic.Pointer[domainState]
 }
 
 var _ vm.Domain = (*ProtectionDomain)(nil)
 
-// NewProtectionDomain constructs a domain. The ExercisesUser flag is
-// derived from the permission set.
+// NewProtectionDomain constructs a detached domain. The ExercisesUser
+// flag is derived from the permission set.
 func NewProtectionDomain(name string, cs *CodeSource, perms *Permissions) *ProtectionDomain {
 	if perms == nil {
 		perms = NewPermissions()
@@ -117,6 +171,85 @@ func (d *ProtectionDomain) DomainName() string { return d.Name }
 // String implements fmt.Stringer.
 func (d *ProtectionDomain) String() string {
 	return fmt.Sprintf("ProtectionDomain[%s source=%s]", d.Name, d.Source)
+}
+
+// currentState returns a valid decision-cache snapshot, rebuilding it
+// if the underlying permissions mutated or the backing policy gained a
+// grant since the last build. Lock-free on the hot path: one atomic
+// load plus (for policy-backed domains) one atomic generation read.
+func (d *ProtectionDomain) currentState() *domainState {
+	var gen uint64
+	if d.policy != nil {
+		gen = d.policy.Generation()
+	}
+	st := d.state.Load()
+	if st != nil && st.gen == gen && st.permsVer == st.perms.version.Load() {
+		return st
+	}
+	perms := d.Static
+	exercises := d.ExercisesUser
+	switch {
+	case st != nil && st.gen == gen:
+		// Same generation: only the collection itself mutated (a direct
+		// Add). Keep it and just drop the memoized decisions.
+		perms = st.perms
+		exercises = st.exercisesUser
+	case d.policy != nil:
+		// Re-derive the effective grant set at the current generation.
+		perms = d.policy.PermissionsForCode(d.Source)
+		exercises = perms.Implies(UserPermission{})
+	}
+	st = &domainState{
+		gen:           gen,
+		permsVer:      perms.version.Load(),
+		perms:         perms,
+		exercisesUser: exercises,
+		decisions:     nil,
+	}
+	d.state.Store(st)
+	return st
+}
+
+// impliesKeyed reports whether the domain's effective static permission
+// set implies perm, whose canonical Key the caller has already
+// computed. Repeated checks of the same permission are answered from
+// the per-domain decision cache: an atomic load plus a map hit.
+func (d *ProtectionDomain) impliesKeyed(key string, perm Permission) bool {
+	st := d.currentState()
+	if v, ok := st.decisions[key]; ok {
+		return v
+	}
+	v := st.perms.impliesKeyed(key, perm)
+	d.memoize(st, key, v)
+	return v
+}
+
+// Implies reports whether the domain's effective static permission set
+// implies perm. This is the decision the AccessController combines
+// across stack frames; it does not consult user permissions.
+func (d *ProtectionDomain) Implies(perm Permission) bool {
+	return d.impliesKeyed(Key(perm), perm)
+}
+
+// memoize publishes a copy of st with one more cached decision. A lost
+// CAS race simply drops the memo; correctness never depends on it.
+func (d *ProtectionDomain) memoize(st *domainState, key string, v bool) {
+	if len(st.decisions) >= maxDomainDecisions {
+		return
+	}
+	decisions := make(map[string]bool, len(st.decisions)+1)
+	for k, dv := range st.decisions {
+		decisions[k] = dv
+	}
+	decisions[key] = v
+	next := &domainState{
+		gen:           st.gen,
+		permsVer:      st.permsVer,
+		perms:         st.perms,
+		exercisesUser: st.exercisesUser,
+		decisions:     decisions,
+	}
+	d.state.CompareAndSwap(st, next)
 }
 
 // SystemDomain returns a fully privileged domain for trusted system

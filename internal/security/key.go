@@ -1,0 +1,25 @@
+package security
+
+import "strings"
+
+// Key returns the canonical cache key of a permission: its type, target
+// and canonicalized action list joined with NUL separators. Two
+// permissions with the same key are indistinguishable to the access
+// controller (every built-in permission is a value type fully
+// determined by these three strings), which makes the key suitable for
+// decision caches and the sealed collection index. A nil permission
+// canonicalizes to "".
+func Key(p Permission) string {
+	if p == nil {
+		return ""
+	}
+	typ, target, actions := p.Type(), p.Target(), p.Actions()
+	var b strings.Builder
+	b.Grow(len(typ) + len(target) + len(actions) + 2)
+	b.WriteString(typ)
+	b.WriteByte(0)
+	b.WriteString(target)
+	b.WriteByte(0)
+	b.WriteString(actions)
+	return b.String()
+}

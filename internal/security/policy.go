@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Grant is one policy entry. A grant either targets code (matched by
@@ -81,23 +82,56 @@ func (g *Grant) String() string {
 	return b.String()
 }
 
+// maxPolicyCacheEntries bounds the per-generation match cache; beyond
+// it, lookups fall back to scanning the grant list.
+const maxPolicyCacheEntries = 1024
+
+// matchCache memoizes, for one policy generation, which permissions
+// the grant list confers on a code source or user. It is immutable and
+// replaced copy-on-write; a generation bump orphans it wholesale.
+type matchCache struct {
+	gen uint64
+	// matched maps a subject key ("c\x00"+codesource or "u\x00"+user)
+	// to the permissions collected from matching grants. The slices are
+	// shared and must be treated as read-only.
+	matched map[string][]Permission
+}
+
 // Policy is the system-wide security policy: an ordered list of grant
 // entries consulted by the AccessController. It is safe for concurrent
 // use; grants may be added at runtime (e.g. by the Appletviewer
 // delegating permissions to the applets it loads).
+//
+// The policy carries a generation counter, bumped by AddGrant, that
+// policy-backed protection domains and the match cache use to discard
+// stale derived state the moment the grant list grows.
 type Policy struct {
 	mu     sync.RWMutex
 	grants []*Grant
+
+	// gen counts AddGrant calls; derived state (domain decision caches,
+	// the match cache) is valid only for the generation it was built
+	// at.
+	gen atomic.Uint64
+	// cache is the current-generation match memo.
+	cache atomic.Pointer[matchCache]
 }
 
 // NewPolicy returns an empty policy.
 func NewPolicy() *Policy { return &Policy{} }
 
-// AddGrant appends a grant entry.
+// Generation returns the policy's mutation generation. It increases by
+// one for every AddGrant; derived caches compare generations to decide
+// whether they are stale.
+func (p *Policy) Generation() uint64 { return p.gen.Load() }
+
+// AddGrant appends a grant entry and bumps the policy generation,
+// invalidating every decision cache derived from earlier generations.
 func (p *Policy) AddGrant(g *Grant) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.grants = append(p.grants, g)
+	p.gen.Add(1)
+	p.mu.Unlock()
 }
 
 // Grants returns a snapshot of the policy's grant entries.
@@ -109,42 +143,119 @@ func (p *Policy) Grants() []*Grant {
 	return out
 }
 
-// PermissionsForCode collects the permissions every matching code grant
-// confers on the code source.
-func (p *Policy) PermissionsForCode(cs *CodeSource) *Permissions {
-	out := NewPermissions()
+// cachedMatch returns the memoized matched-permission slice for the
+// subject key at the current generation.
+func (p *Policy) cachedMatch(key string, gen uint64) ([]Permission, bool) {
+	c := p.cache.Load()
+	if c == nil || c.gen != gen {
+		return nil, false
+	}
+	perms, ok := c.matched[key]
+	return perms, ok
+}
+
+// storeMatch publishes the matched-permission slice for the subject key
+// into the current-generation cache (copy-on-write; lost races and
+// full caches drop the memo, never correctness).
+func (p *Policy) storeMatch(key string, gen uint64, perms []Permission) {
+	old := p.cache.Load()
+	var base map[string][]Permission
+	if old != nil && old.gen == gen {
+		if len(old.matched) >= maxPolicyCacheEntries {
+			return
+		}
+		base = old.matched
+	}
+	matched := make(map[string][]Permission, len(base)+1)
+	for k, v := range base {
+		matched[k] = v
+	}
+	matched[key] = perms
+	p.cache.CompareAndSwap(old, &matchCache{gen: gen, matched: matched})
+}
+
+// matchedForCode collects (or recalls) the permissions every matching
+// code grant confers on the code source. The returned slice is shared:
+// callers must not mutate it.
+func (p *Policy) matchedForCode(cs *CodeSource) []Permission {
+	gen := p.gen.Load()
+	key := "c\x00" + cs.cacheKey()
+	if perms, ok := p.cachedMatch(key, gen); ok {
+		return perms
+	}
 	p.mu.RLock()
-	defer p.mu.RUnlock()
+	gen = p.gen.Load() // stable while the read lock pins writers out
+	var collected []Permission
 	for _, g := range p.grants {
 		if g.matchesCode(cs) {
-			for _, perm := range g.Perms {
-				out.Add(perm)
-			}
+			collected = append(collected, g.Perms...)
 		}
 	}
-	return out
+	p.mu.RUnlock()
+	p.storeMatch(key, gen, collected)
+	return collected
+}
+
+// matchedForUser is matchedForCode for user grants.
+func (p *Policy) matchedForUser(name string) []Permission {
+	gen := p.gen.Load()
+	key := "u\x00" + name
+	if perms, ok := p.cachedMatch(key, gen); ok {
+		return perms
+	}
+	p.mu.RLock()
+	gen = p.gen.Load()
+	var collected []Permission
+	for _, g := range p.grants {
+		if g.matchesUser(name) {
+			collected = append(collected, g.Perms...)
+		}
+	}
+	p.mu.RUnlock()
+	p.storeMatch(key, gen, collected)
+	return collected
+}
+
+// PermissionsForCode collects the permissions every matching code grant
+// confers on the code source. The grant list is scanned (or recalled
+// from the generation cache) under a single read-lock acquisition and
+// the collection is built in one shot, without per-Add locking.
+func (p *Policy) PermissionsForCode(cs *CodeSource) *Permissions {
+	matched := p.matchedForCode(cs)
+	// Copy: the matched slice is shared with the cache, while the
+	// returned collection is the caller's to mutate.
+	out := make([]Permission, len(matched))
+	copy(out, matched)
+	return newPermissionsFrom(out)
 }
 
 // PermissionsForUser collects the permissions granted to the named
 // user by user grants.
 func (p *Policy) PermissionsForUser(name string) *Permissions {
-	out := NewPermissions()
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	for _, g := range p.grants {
-		if g.matchesUser(name) {
-			for _, perm := range g.Perms {
-				out.Add(perm)
-			}
-		}
-	}
-	return out
+	matched := p.matchedForUser(name)
+	out := make([]Permission, len(matched))
+	copy(out, matched)
+	return newPermissionsFrom(out)
 }
 
 // DomainFor builds the protection domain for a class of the given code
-// source under this policy.
+// source under this policy. The returned domain is policy-backed: it
+// observes the generation counter and re-derives its effective
+// permissions when grants are added after class definition.
 func (p *Policy) DomainFor(name string, cs *CodeSource) *ProtectionDomain {
-	return NewProtectionDomain(name, cs, p.PermissionsForCode(cs))
+	gen := p.gen.Load()
+	perms := p.PermissionsForCode(cs)
+	d := NewProtectionDomain(name, cs, perms)
+	d.policy = p
+	// Seed the decision cache at the snapshot generation so the first
+	// check does not re-derive what was just computed.
+	d.state.Store(&domainState{
+		gen:           gen,
+		permsVer:      perms.version.Load(),
+		perms:         perms,
+		exercisesUser: d.ExercisesUser,
+	})
+	return d
 }
 
 // String renders the whole policy in policy-file syntax.

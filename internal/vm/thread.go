@@ -102,6 +102,12 @@ type Thread struct {
 	// itself: only code running on the thread may push/pop or read it.
 	frames []Frame
 
+	// secCtx is a dedicated lock-free slot for the security package's
+	// per-thread context (user identity and permissions). It is read on
+	// every permission check, so it bypasses the mutex-guarded locals
+	// map.
+	secCtx atomic.Pointer[any]
+
 	localsMu sync.Mutex
 	locals   map[string]any
 
@@ -286,7 +292,32 @@ func (t *Thread) MarkTopFramePrivileged() (restore func()) {
 	}
 	prev := t.frames[n-1].Privileged
 	t.frames[n-1].Privileged = true
-	return func() { t.frames[n-1].Privileged = prev }
+	return func() {
+		// The stack may have shrunk below the marked frame before the
+		// restore runs (e.g. deferred pops on an unwinding thread);
+		// restoring then would index out of range.
+		if len(t.frames) >= n {
+			t.frames[n-1].Privileged = prev
+		}
+	}
+}
+
+// SetSecurityContext stores the thread's security context in the
+// dedicated lock-free slot. The security package owns the value's
+// type; the VM kernel only carries it (as with Frame.Domain, this
+// preserves the layering — vm does not import security).
+func (t *Thread) SetSecurityContext(v any) {
+	t.secCtx.Store(&v)
+}
+
+// SecurityContext returns the thread's security context, or nil if
+// none was bound.
+func (t *Thread) SecurityContext() any {
+	p := t.secCtx.Load()
+	if p == nil {
+		return nil
+	}
+	return *p
 }
 
 // SetLocal stores a thread-local value. Keys are namespaced by

@@ -152,6 +152,70 @@ func TestFramePushPopAndPrivileged(t *testing.T) {
 	}
 }
 
+// TestMarkPrivilegedRestoreAfterStackShrank: the restore func returned
+// by MarkTopFramePrivileged must not panic (index out of range) when
+// the frame stack shrank below the marked depth before restore runs —
+// e.g. deferred pops on an unwinding thread firing before a deferred
+// restore.
+func TestMarkPrivilegedRestoreAfterStackShrank(t *testing.T) {
+	v := idleVM(t)
+	result := make(chan string, 1)
+	th := spawn(t, v, ThreadSpec{
+		Group: v.MainGroup(),
+		Name:  "shrink",
+		Run: func(th *Thread) {
+			th.PushFrame(Frame{Class: "A"})
+			th.PushFrame(Frame{Class: "B"})
+			restore := th.MarkTopFramePrivileged()
+			th.PopFrame()
+			th.PopFrame()
+			restore() // stack is empty: must be a no-op, not a panic
+			if th.FrameDepth() != 0 {
+				result <- "restore resurrected a frame"
+				return
+			}
+
+			// Shrink by one: the marked frame is gone, but an outer
+			// frame remains at a smaller index; restore must not touch
+			// it either.
+			th.PushFrame(Frame{Class: "A"})
+			th.PushFrame(Frame{Class: "B"})
+			restore = th.MarkTopFramePrivileged()
+			th.PopFrame()
+			restore()
+			if th.Frames()[0].Privileged {
+				result <- "restore wrote through to an outer frame"
+				return
+			}
+			th.PopFrame()
+			result <- "ok"
+		},
+	})
+	th.Join()
+	if msg := <-result; msg != "ok" {
+		t.Fatal(msg)
+	}
+}
+
+// TestSecurityContextSlot: the lock-free security-context slot starts
+// nil, round-trips values, and supports replacement.
+func TestSecurityContextSlot(t *testing.T) {
+	v := idleVM(t)
+	th := spawn(t, v, ThreadSpec{Group: v.MainGroup(), Name: "sec", Run: func(th *Thread) { <-th.StopChan() }})
+	defer th.Stop()
+	if got := th.SecurityContext(); got != nil {
+		t.Fatalf("initial security context = %v, want nil", got)
+	}
+	th.SetSecurityContext("ctx1")
+	if got := th.SecurityContext(); got != "ctx1" {
+		t.Fatalf("security context = %v, want ctx1", got)
+	}
+	th.SetSecurityContext(42)
+	if got := th.SecurityContext(); got != 42 {
+		t.Fatalf("security context after replace = %v, want 42", got)
+	}
+}
+
 func TestMarkPrivilegedOnEmptyStack(t *testing.T) {
 	v := idleVM(t)
 	th := spawn(t, v, ThreadSpec{
