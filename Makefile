@@ -3,7 +3,9 @@
 #
 #   make build        compile everything
 #   make vet          go vet over all packages
-#   make test         full test suite, including the data-race detector
+#   make test         full test suite; the concurrency-heavy packages
+#                     (security, vm, events, netsim, audit) are rerun
+#                     under the data-race detector
 #   make bench-smoke  one fast pass over the E8 access-control benchmarks
 #   make check        all of the above
 #   make bench        the full experiment harness (slow)
@@ -20,7 +22,7 @@ vet:
 
 test:
 	$(GO) test ./...
-	$(GO) test -race ./internal/security/ ./internal/vm/
+	$(GO) test -race ./internal/security/ ./internal/vm/ ./internal/events/ ./internal/netsim/ ./internal/audit/
 
 bench-smoke:
 	$(GO) test -run xxx -bench 'BenchmarkE8AccessControl|BenchmarkE8PolicyScale' -benchtime=100x .

@@ -14,6 +14,7 @@ import (
 
 	"mpj"
 	"mpj/internal/applet"
+	"mpj/internal/audit"
 	"mpj/internal/classes"
 	"mpj/internal/core"
 	"mpj/internal/events"
@@ -96,6 +97,9 @@ func run(iters int) error {
 		return err
 	}
 	if err := e8fast(iters); err != nil {
+		return err
+	}
+	if err := eAudit(iters); err != nil {
 		return err
 	}
 	if err := e9(iters); err != nil {
@@ -579,6 +583,97 @@ func e8fast(iters int) error {
 		panic("AddGrant not observed by cached domain")
 	}
 	row("AddGrant invalidation observed by cached domain", "ok")
+	return nil
+}
+
+// eAudit measures the kernel audit pipeline (EXPERIMENTS.md
+// §E-audit): the per-event emission cost with the category disabled
+// (one atomic mask load), enabled with a live drainer, and saturated
+// (rings full, drop-oldest), plus the E8-fast guard — CheckPermission
+// with an audit log attached but CatAccess off must cost the same as
+// the log-free fast path.
+func eAudit(iters int) error {
+	header("E-audit", "audit emission: disabled / drained / saturated, and the access fast path")
+	const batch = 1024
+	ev := audit.Event{Cat: audit.CatShell, Verb: "bench", User: "alice", Detail: "payload"}
+
+	// (a) Category disabled: the emission site's only cost. (Config.Mask
+	// 0 means DefaultMask, so clear it explicitly.)
+	off := audit.New(audit.Config{Store: audit.NewMemStore()})
+	off.SetMask(0)
+	disabled := measure(iters, func() {
+		for i := 0; i < batch; i++ {
+			off.Emit(ev)
+		}
+	}) / batch
+	row("Emit, category disabled", disabled)
+
+	// (b) Enabled with the drainer keeping up: steady-state logging.
+	l := audit.New(audit.Config{Store: audit.NewMemStore(), Mask: audit.CatShell})
+	stop := make(chan struct{})
+	drained := make(chan struct{})
+	go func() { defer close(drained); l.Run(stop) }()
+	enabled := measure(iters, func() {
+		for i := 0; i < batch; i++ {
+			l.Emit(ev)
+		}
+	}) / batch
+	close(stop)
+	<-drained
+	row("Emit, enabled, drainer keeping up", enabled)
+	res, err := l.Verify()
+	if err != nil {
+		return err
+	}
+	if !res.OK {
+		return fmt.Errorf("audit chain broken after bench: %+v", res)
+	}
+	row("hash chain verify", fmt.Sprintf("%d records / %d segments OK", res.Records, res.Segments))
+
+	// (c) Saturated: no drainer, one small ring, pure drop-oldest path.
+	sat := audit.New(audit.Config{Store: audit.NewMemStore(), Mask: audit.CatShell,
+		Shards: 1, ShardCap: 64})
+	saturated := measure(iters, func() {
+		for i := 0; i < batch; i++ {
+			sat.Emit(ev)
+		}
+	}) / batch
+	row("Emit, saturated (drop-oldest)", saturated)
+	row("events dropped under saturation", sat.Stats().Dropped)
+
+	// (d) E8-fast guard: attaching a quiet log must not tax the
+	// access-control fast path (allowed checks, CatAccess off).
+	pol := security.MustParsePolicy(`grant codeBase "file:/local/-" { permission file "/data/-", "read"; };`)
+	dom := pol.DomainFor("tool", security.NewCodeSource("file:/local/tool"))
+	perm := security.NewFilePermission("/data/file", "read")
+	check := func(withLog bool) time.Duration {
+		v := vm.New(vm.Config{IdlePolicy: vm.StayOnIdle, NoBootThreads: true})
+		defer v.Exit(0)
+		if withLog {
+			v.SetAuditLog(audit.New(audit.Config{Store: audit.NewMemStore()}))
+		}
+		result := make(chan time.Duration, 1)
+		th, err := v.SpawnThread(vm.ThreadSpec{Group: v.MainGroup(), Name: "m", Run: func(t *vm.Thread) {
+			for i := 0; i < 16; i++ {
+				t.PushFrame(vm.Frame{Class: "C", Domain: dom})
+			}
+			result <- measure(iters, func() {
+				if err := security.CheckPermission(t, perm); err != nil {
+					panic(err)
+				}
+			})
+		}})
+		if err != nil {
+			panic(err)
+		}
+		th.Join()
+		return <-result
+	}
+	base := check(false)
+	guarded := check(true)
+	row("CheckPermission depth 16, no audit log", base)
+	row("CheckPermission depth 16, log attached, access off", guarded)
+	row("fast-path overhead", fmt.Sprintf("%.2fx", float64(guarded)/float64(base)))
 	return nil
 }
 

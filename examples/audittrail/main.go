@@ -1,0 +1,134 @@
+// Audittrail: the kernel audit subsystem in action. Mallory probes
+// the policy boundaries — another user's home, a system file, the
+// network, even the audit controls themselves — while an auditor tails
+// the denial stream live and then interrogates the persisted,
+// hash-chained trail through the query API. The finale rewrites one
+// byte of a stored segment and shows Verify pinpointing the exact
+// record where history was falsified.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+
+	"mpj"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "audittrail:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	p, _, err := mpj.NewStandardPlatform(mpj.StandardConfig{Name: "audittrail"})
+	if err != nil {
+		return err
+	}
+	defer p.Shutdown()
+	if _, err := p.AddUser("mallory", "muhaha"); err != nil {
+		return err
+	}
+	if err := p.FS().WriteFile("alice", "/home/alice/secret.txt", []byte("alice's diary"), 0o600); err != nil {
+		return err
+	}
+
+	// The auditor opens a live tail BEFORE the probing starts: denials
+	// and shell commands stream in as they happen.
+	l := p.Audit()
+	sub := l.Subscribe("auditor", mpj.AuditDeny|mpj.AuditShell, 64)
+	defer sub.Close()
+
+	// Mallory probes the boundaries. Every attempt is denied by the
+	// security manager — and every denial lands in the audit trail.
+	err = p.RegisterProgram(mpj.Program{Name: "probe", Main: func(ctx *mpj.Context, args []string) int {
+		if _, err := ctx.ReadFile("/home/alice/secret.txt"); err != nil {
+			ctx.Errorf("probe: %v\n", err)
+		}
+		if err := ctx.WriteFile("/etc/passwd", []byte("mallory::0:root")); err != nil {
+			ctx.Errorf("probe: %v\n", err)
+		}
+		if _, err := ctx.Dial("applets.example.org", 80); err != nil {
+			ctx.Errorf("probe: %v\n", err)
+		}
+		return 0
+	}})
+	if err != nil {
+		return err
+	}
+	mallory, err := p.Users().Lookup("mallory")
+	if err != nil {
+		return err
+	}
+	app, err := p.Exec(mpj.ExecSpec{Program: "probe", User: mallory})
+	if err != nil {
+		return err
+	}
+	app.WaitFor()
+
+	// Covering tracks? The audit controls are themselves policy-gated:
+	// only root holds runtime "auditControl".
+	sh, err := p.Exec(mpj.ExecSpec{Program: "sh", Args: []string{"-c", "auditctl disable deny"}, User: mallory})
+	if err != nil {
+		return err
+	}
+	if code := sh.WaitFor(); code == 0 {
+		return fmt.Errorf("mallory was allowed to disable auditing")
+	}
+	l.Sync()
+
+	fmt.Println("live tail (what the auditor saw as it happened):")
+	for len(sub.C()) > 0 {
+		r := <-sub.C()
+		fmt.Printf("  %-6s %-8s user=%-8s %s\n", r.Cat, r.Verb, r.User, r.Detail)
+	}
+
+	// The persisted trail answers structured queries.
+	recs, err := l.Query(mpj.AuditQuery{Cats: mpj.AuditDeny, User: "mallory"})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\npersisted security denials attributed to mallory: %d\n", len(recs))
+	for _, r := range recs {
+		fmt.Printf("  seq=%-3d %s\n", r.Seq, r.Detail)
+	}
+
+	// The hash chain proves nobody rewrote history...
+	res, err := l.Verify()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nchain verify: ok=%v (%d records in %d segments under /var/audit)\n",
+		res.OK, res.Records, res.Segments)
+
+	// ...so rewrite history: swap mallory's name out of the first
+	// stored segment. Verify breaks at exactly the falsified record.
+	segs, err := p.FS().ReadDir("root", "/var/audit")
+	if err != nil || len(segs) == 0 {
+		return fmt.Errorf("no audit segments: %v", err)
+	}
+	name := "/var/audit/" + segs[0].Name
+	data, err := p.FS().ReadFile("root", name)
+	if err != nil {
+		return err
+	}
+	tampered := bytes.Replace(data, []byte("mallory"), []byte("innocen"), 1)
+	if bytes.Equal(tampered, data) {
+		return fmt.Errorf("no mallory record in %s to tamper with", name)
+	}
+	if err := p.FS().WriteFile("root", name, tampered, 0o600); err != nil {
+		return err
+	}
+	res, err = l.Verify()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("after in-place edit of %s: ok=%v, broken at %s line %d (%s)\n",
+		name, res.OK, res.BrokenSegment, res.BrokenLine, res.Reason)
+	if res.OK {
+		return fmt.Errorf("tampering went undetected")
+	}
+	return nil
+}

@@ -1,0 +1,602 @@
+package audit
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config configures a Log. The zero value of every field selects a
+// sensible default.
+type Config struct {
+	// Store persists the hash-chained segments. Defaults to an
+	// in-memory MemStore.
+	Store SegmentStore
+	// Shards is the number of emission ring buffers (rounded up to a
+	// power of two). Defaults to 8.
+	Shards int
+	// ShardCap is each ring's capacity in records. Defaults to 1024.
+	ShardCap int
+	// SegmentRecords is how many records a segment holds before the
+	// drainer rotates to the next one. Defaults to 512.
+	SegmentRecords int
+	// FlushInterval bounds how long an emitted record can sit in a
+	// shard before the drainer sweeps it. Defaults to 5ms.
+	FlushInterval time.Duration
+	// Mask is the initial category mask; 0 selects DefaultMask.
+	Mask Category
+	// Clock supplies record timestamps (for deterministic tests).
+	// Defaults to time.Now.
+	Clock func() time.Time
+}
+
+// shard is one bounded emission ring. Emitters hash to a shard by
+// thread ID, so unrelated threads rarely contend on the same mutex.
+type shard struct {
+	mu    sync.Mutex
+	buf   []Record
+	start int // index of the oldest record
+	n     int // live records
+	// pad keeps neighbouring shards off one cache line.
+	_ [40]byte
+}
+
+// Log is the VM-wide audit log. All methods are safe for concurrent
+// use, and Emit/Enabled tolerate a nil receiver (they report disabled),
+// so call sites need no nil guards.
+type Log struct {
+	mask atomic.Uint32
+	seq  atomic.Uint64
+
+	emitted [numCategories]atomic.Uint64
+	dropped [numCategories]atomic.Uint64
+
+	shards    []shard
+	shardMask uint64
+
+	store          SegmentStore
+	segmentRecords int
+	clock          func() time.Time
+	flushInterval  time.Duration
+	wake           chan struct{}
+
+	// drainMu serializes the consumption side: the drainer loop,
+	// Sync, Close, Verify and Query. chain state below it is guarded
+	// by drainMu.
+	drainMu  sync.Mutex
+	prev     [32]byte // hash of the last chained record
+	seg      int      // current segment index
+	segCount int      // records already in the current segment
+	storeErr error    // first storage failure, if any
+
+	chained atomic.Uint64 // records appended to the chain
+
+	subMu      sync.Mutex
+	subs       map[int]*Subscription
+	nextSub    int
+	subDropped atomic.Uint64
+}
+
+// New creates a Log. The caller owns the drainer: either spawn Run on
+// a (daemon) goroutine, or rely on explicit Sync calls.
+func New(cfg Config) *Log {
+	if cfg.Store == nil {
+		cfg.Store = NewMemStore()
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 8
+	}
+	// Round the shard count up to a power of two so the shard pick is
+	// a single AND.
+	n := 1
+	for n < cfg.Shards {
+		n <<= 1
+	}
+	if cfg.ShardCap <= 0 {
+		cfg.ShardCap = 1024
+	}
+	if cfg.SegmentRecords <= 0 {
+		cfg.SegmentRecords = 512
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = 5 * time.Millisecond
+	}
+	if cfg.Mask == 0 {
+		cfg.Mask = DefaultMask
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	l := &Log{
+		shards:         make([]shard, n),
+		shardMask:      uint64(n - 1),
+		store:          cfg.Store,
+		segmentRecords: cfg.SegmentRecords,
+		clock:          cfg.Clock,
+		flushInterval:  cfg.FlushInterval,
+		wake:           make(chan struct{}, 1),
+		subs:           make(map[int]*Subscription),
+	}
+	for i := range l.shards {
+		l.shards[i].buf = make([]Record, cfg.ShardCap)
+	}
+	l.mask.Store(uint32(cfg.Mask))
+	return l
+}
+
+// ----- emission side -----
+
+// Enabled reports whether any of the given categories is enabled.
+// Safe on a nil Log. Call sites use it to skip building event strings
+// entirely when nobody is listening.
+func (l *Log) Enabled(c Category) bool {
+	return l != nil && Category(l.mask.Load())&c != 0
+}
+
+// Emit records an event. When the event's category is disabled (or the
+// log is nil) the cost is one atomic load; it never blocks and never
+// allocates on that path. When enabled, the event is stamped and pushed
+// into the emitting thread's ring; a full ring drops its oldest record
+// and bumps the dropped counter of that record's category — the
+// emitter is never the one to stall.
+func (l *Log) Emit(ev Event) {
+	if l == nil || Category(l.mask.Load())&ev.Cat == 0 {
+		return
+	}
+	l.emit(ev)
+}
+
+// emit is the enabled-path tail of Emit, kept out of line so Emit
+// itself stays inlinable at every instrumentation site.
+func (l *Log) emit(ev Event) {
+	l.emitted[ev.Cat.index()].Add(1)
+	rec := Record{Event: ev, Seq: l.seq.Add(1), Time: l.clock().UnixNano()}
+	sh := &l.shards[uint64(ev.Thread)&l.shardMask]
+	sh.mu.Lock()
+	if sh.n == len(sh.buf) {
+		// Overflow: drop the oldest record in place.
+		l.dropped[sh.buf[sh.start].Cat.index()].Add(1)
+		sh.buf[sh.start] = rec
+		sh.start = (sh.start + 1) % len(sh.buf)
+	} else {
+		sh.buf[(sh.start+sh.n)%len(sh.buf)] = rec
+		sh.n++
+	}
+	sh.mu.Unlock()
+	select {
+	case l.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Mask returns the current category mask. Safe on a nil Log.
+func (l *Log) Mask() Category {
+	if l == nil {
+		return 0
+	}
+	return Category(l.mask.Load())
+}
+
+// SetMask replaces the category mask.
+func (l *Log) SetMask(c Category) { l.mask.Store(uint32(c & CatAll)) }
+
+// Enable turns the given categories on.
+func (l *Log) Enable(c Category) {
+	for {
+		old := l.mask.Load()
+		if l.mask.CompareAndSwap(old, old|uint32(c&CatAll)) {
+			return
+		}
+	}
+}
+
+// Disable turns the given categories off.
+func (l *Log) Disable(c Category) {
+	for {
+		old := l.mask.Load()
+		if l.mask.CompareAndSwap(old, old&^uint32(c)) {
+			return
+		}
+	}
+}
+
+// ----- consumption side -----
+
+// Run is the drainer loop: it sweeps the shards whenever an emitter
+// wakes it (or the flush interval elapses), chains the batch into
+// segments and fans it out to subscribers. It returns after a final
+// sweep once stop closes. The platform runs this on a daemon thread;
+// tests may also drive the log synchronously with Sync instead.
+func (l *Log) Run(stop <-chan struct{}) {
+	ticker := time.NewTicker(l.flushInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			l.Sync()
+			return
+		case <-l.wake:
+			l.Sync()
+		case <-ticker.C:
+			l.Sync()
+		}
+	}
+}
+
+// Sync synchronously drains every shard into the chained segments and
+// to subscribers. Emitters are only briefly blocked (one ring copy per
+// shard); chaining and fan-out happen outside the shard locks.
+func (l *Log) Sync() {
+	l.drainMu.Lock()
+	defer l.drainMu.Unlock()
+	l.drainLocked()
+}
+
+// Close performs a final drain. The Log remains usable for queries.
+func (l *Log) Close() { l.Sync() }
+
+// drainLocked collects, orders, chains, persists and fans out one
+// batch. Caller holds drainMu.
+func (l *Log) drainLocked() {
+	var batch []Record
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.Lock()
+		for j := 0; j < sh.n; j++ {
+			batch = append(batch, sh.buf[(sh.start+j)%len(sh.buf)])
+		}
+		sh.start, sh.n = 0, 0
+		sh.mu.Unlock()
+	}
+	if len(batch) == 0 {
+		return
+	}
+	// Restore global emission order across shards.
+	sort.Slice(batch, func(i, j int) bool { return batch[i].Seq < batch[j].Seq })
+
+	// Chain and persist, rotating segments as they fill.
+	var b strings.Builder
+	var pending strings.Builder
+	flush := func() {
+		if pending.Len() == 0 {
+			return
+		}
+		if err := l.store.Append(segmentName(l.seg), []byte(pending.String())); err != nil && l.storeErr == nil {
+			l.storeErr = err
+		}
+		pending.Reset()
+	}
+	for i := range batch {
+		rec := &batch[i]
+		b.Reset()
+		rec.encodeBody(&b)
+		h := sha256.New()
+		h.Write(l.prev[:])
+		h.Write([]byte(b.String()))
+		sum := h.Sum(nil)
+		copy(l.prev[:], sum)
+		rec.Hash = hex.EncodeToString(sum)
+
+		pending.WriteString(b.String())
+		pending.WriteByte('\t')
+		pending.WriteString(rec.Hash)
+		pending.WriteByte('\n')
+		l.segCount++
+		l.chained.Add(1)
+		if l.segCount >= l.segmentRecords {
+			flush()
+			l.seg++
+			l.segCount = 0
+		}
+	}
+	flush()
+
+	// Fan out to subscribers: bounded, non-blocking — a slow consumer
+	// loses records (counted), never stalls the drainer.
+	l.subMu.Lock()
+	for i := range batch {
+		rec := batch[i]
+		for _, s := range l.subs {
+			if s.mask&rec.Cat == 0 {
+				continue
+			}
+			select {
+			case s.ch <- rec:
+			default:
+				s.droppedCount.Add(1)
+				l.subDropped.Add(1)
+			}
+		}
+	}
+	l.subMu.Unlock()
+}
+
+// segmentName formats the idx-th segment's name; zero-padding keeps
+// lexical order equal to chain order.
+func segmentName(idx int) string { return fmt.Sprintf("seg-%06d.log", idx) }
+
+// ----- subscriptions -----
+
+// Subscription is one live consumer of the audit stream.
+type Subscription struct {
+	name         string
+	mask         Category
+	ch           chan Record
+	log          *Log
+	id           int
+	droppedCount atomic.Uint64
+	closeOnce    sync.Once
+}
+
+// Subscribe attaches a live consumer receiving every future record
+// matching mask, through a bounded queue of the given capacity
+// (minimum 1). Records the consumer is too slow for are dropped and
+// counted; the drainer never blocks on a subscriber.
+func (l *Log) Subscribe(name string, mask Category, capacity int) *Subscription {
+	if capacity < 1 {
+		capacity = 1
+	}
+	s := &Subscription{name: name, mask: mask, ch: make(chan Record, capacity), log: l}
+	l.subMu.Lock()
+	l.nextSub++
+	s.id = l.nextSub
+	l.subs[s.id] = s
+	l.subMu.Unlock()
+	return s
+}
+
+// C is the subscription's delivery channel. It is closed by Close.
+func (s *Subscription) C() <-chan Record { return s.ch }
+
+// Name returns the diagnostic name given at Subscribe.
+func (s *Subscription) Name() string { return s.name }
+
+// Dropped returns how many records this subscriber was too slow for.
+func (s *Subscription) Dropped() uint64 { return s.droppedCount.Load() }
+
+// Close detaches the subscription and closes its channel. Safe to call
+// concurrently with a draining Log and more than once.
+func (s *Subscription) Close() {
+	s.closeOnce.Do(func() {
+		// Removal and close happen under subMu, which the drainer
+		// holds while sending — so no send-on-closed-channel race.
+		s.log.subMu.Lock()
+		delete(s.log.subs, s.id)
+		close(s.ch)
+		s.log.subMu.Unlock()
+	})
+}
+
+// ----- query + verify -----
+
+// Query filters the persisted log. Zero fields match everything.
+type Query struct {
+	// Cats selects categories (0 = all).
+	Cats Category
+	// User matches Record.User exactly ("" = any).
+	User string
+	// App matches Record.App (0 = any).
+	App int64
+	// Verb matches Record.Verb exactly ("" = any).
+	Verb string
+	// Since/Until bound Record.Time in Unix nanoseconds (0 = open).
+	Since, Until int64
+	// Limit keeps only the last Limit matches (0 = all).
+	Limit int
+}
+
+// match reports whether a record satisfies the query.
+func (q *Query) match(r *Record) bool {
+	if q.Cats != 0 && q.Cats&r.Cat == 0 {
+		return false
+	}
+	if q.User != "" && q.User != r.User {
+		return false
+	}
+	if q.App != 0 && q.App != r.App {
+		return false
+	}
+	if q.Verb != "" && q.Verb != r.Verb {
+		return false
+	}
+	if q.Since != 0 && r.Time < q.Since {
+		return false
+	}
+	if q.Until != 0 && r.Time > q.Until {
+		return false
+	}
+	return true
+}
+
+// Query returns the persisted records matching q, in chain order.
+// Records still sitting in emission rings are not seen; call Sync
+// first for read-your-writes.
+func (l *Log) Query(q Query) ([]Record, error) {
+	l.drainMu.Lock()
+	defer l.drainMu.Unlock()
+	var out []Record
+	err := l.walkChainLocked(func(rec Record, _ string, _ int) error {
+		if q.match(&rec) {
+			out = append(out, rec)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if q.Limit > 0 && len(out) > q.Limit {
+		out = out[len(out)-q.Limit:]
+	}
+	return out, nil
+}
+
+// VerifyResult reports the outcome of a chain walk.
+type VerifyResult struct {
+	// Segments and Records count what was walked.
+	Segments int
+	Records  int
+	// OK is true when every link of the chain checked out.
+	OK bool
+	// BrokenSegment/BrokenLine locate the first broken link (line is
+	// 1-based within the segment) when OK is false.
+	BrokenSegment string
+	BrokenLine    int
+	// Reason describes the first failure.
+	Reason string
+}
+
+// Verify re-walks every persisted segment, recomputing the hash chain
+// from its genesis, and reports the first broken link: any in-place
+// modification, reorder or insertion breaks the chain at the first
+// affected record. (Truncating the tail is only detectable against an
+// externally anchored head — publish Stats().Records or the last hash
+// out-of-band for that.)
+func (l *Log) Verify() (VerifyResult, error) {
+	l.drainMu.Lock()
+	defer l.drainMu.Unlock()
+	res := VerifyResult{OK: true}
+	var prev [32]byte
+	var lastSeq uint64
+	var b strings.Builder
+	err := l.walkChainLocked(func(rec Record, seg string, line int) error {
+		if !res.OK {
+			return nil
+		}
+		res.Records++
+		b.Reset()
+		rec.encodeBody(&b)
+		h := sha256.New()
+		h.Write(prev[:])
+		h.Write([]byte(b.String()))
+		sum := hex.EncodeToString(h.Sum(nil))
+		switch {
+		case sum != rec.Hash:
+			res.OK = false
+			res.Reason = fmt.Sprintf("hash mismatch at seq %d (chain broken from here)", rec.Seq)
+		case rec.Seq <= lastSeq:
+			res.OK = false
+			res.Reason = fmt.Sprintf("sequence not increasing: %d after %d", rec.Seq, lastSeq)
+		}
+		if !res.OK {
+			res.BrokenSegment, res.BrokenLine = seg, line
+			return nil
+		}
+		hexDecodeInto(prev[:], rec.Hash)
+		lastSeq = rec.Seq
+		return nil
+	})
+	if err != nil {
+		return VerifyResult{}, err
+	}
+	names, _ := l.store.List()
+	res.Segments = len(names)
+	return res, nil
+}
+
+// hexDecodeInto decodes src hex into dst; src is a hash this package
+// produced, so decode errors cannot occur.
+func hexDecodeInto(dst []byte, src string) {
+	_, _ = hex.Decode(dst, []byte(src))
+}
+
+// walkChainLocked visits every persisted record in chain order.
+// Caller holds drainMu.
+func (l *Log) walkChainLocked(visit func(rec Record, segment string, line int) error) error {
+	names, err := l.store.List()
+	if err != nil {
+		return err
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		data, err := l.store.Read(name)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			if line == "" {
+				continue
+			}
+			rec, err := parseRecord(line)
+			if err != nil {
+				return fmt.Errorf("%s line %d: %w", name, i+1, err)
+			}
+			if err := visit(rec, name, i+1); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ----- stats -----
+
+// CategoryStats is one category's counters.
+type CategoryStats struct {
+	Name    string
+	Enabled bool
+	Emitted uint64
+	Dropped uint64
+}
+
+// Stats is a point-in-time snapshot of the log's counters.
+type Stats struct {
+	// Mask is the current category mask.
+	Mask Category
+	// Categories lists per-category counters in bit order.
+	Categories []CategoryStats
+	// Emitted/Dropped total the per-category counters.
+	Emitted uint64
+	Dropped uint64
+	// Records is how many records have been chained to segments.
+	Records uint64
+	// Segments is how many segments exist.
+	Segments int64
+	// Pending counts records emitted but not yet drained.
+	Pending int
+	// Subscribers is the number of live subscriptions;
+	// SubscriberDrops totals records lost to slow subscribers.
+	Subscribers     int
+	SubscriberDrops uint64
+	// StoreErr reports the first segment-store failure, if any.
+	StoreErr error
+}
+
+// Stats returns a snapshot of the log's counters.
+func (l *Log) Stats() Stats {
+	st := Stats{Mask: Category(l.mask.Load())}
+	for i := 0; i < numCategories; i++ {
+		cs := CategoryStats{
+			Name:    catNames[i],
+			Enabled: st.Mask&(1<<i) != 0,
+			Emitted: l.emitted[i].Load(),
+			Dropped: l.dropped[i].Load(),
+		}
+		st.Emitted += cs.Emitted
+		st.Dropped += cs.Dropped
+		st.Categories = append(st.Categories, cs)
+	}
+	st.Records = l.chained.Load()
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.Lock()
+		st.Pending += sh.n
+		sh.mu.Unlock()
+	}
+	l.subMu.Lock()
+	st.Subscribers = len(l.subs)
+	l.subMu.Unlock()
+	st.SubscriberDrops = l.subDropped.Load()
+	l.drainMu.Lock()
+	st.StoreErr = l.storeErr
+	st.Segments = int64(l.seg)
+	if l.segCount > 0 {
+		st.Segments++ // the partially filled current segment
+	}
+	l.drainMu.Unlock()
+	return st
+}

@@ -1,0 +1,77 @@
+package audit
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// SegmentStore is the narrow persistence interface the drainer appends
+// log segments through. The vfs package provides the in-VFS
+// implementation the platform wires in (the audit package itself
+// imports nothing from the repository, so every substrate — including
+// vfs — may emit into it without an import cycle).
+type SegmentStore interface {
+	// Append appends data to the named segment, creating it if
+	// missing.
+	Append(name string, data []byte) error
+	// List returns the names of all segments, in any order.
+	List() ([]string, error)
+	// Read returns a segment's full contents.
+	Read(name string) ([]byte, error)
+}
+
+// MemStore is an in-memory SegmentStore for tests, benchmarks and
+// VM-less use of the audit log.
+type MemStore struct {
+	mu       sync.Mutex
+	segments map[string][]byte
+}
+
+var _ SegmentStore = (*MemStore)(nil)
+
+// NewMemStore returns an empty in-memory segment store.
+func NewMemStore() *MemStore {
+	return &MemStore{segments: make(map[string][]byte)}
+}
+
+// Append implements SegmentStore.
+func (s *MemStore) Append(name string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.segments[name] = append(s.segments[name], data...)
+	return nil
+}
+
+// List implements SegmentStore.
+func (s *MemStore) List() ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.segments))
+	for name := range s.segments {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Read implements SegmentStore.
+func (s *MemStore) Read(name string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, ok := s.segments[name]
+	if !ok {
+		return nil, fmt.Errorf("audit: no segment %q", name)
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
+}
+
+// Put replaces a segment's contents wholesale. It exists so tamper
+// tests can corrupt a stored segment; real consumers only Append.
+func (s *MemStore) Put(name string, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.segments[name] = append([]byte(nil), data...)
+}

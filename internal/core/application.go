@@ -3,10 +3,12 @@ package core
 import (
 	"fmt"
 	"runtime/debug"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"mpj/internal/audit"
 	"mpj/internal/classes"
 	"mpj/internal/security"
 	"mpj/internal/streams"
@@ -226,6 +228,16 @@ func (p *Platform) Exec(spec ExecSpec) (*Application, error) {
 	app.mu.Lock()
 	app.mainTh = mainTh
 	app.mu.Unlock()
+
+	if l := p.audit; l.Enabled(audit.CatApp) {
+		detail := prog.Name
+		if len(args) > 0 {
+			detail += " " + strings.Join(args, " ")
+		}
+		l.Emit(audit.Event{Cat: audit.CatApp, Verb: "exec",
+			User: app.User().Name, App: int64(id), Thread: int64(mainTh.ID()),
+			Detail: detail})
+	}
 	// Bind again from the launcher side so the mapping is visible to
 	// observers as soon as Exec returns (the body's own bind ensures it
 	// happens before main runs; both are idempotent).
@@ -279,6 +291,7 @@ func (a *Application) containPanic(t *vm.Thread) {
 // controller reads on every permission check.
 func (a *Application) bindThread(t *vm.Thread) {
 	t.SetLocal(appLocalKey, a)
+	t.SetAppTag(int64(a.id))
 	a.mu.Lock()
 	name := a.usr.Name
 	a.mu.Unlock()
@@ -449,6 +462,15 @@ func (a *Application) destroy() {
 	p.mu.Lock()
 	delete(p.apps, a.id)
 	p.mu.Unlock()
+
+	if l := p.audit; l.Enabled(audit.CatApp) {
+		a.mu.Lock()
+		code := a.exitCode
+		a.mu.Unlock()
+		l.Emit(audit.Event{Cat: audit.CatApp, Verb: "exit",
+			User: a.User().Name, App: int64(a.id),
+			Detail: fmt.Sprintf("%s exit code %d", a.name, code)})
+	}
 
 	_ = a.group.Destroy() // best effort; fails if a thread ignored its stop signal
 	close(a.done)

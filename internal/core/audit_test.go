@@ -1,0 +1,170 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"mpj/internal/audit"
+	"mpj/internal/security"
+	"mpj/internal/vfs"
+)
+
+// TestPlatformAuditWiring exercises the whole assembled pipeline: a
+// program probing a policy boundary produces app-lifecycle and denial
+// records, persisted as hash-chained segments inside the platform's own
+// VFS, and the chain verifies.
+func TestPlatformAuditWiring(t *testing.T) {
+	p := newTestPlatform(t)
+	l := p.Audit()
+	if l == nil {
+		t.Fatal("platform booted without an audit log")
+	}
+
+	registerProgram(t, p, "prober", func(ctx *Context, args []string) int {
+		if _, err := ctx.ReadFile("/home/bob/secret"); err == nil {
+			return 1 // alice must not be able to read bob's home
+		}
+		return 0
+	})
+	app, err := p.Exec(ExecSpec{Program: "prober", User: userByName(t, p, "alice")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := app.WaitFor(); code != 0 {
+		t.Fatalf("prober exit code %d", code)
+	}
+	l.Sync()
+
+	// The launch and the denial are on record, attributed to alice and
+	// the application.
+	execs, err := l.Query(audit.Query{Cats: audit.CatApp, Verb: "exec", App: int64(app.ID())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(execs) != 1 || execs[0].User != "alice" || !strings.Contains(execs[0].Detail, "prober") {
+		t.Fatalf("exec records: %+v", execs)
+	}
+	denies, err := l.Query(audit.Query{Cats: audit.CatDeny, User: "alice", App: int64(app.ID())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(denies) == 0 || !strings.Contains(denies[0].Detail, "/home/bob/secret") {
+		t.Fatalf("denial records: %+v", denies)
+	}
+	exits, err := l.Query(audit.Query{Cats: audit.CatApp, Verb: "exit", App: int64(app.ID())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exits) != 1 || !strings.Contains(exits[0].Detail, "exit code 0") {
+		t.Fatalf("exit records: %+v", exits)
+	}
+
+	// Segments really live inside the VFS, root-only.
+	infos, err := p.FS().ReadDir(vfs.Root, AuditDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) == 0 {
+		t.Fatalf("no segments under %s", AuditDir)
+	}
+	if _, err := p.FS().ReadDir("alice", AuditDir); err == nil {
+		t.Error("non-root user can list the audit directory")
+	}
+
+	res, err := l.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatalf("platform chain does not verify: %+v", res)
+	}
+}
+
+// TestAuditFileDenialTwoLayer reproduces the paper's two-layer split
+// for the audit trail: alice holds the Java-layer permission for
+// /vault/secret but the OS layer (file owned by bob, mode 0600) denies
+// the open — that denial surfaces as a CatFile record, distinct from
+// the CatDeny records of the security manager.
+func TestAuditFileDenialTwoLayer(t *testing.T) {
+	p := newTestPlatform(t)
+	fs := p.FS()
+	if err := fs.MkdirAll(vfs.Root, "/vault", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(vfs.Root, "/vault/secret", []byte("classified"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Chown(vfs.Root, "/vault/secret", "bob"); err != nil {
+		t.Fatal(err)
+	}
+	p.Policy().AddGrant(&security.Grant{
+		User: "alice",
+		Perms: []security.Permission{
+			security.NewFilePermission("/vault/-", "read"),
+		},
+	})
+
+	registerProgram(t, p, "peek", func(ctx *Context, args []string) int {
+		_, err := ctx.ReadFile("/vault/secret")
+		if err == nil {
+			return 1
+		}
+		if _, isSec := err.(*security.AccessControlError); isSec {
+			return 2 // wrong layer: the Java layer should have allowed it
+		}
+		return 0
+	})
+	app, err := p.Exec(ExecSpec{Program: "peek", User: userByName(t, p, "alice")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := app.WaitFor(); code != 0 {
+		t.Fatalf("peek exit code %d", code)
+	}
+	l := p.Audit()
+	l.Sync()
+
+	files, err := l.Query(audit.Query{Cats: audit.CatFile, Verb: "open-denied", User: "alice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 || !strings.Contains(files[0].Detail, "/vault/secret") {
+		t.Fatalf("file-denial records: %+v", files)
+	}
+	// And no security-manager denial for that path: the Java layer said
+	// yes.
+	denies, err := l.Query(audit.Query{Cats: audit.CatDeny, User: "alice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range denies {
+		if strings.Contains(d.Detail, "/vault/secret") {
+			t.Fatalf("unexpected security-layer denial: %+v", d)
+		}
+	}
+}
+
+// TestAuditSubscriptionSeesLiveEvents tails the log while events happen.
+func TestAuditSubscriptionSeesLiveEvents(t *testing.T) {
+	p := newTestPlatform(t)
+	l := p.Audit()
+	sub := l.Subscribe("watcher", audit.CatApp, 32)
+	defer sub.Close()
+
+	registerProgram(t, p, "noop", func(ctx *Context, args []string) int { return 0 })
+	app, err := p.Exec(ExecSpec{Program: "noop", User: userByName(t, p, "alice")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.WaitFor()
+	l.Sync()
+
+	var verbs []string
+	for len(sub.C()) > 0 {
+		verbs = append(verbs, (<-sub.C()).Verb)
+	}
+	joined := strings.Join(verbs, ",")
+	if !strings.Contains(joined, "exec") || !strings.Contains(joined, "exit") {
+		t.Fatalf("subscriber saw %q, want exec and exit", joined)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sync"
 
+	"mpj/internal/audit"
 	"mpj/internal/classes"
 	"mpj/internal/netsim"
 	"mpj/internal/objspace"
@@ -23,6 +24,10 @@ import (
 	"mpj/internal/vfs"
 	"mpj/internal/vm"
 )
+
+// AuditDir is where the platform persists the hash-chained audit log
+// segments inside the VFS.
+const AuditDir = "/var/audit"
 
 // Errors returned by the core layer.
 var (
@@ -100,6 +105,7 @@ type Platform struct {
 	hostName string
 	programs *ProgramRegistry
 	objects  *objspace.Space
+	audit    *audit.Log
 
 	mu      sync.Mutex
 	apps    map[AppID]*Application
@@ -156,6 +162,10 @@ grant codeBase "file:/local/su" {
 grant codeBase "file:/local/kill" {
     permission runtime "modifyThread";
     permission runtime "modifyThreadGroup";
+};
+// Only root may control the kernel audit subsystem (auditctl).
+grant user "root" {
+    permission runtime "auditControl";
 };
 // Scratch space for everybody.
 grant user "*" {
@@ -292,6 +302,29 @@ func NewPlatform(cfg Config) (*Platform, error) {
 		return nil, fmt.Errorf("core: start reaper: %w", err)
 	}
 
+	// Assemble the kernel audit subsystem: hash-chained segments
+	// persisted under AuditDir, a drainer daemon in the system group,
+	// and emission hooks installed into every substrate.
+	store, err := vfs.NewAuditStore(p.fs, AuditDir)
+	if err != nil {
+		return nil, fmt.Errorf("core: init audit store: %w", err)
+	}
+	p.audit = audit.New(audit.Config{Store: store})
+	_, err = machine.SpawnThread(vm.ThreadSpec{
+		Group:  machine.SystemGroup(),
+		Name:   "audit-drainer",
+		Daemon: true,
+		Run: func(t *vm.Thread) {
+			p.audit.Run(t.StopChan())
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: start audit drainer: %w", err)
+	}
+	machine.SetAuditLog(p.audit)
+	p.fs.SetAuditLog(p.audit)
+	p.net.SetAuditLog(p.audit)
+
 	return p, nil
 }
 
@@ -315,6 +348,9 @@ func (p *Platform) Policy() *security.Policy { return p.policy }
 
 // SystemManager returns the system security manager of Section 5.6.
 func (p *Platform) SystemManager() *security.SystemManager { return p.sysMgr }
+
+// Audit returns the VM-wide audit log.
+func (p *Platform) Audit() *audit.Log { return p.audit }
 
 // SharedProperties returns the VM-wide property store of Figure 5.
 func (p *Platform) SharedProperties() *classes.SystemProperties { return p.props }
@@ -421,4 +457,7 @@ func (p *Platform) Shutdown() {
 	}
 	p.vm.Exit(0)
 	<-p.reapDone
+	// The drainer performed its final flush on the VM stop signal; one
+	// more synchronous drain catches events emitted during teardown.
+	p.audit.Sync()
 }

@@ -1,0 +1,293 @@
+package netsim
+
+import (
+	"errors"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mpj/internal/audit"
+)
+
+// auditedNet builds a network with an attached MemStore-backed log.
+func auditedNet(t *testing.T, hosts ...string) (*Network, *audit.Log) {
+	t.Helper()
+	n := newNet(t, hosts...)
+	l := audit.New(audit.Config{Store: audit.NewMemStore(), Mask: audit.CatNet})
+	n.SetAuditLog(l)
+	return n, l
+}
+
+func queryVerb(t *testing.T, l *audit.Log, verb string) []audit.Record {
+	t.Helper()
+	l.Sync()
+	recs, err := l.Query(audit.Query{Cats: audit.CatNet, Verb: verb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func TestAuditListenAndConnect(t *testing.T) {
+	n, l := auditedNet(t, "a.local", "b.local")
+	lst, err := n.Listen("b.local", 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = lst.Close() }()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c, err := lst.Accept()
+		if err == nil {
+			_ = c.Close()
+		}
+	}()
+	c, err := n.Dial("a.local", "b.local", 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Close()
+	<-done
+
+	listens := queryVerb(t, l, "listen")
+	if len(listens) != 1 || listens[0].Detail != "b.local:80" {
+		t.Fatalf("listen records: %+v", listens)
+	}
+	connects := queryVerb(t, l, "connect")
+	if len(connects) != 1 || connects[0].Detail != "a.local -> b.local:80" {
+		t.Fatalf("connect records: %+v", connects)
+	}
+}
+
+func TestAuditDeniedOperations(t *testing.T) {
+	n, l := auditedNet(t, "a.local")
+
+	// Refused connection: no listener on the port.
+	if _, err := n.Dial("a.local", "a.local", 9); !errors.Is(err, ErrConnRefused) {
+		t.Fatalf("dial: %v", err)
+	}
+	// Unknown destination host.
+	if _, err := n.Dial("a.local", "ghost.local", 80); !errors.Is(err, ErrUnknownHost) {
+		t.Fatalf("dial ghost: %v", err)
+	}
+	// Port collision.
+	lst, err := n.Listen("a.local", 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = lst.Close() }()
+	if _, err := n.Listen("a.local", 80); !errors.Is(err, ErrAddrInUse) {
+		t.Fatalf("second listen: %v", err)
+	}
+
+	errs := queryVerb(t, l, "connect-error")
+	if len(errs) != 2 {
+		t.Fatalf("connect-error records: %+v", errs)
+	}
+	if !strings.Contains(errs[0].Detail, "connection refused") {
+		t.Fatalf("refused detail: %q", errs[0].Detail)
+	}
+	if !strings.Contains(errs[1].Detail, "unknown host") {
+		t.Fatalf("unknown-host detail: %q", errs[1].Detail)
+	}
+	lerrs := queryVerb(t, l, "listen-error")
+	if len(lerrs) != 1 || !strings.Contains(lerrs[0].Detail, "already in use") {
+		t.Fatalf("listen-error records: %+v", lerrs)
+	}
+	// Successful operations were recorded too (one listen).
+	if ok := queryVerb(t, l, "listen"); len(ok) != 1 {
+		t.Fatalf("listen records: %+v", ok)
+	}
+}
+
+// TestConcurrentConnectListenClose drives many dialers against
+// listeners that churn (bind, accept a few, close) concurrently, then
+// cross-checks the audit trail against the observed outcomes. Run
+// under -race this also exercises the emission path from many
+// goroutines.
+func TestConcurrentConnectListenClose(t *testing.T) {
+	n, l := auditedNet(t, "c.local", "s.local")
+	const (
+		ports   = 4
+		dialers = 8
+		dialsN  = 25
+	)
+
+	stop := make(chan struct{})
+	var serverWG sync.WaitGroup
+	for p := 0; p < ports; p++ {
+		serverWG.Add(1)
+		go func(port int) {
+			defer serverWG.Done()
+			// Each port binds and closes its listener repeatedly, so
+			// dialers race against both absent and present listeners.
+			// The accept loop runs until Close unblocks it, so the
+			// server never waits on a dial that will not come.
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				lst, err := n.Listen("s.local", port)
+				if err != nil {
+					runtime.Gosched()
+					continue
+				}
+				var acceptWG sync.WaitGroup
+				acceptWG.Add(1)
+				go func() {
+					defer acceptWG.Done()
+					for {
+						c, err := lst.Accept()
+						if err != nil {
+							return
+						}
+						_ = c.Close()
+					}
+				}()
+				time.Sleep(time.Millisecond)
+				_ = lst.Close()
+				acceptWG.Wait()
+			}
+		}(p)
+	}
+
+	var okCount, errCount int64
+	var mu sync.Mutex
+	var dialWG sync.WaitGroup
+	for d := 0; d < dialers; d++ {
+		dialWG.Add(1)
+		go func(d int) {
+			defer dialWG.Done()
+			for i := 0; i < dialsN; i++ {
+				c, err := n.Dial("c.local", "s.local", (d+i)%ports)
+				mu.Lock()
+				if err != nil {
+					errCount++
+				} else {
+					okCount++
+				}
+				mu.Unlock()
+				if err == nil {
+					_ = c.Close()
+				}
+			}
+		}(d)
+	}
+	dialWG.Wait()
+	close(stop)
+	serverWG.Wait()
+
+	if okCount+errCount != dialers*dialsN {
+		t.Fatalf("accounting: %d ok + %d err != %d", okCount, errCount, dialers*dialsN)
+	}
+
+	// Every dial outcome appears in the trail, on the right verb.
+	connects := queryVerb(t, l, "connect")
+	connectErrs := queryVerb(t, l, "connect-error")
+	if int64(len(connects)) != okCount {
+		t.Fatalf("%d connect records, want %d", len(connects), okCount)
+	}
+	if int64(len(connectErrs)) != errCount {
+		t.Fatalf("%d connect-error records, want %d", len(connectErrs), errCount)
+	}
+	res, err := l.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatalf("chain broken after concurrent churn: %+v", res)
+	}
+}
+
+// TestConcurrentListenClosePortReuse checks the listener table under
+// bind/close races: a port must always be rebindable after Close, and
+// concurrent binds on one port yield exactly one winner.
+func TestConcurrentListenClosePortReuse(t *testing.T) {
+	n := newNet(t, "h.local")
+	for round := 0; round < 50; round++ {
+		const contenders = 4
+		winners := make(chan *Listener, contenders)
+		var wg sync.WaitGroup
+		for i := 0; i < contenders; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if lst, err := n.Listen("h.local", 7); err == nil {
+					winners <- lst
+				}
+			}()
+		}
+		wg.Wait()
+		close(winners)
+		var won []*Listener
+		for lst := range winners {
+			won = append(won, lst)
+		}
+		if len(won) != 1 {
+			t.Fatalf("round %d: %d concurrent binds succeeded, want 1", round, len(won))
+		}
+		_ = won[0].Close()
+	}
+}
+
+// TestDialDuringClose races dialers against a closing listener; every
+// dial must either succeed or fail cleanly with ErrConnRefused — never
+// hang, never panic.
+func TestDialDuringClose(t *testing.T) {
+	n := newNet(t, "x.local")
+	for round := 0; round < 20; round++ {
+		lst, err := n.Listen("x.local", 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		accepted := make(chan struct{})
+		go func() {
+			defer close(accepted)
+			for {
+				c, err := lst.Accept()
+				if err != nil {
+					return
+				}
+				_ = c.Close()
+			}
+		}()
+		var wg sync.WaitGroup
+		for d := 0; d < 4; d++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				c, err := n.Dial("x.local", "x.local", 5)
+				if err == nil {
+					_ = c.Close()
+				} else if !errors.Is(err, ErrConnRefused) {
+					t.Errorf("dial during close: %v", err)
+				}
+			}()
+		}
+		_ = lst.Close()
+		wg.Wait()
+		<-accepted
+	}
+}
+
+// TestAuditDisabledNetworkIsQuiet double-checks the gating: with CatNet
+// off nothing is recorded.
+func TestAuditDisabledNetworkIsQuiet(t *testing.T) {
+	n, l := auditedNet(t, "q.local")
+	l.Disable(audit.CatNet)
+	for i := 0; i < 5; i++ {
+		if _, err := n.Dial("q.local", "q.local", i); err == nil {
+			t.Fatal("dial succeeded with no listener")
+		}
+	}
+	l.Sync()
+	if st := l.Stats(); st.Emitted != 0 || st.Records != 0 {
+		t.Fatalf("disabled net category still recorded: %+v", st)
+	}
+}

@@ -11,7 +11,9 @@ import (
 	"io"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
+	"mpj/internal/audit"
 	"mpj/internal/streams"
 )
 
@@ -47,6 +49,27 @@ func (a Addr) String() string { return a.Host + ":" + strconv.Itoa(a.Port) }
 type Network struct {
 	mu    sync.Mutex
 	hosts map[string]*host
+
+	// auditLog, when installed, receives CatNet events for listen and
+	// dial operations and their failures.
+	auditLog atomic.Pointer[audit.Log]
+}
+
+// SetAuditLog installs the audit log that receives network events.
+// Call once, at platform boot.
+func (n *Network) SetAuditLog(l *audit.Log) { n.auditLog.Store(l) }
+
+// auditNet emits a CatNet event. Called without n.mu held.
+func (n *Network) auditNet(verb, detail string, err error) {
+	l := n.auditLog.Load()
+	if !l.Enabled(audit.CatNet) {
+		return
+	}
+	if err != nil {
+		verb += "-error"
+		detail += ": " + err.Error()
+	}
+	l.Emit(audit.Event{Cat: audit.CatNet, Verb: verb, Detail: detail})
 }
 
 type host struct {
@@ -82,6 +105,12 @@ func (n *Network) Hosts() []string {
 
 // Listen binds a listener to host:port.
 func (n *Network) Listen(hostName string, port int) (*Listener, error) {
+	l, err := n.listen(hostName, port)
+	n.auditNet("listen", Addr{Host: hostName, Port: port}.String(), err)
+	return l, err
+}
+
+func (n *Network) listen(hostName string, port int) (*Listener, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	h, ok := n.hosts[hostName]
@@ -104,6 +133,12 @@ func (n *Network) Listen(hostName string, port int) (*Listener, error) {
 // Dial connects from fromHost to toHost:port. Both hosts must exist
 // and a listener must be bound to the port.
 func (n *Network) Dial(fromHost, toHost string, port int) (*Conn, error) {
+	c, err := n.dial(fromHost, toHost, port)
+	n.auditNet("connect", fromHost+" -> "+Addr{Host: toHost, Port: port}.String(), err)
+	return c, err
+}
+
+func (n *Network) dial(fromHost, toHost string, port int) (*Conn, error) {
 	n.mu.Lock()
 	if _, ok := n.hosts[fromHost]; !ok {
 		n.mu.Unlock()

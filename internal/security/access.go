@@ -3,6 +3,7 @@ package security
 import (
 	"fmt"
 
+	"mpj/internal/audit"
 	"mpj/internal/vm"
 )
 
@@ -92,7 +93,46 @@ const maxWalkDedup = 8
 // lock-free decision cache.
 //
 // An empty stack means VM-internal code is executing; it is trusted.
+//
+// Both outcomes are audited when the corresponding category is enabled:
+// denials as CatDeny (with the denied permission, user and failing
+// domain), allowed decisions as CatAccess. CatAccess is disabled by
+// default, so the fast path pays only one extra atomic load per check.
 func CheckPermission(t *vm.Thread, perm Permission) error {
+	err := checkPermissionWalk(t, perm)
+	if l := t.VM().AuditLog(); l != nil {
+		auditDecision(l, t, perm, err)
+	}
+	return err
+}
+
+// auditDecision emits the outcome of a permission check. Out of line so
+// that CheckPermission stays small; the common no-log / all-disabled
+// cases return before formatting anything.
+func auditDecision(l *audit.Log, t *vm.Thread, perm Permission, err error) {
+	if err == nil {
+		if !l.Enabled(audit.CatAccess) {
+			return
+		}
+		l.Emit(audit.Event{Cat: audit.CatAccess, Verb: "allow",
+			User: UserNameOf(t), App: t.AppTag(), Thread: int64(t.ID()),
+			Detail: String(perm)})
+		return
+	}
+	if !l.Enabled(audit.CatDeny) {
+		return
+	}
+	detail := String(perm)
+	if ace, ok := err.(*AccessControlError); ok && ace.Domain != "" {
+		detail += " domain=" + ace.Domain
+	}
+	l.Emit(audit.Event{Cat: audit.CatDeny, Verb: "deny",
+		User: UserNameOf(t), App: t.AppTag(), Thread: int64(t.ID()),
+		Detail: detail})
+}
+
+// checkPermissionWalk is the stack-inspection core of CheckPermission.
+func checkPermissionWalk(t *vm.Thread, perm Permission) error {
 	frames := t.Frames()
 	if len(frames) == 0 {
 		return nil

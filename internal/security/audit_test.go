@@ -1,0 +1,95 @@
+package security
+
+import (
+	"strings"
+	"testing"
+
+	"mpj/internal/audit"
+	"mpj/internal/vm"
+)
+
+// auditVM boots a bare VM with a MemStore-backed audit log attached.
+func auditVM(t *testing.T, mask audit.Category) (*vm.VM, *audit.Log) {
+	t.Helper()
+	v := vm.New(vm.Config{IdlePolicy: vm.StayOnIdle, NoBootThreads: true})
+	t.Cleanup(func() { v.Exit(0) })
+	l := audit.New(audit.Config{Store: audit.NewMemStore(), Mask: mask})
+	v.SetAuditLog(l)
+	return v, l
+}
+
+func runOn(t *testing.T, v *vm.VM, fn func(th *vm.Thread)) {
+	t.Helper()
+	th, err := v.SpawnThread(vm.ThreadSpec{Group: v.MainGroup(), Name: "t", Run: fn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th.Join()
+}
+
+func TestCheckPermissionAuditsDenial(t *testing.T) {
+	v, l := auditVM(t, audit.CatDeny)
+	runOn(t, v, func(th *vm.Thread) {
+		BindUserPermissions(th, "mallory", NewPermissions())
+		th.PushFrame(vm.Frame{Class: "App", Domain: domainWith("app", NewFilePermission("/data/-", "read"))})
+		defer th.PopFrame()
+		if err := CheckPermission(th, NewFilePermission("/etc/passwd", "write")); err == nil {
+			t.Error("ungranted write allowed")
+		}
+		// An allowed check must NOT land in the log: CatAccess is off.
+		if err := CheckPermission(th, NewFilePermission("/data/x", "read")); err != nil {
+			t.Errorf("granted read denied: %v", err)
+		}
+	})
+	l.Sync()
+	recs, err := l.Query(audit.Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want exactly the denial: %+v", len(recs), recs)
+	}
+	r := recs[0]
+	if r.Cat != audit.CatDeny || r.Verb != "deny" || r.User != "mallory" {
+		t.Fatalf("wrong denial record: %+v", r)
+	}
+	if !strings.Contains(r.Detail, `"/etc/passwd"`) || !strings.Contains(r.Detail, "domain=app") {
+		t.Fatalf("denial detail lacks permission/domain: %q", r.Detail)
+	}
+}
+
+func TestCheckPermissionAuditsAllowWhenEnabled(t *testing.T) {
+	v, l := auditVM(t, audit.CatAccess)
+	runOn(t, v, func(th *vm.Thread) {
+		th.PushFrame(vm.Frame{Class: "App", Domain: domainWith("app", NewFilePermission("/data/-", "read"))})
+		defer th.PopFrame()
+		if err := CheckPermission(th, NewFilePermission("/data/x", "read")); err != nil {
+			t.Errorf("granted read denied: %v", err)
+		}
+	})
+	l.Sync()
+	recs, err := l.Query(audit.Query{Cats: audit.CatAccess, Verb: "allow"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("got %d allow records, want 1", len(recs))
+	}
+	if !strings.Contains(recs[0].Detail, `"/data/x"`) {
+		t.Fatalf("allow detail %q", recs[0].Detail)
+	}
+}
+
+func TestCheckPermissionNoAuditLogStillWorks(t *testing.T) {
+	// The pre-audit configuration: no log attached anywhere.
+	runOnThread(t, func(th *vm.Thread) {
+		th.PushFrame(vm.Frame{Class: "App", Domain: domainWith("app", NewFilePermission("/data/-", "read"))})
+		defer th.PopFrame()
+		if err := CheckPermission(th, NewFilePermission("/data/x", "read")); err != nil {
+			t.Errorf("granted read denied: %v", err)
+		}
+		if err := CheckPermission(th, NewFilePermission("/data/x", "write")); err == nil {
+			t.Error("ungranted write allowed")
+		}
+	})
+}

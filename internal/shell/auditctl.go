@@ -1,0 +1,188 @@
+package shell
+
+import (
+	"strconv"
+	"time"
+
+	"mpj/internal/audit"
+	"mpj/internal/security"
+)
+
+// auditctl is the kernel-audit control builtin:
+//
+//	auditctl [status]               show mask, counters, drops, store state
+//	auditctl enable <cat>|all       turn a category on
+//	auditctl disable <cat>|all      turn a category off
+//	auditctl tail [n]               print the last n records (default 10)
+//	auditctl query [filters...]     filter the persisted trail:
+//	      -c <cat> -u <user> -a <appID> -v <verb> -n <limit>
+//	auditctl verify                 re-walk the hash chain end to end
+//
+// Controlling the audit subsystem is a kernel operation: it requires
+// RuntimePermission "auditControl", which the default policy grants
+// only to root.
+func (s *Shell) auditctl(args []string) int {
+	if err := s.ctx.CheckPermission(security.NewRuntimePermission("auditControl")); err != nil {
+		s.ctx.Errorf("auditctl: %v\n", err)
+		return 1
+	}
+	l := s.ctx.Platform().Audit()
+	if l == nil {
+		s.ctx.Errorf("auditctl: no audit log on this platform\n")
+		return 1
+	}
+	sub := "status"
+	if len(args) > 0 {
+		sub = args[0]
+		args = args[1:]
+	}
+	switch sub {
+	case "status":
+		return s.auditStatus(l)
+	case "enable", "disable":
+		if len(args) != 1 {
+			s.ctx.Errorf("usage: auditctl %s <category>|all\n", sub)
+			return 2
+		}
+		c, err := audit.ParseCategory(args[0])
+		if err != nil {
+			s.ctx.Errorf("auditctl: %v\n", err)
+			return 2
+		}
+		if sub == "enable" {
+			l.Enable(c)
+		} else {
+			l.Disable(c)
+		}
+		s.ctx.Printf("mask: %s\n", l.Mask())
+		return 0
+	case "tail":
+		n := 10
+		if len(args) > 0 {
+			v, err := strconv.Atoi(args[0])
+			if err != nil || v < 1 {
+				s.ctx.Errorf("auditctl: bad count %q\n", args[0])
+				return 2
+			}
+			n = v
+		}
+		l.Sync()
+		recs, err := l.Query(audit.Query{Limit: n})
+		if err != nil {
+			s.ctx.Errorf("auditctl: %v\n", err)
+			return 1
+		}
+		s.printRecords(recs)
+		return 0
+	case "query":
+		q, ok := s.parseAuditQuery(args)
+		if !ok {
+			return 2
+		}
+		l.Sync()
+		recs, err := l.Query(q)
+		if err != nil {
+			s.ctx.Errorf("auditctl: %v\n", err)
+			return 1
+		}
+		s.printRecords(recs)
+		return 0
+	case "verify":
+		l.Sync()
+		res, err := l.Verify()
+		if err != nil {
+			s.ctx.Errorf("auditctl: %v\n", err)
+			return 1
+		}
+		if res.OK {
+			s.ctx.Printf("chain OK: %d records in %d segments\n", res.Records, res.Segments)
+			return 0
+		}
+		s.ctx.Errorf("chain BROKEN at %s line %d: %s\n", res.BrokenSegment, res.BrokenLine, res.Reason)
+		return 1
+	default:
+		s.ctx.Errorf("usage: auditctl [status|enable|disable|tail|query|verify]\n")
+		return 2
+	}
+}
+
+// auditStatus prints the counters snapshot.
+func (s *Shell) auditStatus(l *audit.Log) int {
+	l.Sync()
+	st := l.Stats()
+	s.ctx.Printf("mask: %s\n", st.Mask)
+	s.ctx.Printf("%-8s %-8s %10s %10s\n", "category", "state", "emitted", "dropped")
+	for _, cs := range st.Categories {
+		state := "off"
+		if cs.Enabled {
+			state = "on"
+		}
+		s.ctx.Printf("%-8s %-8s %10d %10d\n", cs.Name, state, cs.Emitted, cs.Dropped)
+	}
+	s.ctx.Printf("records: %d chained in %d segments, %d pending\n", st.Records, st.Segments, st.Pending)
+	s.ctx.Printf("subscribers: %d (%d deliveries dropped)\n", st.Subscribers, st.SubscriberDrops)
+	if st.StoreErr != nil {
+		s.ctx.Errorf("store error: %v\n", st.StoreErr)
+		return 1
+	}
+	return 0
+}
+
+// parseAuditQuery maps -c/-u/-a/-v/-n flags to an audit.Query.
+func (s *Shell) parseAuditQuery(args []string) (audit.Query, bool) {
+	var q audit.Query
+	for i := 0; i < len(args); i++ {
+		flag := args[i]
+		if i+1 >= len(args) {
+			s.ctx.Errorf("auditctl query: %s needs a value\n", flag)
+			return q, false
+		}
+		i++
+		val := args[i]
+		switch flag {
+		case "-c":
+			c, err := audit.ParseCategory(val)
+			if err != nil {
+				s.ctx.Errorf("auditctl query: %v\n", err)
+				return q, false
+			}
+			q.Cats |= c
+		case "-u":
+			q.User = val
+		case "-a":
+			id, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				s.ctx.Errorf("auditctl query: bad app id %q\n", val)
+				return q, false
+			}
+			q.App = id
+		case "-v":
+			q.Verb = val
+		case "-n":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				s.ctx.Errorf("auditctl query: bad limit %q\n", val)
+				return q, false
+			}
+			q.Limit = n
+		default:
+			s.ctx.Errorf("auditctl query: unknown flag %s (want -c -u -a -v -n)\n", flag)
+			return q, false
+		}
+	}
+	return q, true
+}
+
+// printRecords renders records one per line.
+func (s *Shell) printRecords(recs []audit.Record) {
+	for _, r := range recs {
+		user := r.User
+		if user == "" {
+			user = "-"
+		}
+		s.ctx.Printf("%6d %s %-6s %-14s user=%-8s app=%-3d %s\n",
+			r.Seq, time.Unix(0, r.Time).UTC().Format("15:04:05.000"),
+			r.Cat, r.Verb, user, r.App, r.Detail)
+	}
+	s.ctx.Printf("%d record(s)\n", len(recs))
+}

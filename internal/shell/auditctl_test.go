@@ -1,0 +1,127 @@
+package shell_test
+
+import (
+	"strings"
+	"testing"
+
+	"mpj/internal/audit"
+	"mpj/internal/core"
+	"mpj/internal/streams"
+	"mpj/internal/user"
+)
+
+// runShellAs is runShell but with an explicit user value, so tests can
+// run as root without a root account in the DB.
+func (w *world) runShellAs(t *testing.T, u *user.User, lines ...string) (string, string, int) {
+	t.Helper()
+	var out, errOut streams.Buffer
+	args := append([]string{"-c"}, lines...)
+	app, err := w.p.Exec(core.ExecSpec{
+		Program: "sh",
+		Args:    args,
+		User:    u,
+		Stdout:  streams.NewWriteStream("test-out", streams.OwnerSystem, &out),
+		Stderr:  streams.NewWriteStream("test-err", streams.OwnerSystem, &errOut),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := app.WaitFor()
+	return out.String(), errOut.String(), code
+}
+
+func rootUser() *user.User {
+	return &user.User{Name: user.Root, Home: "/", Shell: "sh"}
+}
+
+func TestAuditctlRequiresRoot(t *testing.T) {
+	w := newWorld(t)
+	_, errOut, code := w.runShell(t, "alice", "auditctl status")
+	if code == 0 {
+		t.Fatalf("alice ran auditctl: code 0, stderr %q", errOut)
+	}
+	if !strings.Contains(errOut, "access denied") || !strings.Contains(errOut, "auditControl") {
+		t.Fatalf("stderr %q, want access-denied on auditControl", errOut)
+	}
+}
+
+func TestAuditctlStatusEnableDisable(t *testing.T) {
+	w := newWorld(t)
+	out, errOut, code := w.runShellAs(t, rootUser(), "auditctl status")
+	if code != 0 || errOut != "" {
+		t.Fatalf("code=%d err=%q", code, errOut)
+	}
+	// The default mask: deny on, access off.
+	if !strings.Contains(out, "deny     on") || !strings.Contains(out, "access   off") {
+		t.Fatalf("status output:\n%s", out)
+	}
+
+	out, _, code = w.runShellAs(t, rootUser(), "auditctl enable access")
+	if code != 0 || !strings.Contains(out, "access") {
+		t.Fatalf("enable: code=%d out=%q", code, out)
+	}
+	if !w.p.Audit().Enabled(audit.CatAccess) {
+		t.Fatal("CatAccess still disabled after auditctl enable")
+	}
+	_, _, code = w.runShellAs(t, rootUser(), "auditctl disable access")
+	if code != 0 {
+		t.Fatalf("disable: code=%d", code)
+	}
+	if w.p.Audit().Enabled(audit.CatAccess) {
+		t.Fatal("CatAccess still enabled after auditctl disable")
+	}
+
+	_, errOut, code = w.runShellAs(t, rootUser(), "auditctl enable bogus")
+	if code == 0 || !strings.Contains(errOut, "unknown category") {
+		t.Fatalf("bogus category: code=%d err=%q", code, errOut)
+	}
+}
+
+func TestAuditctlTailVerifyQuery(t *testing.T) {
+	w := newWorld(t)
+	// Generate some history: a shell command and a security denial.
+	w.runShell(t, "alice", "echo hello", "cat /home/bob/x")
+
+	out, errOut, code := w.runShellAs(t, rootUser(), "auditctl tail 50")
+	if code != 0 || errOut != "" {
+		t.Fatalf("tail: code=%d err=%q", code, errOut)
+	}
+	if !strings.Contains(out, "echo hello") {
+		t.Fatalf("tail lacks the shell command:\n%s", out)
+	}
+
+	out, _, code = w.runShellAs(t, rootUser(), "auditctl query -c deny -u alice")
+	if code != 0 {
+		t.Fatalf("query: code=%d", code)
+	}
+	if !strings.Contains(out, "deny") || !strings.Contains(out, "alice") {
+		t.Fatalf("query output:\n%s", out)
+	}
+
+	out, errOut, code = w.runShellAs(t, rootUser(), "auditctl verify")
+	if code != 0 || !strings.Contains(out, "chain OK") {
+		t.Fatalf("verify: code=%d out=%q err=%q", code, out, errOut)
+	}
+}
+
+// TestShellCommandsAudited checks that every interpreted pipeline lands
+// in the trail with the user who typed it.
+func TestShellCommandsAudited(t *testing.T) {
+	w := newWorld(t)
+	w.runShell(t, "bob", "echo one | cat")
+	l := w.p.Audit()
+	l.Sync()
+	recs, err := l.Query(audit.Query{Cats: audit.CatShell, User: "bob"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range recs {
+		if strings.Contains(r.Detail, "echo one | cat") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("pipeline not audited: %+v", recs)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 
+	"mpj/internal/audit"
 	"mpj/internal/core"
 	"mpj/internal/streams"
 	"mpj/internal/terminal"
@@ -146,6 +147,11 @@ func (s *Shell) Interpret(line string) int {
 	code := 0
 	for _, pl := range pipelines {
 		s.expandSpecials(&pl)
+		if l := s.ctx.Platform().Audit(); l.Enabled(audit.CatShell) {
+			l.Emit(audit.Event{Cat: audit.CatShell, Verb: "command",
+				User: s.ctx.User().Name, App: int64(s.ctx.App().ID()),
+				Thread: int64(s.ctx.Thread().ID()), Detail: pl.Text})
+		}
 		code = s.runPipeline(pl)
 		s.mu.Lock()
 		s.lastCode = code
@@ -395,8 +401,10 @@ func (s *Shell) builtin(cmd Command) (code int, handled bool) {
 			}
 		}
 		return 0, true
+	case "auditctl":
+		return s.auditctl(cmd.Args[1:]), true
 	case "help":
-		s.ctx.Println("builtins: cd pwd quit exit jobs wait history help")
+		s.ctx.Println("builtins: cd pwd quit exit jobs wait history auditctl help")
 		s.ctx.Printf("programs: %s\n", strings.Join(s.ctx.Platform().Programs().Names(), " "))
 		return 0, true
 	default:

@@ -1,0 +1,60 @@
+package vfs
+
+import (
+	gopath "path"
+
+	"mpj/internal/audit"
+)
+
+// auditStore implements audit.SegmentStore on top of an FS directory.
+// All operations run as root: the audit trail is kernel state, written
+// by the drainer daemon regardless of which user's events it records.
+type auditStore struct {
+	fs  *FS
+	dir string
+}
+
+var _ audit.SegmentStore = (*auditStore)(nil)
+
+// NewAuditStore returns an audit.SegmentStore persisting segments as
+// files under dir (created if missing, mode rwx------ so only root can
+// read the trail through the OS layer).
+func NewAuditStore(fs *FS, dir string) (audit.SegmentStore, error) {
+	if err := fs.MkdirAll(Root, dir, 0o700); err != nil {
+		return nil, err
+	}
+	return &auditStore{fs: fs, dir: dir}, nil
+}
+
+// Append implements audit.SegmentStore.
+func (s *auditStore) Append(name string, data []byte) error {
+	h, err := s.fs.OpenFile(Root, gopath.Join(s.dir, name), OpenWrite|OpenCreate|OpenAppend, 0o600)
+	if err != nil {
+		return err
+	}
+	if _, err := h.Write(data); err != nil {
+		_ = h.Close()
+		return err
+	}
+	return h.Close()
+}
+
+// List implements audit.SegmentStore.
+func (s *auditStore) List() ([]string, error) {
+	infos, err := s.fs.ReadDir(Root, s.dir)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(infos))
+	for _, info := range infos {
+		if !info.IsDir {
+			out = append(out, info.Name)
+		}
+	}
+	return out, nil
+}
+
+// Read implements audit.SegmentStore.
+func (s *auditStore) Read(name string) ([]byte, error) {
+	return s.fs.ReadFile(Root, gopath.Join(s.dir, name))
+}

@@ -51,6 +51,12 @@ func (fs *FS) Open(user, path string, flags OpenFlag) (*Handle, error) {
 // OpenFile opens path with the given flags, creating it with mode if
 // OpenCreate is set and the file does not exist.
 func (fs *FS) OpenFile(user, path string, flags OpenFlag, mode Mode) (*Handle, error) {
+	h, err := fs.openFile(user, path, flags, mode)
+	fs.auditDenied("open", user, path, err)
+	return h, err
+}
+
+func (fs *FS) openFile(user, path string, flags OpenFlag, mode Mode) (*Handle, error) {
 	path, err := normalize(path)
 	if err != nil {
 		return nil, &Error{Op: "open", Path: path, Err: err}

@@ -21,7 +21,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"mpj/internal/audit"
 )
 
 // Sentinel errors, matched with errors.Is.
@@ -151,6 +154,12 @@ type FS struct {
 	mu   sync.RWMutex
 	root *inode
 	now  func() time.Time
+
+	// auditLog, when installed, receives CatFile events for permission
+	// denials on open/remove/rename. Emission happens after fs.mu is
+	// released — the audit log itself persists into this filesystem, so
+	// emitting under the lock could deadlock with the drainer.
+	auditLog atomic.Pointer[audit.Log]
 }
 
 // New returns an empty filesystem whose root directory is owned by
@@ -166,6 +175,22 @@ func New() *FS {
 		children: make(map[string]*inode),
 	}
 	return fs
+}
+
+// SetAuditLog installs the audit log that receives permission-denial
+// events. Call once, at platform boot.
+func (fs *FS) SetAuditLog(l *audit.Log) { fs.auditLog.Store(l) }
+
+// auditDenied emits a CatFile event if err is a permission denial.
+// Must be called without fs.mu held.
+func (fs *FS) auditDenied(op, user, detail string, err error) {
+	if err == nil || !errors.Is(err, ErrPermission) {
+		return
+	}
+	if l := fs.auditLog.Load(); l.Enabled(audit.CatFile) {
+		l.Emit(audit.Event{Cat: audit.CatFile, Verb: op + "-denied",
+			User: user, Detail: detail})
+	}
 }
 
 // SetClock replaces the timestamp source (for deterministic tests).
@@ -347,6 +372,12 @@ func (fs *FS) ReadDir(user, path string) ([]FileInfo, error) {
 // Remove deletes a file or empty directory. Requires write+execute on
 // the parent directory.
 func (fs *FS) Remove(user, path string) error {
+	err := fs.remove(user, path)
+	fs.auditDenied("remove", user, path, err)
+	return err
+}
+
+func (fs *FS) remove(user, path string) error {
 	path, err := normalize(path)
 	if err != nil {
 		return &Error{Op: "remove", Path: path, Err: err}
@@ -376,6 +407,12 @@ func (fs *FS) Remove(user, path string) error {
 // Rename moves a file or directory. Requires write+execute on both
 // parents.
 func (fs *FS) Rename(user, oldPath, newPath string) error {
+	err := fs.rename(user, oldPath, newPath)
+	fs.auditDenied("rename", user, oldPath+" -> "+newPath, err)
+	return err
+}
+
+func (fs *FS) rename(user, oldPath, newPath string) error {
 	oldPath, err := normalize(oldPath)
 	if err != nil {
 		return &Error{Op: "rename", Path: oldPath, Err: err}

@@ -3,6 +3,8 @@ package vm
 import (
 	"fmt"
 	"sync"
+
+	"mpj/internal/audit"
 )
 
 // ThreadGroup is a node in the VM's thread-group hierarchy. The paper
@@ -224,6 +226,10 @@ func (g *ThreadGroup) Destroy() error {
 	g.mu.Lock()
 	g.destroyed = true
 	g.mu.Unlock()
+	if l := g.vm.AuditLog(); l.Enabled(audit.CatThread) {
+		l.Emit(audit.Event{Cat: audit.CatThread, Verb: "group-destroy",
+			Detail: fmt.Sprintf("group %q depth %d", g.name, g.depth)})
+	}
 	if g.parent != nil {
 		g.parent.mu.Lock()
 		kids := g.parent.children

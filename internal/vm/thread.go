@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"mpj/internal/audit"
 )
 
 // ThreadID uniquely identifies a thread within a VM.
@@ -108,6 +110,11 @@ type Thread struct {
 	// map.
 	secCtx atomic.Pointer[any]
 
+	// appTag is the ID of the application this thread belongs to (0 for
+	// system threads). A lock-free slot, like secCtx, because audit
+	// emission sites in layers below core read it to attribute events.
+	appTag atomic.Int64
+
 	localsMu sync.Mutex
 	locals   map[string]any
 
@@ -161,6 +168,12 @@ func (v *VM) SpawnThread(spec ThreadSpec) (*Thread, error) {
 	v.stats.ThreadsSpawned++
 	v.mu.Unlock()
 
+	if l := v.AuditLog(); l.Enabled(audit.CatThread) {
+		l.Emit(audit.Event{Cat: audit.CatThread, Verb: "spawn",
+			App: t.appTag.Load(), Thread: int64(t.id),
+			Detail: fmt.Sprintf("thread %q group %q daemon=%v", t.name, t.group.Name(), t.daemon)})
+	}
+
 	go func() {
 		t.state.Store(int32(StateRunnable))
 		defer t.finish()
@@ -187,6 +200,12 @@ func (t *Thread) finish() {
 		idle = v.nonDaemon == 0 && !v.halted
 	}
 	v.mu.Unlock()
+
+	if l := v.AuditLog(); l.Enabled(audit.CatThread) {
+		l.Emit(audit.Event{Cat: audit.CatThread, Verb: "exit",
+			App: t.appTag.Load(), Thread: int64(t.id),
+			Detail: fmt.Sprintf("thread %q group %q", t.name, t.group.Name())})
+	}
 
 	t.group.remove(t)
 	close(t.done)
@@ -301,6 +320,14 @@ func (t *Thread) MarkTopFramePrivileged() (restore func()) {
 		}
 	}
 }
+
+// SetAppTag binds the owning application's ID to the thread. The core
+// package sets it when it binds a thread to an application; 0 means a
+// system thread.
+func (t *Thread) SetAppTag(app int64) { t.appTag.Store(app) }
+
+// AppTag returns the owning application's ID, or 0.
+func (t *Thread) AppTag() int64 { return t.appTag.Load() }
 
 // SetSecurityContext stores the thread's security context in the
 // dedicated lock-free slot. The security package owns the value's

@@ -15,7 +15,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"mpj/internal/audit"
 )
 
 // Sentinel errors returned by VM and thread-group operations.
@@ -97,6 +100,11 @@ type VM struct {
 
 	startTime time.Time
 	stats     Stats
+
+	// auditLog is the VM-wide audit log, installed by the platform after
+	// boot. It is read on hot paths (every permission check consults it
+	// through Thread.VM), hence the lock-free slot; nil means no audit.
+	auditLog atomic.Pointer[audit.Log]
 }
 
 // Stats reports cumulative counters for a VM.
@@ -162,6 +170,14 @@ func (v *VM) spawnBootThreads() {
 
 // Name returns the VM's diagnostic name.
 func (v *VM) Name() string { return v.name }
+
+// SetAuditLog installs the VM-wide audit log. Call once, at platform
+// boot, before application code runs.
+func (v *VM) SetAuditLog(l *audit.Log) { v.auditLog.Store(l) }
+
+// AuditLog returns the VM-wide audit log, or nil. The accessor is a
+// single atomic load, cheap enough for the access-control fast path.
+func (v *VM) AuditLog() *audit.Log { return v.auditLog.Load() }
 
 // SystemGroup returns the root thread group that holds VM-internal
 // threads (gc, finalizer, idle, and — in the multi-processing platform —
@@ -255,6 +271,11 @@ func (v *VM) Exit(code int) {
 		threads = append(threads, t)
 	}
 	v.mu.Unlock()
+
+	if l := v.AuditLog(); l.Enabled(audit.CatThread) {
+		l.Emit(audit.Event{Cat: audit.CatThread, Verb: "vm-exit",
+			Detail: fmt.Sprintf("vm %q exit code %d", v.name, code)})
+	}
 
 	// Signal every live thread, then the global stop channel.
 	for _, t := range threads {

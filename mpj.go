@@ -19,6 +19,7 @@
 //
 // The subsystems are organized as:
 //
+//	internal/audit     tamper-evident kernel audit trail (hash-chained)
 //	internal/vm        virtual-machine kernel (threads, groups, Figure 1)
 //	internal/classes   class files, loaders, namespaces (Figure 5)
 //	internal/security  permissions, policy, stack inspection (§5.3, §5.6)
@@ -38,6 +39,7 @@ import (
 	"fmt"
 
 	"mpj/internal/applet"
+	"mpj/internal/audit"
 	"mpj/internal/classes"
 	"mpj/internal/core"
 	"mpj/internal/coreutils"
@@ -111,12 +113,36 @@ type (
 	Network = netsim.Network
 	// Class is a linked class.
 	Class = classes.Class
+	// AuditLog is the VM-wide tamper-evident audit log.
+	AuditLog = audit.Log
+	// AuditEvent is what instrumented code emits into the audit log.
+	AuditEvent = audit.Event
+	// AuditRecord is a chained audit event.
+	AuditRecord = audit.Record
+	// AuditQuery filters the persisted audit trail.
+	AuditQuery = audit.Query
+	// AuditCategory is the audit event-category bitmask.
+	AuditCategory = audit.Category
+	// AuditSubscription is a live tail on the audit stream.
+	AuditSubscription = audit.Subscription
 )
 
 // Dispatch architectures (Figure 2 baseline vs Figure 4 redesign).
 const (
 	SingleDispatcher = events.SingleDispatcher
 	PerAppDispatcher = events.PerAppDispatcher
+)
+
+// Audit event categories (enable/disable via AuditLog.SetMask, or the
+// auditctl shell builtin).
+const (
+	AuditAccess = audit.CatAccess
+	AuditDeny   = audit.CatDeny
+	AuditThread = audit.CatThread
+	AuditApp    = audit.CatApp
+	AuditFile   = audit.CatFile
+	AuditNet    = audit.CatNet
+	AuditShell  = audit.CatShell
 )
 
 // NewPlatform assembles a bare platform (no programs installed).
