@@ -4,15 +4,17 @@
 #   make build        compile everything
 #   make vet          go vet over all packages
 #   make test         full test suite; the concurrency-heavy packages
-#                     (security, vm, events, netsim, audit) are rerun
-#                     under the data-race detector
+#                     (security, vm, events, netsim, audit, vfs,
+#                     streams) are rerun under the data-race detector
 #   make bench-smoke  one fast pass over the E8 access-control benchmarks
-#   make check        all of the above
+#   make bench-json   full mvmbench run, machine-readable, written to
+#                     BENCH_PR4.json (the committed snapshot)
+#   make check        all of the above except bench-json
 #   make bench        the full experiment harness (slow)
 
 GO ?= go
 
-.PHONY: build vet test bench-smoke bench check
+.PHONY: build vet test bench-smoke bench bench-json check
 
 build:
 	$(GO) build ./...
@@ -22,11 +24,14 @@ vet:
 
 test:
 	$(GO) test ./...
-	$(GO) test -race ./internal/security/ ./internal/vm/ ./internal/events/ ./internal/netsim/ ./internal/audit/
+	$(GO) test -race ./internal/security/ ./internal/vm/ ./internal/events/ ./internal/netsim/ ./internal/audit/ ./internal/vfs/ ./internal/streams/
 
 bench-smoke:
 	$(GO) test -run xxx -bench 'BenchmarkE8AccessControl|BenchmarkE8PolicyScale' -benchtime=100x .
 	$(GO) test -run xxx -bench . -benchtime=100x ./internal/security/
+
+bench-json:
+	$(GO) run ./cmd/mvmbench -iters 400 -json > BENCH_PR4.json
 
 bench:
 	$(GO) test -bench=. -benchmem .

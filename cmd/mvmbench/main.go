@@ -5,11 +5,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"os/exec"
+	"runtime"
 	"time"
 
 	"mpj"
@@ -35,6 +37,7 @@ func main() {
 		return
 	}
 	iters := flag.Int("iters", 2000, "iterations per measurement")
+	flag.BoolVar(&jsonMode, "json", false, "emit results as a JSON document on stdout instead of tables")
 	flag.Parse()
 	if err := run(*iters); err != nil {
 		fmt.Fprintln(os.Stderr, "mvmbench:", err)
@@ -65,17 +68,52 @@ func measure(iters int, fn func()) time.Duration {
 	return time.Since(start) / time.Duration(iters)
 }
 
+// The collector behind header/row: every section and row is recorded
+// so -json can emit the whole run as one machine-readable document
+// (committed as BENCH_PR4.json by `make bench-json`).
+type benchRow struct {
+	Label string `json:"label"`
+	Value string `json:"value"`
+	// Nanos is set when the measured value is a duration, so tooling
+	// can diff runs numerically instead of parsing "1.234µs".
+	Nanos int64 `json:"nanos,omitempty"`
+}
+
+type benchSection struct {
+	ID    string     `json:"id"`
+	Title string     `json:"title"`
+	Rows  []benchRow `json:"rows"`
+}
+
+var (
+	jsonMode bool
+	report   []*benchSection
+)
+
 func header(id, title string) {
-	fmt.Printf("\n== %s — %s\n", id, title)
+	report = append(report, &benchSection{ID: id, Title: title})
+	if !jsonMode {
+		fmt.Printf("\n== %s — %s\n", id, title)
+	}
 }
 
 func row(label string, value any) {
-	fmt.Printf("   %-46s %v\n", label, value)
+	r := benchRow{Label: label, Value: fmt.Sprint(value)}
+	if d, ok := value.(time.Duration); ok {
+		r.Nanos = d.Nanoseconds()
+	}
+	s := report[len(report)-1]
+	s.Rows = append(s.Rows, r)
+	if !jsonMode {
+		fmt.Printf("   %-46s %v\n", label, value)
+	}
 }
 
 func run(iters int) error {
-	fmt.Printf("mvmbench: reproducing the evaluation of Balfanz & Gong (ICDCS 1998)\n")
-	fmt.Printf("iterations per measurement: %d\n", iters)
+	if !jsonMode {
+		fmt.Printf("mvmbench: reproducing the evaluation of Balfanz & Gong (ICDCS 1998)\n")
+		fmt.Printf("iterations per measurement: %d\n", iters)
+	}
 
 	if err := e1(iters); err != nil {
 		return err
@@ -102,6 +140,9 @@ func run(iters int) error {
 	if err := eAudit(iters); err != nil {
 		return err
 	}
+	if err := eVFS(iters); err != nil {
+		return err
+	}
 	if err := e9(iters); err != nil {
 		return err
 	}
@@ -114,6 +155,18 @@ func run(iters int) error {
 	e12(iters)
 	if err := e13(); err != nil {
 		return err
+	}
+	if jsonMode {
+		out := struct {
+			Bench      string          `json:"bench"`
+			Iters      int             `json:"iters"`
+			GoMaxProcs int             `json:"gomaxprocs"`
+			NumCPU     int             `json:"numcpu"`
+			Sections   []*benchSection `json:"sections"`
+		}{"mvmbench", iters, runtime.GOMAXPROCS(0), runtime.NumCPU(), report}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
 	}
 	fmt.Println("\nall experiments complete")
 	return nil

@@ -19,8 +19,11 @@ import (
 // retrieve a reference to the terminal object itself").
 const TerminalResource = "terminal"
 
-// PipeBufferSize is the capacity of shell pipeline pipes.
-const PipeBufferSize = 8 * 1024
+// PipeBufferSize is the capacity of shell pipeline pipes. It tracks
+// the streams default (64 KiB, the Linux pipe size): a `cat f | grep x
+// | wc` pipeline moving megabytes through an 8 KiB buffer spent most
+// of its time in cond-var handoffs between stages.
+const PipeBufferSize = streams.DefaultBufferSize
 
 // Job is a background pipeline.
 type Job struct {

@@ -43,14 +43,22 @@ var (
 	_ io.WriteCloser = (*PipeWriter)(nil)
 )
 
-// NewPipe creates a buffered pipe with the given capacity (minimum 1
-// byte; a typical shell pipeline uses a few KiB). Unlike io.Pipe,
+// DefaultBufferSize is the pipe capacity used when NewPipe is given a
+// non-positive one, and the capacity of shell-pipeline pipes. 64 KiB
+// matches the Linux pipe default; with a tiny buffer a producer like
+// `cat` wakes its consumer once per few bytes, and pipeline
+// throughput is dominated by cond-var handoffs rather than copying
+// (see BenchmarkPipeThroughput).
+const DefaultBufferSize = 64 * 1024
+
+// NewPipe creates a buffered pipe with the given capacity
+// (DefaultBufferSize if capacity is not positive). Unlike io.Pipe,
 // writes complete as soon as they fit in the buffer, which is the
 // semantics Unix pipes provide and what the shell and the IPC
 // benchmarks need.
 func NewPipe(capacity int) (*PipeReader, *PipeWriter) {
 	if capacity < 1 {
-		capacity = 1
+		capacity = DefaultBufferSize
 	}
 	p := &pipe{buf: make([]byte, capacity)}
 	p.notEmpty = sync.NewCond(&p.mu)

@@ -127,7 +127,7 @@ func TestPipeWriterCloseUnblocksReader(t *testing.T) {
 }
 
 func TestPipeMinimumCapacity(t *testing.T) {
-	r, w := NewPipe(0) // clamps to 1
+	r, w := NewPipe(0) // falls back to DefaultBufferSize
 	go func() {
 		_, _ = w.Write([]byte("ab"))
 		_ = w.Close()

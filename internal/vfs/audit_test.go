@@ -1,0 +1,135 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"mpj/internal/audit"
+)
+
+// newAuditedFS wires a filesystem to an audit log whose segment store
+// persists INTO the same filesystem — the deadlock-prone layout the
+// lock split must keep safe: denial events are emitted only after all
+// fs locks are released, and the drainer's segment appends go through
+// the ordinary inode-locked write path.
+func newAuditedFS(t *testing.T) (*FS, *audit.Log) {
+	t.Helper()
+	fs := New()
+	if err := fs.MkdirAll(Root, "/home/alice", 0o700); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Chown(Root, "/home/alice", "alice"); err != nil {
+		t.Fatal(err)
+	}
+	store, err := NewAuditStore(fs, "/var/audit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := audit.New(audit.Config{Store: store, Mask: audit.CatFile})
+	fs.SetAuditLog(l)
+	return fs, l
+}
+
+// TestAuditDenialsSurviveLockSplit drives open/remove/rename denials
+// while the drainer persists into the audited filesystem itself, then
+// verifies the chain and the presence of each denial verb. A
+// deadlock here (emission under an fs lock, or a drainer append
+// blocked on the namespace lock) would hang the test.
+func TestAuditDenialsSurviveLockSplit(t *testing.T) {
+	fs, l := newAuditedFS(t)
+	stop := make(chan struct{})
+	drained := make(chan struct{})
+	go func() { defer close(drained); l.Run(stop) }()
+
+	if _, err := fs.OpenFile("bob", "/home/alice/secret", OpenRead, 0); !errors.Is(err, ErrPermission) {
+		t.Fatalf("open: %v", err)
+	}
+	if err := fs.Remove("bob", "/home/alice/secret"); !errors.Is(err, ErrPermission) {
+		t.Fatalf("remove: %v", err)
+	}
+	if err := fs.Rename("bob", "/home/alice/secret", "/stolen"); !errors.Is(err, ErrPermission) {
+		t.Fatalf("rename: %v", err)
+	}
+
+	close(stop)
+	<-drained
+	res, err := l.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK || res.Records < 3 {
+		t.Fatalf("verify = %+v", res)
+	}
+	for _, verb := range []string{"open-denied", "remove-denied", "rename-denied"} {
+		recs, err := l.Query(audit.Query{Verb: verb, User: "bob"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != 1 {
+			t.Fatalf("%s: %d records", verb, len(recs))
+		}
+	}
+}
+
+// TestAuditDrainerNoContentionWithWorkload runs a user I/O workload
+// concurrently with a storm of audited denials being drained into
+// /var/audit on the same filesystem. Everything must complete — the
+// drainer's appends take only its segment's inode lock plus (first
+// open per segment) a brief namespace read lock, so it cannot starve
+// or deadlock user I/O.
+func TestAuditDrainerNoContentionWithWorkload(t *testing.T) {
+	fs, l := newAuditedFS(t)
+	if err := fs.MkdirAll(Root, "/data", 0o777); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	drained := make(chan struct{})
+	go func() { defer close(drained); l.Run(stop) }()
+
+	iters := 200
+	if testing.Short() {
+		iters = 40
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // denial storm: every one emits an audit event
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			_, _ = fs.OpenFile("bob", "/home/alice/x", OpenRead, 0)
+		}
+	}()
+	go func() { // user workload on unrelated files
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			p := fmt.Sprintf("/data/f%d", i%8)
+			if err := fs.WriteFile("alice", p, []byte("payload"), 0o644); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := fs.ReadFile("alice", p); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-drained
+
+	res, err := l.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatalf("chain broken: %+v", res)
+	}
+	recs, err := l.Query(audit.Query{Verb: "open-denied"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no denials persisted")
+	}
+}

@@ -2,6 +2,7 @@ package vfs
 
 import (
 	gopath "path"
+	"sync"
 
 	"mpj/internal/audit"
 )
@@ -9,9 +10,18 @@ import (
 // auditStore implements audit.SegmentStore on top of an FS directory.
 // All operations run as root: the audit trail is kernel state, written
 // by the drainer daemon regardless of which user's events it records.
+//
+// The store keeps the current segment's handle open between appends:
+// the drainer writes the same segment until it rotates, so the hot
+// path is a single inode-locked append with no path resolution and no
+// handle churn (and, since the lock split, no namespace lock either).
 type auditStore struct {
 	fs  *FS
 	dir string
+
+	mu       sync.Mutex
+	openName string  // segment name the cached handle points at
+	open     *Handle // nil when no handle is cached
 }
 
 var _ audit.SegmentStore = (*auditStore)(nil)
@@ -28,15 +38,25 @@ func NewAuditStore(fs *FS, dir string) (audit.SegmentStore, error) {
 
 // Append implements audit.SegmentStore.
 func (s *auditStore) Append(name string, data []byte) error {
-	h, err := s.fs.OpenFile(Root, gopath.Join(s.dir, name), OpenWrite|OpenCreate|OpenAppend, 0o600)
-	if err != nil {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.open == nil || s.openName != name {
+		if s.open != nil {
+			_ = s.open.Close()
+			s.open, s.openName = nil, ""
+		}
+		h, err := s.fs.OpenFile(Root, gopath.Join(s.dir, name), OpenWrite|OpenCreate|OpenAppend, 0o600)
+		if err != nil {
+			return err
+		}
+		s.open, s.openName = h, name
+	}
+	if _, err := s.open.Write(data); err != nil {
+		_ = s.open.Close()
+		s.open, s.openName = nil, ""
 		return err
 	}
-	if _, err := h.Write(data); err != nil {
-		_ = h.Close()
-		return err
-	}
-	return h.Close()
+	return nil
 }
 
 // List implements audit.SegmentStore.

@@ -1,0 +1,98 @@
+package vfs
+
+// Lock-free path-resolution (dentry) cache.
+//
+// Resolving a path walks every component under the namespace lock,
+// re-checking execute permission on each directory (vfs.go
+// resolveDir). Repeated opens and stats of hot paths — a shell
+// re-running a pipeline, the audit drainer appending to its current
+// segment — pay that walk on every call. This cache memoizes
+// successful resolutions per {user, path} so the hot path is one
+// atomic load and one map lookup, with no lock at all.
+//
+// The design mirrors the access-control match cache from the PR 1
+// fast path (internal/security/policy.go): an immutable snapshot map
+// published through an atomic pointer, stamped with the namespace
+// generation it was built at. Structural mutations that can change
+// what an existing resolution means — remove, rename, chmod, chown —
+// bump FS.gen under the namespace write lock, which orphans the whole
+// snapshot at once. Pure creations do not bump the generation: they
+// only add paths, and negative results are never cached, so every
+// cached entry stays exact.
+//
+// A cached entry {user, path} → inode asserts: "at the stamped
+// generation, path resolved to this inode for this user, with execute
+// permission granted on every directory along the way". Per-file
+// permission checks (read/write on open, read on list) are NOT part
+// of the entry; callers re-check them against the inode under its own
+// lock. Lost store races and full caches drop memos, never
+// correctness.
+
+// maxDentries bounds the cache; beyond it, resolutions fall back to
+// the locked walk. Snapshots are rebuilt by copy on every insert, so
+// the bound also caps the copy cost.
+const maxDentries = 1024
+
+// dentryKey identifies one user's resolution of one absolute path.
+// Resolutions are per-user because traversal permission is.
+type dentryKey struct {
+	user string
+	path string
+}
+
+// dentryCache is an immutable resolution snapshot, valid for exactly
+// one namespace generation.
+type dentryCache struct {
+	gen     uint64
+	entries map[dentryKey]*inode
+}
+
+// bumpLocked advances the namespace generation, orphaning every
+// cached resolution. Caller holds fs.ns in write mode — that keeps
+// the generation frozen while any resolver holds the read lock, so a
+// resolution and its generation stamp are always consistent.
+func (fs *FS) bumpLocked() { fs.gen.Add(1) }
+
+// Generation returns the namespace generation (for tests and
+// diagnostics).
+func (fs *FS) Generation() uint64 { return fs.gen.Load() }
+
+// cachedResolve returns the cached inode for {user, path} if the
+// snapshot is current, else nil. Callers may hold fs.ns or nothing.
+func (fs *FS) cachedResolve(user, path string) *inode {
+	c := fs.dentries.Load()
+	if c == nil || c.gen != fs.gen.Load() {
+		return nil
+	}
+	return c.entries[dentryKey{user: user, path: path}]
+}
+
+// storeDentry publishes a resolution into the current-generation
+// snapshot (copy-on-write). Stale-generation results, lost races and
+// full snapshots are silently dropped.
+func (fs *FS) storeDentry(user, path string, n *inode, gen uint64) {
+	if gen != fs.gen.Load() {
+		// The namespace moved on while we were off the lock; the
+		// resolution may already be invalid, so don't publish it (and
+		// don't clobber a snapshot built at the newer generation).
+		return
+	}
+	key := dentryKey{user: user, path: path}
+	old := fs.dentries.Load()
+	var base map[dentryKey]*inode
+	if old != nil && old.gen == gen {
+		if _, ok := old.entries[key]; ok {
+			return
+		}
+		if len(old.entries) >= maxDentries {
+			return
+		}
+		base = old.entries
+	}
+	entries := make(map[dentryKey]*inode, len(base)+1)
+	for k, v := range base {
+		entries[k] = v
+	}
+	entries[key] = n
+	fs.dentries.Store(&dentryCache{gen: gen, entries: entries})
+}

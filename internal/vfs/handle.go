@@ -26,6 +26,11 @@ const (
 
 // Handle is an open file. It implements io.Reader, io.Writer, io.Seeker
 // and io.Closer. Handles are safe for concurrent use.
+//
+// I/O through a handle synchronizes on the handle's own mutex (for
+// the offset) and the file's inode lock (for the bytes) — never on
+// the filesystem-wide namespace lock, so reads and writes to
+// different files proceed fully in parallel.
 type Handle struct {
 	fs    *FS
 	node  *inode
@@ -64,33 +69,78 @@ func (fs *FS) openFile(user, path string, flags OpenFlag, mode Mode) (*Handle, e
 	if flags&(OpenRead|OpenWrite) == 0 {
 		return nil, &Error{Op: "open", Path: path, Err: ErrInvalid}
 	}
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	if path == "/" {
+		return nil, &Error{Op: "open", Path: path, Err: ErrInvalid}
+	}
 
+	// Fast path: a cached resolution means the file exists and the
+	// user may traverse to it, so opening needs no namespace lock at
+	// all — only the per-file checks under the inode lock.
+	if n := fs.cachedResolve(user, path); n != nil {
+		if flags&OpenCreate != 0 && flags&OpenExcl != 0 {
+			return nil, &Error{Op: "open", Path: path, Err: ErrExist}
+		}
+		return fs.openInode(n, user, path, flags)
+	}
+
+	if flags&OpenCreate == 0 {
+		// No creation possible: resolve under the shared namespace
+		// lock and fill the dentry cache for the next open.
+		fs.ns.RLock()
+		dir, name, err := fs.lookupParent(user, path, "open")
+		var n *inode
+		if err == nil {
+			var ok bool
+			if n, ok = dir.children[name]; !ok {
+				err = &Error{Op: "open", Path: path, Err: ErrNotExist}
+			}
+		}
+		gen := fs.gen.Load()
+		fs.ns.RUnlock()
+		if err != nil {
+			return nil, err
+		}
+		fs.storeDentry(user, path, n, gen)
+		return fs.openInode(n, user, path, flags)
+	}
+
+	// Creation may be needed: take the namespace write lock for the
+	// structural part, then drop it before any data work.
+	fs.ns.Lock()
 	dir, name, err := fs.lookupParent(user, path, "open")
 	if err != nil {
+		fs.ns.Unlock()
 		return nil, err
 	}
 	n, exists := dir.children[name]
 	switch {
-	case !exists && flags&OpenCreate == 0:
-		return nil, &Error{Op: "open", Path: path, Err: ErrNotExist}
 	case !exists:
 		if !dir.allows(user, accessWrite) || !dir.allows(user, accessExec) {
+			fs.ns.Unlock()
 			return nil, &Error{Op: "open", Path: path, Err: ErrPermission}
 		}
-		n = &inode{name: name, mode: mode & 0o777, owner: user, mtime: fs.now()}
+		n = &inode{name: name, mode: mode & 0o777, owner: user, mtime: fs.clock()}
 		dir.children[name] = n
-		dir.mtime = fs.now()
-	case flags&OpenExcl != 0 && flags&OpenCreate != 0:
+		fs.touch(dir)
+		// A pure creation adds a path without changing any existing
+		// resolution, so the namespace generation is not bumped (see
+		// dcache.go).
+	case flags&OpenExcl != 0:
+		fs.ns.Unlock()
 		return nil, &Error{Op: "open", Path: path, Err: ErrExist}
 	}
+	fs.ns.Unlock()
+	return fs.openInode(n, user, path, flags)
+}
+
+// openInode performs the per-file half of an open — permission bits,
+// truncation, handle accounting — under the inode lock alone.
+func (fs *FS) openInode(n *inode, user, path string, flags OpenFlag) (*Handle, error) {
 	if n.dir {
-		if flags&OpenWrite != 0 {
-			return nil, &Error{Op: "open", Path: path, Err: ErrIsDir}
-		}
 		return nil, &Error{Op: "open", Path: path, Err: ErrIsDir}
 	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	if flags&OpenRead != 0 && !n.allows(user, accessRead) {
 		return nil, &Error{Op: "open", Path: path, Err: ErrPermission}
 	}
@@ -99,7 +149,7 @@ func (fs *FS) openFile(user, path string, flags OpenFlag, mode Mode) (*Handle, e
 	}
 	if flags&OpenTrunc != 0 && flags&OpenWrite != 0 {
 		n.data = nil
-		n.mtime = fs.now()
+		n.mtime = fs.clock()
 	}
 	n.nlink++
 	return &Handle{fs: fs, node: n, path: path, flags: flags}, nil
@@ -118,8 +168,8 @@ func (h *Handle) Read(p []byte) (int, error) {
 	if h.flags&OpenRead == 0 {
 		return 0, &Error{Op: "read", Path: h.path, Err: ErrWriteOnly}
 	}
-	h.fs.mu.RLock()
-	defer h.fs.mu.RUnlock()
+	h.node.mu.RLock()
+	defer h.node.mu.RUnlock()
 	if h.offset >= int64(len(h.node.data)) {
 		return 0, io.EOF
 	}
@@ -128,7 +178,9 @@ func (h *Handle) Read(p []byte) (int, error) {
 	return n, nil
 }
 
-// Write implements io.Writer.
+// Write implements io.Writer. Growth is amortized: capacity at least
+// doubles whenever the file must grow, so writing a file in small
+// chunks costs O(n) total copying rather than O(n²).
 func (h *Handle) Write(p []byte) (int, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -138,20 +190,37 @@ func (h *Handle) Write(p []byte) (int, error) {
 	if h.flags&OpenWrite == 0 {
 		return 0, &Error{Op: "write", Path: h.path, Err: ErrReadOnly}
 	}
-	h.fs.mu.Lock()
-	defer h.fs.mu.Unlock()
+	now := h.fs.clock()
+	n := h.node
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	if h.flags&OpenAppend != 0 {
-		h.offset = int64(len(h.node.data))
+		h.offset = int64(len(n.data))
 	}
 	end := h.offset + int64(len(p))
-	if end > int64(len(h.node.data)) {
-		grown := make([]byte, end)
-		copy(grown, h.node.data)
-		h.node.data = grown
+	if end > int64(len(n.data)) {
+		if end <= int64(cap(n.data)) {
+			// Extending within capacity exposes only bytes our own
+			// growth zero-filled (data never shrinks below capacity
+			// except to nil), so gap bytes from a sparse seek-past-end
+			// write read back as zeros.
+			n.data = n.data[:end]
+		} else {
+			newCap := 2 * cap(n.data)
+			if newCap < int(end) {
+				newCap = int(end)
+			}
+			if newCap < 64 {
+				newCap = 64
+			}
+			grown := make([]byte, end, newCap)
+			copy(grown, n.data)
+			n.data = grown
+		}
 	}
-	copy(h.node.data[h.offset:end], p)
+	copy(n.data[h.offset:end], p)
 	h.offset = end
-	h.node.mtime = h.fs.now()
+	n.mtime = now
 	return len(p), nil
 }
 
@@ -162,9 +231,9 @@ func (h *Handle) Seek(offset int64, whence int) (int64, error) {
 	if h.closed {
 		return 0, &Error{Op: "seek", Path: h.path, Err: ErrClosed}
 	}
-	h.fs.mu.RLock()
+	h.node.mu.RLock()
 	size := int64(len(h.node.data))
-	h.fs.mu.RUnlock()
+	h.node.mu.RUnlock()
 	var abs int64
 	switch whence {
 	case io.SeekStart:
@@ -191,31 +260,36 @@ func (h *Handle) Close() error {
 		return &Error{Op: "close", Path: h.path, Err: ErrClosed}
 	}
 	h.closed = true
-	h.fs.mu.Lock()
+	h.node.mu.Lock()
 	h.node.nlink--
-	h.fs.mu.Unlock()
+	h.node.mu.Unlock()
 	return nil
 }
 
 // Size returns the file's current size.
 func (h *Handle) Size() int64 {
-	h.fs.mu.RLock()
-	defer h.fs.mu.RUnlock()
+	h.node.mu.RLock()
+	defer h.node.mu.RUnlock()
 	return int64(len(h.node.data))
 }
 
-// readAll reads the remainder of the file.
+// readAll reads the remainder of the file in one copy under a single
+// acquisition of the inode lock.
 func (h *Handle) readAll() ([]byte, error) {
-	var out []byte
-	buf := make([]byte, 4096)
-	for {
-		n, err := h.Read(buf)
-		out = append(out, buf[:n]...)
-		if err == io.EOF {
-			return out, nil
-		}
-		if err != nil {
-			return out, err
-		}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, &Error{Op: "read", Path: h.path, Err: ErrClosed}
 	}
+	if h.flags&OpenRead == 0 {
+		return nil, &Error{Op: "read", Path: h.path, Err: ErrWriteOnly}
+	}
+	h.node.mu.RLock()
+	var out []byte
+	if h.offset < int64(len(h.node.data)) {
+		out = append([]byte(nil), h.node.data[h.offset:]...)
+	}
+	h.node.mu.RUnlock()
+	h.offset += int64(len(out))
+	return out, nil
 }

@@ -1,0 +1,353 @@
+package vfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentMixedOps hammers one filesystem with readers, chunked
+// writers, renamers, removers and re-creators on overlapping paths.
+// It is primarily a -race test: the two-level locking must keep every
+// access synchronized without the old FS-wide mutex. It also checks
+// that readers only ever observe consistent file contents (a file is
+// uniformly one byte value; a torn read would mix values).
+func TestConcurrentMixedOps(t *testing.T) {
+	fs := New()
+	if err := fs.MkdirAll(Root, "/stress/deep/dir", 0o777); err != nil {
+		t.Fatal(err)
+	}
+	const nfiles = 4
+	paths := make([]string, nfiles)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("/stress/deep/dir/f%d", i)
+	}
+	iters := 400
+	if testing.Short() {
+		iters = 50
+	}
+
+	var wg sync.WaitGroup
+	start := func(fn func()) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn()
+		}()
+	}
+
+	// Writers: whole-file rewrites of uniform content.
+	for w := 0; w < 2; w++ {
+		w := w
+		start(func() {
+			for i := 0; i < iters; i++ {
+				p := paths[(w+i)%nfiles]
+				payload := bytes.Repeat([]byte{byte('a' + i%3)}, 64)
+				if err := fs.WriteFile("alice", p, payload, 0o644); err != nil &&
+					!errors.Is(err, ErrNotExist) && !errors.Is(err, ErrPermission) {
+					t.Error(err)
+					return
+				}
+			}
+		})
+	}
+	// Appender: chunked writes through one handle per round.
+	start(func() {
+		for i := 0; i < iters; i++ {
+			h, err := fs.OpenFile(Root, "/stress/deep/dir/log", OpenWrite|OpenCreate|OpenAppend, 0o600)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for j := 0; j < 8; j++ {
+				if _, err := h.Write([]byte("0123456789abcdef")); err != nil {
+					t.Error(err)
+					_ = h.Close()
+					return
+				}
+			}
+			_ = h.Close()
+		}
+	})
+	// Readers: whole-file reads must never be torn.
+	for r := 0; r < 3; r++ {
+		r := r
+		start(func() {
+			for i := 0; i < iters*2; i++ {
+				p := paths[(r+i)%nfiles]
+				data, err := fs.ReadFile("bob", p)
+				if err != nil {
+					continue // missing / being renamed / permission: all fine
+				}
+				for _, b := range data {
+					if b != data[0] {
+						t.Errorf("torn read on %s: %q", p, data)
+						return
+					}
+				}
+				_, _ = fs.Stat("bob", p)
+				_, _ = fs.ReadDir("bob", "/stress/deep/dir")
+			}
+		})
+	}
+	// Renamer: shuffles f0 in and out of the namespace.
+	start(func() {
+		for i := 0; i < iters; i++ {
+			_ = fs.Rename(Root, paths[0], "/stress/deep/dir/moved")
+			_ = fs.Rename(Root, "/stress/deep/dir/moved", paths[0])
+		}
+	})
+	// Remover/re-creator on a path readers also touch.
+	start(func() {
+		for i := 0; i < iters; i++ {
+			_ = fs.Remove(Root, paths[1])
+			_ = fs.WriteFile(Root, paths[1], bytes.Repeat([]byte{'z'}, 32), 0o644)
+		}
+	})
+	// Chmodder: flips traversal permission on the deep dir.
+	start(func() {
+		for i := 0; i < iters; i++ {
+			_ = fs.Chmod(Root, "/stress/deep", 0o700)
+			_ = fs.Chmod(Root, "/stress/deep", 0o777)
+		}
+	})
+	wg.Wait()
+
+	// The tree must still be walkable and internally consistent.
+	if err := fs.Walk("/", func(p string, info FileInfo) error { return nil }); err != nil {
+		t.Fatalf("walk after stress: %v", err)
+	}
+}
+
+// TestDentryCacheNoStaleAfterRemove: a warm cached resolution must die
+// with the file — Remove must not leave a readable ghost, and a
+// re-created file must serve the new content.
+func TestDentryCacheNoStaleAfterRemove(t *testing.T) {
+	fs := New()
+	if err := fs.MkdirAll(Root, "/tmp", 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("alice", "/tmp/f", []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ { // warm the dentry cache
+		if _, err := fs.Stat("alice", "/tmp/f"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.Remove("alice", "/tmp/f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat("alice", "/tmp/f"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("stat after remove served stale entry: %v", err)
+	}
+	if _, err := fs.ReadFile("alice", "/tmp/f"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("read after remove resurrected file: %v", err)
+	}
+	if err := fs.WriteFile("alice", "/tmp/f", []byte("v2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("alice", "/tmp/f")
+	if err != nil || string(got) != "v2" {
+		t.Fatalf("recreated file = %q, %v (stale inode served?)", got, err)
+	}
+}
+
+// TestDentryCacheNoStaleAfterRename: both ends of a rename must
+// observe the move immediately, even when both paths were cached.
+func TestDentryCacheNoStaleAfterRename(t *testing.T) {
+	fs := New()
+	if err := fs.MkdirAll(Root, "/tmp", 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("alice", "/tmp/a", []byte("A"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("alice", "/tmp/b", []byte("B"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ { // warm both entries
+		if _, err := fs.Stat("alice", "/tmp/a"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fs.Stat("alice", "/tmp/b"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.Rename("alice", "/tmp/a", "/tmp/b"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("alice", "/tmp/a") {
+		t.Fatal("source still resolves after rename (stale dentry)")
+	}
+	got, err := fs.ReadFile("alice", "/tmp/b")
+	if err != nil || string(got) != "A" {
+		t.Fatalf("target after rename = %q, %v (stale inode served?)", got, err)
+	}
+	info, err := fs.Stat("alice", "/tmp/b")
+	if err != nil || info.Name != "b" {
+		t.Fatalf("renamed info = %+v, %v", info, err)
+	}
+}
+
+// TestDentryCacheRespectsChmod: cached resolutions embed traversal
+// permission, so revoking execute on a parent directory must
+// invalidate them immediately — even for the user who warmed them.
+func TestDentryCacheRespectsChmod(t *testing.T) {
+	fs := New()
+	if err := fs.MkdirAll(Root, "/home/alice", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Chown(Root, "/home/alice", "alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("alice", "/home/alice/f", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ { // warm
+		if _, err := fs.Stat("alice", "/home/alice/f"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.Chmod("alice", "/home/alice", 0o000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat("alice", "/home/alice/f"); !errors.Is(err, ErrPermission) {
+		t.Fatalf("stat after chmod 000 served cached resolution: %v", err)
+	}
+	if err := fs.Chmod("alice", "/home/alice", 0o700); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat("alice", "/home/alice/f"); err != nil {
+		t.Fatalf("stat after restoring mode: %v", err)
+	}
+	// Chown flips the effective permission triad the same way.
+	if err := fs.Chown(Root, "/home/alice", "bob"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat("alice", "/home/alice/f"); !errors.Is(err, ErrPermission) {
+		t.Fatalf("stat after chown served cached resolution: %v", err)
+	}
+}
+
+// TestDentryCacheConcurrentRemoveCoherence: while one goroutine
+// removes and re-creates a file, readers must only ever see
+// ErrNotExist or one of the written payloads — never a deleted
+// file's content after Remove returned, and never a torn write.
+func TestDentryCacheConcurrentRemoveCoherence(t *testing.T) {
+	fs := New()
+	if err := fs.MkdirAll(Root, "/tmp", 0o777); err != nil {
+		t.Fatal(err)
+	}
+	const path = "/tmp/churn"
+	iters := 300
+	if testing.Short() {
+		iters = 50
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < iters; i++ {
+			payload := bytes.Repeat([]byte{byte('a' + i%3)}, 100)
+			if err := fs.WriteFile(Root, path, payload, 0o644); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := fs.Remove(Root, path); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		data, err := fs.ReadFile(Root, path)
+		if err != nil {
+			if !errors.Is(err, ErrNotExist) {
+				t.Fatalf("reader saw unexpected error: %v", err)
+			}
+			continue
+		}
+		// A successful read races only against WriteFile's
+		// trunc-then-write, so it sees either the empty just-truncated
+		// file or one full uniform payload.
+		if len(data) != 0 && len(data) != 100 {
+			t.Fatalf("torn read: %d bytes", len(data))
+		}
+		for _, b := range data {
+			if b != data[0] {
+				t.Fatalf("torn read content: %q", data)
+			}
+		}
+	}
+}
+
+// TestUnlinkedHandleSurvivesChurn: Unix semantics — a handle opened
+// before Remove keeps reading the old bytes, while the path itself
+// serves the new file.
+func TestUnlinkedHandleSurvivesChurn(t *testing.T) {
+	fs := New()
+	if err := fs.MkdirAll(Root, "/tmp", 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(Root, "/tmp/g", []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h, err := fs.Open(Root, "/tmp/g", OpenRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = h.Close() }()
+	if err := fs.Remove(Root, "/tmp/g"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(Root, "/tmp/g", []byte("new"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ghost, err := h.readAll()
+	if err != nil || string(ghost) != "old" {
+		t.Fatalf("unlinked handle read %q, %v", ghost, err)
+	}
+	cur, err := fs.ReadFile(Root, "/tmp/g")
+	if err != nil || string(cur) != "new" {
+		t.Fatalf("path read %q, %v", cur, err)
+	}
+}
+
+// TestSparseWriteZeroFill: growth via the capacity-doubling path must
+// zero-fill the gap a seek-past-end write leaves behind.
+func TestSparseWriteZeroFill(t *testing.T) {
+	fs := New()
+	h, err := fs.OpenFile(Root, "/sparse", OpenRead|OpenWrite|OpenCreate, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = h.Close() }()
+	if _, err := h.Write([]byte("head")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Seek(100, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs.ReadFile(Root, "/sparse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 104 || string(data[:4]) != "head" || string(data[100:]) != "tail" {
+		t.Fatalf("sparse layout wrong: len=%d", len(data))
+	}
+	for i := 4; i < 100; i++ {
+		if data[i] != 0 {
+			t.Fatalf("gap byte %d = %q, want zero", i, data[i])
+		}
+	}
+}

@@ -12,6 +12,29 @@
 // permission on it, listing requires read, creating/removing entries
 // requires write+execute on the parent. The user "root" bypasses
 // permission checks.
+//
+// # Locking hierarchy
+//
+// The filesystem uses two lock levels plus a lock-free resolution
+// cache (see DESIGN.md "VFS locking hierarchy"):
+//
+//   - FS.ns, the namespace lock, guards the shape of the tree: the
+//     children maps, and — together with each inode's mu — the name,
+//     mode and owner fields. Only structural operations (mkdir,
+//     create, remove, rename, chmod, chown) take it in write mode;
+//     path resolution takes it in read mode.
+//   - inode.mu, one per inode, guards the data plane: data, mtime,
+//     nlink, unlinked. Handle.Read/Write/Seek touch only the inode
+//     lock, so I/O on different files never contends.
+//   - The dentry cache (dcache.go) resolves path → inode without any
+//     lock, validated by FS.gen, a generation counter bumped under
+//     ns.Lock by every structural mutation that can invalidate a
+//     previously cached resolution.
+//
+// Lock order is always ns before inode.mu; no path acquires two inode
+// locks at once. Fields readable on the lock-free fast path (name,
+// mode, owner, mtime, data) are written under inode.mu so cache-hit
+// readers can synchronize on inode.mu alone.
 package vfs
 
 import (
@@ -97,18 +120,32 @@ const (
 )
 
 // inode is a file or directory node.
+//
+// Field protection (see the package comment for the full hierarchy):
+//
+//   - dir is immutable after creation.
+//   - children is guarded by FS.ns alone (never read on the lock-free
+//     fast path).
+//   - name, mode, owner are written under FS.ns write lock AND mu, so
+//     holders of either lock may read them.
+//   - mtime, data, nlink, unlinked belong to the data plane and are
+//     guarded by mu alone.
 type inode struct {
-	name     string
 	dir      bool
+	children map[string]*inode
+
+	mu       sync.RWMutex
+	name     string
 	mode     Mode
 	owner    string
 	mtime    time.Time
 	data     []byte
-	children map[string]*inode
 	nlink    int // handles currently open on this inode
 	unlinked bool
 }
 
+// allows reports whether user may access the node in the given way.
+// Caller must hold FS.ns (read or write) or n.mu (read or write).
 func (n *inode) allows(user string, kind accessKind) bool {
 	if user == Root {
 		return true
@@ -138,7 +175,11 @@ type FileInfo struct {
 	Owner   string
 }
 
+// info snapshots the node's metadata under its own lock, so it is safe
+// both under FS.ns and on the lock-free cache-hit path.
 func (n *inode) info() FileInfo {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	return FileInfo{
 		Name:    n.name,
 		Size:    int64(len(n.data)),
@@ -151,38 +192,60 @@ func (n *inode) info() FileInfo {
 
 // FS is an in-memory filesystem. The zero value is not usable; call New.
 type FS struct {
-	mu   sync.RWMutex
+	// ns is the namespace lock: structural operations take it in write
+	// mode, path resolution in read mode. Data I/O never takes it.
+	ns   sync.RWMutex
 	root *inode
-	now  func() time.Time
+
+	// gen is the namespace generation. It is bumped (under ns.Lock)
+	// by every structural mutation that can invalidate a cached
+	// resolution: remove, rename, chmod, chown. Pure creations do not
+	// bump it — they only add paths, never change what an existing
+	// {user, path} resolution means. The dentry cache compares entry
+	// generations against it; see dcache.go.
+	gen atomic.Uint64
+
+	// dentries is the lock-free path-resolution cache.
+	dentries atomic.Pointer[dentryCache]
+
+	// nowFn is the timestamp source, replaceable via SetClock. Atomic
+	// so Handle.Write can stamp mtimes under the inode lock alone.
+	nowFn atomic.Pointer[func() time.Time]
 
 	// auditLog, when installed, receives CatFile events for permission
-	// denials on open/remove/rename. Emission happens after fs.mu is
-	// released — the audit log itself persists into this filesystem, so
-	// emitting under the lock could deadlock with the drainer.
+	// denials on open/remove/rename. Emission happens after all fs
+	// locks are released — the audit log itself persists into this
+	// filesystem, so emitting under a lock could deadlock with the
+	// drainer.
 	auditLog atomic.Pointer[audit.Log]
 }
 
 // New returns an empty filesystem whose root directory is owned by
 // root with mode rwxr-xr-x.
 func New() *FS {
-	fs := &FS{now: time.Now}
+	fs := &FS{}
+	now := time.Now
+	fs.nowFn.Store(&now)
 	fs.root = &inode{
 		name:     "/",
 		dir:      true,
 		mode:     0o755,
 		owner:    Root,
-		mtime:    fs.now(),
+		mtime:    fs.clock(),
 		children: make(map[string]*inode),
 	}
 	return fs
 }
+
+// clock returns the current time from the configured source.
+func (fs *FS) clock() time.Time { return (*fs.nowFn.Load())() }
 
 // SetAuditLog installs the audit log that receives permission-denial
 // events. Call once, at platform boot.
 func (fs *FS) SetAuditLog(l *audit.Log) { fs.auditLog.Store(l) }
 
 // auditDenied emits a CatFile event if err is a permission denial.
-// Must be called without fs.mu held.
+// Must be called with no fs lock held.
 func (fs *FS) auditDenied(op, user, detail string, err error) {
 	if err == nil || !errors.Is(err, ErrPermission) {
 		return
@@ -194,11 +257,7 @@ func (fs *FS) auditDenied(op, user, detail string, err error) {
 }
 
 // SetClock replaces the timestamp source (for deterministic tests).
-func (fs *FS) SetClock(now func() time.Time) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	fs.now = now
-}
+func (fs *FS) SetClock(now func() time.Time) { fs.nowFn.Store(&now) }
 
 // normalize cleans an absolute path; relative paths are rejected.
 func normalize(p string) (string, error) {
@@ -219,7 +278,7 @@ func split(p string) []string {
 
 // resolveDir walks to the directory at the given component list,
 // checking execute permission on every directory traversed.
-// Caller holds fs.mu (read or write).
+// Caller holds fs.ns (read or write).
 func (fs *FS) resolveDir(user string, comps []string, op, path string) (*inode, error) {
 	cur := fs.root
 	for _, c := range comps {
@@ -238,14 +297,14 @@ func (fs *FS) resolveDir(user string, comps []string, op, path string) (*inode, 
 	return cur, nil
 }
 
-// lookup resolves a full path to its inode. Caller holds fs.mu.
+// lookup resolves a full path to its inode. Caller holds fs.ns.
 func (fs *FS) lookup(user, path, op string) (*inode, error) {
 	comps := split(path)
 	return fs.resolveDir(user, comps, op, path)
 }
 
 // lookupParent resolves the parent directory of path and returns it
-// along with the final component. Caller holds fs.mu.
+// along with the final component. Caller holds fs.ns.
 func (fs *FS) lookupParent(user, path, op string) (*inode, string, error) {
 	comps := split(path)
 	if len(comps) == 0 {
@@ -266,14 +325,43 @@ func (fs *FS) lookupParent(user, path, op string) (*inode, string, error) {
 	return dir, comps[len(comps)-1], nil
 }
 
+// resolve resolves a full path to its inode, serving from the dentry
+// cache when possible and filling it on a miss. Caller holds no lock.
+func (fs *FS) resolve(user, path, op string) (*inode, error) {
+	if n := fs.cachedResolve(user, path); n != nil {
+		return n, nil
+	}
+	fs.ns.RLock()
+	n, err := fs.lookup(user, path, op)
+	// gen cannot advance while we hold ns in read mode (bumps happen
+	// under the write lock), so the resolution is valid at exactly
+	// this generation.
+	gen := fs.gen.Load()
+	fs.ns.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	fs.storeDentry(user, path, n, gen)
+	return n, nil
+}
+
+// touch stamps the node's mtime under its data lock. Caller must not
+// hold n.mu.
+func (fs *FS) touch(n *inode) {
+	now := fs.clock()
+	n.mu.Lock()
+	n.mtime = now
+	n.mu.Unlock()
+}
+
 // Mkdir creates a directory.
 func (fs *FS) Mkdir(user, path string, mode Mode) error {
 	path, err := normalize(path)
 	if err != nil {
 		return &Error{Op: "mkdir", Path: path, Err: err}
 	}
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.ns.Lock()
+	defer fs.ns.Unlock()
 	return fs.mkdirLocked(user, path, mode)
 }
 
@@ -293,10 +381,10 @@ func (fs *FS) mkdirLocked(user, path string, mode Mode) error {
 		dir:      true,
 		mode:     mode,
 		owner:    user,
-		mtime:    fs.now(),
+		mtime:    fs.clock(),
 		children: make(map[string]*inode),
 	}
-	dir.mtime = fs.now()
+	fs.touch(dir)
 	return nil
 }
 
@@ -306,8 +394,8 @@ func (fs *FS) MkdirAll(user, path string, mode Mode) error {
 	if err != nil {
 		return &Error{Op: "mkdir", Path: path, Err: err}
 	}
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.ns.Lock()
+	defer fs.ns.Unlock()
 	comps := split(path)
 	for i := 1; i <= len(comps); i++ {
 		sub := "/" + strings.Join(comps[:i], "/")
@@ -326,9 +414,7 @@ func (fs *FS) Stat(user, path string) (FileInfo, error) {
 	if err != nil {
 		return FileInfo{}, &Error{Op: "stat", Path: path, Err: err}
 	}
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	n, err := fs.lookup(user, path, "stat")
+	n, err := fs.resolve(user, path, "stat")
 	if err != nil {
 		return FileInfo{}, err
 	}
@@ -349,11 +435,17 @@ func (fs *FS) ReadDir(user, path string) ([]FileInfo, error) {
 	if err != nil {
 		return nil, &Error{Op: "readdir", Path: path, Err: err}
 	}
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	n, err := fs.lookup(user, path, "readdir")
-	if err != nil {
-		return nil, err
+	// The children map is namespace state, so listing holds ns in read
+	// mode; the dentry cache still spares the component walk (its
+	// generation is stable while we hold the read lock).
+	fs.ns.RLock()
+	defer fs.ns.RUnlock()
+	n := fs.cachedResolve(user, path)
+	if n == nil {
+		n, err = fs.lookup(user, path, "readdir")
+		if err != nil {
+			return nil, err
+		}
 	}
 	if !n.dir {
 		return nil, &Error{Op: "readdir", Path: path, Err: ErrNotDir}
@@ -382,8 +474,8 @@ func (fs *FS) remove(user, path string) error {
 	if err != nil {
 		return &Error{Op: "remove", Path: path, Err: err}
 	}
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.ns.Lock()
+	defer fs.ns.Unlock()
 	dir, name, err := fs.lookupParent(user, path, "remove")
 	if err != nil {
 		return err
@@ -398,9 +490,12 @@ func (fs *FS) remove(user, path string) error {
 	if n.dir && len(n.children) > 0 {
 		return &Error{Op: "remove", Path: path, Err: ErrNotEmpty}
 	}
+	n.mu.Lock()
 	n.unlinked = true
+	n.mu.Unlock()
 	delete(dir.children, name)
-	dir.mtime = fs.now()
+	fs.touch(dir)
+	fs.bumpLocked()
 	return nil
 }
 
@@ -424,8 +519,8 @@ func (fs *FS) rename(user, oldPath, newPath string) error {
 	if oldPath == "/" || newPath == oldPath || strings.HasPrefix(newPath, oldPath+"/") {
 		return &Error{Op: "rename", Path: oldPath, Err: ErrInvalid}
 	}
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.ns.Lock()
+	defer fs.ns.Unlock()
 	oldDir, oldName, err := fs.lookupParent(user, oldPath, "rename")
 	if err != nil {
 		return err
@@ -447,13 +542,20 @@ func (fs *FS) rename(user, oldPath, newPath string) error {
 		if existing.dir {
 			return &Error{Op: "rename", Path: newPath, Err: ErrExist}
 		}
+		existing.mu.Lock()
 		existing.unlinked = true
+		existing.mu.Unlock()
 	}
 	delete(oldDir.children, oldName)
+	n.mu.Lock()
 	n.name = newName
+	n.mu.Unlock()
 	newDir.children[newName] = n
-	now := fs.now()
-	oldDir.mtime, newDir.mtime = now, now
+	fs.touch(oldDir)
+	if newDir != oldDir {
+		fs.touch(newDir)
+	}
+	fs.bumpLocked()
 	return nil
 }
 
@@ -463,8 +565,8 @@ func (fs *FS) Chmod(user, path string, mode Mode) error {
 	if err != nil {
 		return &Error{Op: "chmod", Path: path, Err: err}
 	}
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.ns.Lock()
+	defer fs.ns.Unlock()
 	n, err := fs.lookup(user, path, "chmod")
 	if err != nil {
 		return err
@@ -472,7 +574,10 @@ func (fs *FS) Chmod(user, path string, mode Mode) error {
 	if user != Root && user != n.owner {
 		return &Error{Op: "chmod", Path: path, Err: ErrPermission}
 	}
+	n.mu.Lock()
 	n.mode = mode & 0o777
+	n.mu.Unlock()
+	fs.bumpLocked()
 	return nil
 }
 
@@ -482,8 +587,8 @@ func (fs *FS) Chown(user, path, newOwner string) error {
 	if err != nil {
 		return &Error{Op: "chown", Path: path, Err: err}
 	}
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.ns.Lock()
+	defer fs.ns.Unlock()
 	n, err := fs.lookup(user, path, "chown")
 	if err != nil {
 		return err
@@ -491,11 +596,15 @@ func (fs *FS) Chown(user, path, newOwner string) error {
 	if user != Root {
 		return &Error{Op: "chown", Path: path, Err: ErrPermission}
 	}
+	n.mu.Lock()
 	n.owner = newOwner
+	n.mu.Unlock()
+	fs.bumpLocked()
 	return nil
 }
 
-// ReadFile reads a whole file.
+// ReadFile reads a whole file. The data copy happens under the file's
+// inode lock only — never under the namespace lock.
 func (fs *FS) ReadFile(user, path string) ([]byte, error) {
 	h, err := fs.Open(user, path, OpenRead)
 	if err != nil {
@@ -506,7 +615,8 @@ func (fs *FS) ReadFile(user, path string) ([]byte, error) {
 }
 
 // WriteFile writes a whole file, creating it with the given mode if
-// necessary and truncating it otherwise.
+// necessary and truncating it otherwise. The data copy happens under
+// the file's inode lock only.
 func (fs *FS) WriteFile(user, path string, data []byte, mode Mode) error {
 	h, err := fs.OpenFile(user, path, OpenWrite|OpenCreate|OpenTrunc, mode)
 	if err != nil {
@@ -526,8 +636,8 @@ func (fs *FS) Walk(path string, visit func(p string, info FileInfo) error) error
 	if err != nil {
 		return err
 	}
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
+	fs.ns.RLock()
+	defer fs.ns.RUnlock()
 	n, err := fs.lookup(Root, path, "walk")
 	if err != nil {
 		return err
