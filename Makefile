@@ -6,15 +6,19 @@
 #   make test         full test suite; the concurrency-heavy packages
 #                     (security, vm, events, netsim, audit, vfs,
 #                     streams) are rerun under the data-race detector
-#   make bench-smoke  one fast pass over the E8 access-control benchmarks
+#   make bench-smoke  one fast pass over the E8 access-control, events,
+#                     and netsim benchmarks
 #   make bench-json   full mvmbench run, machine-readable, written to
-#                     BENCH_PR4.json (the committed snapshot)
+#                     BENCH_PR5.json (the committed snapshot)
+#   make bench-json-smoke  mvmbench at tiny iteration count, output
+#                     discarded — CI uses this to keep the harness
+#                     from rotting
 #   make check        all of the above except bench-json
 #   make bench        the full experiment harness (slow)
 
 GO ?= go
 
-.PHONY: build vet test bench-smoke bench bench-json check
+.PHONY: build vet test bench-smoke bench bench-json bench-json-smoke check
 
 build:
 	$(GO) build ./...
@@ -29,9 +33,13 @@ test:
 bench-smoke:
 	$(GO) test -run xxx -bench 'BenchmarkE8AccessControl|BenchmarkE8PolicyScale' -benchtime=100x .
 	$(GO) test -run xxx -bench . -benchtime=100x ./internal/security/
+	$(GO) test -run xxx -bench . -benchtime=100x ./internal/events/ ./internal/netsim/
 
 bench-json:
-	$(GO) run ./cmd/mvmbench -iters 400 -json > BENCH_PR4.json
+	$(GO) run ./cmd/mvmbench -iters 400 -json > BENCH_PR5.json
+
+bench-json-smoke:
+	$(GO) run ./cmd/mvmbench -iters 20 -json > /dev/null
 
 bench:
 	$(GO) test -bench=. -benchmem .

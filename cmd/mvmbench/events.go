@@ -1,0 +1,261 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mpj/internal/events"
+	"mpj/internal/netsim"
+	"mpj/internal/vm"
+)
+
+// benchDispatcherSpawner starts dispatcher threads in per-owner
+// groups, standing in for the core glue (mvmbench drives the events
+// package directly so the section measures the event plane, not
+// platform boot).
+type benchDispatcherSpawner struct {
+	v      *vm.VM
+	mu     sync.Mutex
+	groups map[events.OwnerID]*vm.ThreadGroup
+}
+
+func (sp *benchDispatcherSpawner) SpawnDispatcher(owner events.OwnerID, name string, run func(t *vm.Thread)) (*vm.Thread, error) {
+	sp.mu.Lock()
+	g, ok := sp.groups[owner]
+	if !ok {
+		var err error
+		g, err = sp.v.NewGroup(sp.v.MainGroup(), fmt.Sprintf("app-%d", owner))
+		if err != nil {
+			sp.mu.Unlock()
+			return nil, err
+		}
+		sp.groups[owner] = g
+	}
+	sp.mu.Unlock()
+	return sp.v.SpawnThread(vm.ThreadSpec{Group: g, Name: name, Run: run})
+}
+
+// eventWorld builds a VM, display server, parked opener thread, and
+// one window (with a delivery-counting listener) per application.
+func eventWorld(mode events.DispatchMode, apps int, delivered *atomic.Int64) (*events.Server, []*events.Window, func(), error) {
+	v := vm.New(vm.Config{IdlePolicy: vm.StayOnIdle, NoBootThreads: true})
+	sp := &benchDispatcherSpawner{v: v, groups: make(map[events.OwnerID]*vm.ThreadGroup)}
+	s := events.NewServer(v, mode, sp)
+	g, err := v.NewGroup(v.MainGroup(), "opener")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	opener, err := v.SpawnThread(vm.ThreadSpec{Group: g, Name: "opener", Daemon: true,
+		Run: func(th *vm.Thread) { <-th.StopChan() }})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	wins := make([]*events.Window, apps)
+	for i := range wins {
+		w, err := s.OpenWindow(opener, events.OwnerID(i+1), fmt.Sprintf("app-%d", i+1))
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if err := w.AddListener("c", func(*vm.Thread, events.Event) { delivered.Add(1) }); err != nil {
+			return nil, nil, nil, err
+		}
+		wins[i] = w
+	}
+	cleanup := func() {
+		s.Shutdown()
+		opener.Stop()
+		v.Exit(0)
+	}
+	return s, wins, cleanup, nil
+}
+
+// eEvents measures the event data plane (EXPERIMENTS.md §E-events):
+// the full post→route→queue→dispatch→callback path, uncontended and
+// with many posters spraying many applications at once (the lock-free
+// registry + chunked-queue headline), plus the batched posting paths.
+func eEvents(iters int) error {
+	header("E-events", "event plane: lock-free routing, batched dispatch, contended posting")
+
+	n := iters * 25 // events per measurement; 50k at the default -iters
+	for _, mode := range []events.DispatchMode{events.SingleDispatcher, events.PerAppDispatcher} {
+		for _, cfg := range []struct{ apps, posters int }{
+			{1, 1},
+			{8, 8},
+		} {
+			var delivered atomic.Int64
+			s, wins, cleanup, err := eventWorld(mode, cfg.apps, &delivered)
+			if err != nil {
+				return err
+			}
+			per := n / cfg.posters
+			total := int64(per * cfg.posters)
+			start := time.Now()
+			var wg sync.WaitGroup
+			for p := 0; p < cfg.posters; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					e := events.Event{Window: wins[p%cfg.apps].ID(), Component: "c", Kind: events.KindMouseClick}
+					for i := 0; i < per; i++ {
+						if err := s.Post(e); err != nil {
+							panic(err)
+						}
+					}
+				}(p)
+			}
+			wg.Wait()
+			for delivered.Load() < total {
+				runtime.Gosched()
+			}
+			el := time.Since(start)
+			cleanup()
+			row(fmt.Sprintf("%s post+dispatch, %d apps x %d posters", mode, cfg.apps, cfg.posters),
+				fmt.Sprintf("%v/event  (%.2f Mevents/s)", el/time.Duration(total), float64(total)/el.Seconds()/1e6))
+		}
+	}
+
+	// Batched posting: one queue round-trip per 64-event run vs one
+	// per event.
+	var delivered atomic.Int64
+	s, wins, cleanup, err := eventWorld(events.PerAppDispatcher, 1, &delivered)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	w := wins[0]
+	single := measure(iters, func() {
+		if err := s.Post(events.Event{Window: w.ID(), Component: "none", Kind: events.KindMouseClick}); err != nil {
+			panic(err)
+		}
+	})
+	row("Post, single event (no listener)", single)
+	batch := make([]events.Event, 64)
+	bIters := iters / 4
+	if bIters < 10 {
+		bIters = 10
+	}
+	batched := measure(bIters, func() {
+		for i := range batch {
+			batch[i] = events.Event{Window: w.ID(), Component: "none", Kind: events.KindMouseClick}
+		}
+		if err := s.PostBatch(batch); err != nil {
+			panic(err)
+		}
+	})
+	row("PostBatch, 64-event run (per event)", batched/64)
+
+	// The keyboard path: focus resolved once, keystrokes travel as one
+	// batch.
+	if err := s.SetFocus(w.ID(), "c"); err != nil {
+		return err
+	}
+	const text = "the quick brown fox jumps over the lazy dog"
+	pre := delivered.Load()
+	tIters := iters / 4
+	if tIters < 10 {
+		tIters = 10
+	}
+	typed := measure(tIters, func() {
+		if err := s.TypeString(text); err != nil {
+			panic(err)
+		}
+	})
+	row(fmt.Sprintf("TypeString, %d runes (per rune)", len(text)), typed/time.Duration(len(text)))
+	want := pre + int64((tIters+1)*len(text))
+	for delivered.Load() < want {
+		runtime.Gosched()
+	}
+	return nil
+}
+
+// eNetsim measures the network substrate (EXPERIMENTS.md §E-netsim):
+// bulk throughput through a dialed connection, and the dial/accept
+// cycle with every goroutine on its own host — the path that used to
+// serialize on one network-wide mutex and now shares only an atomic
+// snapshot load.
+func eNetsim(iters int) error {
+	header("E-netsim", "netsim: connection throughput, contended dial path")
+
+	n := netsim.New()
+	const hosts = 8
+	for i := 0; i < hosts; i++ {
+		n.AddHost(fmt.Sprintf("h%d", i))
+	}
+
+	// Bulk throughput: 64 KiB writes into a freshly dialed conn, a
+	// draining reader on the far side.
+	l, err := n.Listen("h0", 80)
+	if err != nil {
+		return err
+	}
+	c, err := n.Dial("h0", "h0", 80)
+	if err != nil {
+		return err
+	}
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		srv, err := l.Accept()
+		if err != nil {
+			return
+		}
+		_, _ = io.Copy(io.Discard, srv)
+	}()
+	buf := make([]byte, 64*1024)
+	const totalBytes = 64 << 20
+	start := time.Now()
+	for sent := 0; sent < totalBytes; sent += len(buf) {
+		if _, err := c.Write(buf); err != nil {
+			return err
+		}
+	}
+	_ = c.Close()
+	<-drained
+	_ = l.Close()
+	el := time.Since(start)
+	row("conn throughput, 64 KiB writes",
+		fmt.Sprintf("%.0f MB/s", float64(totalBytes)/el.Seconds()/1e6))
+
+	// Contended dialing: one goroutine per host, each running
+	// listen→dial→accept→close cycles against its own host.
+	cycles := iters * 5 / hosts
+	if cycles < 10 {
+		cycles = 10
+	}
+	var wg sync.WaitGroup
+	start = time.Now()
+	for i := 0; i < hosts; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			hostName := fmt.Sprintf("h%d", i)
+			l, err := n.Listen(hostName, 90)
+			if err != nil {
+				panic(err)
+			}
+			defer func() { _ = l.Close() }()
+			for j := 0; j < cycles; j++ {
+				c, err := n.Dial(hostName, hostName, 90)
+				if err != nil {
+					panic(err)
+				}
+				srv, err := l.Accept()
+				if err != nil {
+					panic(err)
+				}
+				_ = c.Close()
+				_ = srv.Close()
+			}
+		}(i)
+	}
+	wg.Wait()
+	el = time.Since(start)
+	total := hosts * cycles
+	row(fmt.Sprintf("dial+accept+close, %d goroutines on distinct hosts", hosts),
+		fmt.Sprintf("%v/cycle  (%.0f kdials/s)", el/time.Duration(total), float64(total)/el.Seconds()/1e3))
+	return nil
+}

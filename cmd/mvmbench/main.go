@@ -70,7 +70,7 @@ func measure(iters int, fn func()) time.Duration {
 
 // The collector behind header/row: every section and row is recorded
 // so -json can emit the whole run as one machine-readable document
-// (committed as BENCH_PR4.json by `make bench-json`).
+// (committed as BENCH_PR5.json by `make bench-json`).
 type benchRow struct {
 	Label string `json:"label"`
 	Value string `json:"value"`
@@ -141,6 +141,12 @@ func run(iters int) error {
 		return err
 	}
 	if err := eVFS(iters); err != nil {
+		return err
+	}
+	if err := eEvents(iters); err != nil {
+		return err
+	}
+	if err := eNetsim(iters); err != nil {
 		return err
 	}
 	if err := e9(iters); err != nil {

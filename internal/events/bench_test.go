@@ -1,0 +1,192 @@
+package events
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mpj/internal/vm"
+)
+
+// benchServer builds a VM + server + parked opener thread for
+// benchmarks (the *testing.T helpers in events_test.go are not usable
+// from *testing.B).
+func benchServer(b *testing.B, mode DispatchMode) (*Server, *vm.Thread, func()) {
+	b.Helper()
+	v := vm.New(vm.Config{IdlePolicy: vm.StayOnIdle, NoBootThreads: true})
+	sp := newFakeSpawner(v)
+	s := NewServer(v, mode, sp)
+	g, err := v.NewGroup(v.MainGroup(), "opener")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opener, err := v.SpawnThread(vm.ThreadSpec{Group: g, Name: "opener", Daemon: true,
+		Run: func(th *vm.Thread) { <-th.StopChan() }})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s, opener, func() {
+		s.Shutdown()
+		opener.Stop()
+		v.Exit(0)
+	}
+}
+
+// benchPostDispatch posts b.N events from `posters` goroutines across
+// `apps` applications and waits until every event has been dispatched,
+// so the measured cost is the full post→queue→dispatch→callback path
+// under contention.
+func benchPostDispatch(b *testing.B, mode DispatchMode, apps, posters int) {
+	s, opener, cleanup := benchServer(b, mode)
+	defer cleanup()
+
+	var delivered atomic.Int64
+	wins := make([]*Window, apps)
+	for i := range wins {
+		w, err := s.OpenWindow(opener, OwnerID(i+1), fmt.Sprintf("app-%d", i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.AddListener("c", func(*vm.Thread, Event) { delivered.Add(1) }); err != nil {
+			b.Fatal(err)
+		}
+		wins[i] = w
+	}
+
+	per := b.N / posters
+	total := int64(per * posters)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for p := 0; p < posters; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			w := wins[p%apps]
+			e := Event{Window: w.ID(), Component: "c", Kind: KindMouseClick}
+			for i := 0; i < per; i++ {
+				if err := s.Post(e); err != nil {
+					panic(err)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	for delivered.Load() < total {
+		runtime.Gosched()
+	}
+	b.StopTimer()
+	if got := s.Stats().Posted; got < total {
+		b.Fatalf("posted = %d, want >= %d", got, total)
+	}
+}
+
+// BenchmarkPostDispatch is the headline E-events measurement: the
+// contended multi-app post+dispatch path, single vs per-app
+// dispatching.
+func BenchmarkPostDispatch(b *testing.B) {
+	for _, mode := range []DispatchMode{SingleDispatcher, PerAppDispatcher} {
+		for _, cfg := range []struct{ apps, posters int }{
+			{1, 1},
+			{8, 8},
+		} {
+			b.Run(fmt.Sprintf("%s/apps=%d/posters=%d", mode, cfg.apps, cfg.posters), func(b *testing.B) {
+				benchPostDispatch(b, mode, cfg.apps, cfg.posters)
+			})
+		}
+	}
+}
+
+// BenchmarkPostOnly measures Post routing alone (no listener work):
+// events target a window with no listeners so dispatch is a registry
+// lookup plus counter updates.
+func BenchmarkPostOnly(b *testing.B) {
+	s, opener, cleanup := benchServer(b, PerAppDispatcher)
+	defer cleanup()
+	w, err := s.OpenWindow(opener, 1, "app")
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := Event{Window: w.ID(), Component: "c", Kind: KindMouseClick}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Post(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+}
+
+// BenchmarkListenersFor isolates the per-event listener snapshot cost
+// on the dispatch side.
+func BenchmarkListenersFor(b *testing.B) {
+	s, opener, cleanup := benchServer(b, PerAppDispatcher)
+	defer cleanup()
+	w, err := s.OpenWindow(opener, 1, "app")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := w.AddListener("c", func(*vm.Thread, Event) {}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ls := w.listenersFor("c"); len(ls) != 4 {
+			b.Fatalf("listeners = %d", len(ls))
+		}
+	}
+}
+
+// BenchmarkTypeString measures the batched keyboard path: one focus
+// resolution and (post-PR) one queue round-trip for the whole string.
+func BenchmarkTypeString(b *testing.B) {
+	s, opener, cleanup := benchServer(b, PerAppDispatcher)
+	defer cleanup()
+	w, err := s.OpenWindow(opener, 1, "app")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var delivered atomic.Int64
+	if err := w.AddListener("text", func(*vm.Thread, Event) { delivered.Add(1) }); err != nil {
+		b.Fatal(err)
+	}
+	if err := s.SetFocus(w.ID(), "text"); err != nil {
+		b.Fatal(err)
+	}
+	const text = "the quick brown fox jumps over the lazy dog"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.TypeString(text); err != nil {
+			b.Fatal(err)
+		}
+	}
+	total := int64(b.N * len(text))
+	for delivered.Load() < total {
+		runtime.Gosched()
+	}
+	b.StopTimer()
+}
+
+// BenchmarkQueuePushPop measures the raw queue round-trip: one push
+// followed by one pop, so the queue stays shallow and the number is
+// the (post-PR) chunked storage cost, not garbage-collector pressure
+// from a b.N-deep backlog.
+func BenchmarkQueuePushPop(b *testing.B) {
+	q := newEventQueue()
+	e := Event{Window: 1, Kind: KindMouseClick}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.push(e)
+		if _, ok := q.pop(); !ok {
+			b.Fatal("queue closed early")
+		}
+	}
+}

@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
+	"unicode/utf8"
 
 	"mpj/internal/vm"
 )
@@ -86,6 +88,16 @@ type Event struct {
 // identity executes the callback — the crux of Section 5.4.
 type Listener func(t *vm.Thread, e Event)
 
+// listenerTable is an immutable snapshot of a window's listener map,
+// valid for exactly one listener generation. Slices inside are never
+// appended to in place (AddListener copies), so readers may use them
+// without holding any lock.
+type listenerTable struct {
+	gen       uint64
+	closed    bool
+	listeners map[string][]Listener
+}
+
 // Window is a top-level window registered with the display server.
 // "When an application opens a window, the system makes note about
 // which application the window belongs to."
@@ -93,12 +105,21 @@ type Window struct {
 	id     WindowID
 	owner  OwnerID
 	title  string
-	banner string
 	server *Server
 
 	mu        sync.Mutex
+	banner    string
 	listeners map[string][]Listener
 	closed    bool
+
+	// lgen is bumped (under mu) by every mutation that changes what
+	// listenersFor must return: AddListener and close. ltab caches an
+	// immutable snapshot stamped with the generation it was built at;
+	// a stamp mismatch sends the reader to the locked slow path. This
+	// makes the per-event listener lookup one atomic load + one map
+	// read with zero copying.
+	lgen atomic.Uint64
+	ltab atomic.Pointer[listenerTable]
 }
 
 // SetBanner attaches a warning banner to the window (the AWT
@@ -134,7 +155,9 @@ func (w *Window) String() string {
 
 // AddListener registers a callback for events on the named component
 // ("" registers for window-level events) — the
-// addActionListener analogue.
+// addActionListener analogue. The component's listener slice is
+// replaced, not appended in place, so previously published listener
+// snapshots stay immutable.
 func (w *Window) AddListener(component string, l Listener) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -144,21 +167,51 @@ func (w *Window) AddListener(component string, l Listener) error {
 	if w.listeners == nil {
 		w.listeners = make(map[string][]Listener)
 	}
-	w.listeners[component] = append(w.listeners[component], l)
+	old := w.listeners[component]
+	ls := make([]Listener, len(old)+1)
+	copy(ls, old)
+	ls[len(old)] = l
+	w.listeners[component] = ls
+	w.lgen.Add(1)
 	return nil
 }
 
-// listenersFor snapshots the callbacks for a component.
+// listenersFor returns the callbacks for a component. The fast path
+// is lock-free: an atomic generation check against the cached
+// immutable snapshot. Only the first lookup after an AddListener or
+// close takes w.mu to rebuild the snapshot.
 func (w *Window) listenersFor(component string) []Listener {
+	gen := w.lgen.Load()
+	if t := w.ltab.Load(); t != nil && t.gen == gen {
+		if t.closed {
+			return nil
+		}
+		return t.listeners[component]
+	}
 	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.closed {
+	t := &listenerTable{gen: w.lgen.Load(), closed: w.closed,
+		listeners: make(map[string][]Listener, len(w.listeners))}
+	for k, v := range w.listeners {
+		t.listeners[k] = v
+	}
+	w.mu.Unlock()
+	// A racing rebuild may publish out of order; the stale table's
+	// generation stamp will not match and it is rebuilt on next use —
+	// a wasted copy, never a wrong answer.
+	w.ltab.Store(t)
+	if t.closed {
 		return nil
 	}
-	ls := w.listeners[component]
-	out := make([]Listener, len(ls))
-	copy(out, ls)
-	return out
+	return t.listeners[component]
+}
+
+// markClosed flips the window to closed and fences the listener
+// snapshot, so any listenersFor beginning after this returns sees nil.
+func (w *Window) markClosed() {
+	w.mu.Lock()
+	w.closed = true
+	w.lgen.Add(1)
+	w.mu.Unlock()
 }
 
 // Close removes the window from the server.
@@ -206,54 +259,90 @@ type DispatcherSpawner interface {
 	SpawnDispatcher(owner OwnerID, name string, run func(t *vm.Thread)) (*vm.Thread, error)
 }
 
-// Stats reports server counters.
+// Stats reports server counters. Every accepted event is accounted
+// for exactly once: Posted == Dispatched + Dropped at quiescence.
+// Rejected counts events refused at the door (unknown window, no
+// focus) — those were never accepted, so they sit outside the
+// conservation law.
 type Stats struct {
 	Posted         int64
 	Dispatched     int64
-	Dropped        int64 // events for closed/unknown windows
+	Dropped        int64 // accepted events that were never delivered
+	Rejected       int64 // events refused at Post time
 	ListenerPanics int64 // contained callback panics
 }
+
+// dispatchBatch is the dispatcher's per-wakeup drain limit: a burst
+// of up to this many events is popped under one queue lock
+// round-trip.
+const dispatchBatch = 64
 
 // Server is the display server: it owns windows, routes input events
 // to queues, and runs dispatcher threads according to the configured
 // mode.
+//
+// The per-event hot path (Post and dispatchLoop) is lock-free with
+// respect to server state: routing goes through the atomically
+// published registry snapshot (registry.go), sequence numbers and
+// stats are atomic counters, and listener lookup uses the per-window
+// cached snapshot. Server.mu guards only the control plane: window
+// open/close, dispatcher lifecycle, focus, and shutdown.
 type Server struct {
 	vm      *vm.VM
 	mode    DispatchMode
 	spawner DispatcherSpawner
 
+	// hot-path state — no lock on the per-event path.
+	reg            atomic.Pointer[registry]
+	nextSeq        atomic.Int64
+	posted         atomic.Int64
+	dispatched     atomic.Int64
+	dropped        atomic.Int64
+	rejected       atomic.Int64
+	listenerPanics atomic.Int64
+
+	// control plane, under mu.
 	mu             sync.Mutex
+	regGen         uint64
 	windows        map[WindowID]*Window
 	nextWin        WindowID
-	nextSeq        int64
 	closed         bool
-	stats          Stats
 	focusWin       WindowID
 	focusComponent string
 
 	// single-dispatcher state
-	singleQ      *eventQueue
-	singleThread *vm.Thread
+	single *dispatcherState
 
 	// per-app dispatcher state
-	perApp map[OwnerID]*appDispatcher
+	perApp map[OwnerID]*dispatcherState
 }
 
-// appDispatcher is one application's queue + dispatcher thread.
-type appDispatcher struct {
-	queue  *eventQueue
-	thread *vm.Thread
+// dispatcherState is one dispatcher's queue + thread. The queue is
+// routable (published into the registry) only once started is set —
+// i.e. after the dispatcher thread spawn is CONFIRMED. That closes
+// the race where a queue was visible to Post while its thread spawn
+// could still fail, silently stranding the enqueued events. ready is
+// closed when the spawn attempt resolves either way; err carries the
+// failure to concurrent OpenWindow callers waiting on it.
+type dispatcherState struct {
+	queue   *eventQueue
+	ready   chan struct{}
+	err     error
+	started bool // set under Server.mu once the thread is confirmed
+	thread  *vm.Thread
 }
 
 // NewServer creates a display server on the given VM.
 func NewServer(v *vm.VM, mode DispatchMode, spawner DispatcherSpawner) *Server {
-	return &Server{
+	s := &Server{
 		vm:      v,
 		mode:    mode,
 		spawner: spawner,
 		windows: make(map[WindowID]*Window),
-		perApp:  make(map[OwnerID]*appDispatcher),
+		perApp:  make(map[OwnerID]*dispatcherState),
 	}
+	s.reg.Store(&registry{routes: map[WindowID]windowRoute{}})
+	return s
 }
 
 // Mode returns the dispatching architecture in use.
@@ -261,9 +350,13 @@ func (s *Server) Mode() DispatchMode { return s.mode }
 
 // Stats returns a snapshot of the server counters.
 func (s *Server) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return Stats{
+		Posted:         s.posted.Load(),
+		Dispatched:     s.dispatched.Load(),
+		Dropped:        s.dropped.Load(),
+		Rejected:       s.rejected.Load(),
+		ListenerPanics: s.listenerPanics.Load(),
+	}
 }
 
 // OpenWindow registers a window for the owning application. t is the
@@ -282,6 +375,7 @@ func (s *Server) OpenWindow(t *vm.Thread, owner OwnerID, title string) (*Window,
 	s.nextWin++
 	w := &Window{id: s.nextWin, owner: owner, title: title, server: s}
 	s.windows[w.id] = w
+	s.publishRegistry()
 	s.mu.Unlock()
 
 	var err error
@@ -302,73 +396,84 @@ func (s *Server) OpenWindow(t *vm.Thread, owner OwnerID, title string) (*Window,
 
 // ensureSingleDispatcher starts the global dispatcher once, in the
 // calling thread's group (the Figure 2 baseline's implicit behaviour).
+// The queue becomes routable only after the thread spawn is confirmed;
+// concurrent callers wait on the same attempt instead of racing it.
 func (s *Server) ensureSingleDispatcher(t *vm.Thread) error {
 	s.mu.Lock()
-	if s.singleQ != nil {
+	if st := s.single; st != nil {
 		s.mu.Unlock()
-		return nil
+		<-st.ready
+		return st.err
 	}
-	q := newEventQueue()
-	s.singleQ = q
+	st := &dispatcherState{queue: newEventQueue(), ready: make(chan struct{})}
+	s.single = st
 	s.mu.Unlock()
 
 	th, err := s.vm.SpawnThread(vm.ThreadSpec{
 		Group:  t.Group(),
 		Name:   "AWT-EventQueue-0",
 		Daemon: false,
-		Run:    func(dt *vm.Thread) { s.dispatchLoop(dt, q) },
+		Run:    func(dt *vm.Thread) { s.dispatchLoop(dt, st.queue) },
 	})
-	if err != nil {
-		s.mu.Lock()
-		s.singleQ = nil
-		s.mu.Unlock()
-		return err
-	}
 	s.mu.Lock()
-	s.singleThread = th
+	if err != nil {
+		s.single = nil
+		st.err = err
+	} else {
+		st.thread = th
+		st.started = true
+		s.publishRegistry()
+	}
 	s.mu.Unlock()
-	return nil
+	close(st.ready)
+	return st.err
 }
 
-// ensureAppDispatcher starts the owner's dispatcher once.
+// ensureAppDispatcher starts the owner's dispatcher once, with the
+// same confirm-before-publish discipline as ensureSingleDispatcher.
 func (s *Server) ensureAppDispatcher(owner OwnerID) error {
-	s.mu.Lock()
-	if _, ok := s.perApp[owner]; ok {
-		s.mu.Unlock()
-		return nil
-	}
-	q := newEventQueue()
-	s.perApp[owner] = &appDispatcher{queue: q}
-	s.mu.Unlock()
-
 	if s.spawner == nil {
-		s.mu.Lock()
-		delete(s.perApp, owner)
-		s.mu.Unlock()
 		return errors.New("events: per-app dispatching requires a DispatcherSpawner")
 	}
-	name := fmt.Sprintf("AWT-EventQueue-app-%d", owner)
-	th, err := s.spawner.SpawnDispatcher(owner, name, func(dt *vm.Thread) { s.dispatchLoop(dt, q) })
-	if err != nil {
-		s.mu.Lock()
-		delete(s.perApp, owner)
-		s.mu.Unlock()
-		return err
-	}
 	s.mu.Lock()
-	if d, ok := s.perApp[owner]; ok {
-		d.thread = th
+	if st, ok := s.perApp[owner]; ok {
+		s.mu.Unlock()
+		<-st.ready
+		return st.err
 	}
+	st := &dispatcherState{queue: newEventQueue(), ready: make(chan struct{})}
+	s.perApp[owner] = st
 	s.mu.Unlock()
-	return nil
+
+	name := fmt.Sprintf("AWT-EventQueue-app-%d", owner)
+	th, err := s.spawner.SpawnDispatcher(owner, name, func(dt *vm.Thread) { s.dispatchLoop(dt, st.queue) })
+	s.mu.Lock()
+	if err != nil {
+		if s.perApp[owner] == st {
+			delete(s.perApp, owner)
+		}
+		st.err = err
+	} else if s.perApp[owner] == st {
+		st.thread = th
+		st.started = true
+		s.publishRegistry()
+	}
+	// else: CloseAppWindows raced the spawn and already evicted this
+	// dispatcher; its queue is closed, so the confirmed thread's loop
+	// exits immediately and the opener's window is gone or going.
+	s.mu.Unlock()
+	close(st.ready)
+	return st.err
 }
 
-// dispatchLoop pops events and executes callbacks until the queue
-// closes or the thread is stopped. A watcher closes the queue when the
-// thread's cooperative stop fires, so a dispatcher parked on an empty
-// queue still dies with its thread group — which is exactly how the
-// Figure 2 flaw manifests: stopping the application that implicitly
-// started the global dispatcher kills event delivery for everyone.
+// dispatchLoop pops event bursts and executes callbacks until the
+// queue closes or the thread is stopped. A watcher closes the queue
+// when the thread's cooperative stop fires, so a dispatcher parked on
+// an empty queue still dies with its thread group — which is exactly
+// how the Figure 2 flaw manifests: stopping the application that
+// implicitly started the global dispatcher kills event delivery for
+// everyone. Events stranded in the queue when the thread is stopped
+// are counted as dropped, keeping Posted == Dispatched + Dropped.
 func (s *Server) dispatchLoop(t *vm.Thread, q *eventQueue) {
 	loopDone := make(chan struct{})
 	defer close(loopDone)
@@ -379,28 +484,41 @@ func (s *Server) dispatchLoop(t *vm.Thread, q *eventQueue) {
 		case <-loopDone:
 		}
 	}()
+	buf := make([]Event, 0, dispatchBatch)
 	for {
 		if t.Stopped() {
+			s.dropped.Add(int64(q.drainAll()))
 			return
 		}
-		e, ok := q.pop()
+		batch, ok := q.popBatch(buf[:0])
 		if !ok {
 			return
 		}
-		s.mu.Lock()
-		w := s.windows[e.Window]
-		s.mu.Unlock()
-		if w == nil {
-			s.countDropped()
-			continue
+		for i, e := range batch {
+			if t.Stopped() {
+				rest := len(batch) - i
+				q.done(rest)
+				s.dropped.Add(int64(rest + q.drainAll()))
+				return
+			}
+			s.dispatchEvent(t, e)
+			q.done(1)
 		}
-		for _, l := range w.listenersFor(e.Component) {
-			s.dispatchOne(t, e, l)
-		}
-		s.mu.Lock()
-		s.stats.Dispatched++
-		s.mu.Unlock()
 	}
+}
+
+// dispatchEvent routes one popped event to its window's listeners via
+// the lock-free registry snapshot.
+func (s *Server) dispatchEvent(t *vm.Thread, e Event) {
+	rt, ok := s.reg.Load().routes[e.Window]
+	if !ok {
+		s.dropped.Add(1)
+		return
+	}
+	for _, l := range rt.win.listenersFor(e.Component) {
+		s.dispatchOne(t, e, l)
+	}
+	s.dispatched.Add(1)
 }
 
 // dispatchOne invokes a single listener, containing panics so that a
@@ -410,58 +528,90 @@ func (s *Server) dispatchLoop(t *vm.Thread, q *eventQueue) {
 func (s *Server) dispatchOne(t *vm.Thread, e Event, l Listener) {
 	defer func() {
 		if r := recover(); r != nil {
-			s.mu.Lock()
-			s.stats.ListenerPanics++
-			s.mu.Unlock()
+			s.listenerPanics.Add(1)
 		}
 	}()
 	l(t, e)
 }
 
-func (s *Server) countDropped() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stats.Dropped++
-}
-
 // Post injects an input event, routing it to the queue of the
 // application owning the target window (Section 5.4: "the enclosing
 // window and its application are found; the AWT event is put on the
-// particular event queue of that application").
+// particular event queue of that application"). The entire routing
+// path — closed check, window lookup, sequence stamp, stats — is
+// lock-free: one atomic registry load plus atomic counters.
 func (s *Server) Post(e Event) error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	reg := s.reg.Load()
+	if reg.closed {
 		return ErrServerClosed
 	}
-	w, ok := s.windows[e.Window]
+	rt, ok := reg.routes[e.Window]
 	if !ok {
-		s.stats.Dropped++
-		s.mu.Unlock()
+		s.rejected.Add(1)
 		return fmt.Errorf("%w: %d", ErrNoWindow, e.Window)
 	}
-	s.nextSeq++
-	e.Seq = s.nextSeq
-	e.Owner = w.owner
+	e.Seq = s.nextSeq.Add(1)
+	e.Owner = rt.owner
 	e.Posted = time.Now()
-	s.stats.Posted++
-
-	var q *eventQueue
-	switch s.mode {
-	case SingleDispatcher:
-		q = s.singleQ
-	default:
-		if d, ok := s.perApp[w.owner]; ok {
-			q = d.queue
-		}
-	}
-	s.mu.Unlock()
-
-	if q == nil || !q.push(e) {
-		s.countDropped()
+	s.posted.Add(1)
+	if rt.queue == nil || !rt.queue.push(e) {
+		s.dropped.Add(1)
 		return fmt.Errorf("%w: window %d has no dispatcher", ErrNoWindow, e.Window)
 	}
 	return nil
+}
+
+// PostBatch posts a run of events with one registry load for the
+// whole slice and one queue lock round-trip per consecutive
+// same-window run. Seq/Owner/Posted are stamped into the caller's
+// slice in place. On a routing failure the events before the failing
+// one stay posted and the error identifies the first bad event.
+func (s *Server) PostBatch(events []Event) error {
+	if len(events) == 0 {
+		return nil
+	}
+	reg := s.reg.Load()
+	if reg.closed {
+		return ErrServerClosed
+	}
+	now := time.Now()
+	// flush pushes a stamped (already counted as posted) run; a push
+	// failure counts the whole run dropped, matching Post's accounting.
+	flush := func(q *eventQueue, run []Event) error {
+		if len(run) == 0 {
+			return nil
+		}
+		if q == nil || !q.pushBatch(run) {
+			s.dropped.Add(int64(len(run)))
+			return fmt.Errorf("%w: window %d has no dispatcher", ErrNoWindow, run[0].Window)
+		}
+		return nil
+	}
+	var (
+		runQ     *eventQueue
+		runStart int
+		runWin   WindowID
+		runOwner OwnerID
+	)
+	for i := range events {
+		e := &events[i]
+		if i == 0 || e.Window != runWin {
+			if err := flush(runQ, events[runStart:i]); err != nil {
+				return err
+			}
+			rt, ok := reg.routes[e.Window]
+			if !ok {
+				s.rejected.Add(1)
+				return fmt.Errorf("%w: %d", ErrNoWindow, e.Window)
+			}
+			runQ, runStart, runWin, runOwner = rt.queue, i, e.Window, rt.owner
+		}
+		e.Seq = s.nextSeq.Add(1)
+		e.Owner = runOwner
+		e.Posted = now
+		s.posted.Add(1)
+	}
+	return flush(runQ, events[runStart:])
 }
 
 // Click is a convenience wrapper posting a mouse click to a component.
@@ -495,41 +645,55 @@ func (s *Server) Focus() (WindowID, string) {
 }
 
 // KeyPress posts a keystroke to the focused component. Without focus
-// the key is dropped (counted), as a window system discards input with
-// no focus owner.
+// the key is rejected (counted), as a window system discards input
+// with no focus owner.
 func (s *Server) KeyPress(key rune) error {
 	s.mu.Lock()
 	win, component := s.focusWin, s.focusComponent
 	s.mu.Unlock()
 	if win == 0 {
-		s.countDropped()
+		s.rejected.Add(1)
 		return fmt.Errorf("%w: no focused window", ErrNoWindow)
 	}
 	return s.Post(Event{Window: win, Component: component, Kind: KindKeyPress, Key: key})
 }
 
 // TypeString posts one KeyPress per rune to the focused component.
+// The focus is resolved once for the whole string and the keystrokes
+// travel as one batch (one queue round-trip), so typing does not pay
+// per-rune routing.
 func (s *Server) TypeString(text string) error {
-	for _, r := range text {
-		if err := s.KeyPress(r); err != nil {
-			return err
-		}
+	if text == "" {
+		return nil
 	}
-	return nil
+	s.mu.Lock()
+	win, component := s.focusWin, s.focusComponent
+	s.mu.Unlock()
+	if win == 0 {
+		s.rejected.Add(1)
+		return fmt.Errorf("%w: no focused window", ErrNoWindow)
+	}
+	events := make([]Event, 0, utf8.RuneCountInString(text))
+	for _, r := range text {
+		events = append(events, Event{Window: win, Component: component, Kind: KindKeyPress, Key: r})
+	}
+	return s.PostBatch(events)
 }
 
 // closeWindow removes a window, releasing keyboard focus if it held
-// it.
+// it. The listener fence (markClosed) happens before the registry
+// republish, so once this returns no dispatcher can begin delivering
+// to the window: either it misses the route, or it hits the bumped
+// listener generation and re-reads closed=true.
 func (s *Server) closeWindow(w *Window) {
-	w.mu.Lock()
-	w.closed = true
-	w.mu.Unlock()
+	w.markClosed()
 	s.mu.Lock()
 	delete(s.windows, w.id)
 	if s.focusWin == w.id {
 		s.focusWin = 0
 		s.focusComponent = ""
 	}
+	s.publishRegistry()
 	s.mu.Unlock()
 }
 
@@ -559,6 +723,9 @@ func (s *Server) CloseAppWindows(owner OwnerID) {
 	}
 	d := s.perApp[owner]
 	delete(s.perApp, owner)
+	if d != nil {
+		s.publishRegistry()
+	}
 	s.mu.Unlock()
 
 	for _, w := range wins {
@@ -578,10 +745,10 @@ func (s *Server) QueueDepth(owner OwnerID) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.mode == SingleDispatcher {
-		if s.singleQ == nil {
+		if s.single == nil {
 			return 0
 		}
-		return s.singleQ.depth()
+		return s.single.queue.depth()
 	}
 	if d, ok := s.perApp[owner]; ok {
 		return d.queue.depth()
@@ -601,24 +768,24 @@ func (s *Server) Shutdown() {
 	for _, w := range s.windows {
 		wins = append(wins, w)
 	}
-	singleQ := s.singleQ
-	singleTh := s.singleThread
-	apps := make([]*appDispatcher, 0, len(s.perApp))
+	single := s.single
+	apps := make([]*dispatcherState, 0, len(s.perApp))
 	for _, d := range s.perApp {
 		apps = append(apps, d)
 	}
-	s.perApp = make(map[OwnerID]*appDispatcher)
+	s.perApp = make(map[OwnerID]*dispatcherState)
+	s.publishRegistry() // closed=true: Post fails from here on
 	s.mu.Unlock()
 
 	for _, w := range wins {
 		s.closeWindow(w)
 	}
-	if singleQ != nil {
-		singleQ.close()
-	}
-	if singleTh != nil {
-		singleTh.Stop()
-		singleTh.Join()
+	if single != nil {
+		single.queue.close()
+		if single.thread != nil {
+			single.thread.Stop()
+			single.thread.Join()
+		}
 	}
 	for _, d := range apps {
 		d.queue.close()

@@ -265,8 +265,13 @@ func TestPostToUnknownWindow(t *testing.T) {
 	if !errors.Is(err, ErrNoWindow) {
 		t.Fatalf("err = %v", err)
 	}
-	if s.Stats().Dropped == 0 {
-		t.Fatal("drop not counted")
+	if s.Stats().Rejected == 0 {
+		t.Fatal("rejection not counted")
+	}
+	// A rejected event never entered the plane, so it must not disturb
+	// the conservation counters.
+	if st := s.Stats(); st.Posted != 0 || st.Dropped != 0 {
+		t.Fatalf("reject leaked into conservation counters: %+v", st)
 	}
 }
 

@@ -13,62 +13,204 @@
 //     cannot stall another's events.
 package events
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
-// eventQueue is an unbounded FIFO with blocking pop, so posting an
-// event (the X server pushing input) never blocks on a slow
-// application.
+// chunkSize is the number of events per queue chunk. Chunks are
+// recycled, so in steady state a queue reuses the same backing arrays
+// and posting allocates nothing.
+const chunkSize = 256
+
+// chunk is one fixed-size segment of the queue's singly-linked list.
+type chunk struct {
+	ev   [chunkSize]Event
+	next *chunk
+}
+
+// eventQueue is an unbounded FIFO with blocking batched pop, so
+// posting an event (the X server pushing input) never blocks on a
+// slow application. The storage is a linked list of fixed-size chunks
+// rather than a sliced []Event: push never shifts or regrows a big
+// array, popBatch hands a dispatcher a whole burst under one lock
+// round-trip, and exhausted chunks are recycled instead of
+// reallocated. push only signals the condition variable on the
+// empty→non-empty transition (a consumer can only be parked when the
+// queue is empty), so a posting storm costs one futex wake per
+// dispatcher wakeup, not one per event.
 type eventQueue struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	items  []Event
-	closed bool
+	mu      sync.Mutex
+	cond    *sync.Cond
+	head    *chunk // drain end
+	tail    *chunk // append end
+	headPos int    // next index to pop within head
+	tailPos int    // next free index within tail
+	size    int
+	closed  bool
+	free    *chunk // one recycled chunk kept for reuse
+
+	// outstanding counts events handed to a consumer by popBatch that
+	// the consumer has not yet acknowledged via done(). depth() reports
+	// size + outstanding, so "events waiting for this application"
+	// keeps meaning undelivered events even though a dispatcher drains
+	// whole bursts out of the locked structure at once.
+	outstanding atomic.Int64
 }
 
 func newEventQueue() *eventQueue {
-	q := &eventQueue{}
+	c := &chunk{}
+	q := &eventQueue{head: c, tail: c}
 	q.cond = sync.NewCond(&q.mu)
 	return q
+}
+
+// appendLocked adds one event at the tail. Caller holds q.mu.
+func (q *eventQueue) appendLocked(e Event) {
+	if q.tailPos == chunkSize {
+		c := q.free
+		if c != nil {
+			q.free = nil
+			c.next = nil
+		} else {
+			c = &chunk{}
+		}
+		q.tail.next = c
+		q.tail = c
+		q.tailPos = 0
+	}
+	q.tail.ev[q.tailPos] = e
+	q.tailPos++
+	q.size++
 }
 
 // push appends an event; returns false if the queue is closed.
 func (q *eventQueue) push(e Event) bool {
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	if q.closed {
+		q.mu.Unlock()
 		return false
 	}
-	q.items = append(q.items, e)
-	q.cond.Signal()
+	q.appendLocked(e)
+	if q.size == 1 {
+		q.cond.Signal()
+	}
+	q.mu.Unlock()
 	return true
 }
 
-// pop blocks until an event is available or the queue closes.
-func (q *eventQueue) pop() (Event, bool) {
+// pushBatch appends a run of events under one lock round-trip;
+// returns false (appending nothing) if the queue is closed.
+func (q *eventQueue) pushBatch(events []Event) bool {
+	if len(events) == 0 {
+		return true
+	}
 	q.mu.Lock()
-	defer q.mu.Unlock()
-	for len(q.items) == 0 && !q.closed {
+	if q.closed {
+		q.mu.Unlock()
+		return false
+	}
+	wasEmpty := q.size == 0
+	for _, e := range events {
+		q.appendLocked(e)
+	}
+	if wasEmpty {
+		q.cond.Signal()
+	}
+	q.mu.Unlock()
+	return true
+}
+
+// popBatch blocks until at least one event is available (or the queue
+// is closed and drained), then moves up to cap(buf) events into buf
+// and returns the filled slice. buf must have non-zero capacity; pass
+// it with zero length (buf[:0]) to reuse the backing array across
+// calls. Returns ok=false only when the queue is closed AND empty —
+// events queued before close are still delivered.
+func (q *eventQueue) popBatch(buf []Event) ([]Event, bool) {
+	q.mu.Lock()
+	for q.size == 0 && !q.closed {
 		q.cond.Wait()
 	}
-	if len(q.items) == 0 {
+	if q.size == 0 {
+		q.mu.Unlock()
+		return nil, false
+	}
+	n := cap(buf) - len(buf)
+	if n > q.size {
+		n = q.size
+	}
+	for i := 0; i < n; i++ {
+		if q.headPos == chunkSize {
+			spent := q.head
+			q.head = spent.next
+			q.headPos = 0
+			spent.next = nil
+			q.free = spent
+		}
+		buf = append(buf, q.head.ev[q.headPos])
+		q.headPos++
+	}
+	q.size -= n
+	if q.size == 0 {
+		// head == tail here; rewind so the chunk is reused from the
+		// start instead of chaining a fresh one.
+		q.headPos = 0
+		q.tailPos = 0
+	}
+	q.outstanding.Add(int64(n))
+	q.mu.Unlock()
+	return buf, true
+}
+
+// done acknowledges n events previously returned by popBatch as
+// delivered (or dropped), removing them from depth().
+func (q *eventQueue) done(n int) {
+	if n != 0 {
+		q.outstanding.Add(-int64(n))
+	}
+}
+
+// pop removes a single event, blocking like popBatch. The event is
+// acknowledged immediately (no in-flight accounting).
+func (q *eventQueue) pop() (Event, bool) {
+	var one [1]Event
+	b, ok := q.popBatch(one[:0])
+	if !ok {
 		return Event{}, false
 	}
-	e := q.items[0]
-	q.items = q.items[1:]
-	return e, true
+	q.done(1)
+	return b[0], true
 }
 
-// close wakes all waiters; pending items are still drained by pop.
+// close wakes all waiters; pending items are still drained by
+// pop/popBatch.
 func (q *eventQueue) close() {
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	q.closed = true
 	q.cond.Broadcast()
+	q.mu.Unlock()
 }
 
-// depth returns the number of queued events.
+// drainAll discards every pending event and returns how many were
+// discarded (used for drop accounting when a dispatcher is stopped
+// with events still queued).
+func (q *eventQueue) drainAll() int {
+	q.mu.Lock()
+	n := q.size
+	q.size = 0
+	c := &chunk{}
+	q.head, q.tail = c, c
+	q.headPos, q.tailPos = 0, 0
+	q.free = nil
+	q.mu.Unlock()
+	return n
+}
+
+// depth returns the number of undelivered events: still queued plus
+// popped-but-unacknowledged.
 func (q *eventQueue) depth() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return len(q.items)
+	return q.size + int(q.outstanding.Load())
 }

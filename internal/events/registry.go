@@ -1,0 +1,89 @@
+package events
+
+// Lock-free window routing.
+//
+// Every event the display server handles — Post on the way in,
+// dispatchLoop on the way out — must resolve WindowID → (window,
+// owner, queue). Doing that under Server.mu made the global mutex a
+// rendezvous point for ALL applications' event traffic, defeating the
+// whole point of the Figure 4 per-app redesign: N apps with N private
+// queues still serialized on one lock for every single event.
+//
+// This file applies the sealed-snapshot pattern proven by the PR 1
+// security decision caches and the PR 4 VFS dentry cache
+// (internal/vfs/dcache.go): the routing table is an immutable
+// registry published through an atomic pointer. The hot path is one
+// atomic load and one map read, with no lock at all. Only control-
+// plane operations — OpenWindow, closeWindow, CloseAppWindows,
+// dispatcher start, Shutdown — rebuild and republish the snapshot,
+// and they all do so while holding Server.mu, which serializes
+// publication (the generation stamp is monotone under s.mu).
+//
+// Coherence rules:
+//   - A window appears in the registry from OpenWindow's insert; its
+//     route gains a queue once the owner's dispatcher spawn is
+//     CONFIRMED (dispatcherState.started). Post to a route with a nil
+//     queue is a counted drop — never a silently stranded event.
+//   - closeWindow removes the route before returning, so a Post that
+//     begins after close returns can never see the window. In-flight
+//     dispatch is fenced per-window by Window.lgen (see events.go):
+//     close bumps the listener generation, so a dispatcher that
+//     snapshotted listeners before the close re-reads under the
+//     window lock and finds it closed.
+//   - Shutdown publishes closed=true first; Post checks it on the
+//     same atomic load that resolves the route.
+
+// windowRoute is one immutable routing entry.
+type windowRoute struct {
+	win   *Window
+	owner OwnerID
+	queue *eventQueue // nil until the owner's dispatcher is confirmed
+}
+
+// registry is the immutable routing snapshot. Fields are never
+// mutated after publication.
+type registry struct {
+	gen    uint64
+	closed bool
+	routes map[WindowID]windowRoute
+}
+
+// publishRegistry rebuilds the snapshot from the authoritative state
+// and publishes it. Caller holds s.mu.
+func (s *Server) publishRegistry() {
+	s.regGen++
+	r := &registry{
+		gen:    s.regGen,
+		closed: s.closed,
+		routes: make(map[WindowID]windowRoute, len(s.windows)),
+	}
+	for id, w := range s.windows {
+		r.routes[id] = windowRoute{win: w, owner: w.owner, queue: s.queueForLocked(w.owner)}
+	}
+	s.reg.Store(r)
+}
+
+// queueForLocked returns the confirmed dispatch queue for an owner
+// under the current mode, or nil if no dispatcher is running yet.
+// Caller holds s.mu.
+func (s *Server) queueForLocked(owner OwnerID) *eventQueue {
+	switch s.mode {
+	case SingleDispatcher:
+		if s.single != nil && s.single.started {
+			return s.single.queue
+		}
+	case PerAppDispatcher:
+		if d, ok := s.perApp[owner]; ok && d.started {
+			return d.queue
+		}
+	}
+	return nil
+}
+
+// RegistryGeneration returns the routing-snapshot generation (for
+// tests and diagnostics).
+func (s *Server) RegistryGeneration() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.regGen
+}

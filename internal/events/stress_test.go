@@ -1,0 +1,439 @@
+package events
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mpj/internal/vm"
+)
+
+// waitForBalance spins until Posted == Dispatched + Dropped (the
+// conservation invariant of the event plane) or the deadline passes.
+func waitForBalance(t *testing.T, s *Server, timeout time.Duration) Stats {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		st := s.Stats()
+		if st.Posted == st.Dispatched+st.Dropped {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("counters never balanced: posted=%d dispatched=%d dropped=%d",
+				st.Posted, st.Dispatched, st.Dropped)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestEventPlaneStress hammers the full control+data plane from many
+// goroutines — concurrent Post/PostBatch against concurrent
+// OpenWindow/AddListener/CloseAppWindows across many apps, finished
+// by a Shutdown racing the tail of the traffic — and asserts the
+// conservation invariant Posted == Dispatched + Dropped. Run under
+// -race (the Makefile does) this is the main torture test for the
+// lock-free registry, the cached listener snapshots, and the chunked
+// queue.
+func TestEventPlaneStress(t *testing.T) {
+	_, s, _ := testServer(t, PerAppDispatcher)
+	v := s.vm
+	const (
+		apps       = 6
+		lifecycles = 15 // open/listen/post/close rounds per app
+		posters    = 4  // extra goroutines spraying events at all apps
+	)
+
+	g, err := v.NewGroup(v.MainGroup(), "stress-opener")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opener, err := v.SpawnThread(vm.ThreadSpec{Group: g, Name: "opener", Daemon: true,
+		Run: func(th *vm.Thread) { <-th.StopChan() }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer opener.Stop()
+
+	// current windows per app, for the posters to aim at (possibly
+	// stale — that is the point: posts race closes).
+	var winsMu sync.Mutex
+	wins := make(map[OwnerID]WindowID)
+
+	var appWG, posterWG sync.WaitGroup
+	stop := make(chan struct{})
+	var delivered atomic.Int64
+
+	for a := 1; a <= apps; a++ {
+		appWG.Add(1)
+		go func(owner OwnerID) {
+			defer appWG.Done()
+			for i := 0; i < lifecycles; i++ {
+				w, err := s.OpenWindow(opener, owner, fmt.Sprintf("app-%d", owner))
+				if err != nil {
+					if errors.Is(err, ErrServerClosed) {
+						return
+					}
+					t.Errorf("OpenWindow: %v", err)
+					return
+				}
+				if err := w.AddListener("c", func(*vm.Thread, Event) { delivered.Add(1) }); err != nil &&
+					!errors.Is(err, ErrWindowClosed) {
+					t.Errorf("AddListener: %v", err)
+				}
+				winsMu.Lock()
+				wins[owner] = w.ID()
+				winsMu.Unlock()
+				for j := 0; j < 40; j++ {
+					_ = s.Post(Event{Window: w.ID(), Component: "c", Kind: KindMouseClick, X: j})
+				}
+				// Batched posts ride along on every other lifecycle.
+				if i%2 == 0 {
+					batch := make([]Event, 16)
+					for j := range batch {
+						batch[j] = Event{Window: w.ID(), Component: "c", Kind: KindKeyPress, Key: 'k'}
+					}
+					_ = s.PostBatch(batch)
+				}
+				// On a third of the lifecycles, let the dispatcher drain
+				// before closing — so the test exercises both "close a
+				// full queue" (drops) and "close an idle app"
+				// (deliveries), even on GOMAXPROCS=1 where the opener
+				// can otherwise race ahead of its dispatcher forever.
+				if i%3 == 0 {
+					drainBy := time.Now().Add(5 * time.Second)
+					for s.QueueDepth(owner) > 0 && time.Now().Before(drainBy) {
+						time.Sleep(100 * time.Microsecond)
+					}
+				}
+				s.CloseAppWindows(owner)
+				// After CloseAppWindows returns, a post to the closed
+				// window must fail — its route is gone.
+				if err := s.Post(Event{Window: w.ID(), Component: "c"}); err == nil {
+					t.Errorf("post to window %d succeeded after CloseAppWindows returned", w.ID())
+				}
+			}
+		}(OwnerID(a))
+	}
+
+	for p := 0; p < posters; p++ {
+		posterWG.Add(1)
+		go func() {
+			defer posterWG.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				winsMu.Lock()
+				id := wins[OwnerID(i%apps+1)]
+				winsMu.Unlock()
+				if id != 0 {
+					_ = s.Post(Event{Window: id, Component: "c", Kind: KindAction})
+				}
+			}
+		}()
+	}
+
+	// Let the app goroutines finish their lifecycles, then stop the
+	// posters and require conservation.
+	appsDone := make(chan struct{})
+	go func() { appWG.Wait(); close(appsDone) }()
+	select {
+	case <-appsDone:
+	case <-time.After(60 * time.Second):
+		t.Fatal("stress goroutines did not finish")
+	}
+	close(stop)
+	posterWG.Wait()
+	st := waitForBalance(t, s, 10*time.Second)
+	if st.Posted == 0 || delivered.Load() == 0 {
+		t.Fatalf("stress did no work: %+v delivered=%d", st, delivered.Load())
+	}
+	// Shutdown must keep the books balanced (stranded events become
+	// drops).
+	s.Shutdown()
+	waitForBalance(t, s, 10*time.Second)
+}
+
+// TestNoDispatchAfterWindowClose is the deterministic close-coherence
+// check: an event already queued behind a busy handler must NOT be
+// delivered once Window.Close has returned — the closed route and the
+// bumped listener generation both fence it.
+func TestNoDispatchAfterWindowClose(t *testing.T) {
+	v, s, _ := testServer(t, PerAppDispatcher)
+	opener := openerThread(t, v)
+	w, err := s.OpenWindow(opener, 1, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 4)
+	var calls atomic.Int64
+	if err := w.AddListener("c", func(*vm.Thread, Event) {
+		calls.Add(1)
+		entered <- struct{}{}
+		<-gate
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Click(w.ID(), "c"); err != nil { // event 1: blocks the dispatcher
+		t.Fatal(err)
+	}
+	<-entered
+	if err := s.Click(w.ID(), "c"); err != nil { // event 2: queued behind it
+		t.Fatal(err)
+	}
+	w.Close() // fence: once this returns, event 2 must not dispatch
+	close(gate)
+	st := waitForBalance(t, s, 10*time.Second)
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("listener ran %d times; event dispatched after Close returned", got)
+	}
+	if st.Dropped != 1 {
+		t.Fatalf("dropped = %d, want 1 (the post-close event)", st.Dropped)
+	}
+}
+
+// TestNoDispatchAfterCloseAppWindows is the same fence at application
+// granularity, where CloseAppWindows also tears down the dispatcher.
+func TestNoDispatchAfterCloseAppWindows(t *testing.T) {
+	v, s, _ := testServer(t, PerAppDispatcher)
+	opener := openerThread(t, v)
+	w, err := s.OpenWindow(opener, 1, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 4)
+	var calls atomic.Int64
+	if err := w.AddListener("c", func(*vm.Thread, Event) {
+		calls.Add(1)
+		entered <- struct{}{}
+		<-gate
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Click(w.ID(), "c"); err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	if err := s.Click(w.ID(), "c"); err != nil {
+		t.Fatal(err)
+	}
+	s.CloseAppWindows(1)
+	close(gate)
+	st := waitForBalance(t, s, 10*time.Second)
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("listener ran %d times; event dispatched after CloseAppWindows returned", got)
+	}
+	if st.Dispatched != 1 || st.Dropped != 1 {
+		t.Fatalf("stats = %+v, want 1 dispatched + 1 dropped", st)
+	}
+}
+
+// gatedSpawner parks SpawnDispatcher until released (the window
+// during which the pre-PR code had already published the queue to
+// posters), then either refuses or delegates to the real fake
+// spawner.
+type gatedSpawner struct {
+	inner   *fakeSpawner
+	release chan struct{}
+	fail    atomic.Bool
+	calls   atomic.Int64
+}
+
+func (g *gatedSpawner) SpawnDispatcher(owner OwnerID, name string, run func(t *vm.Thread)) (*vm.Thread, error) {
+	g.calls.Add(1)
+	<-g.release
+	if g.fail.Load() {
+		return nil, errors.New("spawn refused")
+	}
+	return g.inner.SpawnDispatcher(owner, name, run)
+}
+
+// TestDispatcherSpawnRaceNoStrandedEvents pins the ensure-dispatcher
+// race fix: while a dispatcher spawn is in flight, a concurrent Post
+// must get a counted "no dispatcher" failure — never an enqueue into
+// a queue whose thread then fails to start (pre-PR that event was
+// silently stranded). A spawn failure must propagate to the opener
+// and not be cached; concurrent OpenWindow calls for one owner share
+// a single spawn attempt.
+func TestDispatcherSpawnRaceNoStrandedEvents(t *testing.T) {
+	v := vm.New(vm.Config{IdlePolicy: vm.StayOnIdle, NoBootThreads: true})
+	defer v.Exit(0)
+	sp := &gatedSpawner{inner: newFakeSpawner(v), release: make(chan struct{})}
+	sp.fail.Store(true)
+	s := NewServer(v, PerAppDispatcher, sp)
+	defer s.Shutdown()
+	g, err := v.NewGroup(v.MainGroup(), "opener")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opener, err := v.SpawnThread(vm.ThreadSpec{Group: g, Name: "opener", Daemon: true,
+		Run: func(th *vm.Thread) { <-th.StopChan() }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer opener.Stop()
+
+	openErr := make(chan error, 1)
+	go func() {
+		_, err := s.OpenWindow(opener, 1, "w")
+		openErr <- err
+	}()
+	// Wait until the window is routable (inserted before the spawn),
+	// then Post into the spawn-pending gap.
+	var postErr error
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		postErr = s.Post(Event{Window: 1, Component: "c"})
+		if postErr == nil || strings.Contains(postErr.Error(), "no dispatcher") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("window never became routable: %v", postErr)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if postErr == nil {
+		t.Fatal("Post succeeded into an unconfirmed dispatcher queue")
+	}
+	close(sp.release)
+	if err := <-openErr; err == nil {
+		t.Fatal("OpenWindow succeeded although the dispatcher spawn failed")
+	}
+	st := waitForBalance(t, s, 10*time.Second)
+	if st.Dispatched != 0 {
+		t.Fatalf("dispatched = %d with no dispatcher", st.Dispatched)
+	}
+	// The failed attempt must not poison the owner: a later OpenWindow
+	// retries the spawn (and now succeeds).
+	sp.fail.Store(false)
+	base := sp.calls.Load()
+	w1, err := s.OpenWindow(opener, 1, "retry")
+	if err != nil {
+		t.Fatalf("retry OpenWindow: %v", err)
+	}
+	if got := sp.calls.Load(); got != base+1 {
+		t.Fatalf("spawn attempts = %d, want %d (failure must not be cached)", got, base+1)
+	}
+	// A second window for the same owner reuses the confirmed
+	// dispatcher — one attempt total, shared.
+	w2, err := s.OpenWindow(opener, 1, "again")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sp.calls.Load(); got != base+1 {
+		t.Fatalf("spawn attempts = %d after reuse, want %d", got, base+1)
+	}
+	done := make(chan struct{}, 2)
+	for _, w := range []*Window{w1, w2} {
+		if err := w.AddListener("c", func(*vm.Thread, Event) { done <- struct{}{} }); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Click(w.ID(), "c"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("delivery after recovered spawn failed")
+		}
+	}
+}
+
+// TestPostBatchOrderingAndStamping verifies the batched path delivers
+// in order, stamps monotone sequence numbers and the right owner, and
+// splits runs across windows of different applications.
+func TestPostBatchOrderingAndStamping(t *testing.T) {
+	v, s, _ := testServer(t, PerAppDispatcher)
+	opener := openerThread(t, v)
+	w1, err := s.OpenWindow(opener, 1, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := s.OpenWindow(opener, 2, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	got1 := make(chan Event, 2*n)
+	got2 := make(chan Event, 2*n)
+	_ = w1.AddListener("c", func(_ *vm.Thread, e Event) { got1 <- e })
+	_ = w2.AddListener("c", func(_ *vm.Thread, e Event) { got2 <- e })
+
+	batch := make([]Event, 0, 2*n)
+	for i := 0; i < n; i++ {
+		batch = append(batch, Event{Window: w1.ID(), Component: "c", Kind: KindMouseClick, X: i})
+	}
+	for i := 0; i < n; i++ {
+		batch = append(batch, Event{Window: w2.ID(), Component: "c", Kind: KindMouseClick, X: i})
+	}
+	if err := s.PostBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		e := <-got1
+		if e.X != i || e.Owner != 1 || e.Seq == 0 {
+			t.Fatalf("w1 event %d = %+v", i, e)
+		}
+		e = <-got2
+		if e.X != i || e.Owner != 2 || e.Seq == 0 {
+			t.Fatalf("w2 event %d = %+v", i, e)
+		}
+	}
+	// The caller's slice was stamped in place, with monotone seqs.
+	var last int64
+	for i := range batch {
+		if batch[i].Seq <= last {
+			t.Fatalf("seq not monotone at %d: %d after %d", i, batch[i].Seq, last)
+		}
+		last = batch[i].Seq
+	}
+	if err := s.PostBatch(nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	if err := s.PostBatch([]Event{{Window: 999}}); !errors.Is(err, ErrNoWindow) {
+		t.Fatalf("unknown-window batch: %v", err)
+	}
+}
+
+// TestListenerSnapshotCoherence checks that AddListener invalidates
+// the cached listener table: events posted after AddListener returns
+// must see the new listener.
+func TestListenerSnapshotCoherence(t *testing.T) {
+	v, s, _ := testServer(t, PerAppDispatcher)
+	opener := openerThread(t, v)
+	w, err := s.OpenWindow(opener, 1, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := make(chan struct{}, 1)
+	if err := w.AddListener("c", func(*vm.Thread, Event) { first <- struct{}{} }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Click(w.ID(), "c"); err != nil { // warms the snapshot
+		t.Fatal(err)
+	}
+	<-first
+	second := make(chan struct{}, 1)
+	if err := w.AddListener("c", func(*vm.Thread, Event) { second <- struct{}{} }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Click(w.ID(), "c"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-second:
+	case <-time.After(5 * time.Second):
+		t.Fatal("listener added after snapshot warm-up never ran")
+	}
+	<-first
+}

@@ -46,9 +46,17 @@ func (a Addr) String() string { return a.Host + ":" + strconv.Itoa(a.Port) }
 
 // Network is a simulated network: a set of hosts, each with a port
 // table of listeners.
+//
+// The host set is an immutable snapshot behind an atomic pointer
+// (copy-on-write under mu, which only serializes AddHost), and each
+// host carries its own port-table lock — so Dial and Listen on
+// different hosts share nothing but one atomic load, mirroring the
+// sealed-snapshot design of the events registry and the VFS dentry
+// cache. Pre-PR 5 every dial and listen on the whole network
+// serialized on one mutex.
 type Network struct {
-	mu    sync.Mutex
-	hosts map[string]*host
+	mu    sync.Mutex                       // serializes host-set mutations only
+	hosts atomic.Pointer[map[string]*host] // immutable; replaced by AddHost
 
 	// auditLog, when installed, receives CatNet events for listen and
 	// dial operations and their failures.
@@ -72,14 +80,27 @@ func (n *Network) auditNet(verb, detail string, err error) {
 	l.Emit(audit.Event{Cat: audit.CatNet, Verb: verb, Detail: detail})
 }
 
+// host is one network endpoint with its own port table and lock, so
+// traffic on distinct hosts never contends.
 type host struct {
-	name      string
+	name string
+
+	mu        sync.Mutex
 	listeners map[int]*Listener
 }
 
 // New creates an empty network.
 func New() *Network {
-	return &Network{hosts: make(map[string]*host)}
+	n := &Network{}
+	hosts := make(map[string]*host)
+	n.hosts.Store(&hosts)
+	return n
+}
+
+// lookupHost resolves a host name against the current snapshot — one
+// atomic load, no lock.
+func (n *Network) lookupHost(name string) *host {
+	return (*n.hosts.Load())[name]
 }
 
 // AddHost registers a host name on the network. Adding an existing
@@ -87,17 +108,23 @@ func New() *Network {
 func (n *Network) AddHost(name string) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if _, ok := n.hosts[name]; !ok {
-		n.hosts[name] = &host{name: name, listeners: make(map[int]*Listener)}
+	cur := *n.hosts.Load()
+	if _, ok := cur[name]; ok {
+		return
 	}
+	next := make(map[string]*host, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	next[name] = &host{name: name, listeners: make(map[int]*Listener)}
+	n.hosts.Store(&next)
 }
 
 // Hosts returns the registered host names.
 func (n *Network) Hosts() []string {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	out := make([]string, 0, len(n.hosts))
-	for name := range n.hosts {
+	cur := *n.hosts.Load()
+	out := make([]string, 0, len(cur))
+	for name := range cur {
 		out = append(out, name)
 	}
 	return out
@@ -111,17 +138,17 @@ func (n *Network) Listen(hostName string, port int) (*Listener, error) {
 }
 
 func (n *Network) listen(hostName string, port int) (*Listener, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	h, ok := n.hosts[hostName]
-	if !ok {
+	h := n.lookupHost(hostName)
+	if h == nil {
 		return nil, fmt.Errorf("listen %s:%d: %w", hostName, port, ErrUnknownHost)
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if _, busy := h.listeners[port]; busy {
 		return nil, fmt.Errorf("listen %s:%d: %w", hostName, port, ErrAddrInUse)
 	}
 	l := &Listener{
-		net:     n,
+		host:    h,
 		addr:    Addr{Host: hostName, Port: port},
 		backlog: make(chan *Conn, 16),
 		closed:  make(chan struct{}),
@@ -139,25 +166,26 @@ func (n *Network) Dial(fromHost, toHost string, port int) (*Conn, error) {
 }
 
 func (n *Network) dial(fromHost, toHost string, port int) (*Conn, error) {
-	n.mu.Lock()
-	if _, ok := n.hosts[fromHost]; !ok {
-		n.mu.Unlock()
+	hosts := *n.hosts.Load()
+	if _, ok := hosts[fromHost]; !ok {
 		return nil, fmt.Errorf("dial from %s: %w", fromHost, ErrUnknownHost)
 	}
-	h, ok := n.hosts[toHost]
+	h, ok := hosts[toHost]
 	if !ok {
-		n.mu.Unlock()
 		return nil, fmt.Errorf("dial %s:%d: %w", toHost, port, ErrUnknownHost)
 	}
+	h.mu.Lock()
 	l, ok := h.listeners[port]
-	n.mu.Unlock()
+	h.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("dial %s:%d: %w", toHost, port, ErrConnRefused)
 	}
 
-	// A connection is a pair of in-VM pipes.
-	c2sR, c2sW := streams.NewPipe(8 * 1024)
-	s2cR, s2cW := streams.NewPipe(8 * 1024)
+	// A connection is a pair of in-VM pipes at the platform default
+	// capacity (PR 4 raised it to 64 KiB; the old hard-coded 8 KiB
+	// throttled bulk transfers).
+	c2sR, c2sW := streams.NewPipe(streams.DefaultBufferSize)
+	s2cR, s2cW := streams.NewPipe(streams.DefaultBufferSize)
 	clientEnd := &Conn{
 		local: Addr{Host: fromHost, Port: 0}, remote: l.addr,
 		r: s2cR, w: c2sW,
@@ -178,7 +206,7 @@ func (n *Network) dial(fromHost, toHost string, port int) (*Conn, error) {
 
 // Listener accepts inbound connections on an address.
 type Listener struct {
-	net     *Network
+	host    *host
 	addr    Addr
 	backlog chan *Conn
 
@@ -204,11 +232,12 @@ func (l *Listener) Accept() (*Conn, error) {
 func (l *Listener) Close() error {
 	l.once.Do(func() {
 		close(l.closed)
-		l.net.mu.Lock()
-		if h, ok := l.net.hosts[l.addr.Host]; ok {
-			delete(h.listeners, l.addr.Port)
+		l.host.mu.Lock()
+		// Identity check: a successor may already be bound to the port.
+		if l.host.listeners[l.addr.Port] == l {
+			delete(l.host.listeners, l.addr.Port)
 		}
-		l.net.mu.Unlock()
+		l.host.mu.Unlock()
 	})
 	return nil
 }

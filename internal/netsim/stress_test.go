@@ -1,0 +1,148 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestStressDialListenCloseDistinctHosts drives the sharded dial path
+// hard: per-host goroutines churn listen → dial → accept → transfer →
+// close cycles on their own host while AddHost grows the snapshot and
+// Hosts() readers race the copy-on-write publication. Under -race
+// (the Makefile runs this package with it) this is the torture test
+// for the lock-free host snapshot and the per-host port tables.
+func TestStressDialListenCloseDistinctHosts(t *testing.T) {
+	const (
+		hosts = 8
+		iters = 150
+	)
+	n := New()
+	for i := 0; i < hosts; i++ {
+		n.AddHost(fmt.Sprintf("h%d", i))
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < hosts; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			host := fmt.Sprintf("h%d", i)
+			for j := 0; j < iters; j++ {
+				l, err := n.Listen(host, 80)
+				if err != nil {
+					t.Errorf("%s listen: %v", host, err)
+					return
+				}
+				served := make(chan struct{})
+				go func() {
+					defer close(served)
+					c, err := l.Accept()
+					if err != nil {
+						return
+					}
+					_, _ = io.Copy(io.Discard, c)
+					_ = c.Close()
+				}()
+				c, err := n.Dial(host, host, 80)
+				if err != nil {
+					t.Errorf("%s dial: %v", host, err)
+					return
+				}
+				if _, err := c.Write([]byte("ping")); err != nil {
+					t.Errorf("%s write: %v", host, err)
+				}
+				_ = c.Close()
+				_ = l.Close()
+				_ = l.Close() // idempotent
+				<-served
+				// The port is free again immediately after Close.
+				if _, err := n.Dial(host, host, 80); !errors.Is(err, ErrConnRefused) {
+					t.Errorf("%s dial after close: %v", host, err)
+				}
+			}
+		}(i)
+	}
+
+	// Concurrent host-set growth and readers exercise the snapshot.
+	stop := make(chan struct{})
+	var snapWG sync.WaitGroup
+	snapWG.Add(2)
+	go func() {
+		defer snapWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			n.AddHost(fmt.Sprintf("extra-%d", i%64))
+		}
+	}()
+	go func() {
+		defer snapWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if len(n.Hosts()) < hosts {
+				t.Error("host snapshot lost registered hosts")
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	snapWG.Wait()
+
+	// Every original host must still resolve; listeners are all gone.
+	for i := 0; i < hosts; i++ {
+		host := fmt.Sprintf("h%d", i)
+		if _, err := n.Listen(host, 80); err != nil {
+			t.Fatalf("%s listen after stress: %v", host, err)
+		}
+	}
+}
+
+// TestListenerCloseIdentity pins the close-vs-rebind identity check:
+// closing a stale listener must not unbind its successor on the port.
+func TestListenerCloseIdentity(t *testing.T) {
+	n := New()
+	n.AddHost("h")
+	l1, err := n.Listen("h", 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := n.Listen("h", 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Closing l1 again (stale handle) must leave l2 bound.
+	if err := l1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c, err := l2.Accept()
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			return
+		}
+		_ = c.Close()
+	}()
+	c, err := n.Dial("h", "h", 80)
+	if err != nil {
+		t.Fatalf("dial after stale close: %v", err)
+	}
+	_ = c.Close()
+	<-done
+	_ = l2.Close()
+}

@@ -20,16 +20,20 @@ var (
 )
 
 // pipe is a bounded ring buffer shared by a PipeReader/PipeWriter pair.
+// The buffer is allocated lazily on the first write, so creating a
+// pipe (e.g. dialing a netsim connection that ends up carrying no
+// bulk data) does not pay for capacity that is never used.
 type pipe struct {
 	mu       sync.Mutex
 	notEmpty *sync.Cond
 	notFull  *sync.Cond
 
-	buf  []byte
-	r, w int  // read / write cursors
-	n    int  // bytes buffered
-	wErr bool // writer closed
-	rErr bool // reader closed
+	capacity int
+	buf      []byte // nil until the first write
+	r, w     int    // read / write cursors
+	n        int    // bytes buffered
+	wErr     bool   // writer closed
+	rErr     bool   // reader closed
 }
 
 // PipeReader is the read end of an in-VM pipe.
@@ -60,7 +64,7 @@ func NewPipe(capacity int) (*PipeReader, *PipeWriter) {
 	if capacity < 1 {
 		capacity = DefaultBufferSize
 	}
-	p := &pipe{buf: make([]byte, capacity)}
+	p := &pipe{capacity: capacity}
 	p.notEmpty = sync.NewCond(&p.mu)
 	p.notFull = sync.NewCond(&p.mu)
 	return &PipeReader{p: p}, &PipeWriter{p: p}
@@ -121,6 +125,9 @@ func (w *PipeWriter) Write(b []byte) (int, error) {
 	p := w.p
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.buf == nil && len(b) > 0 {
+		p.buf = make([]byte, p.capacity)
+	}
 	total := 0
 	for total < len(b) {
 		for p.n == len(p.buf) && !p.rErr && !p.wErr {
