@@ -5,11 +5,12 @@
 #   make vet          go vet over all packages
 #   make test         full test suite; the concurrency-heavy packages
 #                     (security, vm, events, netsim, audit, vfs,
-#                     streams) are rerun under the data-race detector
+#                     streams, objspace) are rerun under the data-race
+#                     detector
 #   make bench-smoke  one fast pass over the E8 access-control, events,
 #                     and netsim benchmarks
 #   make bench-json   full mvmbench run, machine-readable, written to
-#                     BENCH_PR5.json (the committed snapshot)
+#                     BENCH_PR6.json (the committed snapshot)
 #   make bench-json-smoke  mvmbench at tiny iteration count, output
 #                     discarded — CI uses this to keep the harness
 #                     from rotting
@@ -28,7 +29,7 @@ vet:
 
 test:
 	$(GO) test ./...
-	$(GO) test -race ./internal/security/ ./internal/vm/ ./internal/events/ ./internal/netsim/ ./internal/audit/ ./internal/vfs/ ./internal/streams/
+	$(GO) test -race ./internal/security/ ./internal/vm/ ./internal/events/ ./internal/netsim/ ./internal/audit/ ./internal/vfs/ ./internal/streams/ ./internal/objspace/
 
 bench-smoke:
 	$(GO) test -run xxx -bench 'BenchmarkE8AccessControl|BenchmarkE8PolicyScale' -benchtime=100x .
@@ -36,7 +37,7 @@ bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime=100x ./internal/events/ ./internal/netsim/
 
 bench-json:
-	$(GO) run ./cmd/mvmbench -iters 400 -json > BENCH_PR5.json
+	$(GO) run ./cmd/mvmbench -iters 400 -json > BENCH_PR6.json
 
 bench-json-smoke:
 	$(GO) run ./cmd/mvmbench -iters 20 -json > /dev/null

@@ -70,7 +70,7 @@ func measure(iters int, fn func()) time.Duration {
 
 // The collector behind header/row: every section and row is recorded
 // so -json can emit the whole run as one machine-readable document
-// (committed as BENCH_PR5.json by `make bench-json`).
+// (committed as BENCH_PR6.json by `make bench-json`).
 type benchRow struct {
 	Label string `json:"label"`
 	Value string `json:"value"`
@@ -161,6 +161,18 @@ func run(iters int) error {
 	e12(iters)
 	if err := e13(); err != nil {
 		return err
+	}
+	if err := eObjspace(iters); err != nil {
+		return err
+	}
+	// Guard against silently-empty sections: a registered experiment
+	// that emits no samples means the run is not measuring what the
+	// committed JSON claims it does, so fail loudly (bench-json-smoke
+	// runs this in CI).
+	for _, s := range report {
+		if len(s.Rows) == 0 {
+			return fmt.Errorf("section %q (%s) emitted no samples", s.ID, s.Title)
+		}
 	}
 	if jsonMode {
 		out := struct {

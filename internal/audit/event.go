@@ -64,6 +64,10 @@ const (
 	CatNet
 	// CatShell records shell command execution.
 	CatShell
+	// CatObject records security-relevant shared-object-space
+	// activity: typed transactional commits and aborts, unbinds of
+	// typed entries, and type-confusion detections.
+	CatObject
 
 	numCategories = iota
 )
@@ -78,7 +82,7 @@ const DefaultMask = CatAll &^ CatAccess
 
 // catNames maps a category's bit index to its auditctl-facing name.
 var catNames = [numCategories]string{
-	"access", "deny", "thread", "app", "file", "net", "shell",
+	"access", "deny", "thread", "app", "file", "net", "shell", "object",
 }
 
 // index returns the bit index of a single-category value.

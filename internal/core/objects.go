@@ -58,3 +58,65 @@ func (c *Context) UnbindObject(name string) error {
 	}
 	return c.app.platform.objects.Unbind(name)
 }
+
+// ObjectTx is the application-facing view of one atomic multi-object
+// transaction: every operation runs the same ObjectPermission check
+// as its non-transactional counterpart (lookup for reads, bind for
+// writes) and the same cross-namespace type-identity check, so a
+// typed, permission-checked multi-object commit is a single atomic
+// unit. Obtain one through Context.UpdateObjects.
+type ObjectTx struct {
+	c  *Context
+	tx *objspace.Tx
+}
+
+// Get reads a shared object inside the transaction; requires
+// ObjectPermission "lookup".
+func (t *ObjectTx) Get(name string) (any, error) {
+	if err := t.c.CheckPermission(security.NewObjectPermission(name, security.ActionLookup)); err != nil {
+		return nil, err
+	}
+	return t.tx.Get(name)
+}
+
+// GetTyped reads a shared object inside the transaction, verifying
+// its type identity against the caller's class (Section 8 / Dean's
+// loader-constraint rule); requires ObjectPermission "lookup".
+func (t *ObjectTx) GetTyped(name string, expected *classes.Class) (any, error) {
+	if err := t.c.CheckPermission(security.NewObjectPermission(name, security.ActionLookup)); err != nil {
+		return nil, err
+	}
+	return t.tx.GetAs(name, expected)
+}
+
+// Put buffers a write of an untyped shared object to an
+// already-bound name; requires ObjectPermission "bind". The write
+// installs atomically with the rest of the transaction at commit.
+func (t *ObjectTx) Put(name string, obj any) error {
+	if err := t.c.CheckPermission(security.NewObjectPermission(name, security.ActionBind)); err != nil {
+		return err
+	}
+	return t.tx.Put(name, obj, nil)
+}
+
+// PutTyped buffers a write carrying the object's class identity;
+// requires ObjectPermission "bind".
+func (t *ObjectTx) PutTyped(name string, obj any, class *classes.Class) error {
+	if err := t.c.CheckPermission(security.NewObjectPermission(name, security.ActionBind)); err != nil {
+		return err
+	}
+	return t.tx.Put(name, obj, class)
+}
+
+// UpdateObjects runs fn as one atomic, permission-checked transaction
+// over the shared-object space — the "atomic transfer between two
+// bound objects" shape Section 8 gestures at. The transaction is
+// retried on conflict, so fn may run several times and must be free
+// of side effects other than operations on tx; any other error from
+// fn (including permission denials and type-confusion failures)
+// aborts the transaction and is returned unchanged.
+func (c *Context) UpdateObjects(fn func(tx *ObjectTx) error) error {
+	return c.app.platform.objects.Atomically(int64(c.app.id), func(tx *objspace.Tx) error {
+		return fn(&ObjectTx{c: c, tx: tx})
+	})
+}

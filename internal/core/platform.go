@@ -324,6 +324,7 @@ func NewPlatform(cfg Config) (*Platform, error) {
 	machine.SetAuditLog(p.audit)
 	p.fs.SetAuditLog(p.audit)
 	p.net.SetAuditLog(p.audit)
+	p.objects.SetAuditLog(p.audit)
 
 	return p, nil
 }

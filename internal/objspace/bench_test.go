@@ -1,0 +1,300 @@
+package objspace
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func benchSpace(b *testing.B, keys int) *Space {
+	b.Helper()
+	s := New()
+	for i := 0; i < keys; i++ {
+		if err := s.Bind(fmt.Sprintf("acct.%d", i), 1000, nil, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s
+}
+
+// BenchmarkLookup is the uncontended hot path: one atomic directory
+// load, a map read, and a seqlock record read — no locks, no
+// allocations.
+func BenchmarkLookup(b *testing.B) {
+	s := benchSpace(b, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Lookup("acct.42"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLookupParallel hammers lookups from every P; the snapshot
+// design means no reader ever takes a lock.
+func BenchmarkLookupParallel(b *testing.B) {
+	s := benchSpace(b, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := s.Lookup("acct.42"); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkBindUnbind cycles a binding through its shard.
+func BenchmarkBindUnbind(b *testing.B) {
+	s := benchSpace(b, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Bind("cycle", i, nil, 1); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Unbind("cycle"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTxTransfer measures the two-object atomic transfer under
+// each concurrency-control mode, uncontended.
+func BenchmarkTxTransfer(b *testing.B) {
+	for _, mode := range []Mode{ModeAdaptive, ModeOCC, ModeLocking} {
+		b.Run(mode.String(), func(b *testing.B) {
+			s := benchSpace(b, 64)
+			s.SetMode(mode)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				from := fmt.Sprintf("acct.%d", i%64)
+				to := fmt.Sprintf("acct.%d", (i+7)%64)
+				if err := s.Atomically(1, func(tx *Tx) error {
+					fv, err := tx.Get(from)
+					if err != nil {
+						return err
+					}
+					tv, err := tx.Get(to)
+					if err != nil {
+						return err
+					}
+					if err := tx.Put(from, fv.(int)-1, nil); err != nil {
+						return err
+					}
+					return tx.Put(to, tv.(int)+1, nil)
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTxTransferZipf is the contended transfer workload: every P
+// runs zipf-skewed two-object transfers (theta 0.99 over 256 keys).
+func BenchmarkTxTransferZipf(b *testing.B) {
+	for _, mode := range []Mode{ModeAdaptive, ModeOCC, ModeLocking} {
+		b.Run(mode.String(), func(b *testing.B) {
+			const keys = 256
+			s := benchSpace(b, keys)
+			s.SetMode(mode)
+			proto := NewZipf(rand.New(rand.NewSource(1)), 0.99, keys)
+			names := make([]string, keys)
+			for i := range names {
+				names[i] = fmt.Sprintf("acct.%d", i)
+			}
+			var seq atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				z := proto.Clone(rand.New(rand.NewSource(seq.Add(1))))
+				for pb.Next() {
+					from := z.Next()
+					to := z.Next()
+					if from == to {
+						to = (to + 1) % keys
+					}
+					if err := s.Atomically(1, func(tx *Tx) error {
+						fv, err := tx.Get(names[from])
+						if err != nil {
+							return err
+						}
+						tv, err := tx.Get(names[to])
+						if err != nil {
+							return err
+						}
+						if err := tx.Put(names[from], fv.(int)-1, nil); err != nil {
+							return err
+						}
+						return tx.Put(names[to], tv.(int)+1, nil)
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkTxZipfTheta sweeps the skew of the contended transfer
+// workload across the three concurrency-control modes.
+func BenchmarkTxZipfTheta(b *testing.B) {
+	const keys = 256
+	for _, theta := range []float64{0.5, 0.8, 0.99} {
+		for _, mode := range []Mode{ModeAdaptive, ModeOCC, ModeLocking} {
+			b.Run(fmt.Sprintf("theta=%.2f/%s", theta, mode), func(b *testing.B) {
+				s := benchSpace(b, keys)
+				s.SetMode(mode)
+				proto := NewZipf(rand.New(rand.NewSource(1)), theta, keys)
+				names := make([]string, keys)
+				for i := range names {
+					names[i] = fmt.Sprintf("acct.%d", i)
+				}
+				var seq atomic.Int64
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					z := proto.Clone(rand.New(rand.NewSource(seq.Add(1))))
+					for pb.Next() {
+						from := z.Next()
+						to := z.Next()
+						if from == to {
+							to = (to + 1) % keys
+						}
+						if err := s.Atomically(1, func(tx *Tx) error {
+							fv, err := tx.Get(names[from])
+							if err != nil {
+								return err
+							}
+							tv, err := tx.Get(names[to])
+							if err != nil {
+								return err
+							}
+							if err := tx.Put(names[from], fv.(int)-1, nil); err != nil {
+								return err
+							}
+							return tx.Put(names[to], tv.(int)+1, nil)
+						}); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkTxReadMix sweeps the read fraction of the zipf(0.99) bank
+// workload: consistent two-key read transactions vs transfers.
+func BenchmarkTxReadMix(b *testing.B) {
+	const keys = 256
+	for _, readPct := range []int{50, 90, 100} {
+		for _, mode := range []Mode{ModeAdaptive, ModeOCC, ModeLocking} {
+			b.Run(fmt.Sprintf("read=%d/%s", readPct, mode), func(b *testing.B) {
+				s := benchSpace(b, keys)
+				s.SetMode(mode)
+				proto := NewZipf(rand.New(rand.NewSource(1)), 0.99, keys)
+				names := make([]string, keys)
+				for i := range names {
+					names[i] = fmt.Sprintf("acct.%d", i)
+				}
+				var seq atomic.Int64
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					id := seq.Add(1)
+					z := proto.Clone(rand.New(rand.NewSource(id)))
+					rng := rand.New(rand.NewSource(id + 100))
+					for pb.Next() {
+						from := z.Next()
+						to := z.Next()
+						if from == to {
+							to = (to + 1) % keys
+						}
+						read := rng.Intn(100) < readPct
+						if err := s.Atomically(1, func(tx *Tx) error {
+							fv, err := tx.Get(names[from])
+							if err != nil {
+								return err
+							}
+							tv, err := tx.Get(names[to])
+							if err != nil {
+								return err
+							}
+							if read {
+								return nil
+							}
+							if err := tx.Put(names[from], fv.(int)-1, nil); err != nil {
+								return err
+							}
+							return tx.Put(names[to], tv.(int)+1, nil)
+						}); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkMailboxSendReceive is the single-producer single-consumer
+// handoff through the chunked mailbox.
+func BenchmarkMailboxSendReceive(b *testing.B) {
+	m := NewMailbox(1024)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]any, 0, 64)
+		for {
+			batch, err := m.ReceiveBatch(buf[:0])
+			if err != nil {
+				return
+			}
+			_ = batch
+		}
+	}()
+	payload := struct{ x int }{1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Send(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	m.Close()
+	<-done
+}
+
+// BenchmarkMailboxLen verifies Len stays a single atomic load.
+func BenchmarkMailboxLen(b *testing.B) {
+	m := NewMailbox(64)
+	_ = m.Send(1)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // background churn so Len contends with real traffic
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = m.TrySend(1)
+				_, _ = m.Receive()
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m.Len() < 0 {
+			b.Fatal("negative length")
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+}

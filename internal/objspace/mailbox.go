@@ -1,0 +1,227 @@
+package objspace
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// mailChunkSize is the number of messages per mailbox storage chunk.
+// Chunks are recycled, so in steady state a mailbox reuses the same
+// backing arrays and sending allocates nothing.
+const mailChunkSize = 64
+
+// mailChunk is one fixed-size segment of the mailbox's singly-linked
+// list.
+type mailChunk struct {
+	vals [mailChunkSize]any
+	next *mailChunk
+}
+
+// Mailbox is a bounded FIFO of arbitrary values — the canonical shared
+// object for in-VM IPC. Because sender and receiver live in one
+// address space, a message is a pointer handoff, not a byte copy;
+// BenchmarkIPCMailbox quantifies the difference against pipes.
+//
+// The storage follows the chunked-queue design of internal/events: a
+// linked list of fixed-size recycled chunks, so enqueue never shifts
+// or regrows a slice, ReceiveBatch hands a consumer a whole burst
+// under one lock round-trip, and the condition variables are signaled
+// only on the empty→non-empty (receivers) and full→non-full (senders)
+// transitions — a burst of sends costs one futex wake, not one per
+// message. Len is an atomic counter read without the lock.
+//
+// Close semantics: the first Close marks the box closed and wakes
+// every blocked sender and receiver exactly once (one broadcast per
+// condition variable; later Close calls are no-ops). Woken senders
+// fail with ErrMailboxClosed; messages buffered before Close are
+// still delivered, and receivers get ErrMailboxClosed only once the
+// box is drained.
+type Mailbox struct {
+	mu       sync.Mutex
+	notFull  *sync.Cond
+	notEmpty *sync.Cond
+	head     *mailChunk // drain end
+	tail     *mailChunk // append end
+	headPos  int        // next index to pop within head
+	tailPos  int        // next free index within tail
+	size     atomic.Int64
+	capacity int
+	closed   bool
+	free     *mailChunk // one recycled chunk kept for reuse
+}
+
+// NewMailbox creates a mailbox holding up to capacity messages
+// (minimum 1).
+func NewMailbox(capacity int) *Mailbox {
+	if capacity < 1 {
+		capacity = 1
+	}
+	c := &mailChunk{}
+	m := &Mailbox{capacity: capacity, head: c, tail: c}
+	m.notFull = sync.NewCond(&m.mu)
+	m.notEmpty = sync.NewCond(&m.mu)
+	return m
+}
+
+// appendLocked adds one message at the tail. Caller holds m.mu.
+func (m *Mailbox) appendLocked(v any) {
+	if m.tailPos == mailChunkSize {
+		c := m.free
+		if c != nil {
+			m.free = nil
+			c.next = nil
+		} else {
+			c = &mailChunk{}
+		}
+		m.tail.next = c
+		m.tail = c
+		m.tailPos = 0
+	}
+	m.tail.vals[m.tailPos] = v
+	m.tailPos++
+	m.size.Add(1)
+}
+
+// popLocked removes and returns the head message. Caller holds m.mu
+// and guarantees the box is non-empty. The vacated slot is cleared so
+// the box does not pin delivered values.
+func (m *Mailbox) popLocked() any {
+	if m.headPos == mailChunkSize {
+		spent := m.head
+		m.head = spent.next
+		m.headPos = 0
+		spent.next = nil
+		m.free = spent
+	}
+	v := m.head.vals[m.headPos]
+	m.head.vals[m.headPos] = nil
+	m.headPos++
+	if m.size.Add(-1) == 0 {
+		// head == tail here; rewind so the chunk is reused from the
+		// start instead of chaining a fresh one.
+		m.headPos = 0
+		m.tailPos = 0
+	}
+	return v
+}
+
+// Send enqueues a message, blocking while the box is full. It fails
+// with ErrMailboxClosed if the box is closed before space frees up.
+func (m *Mailbox) Send(v any) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for int(m.size.Load()) == m.capacity && !m.closed {
+		m.notFull.Wait()
+	}
+	if m.closed {
+		return ErrMailboxClosed
+	}
+	m.appendLocked(v)
+	if m.size.Load() == 1 {
+		m.notEmpty.Signal()
+	}
+	return nil
+}
+
+// TrySend enqueues without blocking; a full box yields ErrMailboxFull.
+func (m *Mailbox) TrySend(v any) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrMailboxClosed
+	}
+	if int(m.size.Load()) == m.capacity {
+		return ErrMailboxFull
+	}
+	m.appendLocked(v)
+	if m.size.Load() == 1 {
+		m.notEmpty.Signal()
+	}
+	return nil
+}
+
+// Receive dequeues a message, blocking while the box is empty. After
+// Close, buffered messages are still delivered; then ErrMailboxClosed.
+func (m *Mailbox) Receive() (any, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for m.size.Load() == 0 && !m.closed {
+		m.notEmpty.Wait()
+	}
+	if m.size.Load() == 0 {
+		return nil, ErrMailboxClosed
+	}
+	wasFull := int(m.size.Load()) == m.capacity
+	v := m.popLocked()
+	if wasFull {
+		m.notFull.Signal()
+	}
+	if m.size.Load() > 0 {
+		// More messages remain: pass the wakeup on so a second parked
+		// receiver is not stranded behind the transition-only signal.
+		m.notEmpty.Signal()
+	}
+	return v, nil
+}
+
+// ReceiveBatch blocks until at least one message is available (or the
+// box is closed and drained), then moves up to cap(buf)-len(buf)
+// messages into buf under one lock round-trip and returns the filled
+// slice. Pass buf with zero length (buf[:0]) to reuse the backing
+// array across calls. Returns ErrMailboxClosed only when the box is
+// closed AND drained — messages queued before Close are still
+// delivered.
+func (m *Mailbox) ReceiveBatch(buf []any) ([]any, error) {
+	if cap(buf)-len(buf) == 0 {
+		return buf, nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for m.size.Load() == 0 && !m.closed {
+		m.notEmpty.Wait()
+	}
+	if m.size.Load() == 0 {
+		return buf, ErrMailboxClosed
+	}
+	n := cap(buf) - len(buf)
+	if sz := int(m.size.Load()); n > sz {
+		n = sz
+	}
+	wasFull := int(m.size.Load()) == m.capacity
+	for i := 0; i < n; i++ {
+		buf = append(buf, m.popLocked())
+	}
+	if wasFull {
+		// n slots freed at once: broadcast so every blocked sender that
+		// now fits can proceed (they re-check capacity under the lock).
+		m.notFull.Broadcast()
+	}
+	if m.size.Load() > 0 {
+		m.notEmpty.Signal()
+	}
+	return buf, nil
+}
+
+// Len returns the number of buffered messages without taking the
+// mailbox lock.
+func (m *Mailbox) Len() int {
+	return int(m.size.Load())
+}
+
+// Cap returns the mailbox capacity.
+func (m *Mailbox) Cap() int { return m.capacity }
+
+// Close marks the mailbox closed, waking all blocked senders and
+// receivers exactly once. Close is idempotent: only the first call
+// broadcasts. See the type comment for the close-while-blocked
+// semantics.
+func (m *Mailbox) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	m.closed = true
+	m.notFull.Broadcast()
+	m.notEmpty.Broadcast()
+}

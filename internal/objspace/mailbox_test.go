@@ -1,0 +1,185 @@
+package objspace
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMailboxReceiveBatch(t *testing.T) {
+	m := NewMailbox(256)
+	for i := 0; i < 200; i++ {
+		if err := m.Send(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Len() != 200 {
+		t.Fatalf("len = %d", m.Len())
+	}
+	buf := make([]any, 0, 64)
+	got := 0
+	for got < 200 {
+		b, err := m.ReceiveBatch(buf[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b) == 0 || len(b) > 64 {
+			t.Fatalf("batch size = %d", len(b))
+		}
+		for _, v := range b {
+			if v.(int) != got {
+				t.Fatalf("got %v at position %d", v, got)
+			}
+			got++
+		}
+	}
+	if m.Len() != 0 {
+		t.Fatalf("len after drain = %d", m.Len())
+	}
+	// Zero-capacity buffer is a no-op, not a deadlock.
+	if b, err := m.ReceiveBatch(nil); err != nil || len(b) != 0 {
+		t.Fatalf("nil buf = %v, %v", b, err)
+	}
+	m.Close()
+	if _, err := m.ReceiveBatch(buf[:0]); !errors.Is(err, ErrMailboxClosed) {
+		t.Fatalf("batch after close+drain: %v", err)
+	}
+}
+
+// TestMailboxCloseWakesBlockedSenders: Close must wake every sender
+// blocked on a full box exactly once; each fails with
+// ErrMailboxClosed.
+func TestMailboxCloseWakesBlockedSenders(t *testing.T) {
+	m := NewMailbox(1)
+	if err := m.Send("fill"); err != nil {
+		t.Fatal(err)
+	}
+	const senders = 8
+	var blocked, closedErrs atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < senders; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			blocked.Add(1)
+			if err := m.Send("x"); errors.Is(err, ErrMailboxClosed) {
+				closedErrs.Add(1)
+			} else {
+				t.Errorf("blocked send returned %v", err)
+			}
+		}()
+	}
+	for blocked.Load() < senders {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(5 * time.Millisecond) // let them reach Wait
+	m.Close()
+	m.Close() // idempotent: second close must not panic or re-wake
+	wg.Wait()
+	if closedErrs.Load() != senders {
+		t.Fatalf("%d/%d senders saw ErrMailboxClosed", closedErrs.Load(), senders)
+	}
+	// The pre-close message is still deliverable.
+	v, err := m.Receive()
+	if err != nil || v != "fill" {
+		t.Fatalf("post-close receive = %v, %v", v, err)
+	}
+	if _, err := m.Receive(); !errors.Is(err, ErrMailboxClosed) {
+		t.Fatalf("drained receive: %v", err)
+	}
+}
+
+// TestMailboxCloseWakesBlockedReceivers: Close must wake every
+// receiver blocked on an empty box exactly once.
+func TestMailboxCloseWakesBlockedReceivers(t *testing.T) {
+	m := NewMailbox(4)
+	const receivers = 8
+	var blocked, closedErrs atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < receivers; i++ {
+		wg.Add(1)
+		go func(batch bool) {
+			defer wg.Done()
+			blocked.Add(1)
+			var err error
+			if batch {
+				_, err = m.ReceiveBatch(make([]any, 0, 4))
+			} else {
+				_, err = m.Receive()
+			}
+			if errors.Is(err, ErrMailboxClosed) {
+				closedErrs.Add(1)
+			} else {
+				t.Errorf("blocked receive returned %v", err)
+			}
+		}(i%2 == 0)
+	}
+	for blocked.Load() < receivers {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(5 * time.Millisecond)
+	m.Close()
+	wg.Wait()
+	if closedErrs.Load() != receivers {
+		t.Fatalf("%d/%d receivers saw ErrMailboxClosed", closedErrs.Load(), receivers)
+	}
+}
+
+// TestMailboxManyProducersConsumers moves a counted stream through a
+// small box with several producers and batch consumers; every message
+// must arrive exactly once.
+func TestMailboxManyProducersConsumers(t *testing.T) {
+	m := NewMailbox(8)
+	const (
+		producers = 4
+		consumers = 3
+		perP      = 2000
+	)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perP; i++ {
+				if err := m.Send(p*perP + i); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	var seen sync.Map
+	var received atomic.Int64
+	var cwg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			buf := make([]any, 0, 16)
+			for {
+				b, err := m.ReceiveBatch(buf[:0])
+				if err != nil {
+					return
+				}
+				for _, v := range b {
+					if _, dup := seen.LoadOrStore(v.(int), true); dup {
+						t.Errorf("duplicate delivery of %v", v)
+						return
+					}
+					received.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for received.Load() < producers*perP {
+		time.Sleep(time.Millisecond)
+	}
+	m.Close()
+	cwg.Wait()
+	if received.Load() != producers*perP {
+		t.Fatalf("received %d, want %d", received.Load(), producers*perP)
+	}
+}

@@ -9,23 +9,44 @@
 // The package provides:
 //
 //   - Space: a named registry of shared objects, guarded by
-//     ObjectPermission (bind / lookup / unbind);
+//     ObjectPermission (bind / lookup / unbind). The store is sharded
+//     (names hash to independently locked directory shards) and every
+//     binding is a versioned record, so lookups are lock-free — an
+//     atomic snapshot-map load plus a seqlock read of the record —
+//     and uncontended reads allocate nothing;
+//   - Tx: multi-object atomic transactions over bound records (the
+//     "atomic transfer between two bound objects" shape). The common
+//     path is optimistic — execute against versioned snapshots, then
+//     validate-and-commit under per-record latches taken in sorted
+//     name order — and each record carries an abort-rate estimator
+//     that adaptively escalates hot records to pessimistic
+//     encounter-time locking (and de-escalates when contention
+//     subsides). See tx.go;
 //   - the type-safety check Dean's work calls for: every bound object
 //     carries its class (name + defining loader); a typed lookup
 //     against a SAME-NAMED class from a DIFFERENT loader fails with
 //     ErrTypeConfusion instead of silently aliasing two unrelated
-//     types — the loader-constraint rule later adopted by the JDK;
+//     types — the loader-constraint rule later adopted by the JDK.
+//     The same check runs inside transactions (Tx.GetAs), so typed,
+//     permission-checked multi-object commits are one atomic unit;
 //   - Mailbox: a ready-made shared object implementing a bounded
-//     message queue, so two applications can exchange values without
-//     serializing through a byte pipe.
+//     message queue on the chunked-storage design of internal/events
+//     (batched pops, empty→non-empty-only signaling), so two
+//     applications can exchange values without serializing through a
+//     byte pipe. See mailbox.go.
+//
+// Security-relevant transactional activity (typed commits and aborts,
+// type-confusion detections, unbinds of typed entries) is emitted to
+// the kernel audit log under audit.CatObject when one is attached.
 package objspace
 
 import (
 	"errors"
 	"fmt"
 	"sort"
-	"sync"
+	"sync/atomic"
 
+	"mpj/internal/audit"
 	"mpj/internal/classes"
 )
 
@@ -42,6 +63,15 @@ var (
 	// of sharing across namespaces.
 	ErrTypeConfusion = errors.New("objspace: same class name, different defining loader")
 
+	// ErrConflict is returned by Tx.Commit when optimistic validation
+	// fails or a write latch cannot be acquired; the transaction did
+	// not take effect and may be retried (Atomically does so).
+	ErrConflict = errors.New("objspace: transaction conflict")
+
+	// ErrTxDone is returned when operating on a committed or aborted
+	// transaction.
+	ErrTxDone = errors.New("objspace: transaction already finished")
+
 	// ErrMailboxClosed is returned on send/receive after Close.
 	ErrMailboxClosed = errors.New("objspace: mailbox closed")
 
@@ -49,7 +79,10 @@ var (
 	ErrMailboxFull = errors.New("objspace: mailbox full")
 )
 
-// Entry is one bound object with its type identity.
+// Entry is one bound object with its type identity. Entries are
+// immutable once published: rebinding or transactionally writing a
+// name installs a fresh Entry, so a looked-up *Entry is a stable
+// snapshot no matter what commits afterwards.
 type Entry struct {
 	// Name the object is bound under.
 	Name string
@@ -62,15 +95,43 @@ type Entry struct {
 	Owner int64
 }
 
-// Space is a thread-safe shared-object registry.
+// Space is a thread-safe shared-object registry: a sharded, versioned
+// record store. Directory mutations (Bind/Unbind) lock only the
+// owning shard; lookups take no lock at all; multi-object atomic
+// updates go through Tx / Atomically.
 type Space struct {
-	mu      sync.RWMutex
-	entries map[string]*Entry
+	shards [numShards]shard
+	count  atomic.Int64
+	mode   atomic.Int32
+
+	stats    txCounters
+	auditLog atomic.Pointer[audit.Log]
 }
 
-// New returns an empty object space.
+// New returns an empty object space in ModeAdaptive.
 func New() *Space {
-	return &Space{entries: make(map[string]*Entry)}
+	s := &Space{}
+	for i := range s.shards {
+		s.shards[i].init()
+	}
+	return s
+}
+
+// SetAuditLog attaches the kernel audit log; typed commits/aborts,
+// type-confusion detections and typed unbinds are emitted under
+// audit.CatObject. Pass nil to detach.
+func (s *Space) SetAuditLog(l *audit.Log) { s.auditLog.Store(l) }
+
+// emitAudit sends one object-space event if a log is attached and the
+// category enabled (one atomic load + mask test otherwise).
+func (s *Space) emitAudit(verb string, app int64, detail string) {
+	if l := s.auditLog.Load(); l != nil && l.Enabled(audit.CatObject) {
+		l.Emit(audit.Event{Cat: audit.CatObject, Verb: verb, App: app, Detail: detail})
+	}
+}
+
+func (s *Space) shardFor(name string) *shard {
+	return &s.shards[shardIndex(name)]
 }
 
 // Bind publishes an object under a name. The class records the
@@ -80,43 +141,82 @@ func (s *Space) Bind(name string, obj any, class *classes.Class, owner int64) er
 	if name == "" {
 		return fmt.Errorf("objspace: bind: empty name")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.entries[name]; ok {
-		return fmt.Errorf("%w: %s", ErrAlreadyBound, name)
+	sh := s.shardFor(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if rec := sh.get(name); rec != nil {
+		if e, _ := rec.snapshot(); e != nil {
+			return fmt.Errorf("%w: %s", ErrAlreadyBound, name)
+		}
 	}
-	s.entries[name] = &Entry{Name: name, Object: obj, Class: class, Owner: owner}
+	sh.replace(name, newRecord(&Entry{Name: name, Object: obj, Class: class, Owner: owner}))
+	s.count.Add(1)
 	return nil
 }
 
-// Rebind publishes an object, replacing any existing binding.
+// Rebind publishes an object, replacing any existing binding. An
+// in-place rebind bumps the record's version, so concurrent
+// transactions that read the old value abort instead of committing
+// against stale state.
 func (s *Space) Rebind(name string, obj any, class *classes.Class, owner int64) error {
 	if name == "" {
 		return fmt.Errorf("objspace: rebind: empty name")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.entries[name] = &Entry{Name: name, Object: obj, Class: class, Owner: owner}
+	sh := s.shardFor(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e := &Entry{Name: name, Object: obj, Class: class, Owner: owner}
+	if rec := sh.get(name); rec != nil {
+		rec.mu.Lock()
+		if old, _ := rec.snapshot(); old != nil {
+			rec.install(e)
+			rec.mu.Unlock()
+			return nil
+		}
+		rec.mu.Unlock()
+	}
+	sh.replace(name, newRecord(e))
+	s.count.Add(1)
 	return nil
 }
 
-// Unbind removes a binding.
+// Unbind removes a binding. The record is marked dead under its latch
+// (so in-flight transactions against it fail validation) and removed
+// from the shard directory.
 func (s *Space) Unbind(name string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.entries[name]; !ok {
+	sh := s.shardFor(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	rec := sh.get(name)
+	if rec == nil {
 		return fmt.Errorf("%w: %s", ErrNotBound, name)
 	}
-	delete(s.entries, name)
+	rec.mu.Lock()
+	old, _ := rec.snapshot()
+	if old == nil {
+		rec.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNotBound, name)
+	}
+	rec.install(nil)
+	rec.mu.Unlock()
+	sh.replace(name, nil)
+	s.count.Add(-1)
+	if old.Class != nil {
+		s.emitAudit("unbind", old.Owner, name)
+	}
 	return nil
 }
 
-// Lookup returns the raw entry bound under name.
+// Lookup returns the entry bound under name. The hot path is
+// lock-free and allocation-free: one atomic load of the shard's
+// directory snapshot, a map read, and a seqlock read of the record.
 func (s *Space) Lookup(name string) (*Entry, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	e, ok := s.entries[name]
-	if !ok {
+	rec := s.shardFor(name).get(name)
+	if rec == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNotBound, name)
+	}
+	e, _ := rec.snapshot()
+	if e == nil {
 		return nil, fmt.Errorf("%w: %s", ErrNotBound, name)
 	}
 	return e, nil
@@ -144,20 +244,31 @@ func (s *Space) LookupAs(name string, expected *classes.Class) (any, error) {
 	if e.Class == expected {
 		return e.Object, nil
 	}
+	return nil, s.confusionError(e, expected)
+}
+
+// confusionError builds (and audits) the type-confusion failure for an
+// entry that did not match the expected class.
+func (s *Space) confusionError(e *Entry, expected *classes.Class) error {
 	if e.Class != nil && expected != nil && e.Class.Name() == expected.Name() {
-		return nil, fmt.Errorf("%w: %s defined by %q vs %q", ErrTypeConfusion,
+		s.emitAudit("type-confusion", e.Owner, fmt.Sprintf("%s: %s defined by %q vs %q",
+			e.Name, expected.Name(), e.Class.Loader().Name(), expected.Loader().Name()))
+		return fmt.Errorf("%w: %s defined by %q vs %q", ErrTypeConfusion,
 			expected.Name(), e.Class.Loader().Name(), expected.Loader().Name())
 	}
-	return nil, fmt.Errorf("%w: bound %v, expected %v", ErrTypeConfusion, e.Class, expected)
+	s.emitAudit("type-confusion", e.Owner, e.Name)
+	return fmt.Errorf("%w: bound %v, expected %v", ErrTypeConfusion, e.Class, expected)
 }
 
 // Names returns the sorted bound names.
 func (s *Space) Names() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.entries))
-	for n := range s.entries {
-		out = append(out, n)
+	out := make([]string, 0, s.count.Load())
+	for i := range s.shards {
+		for n, rec := range *s.shards[i].recs.Load() {
+			if e, _ := rec.snapshot(); e != nil {
+				out = append(out, n)
+			}
+		}
 	}
 	sort.Strings(out)
 	return out
@@ -165,95 +276,5 @@ func (s *Space) Names() []string {
 
 // Len returns the number of bindings.
 func (s *Space) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.entries)
-}
-
-// Mailbox is a bounded FIFO of arbitrary values — the canonical shared
-// object for in-VM IPC. Because sender and receiver live in one
-// address space, a message is a pointer handoff, not a byte copy;
-// BenchmarkIPCMailbox quantifies the difference against pipes.
-type Mailbox struct {
-	mu       sync.Mutex
-	notFull  *sync.Cond
-	notEmpty *sync.Cond
-	buf      []any
-	closed   bool
-	capacity int
-}
-
-// NewMailbox creates a mailbox holding up to capacity messages
-// (minimum 1).
-func NewMailbox(capacity int) *Mailbox {
-	if capacity < 1 {
-		capacity = 1
-	}
-	m := &Mailbox{capacity: capacity}
-	m.notFull = sync.NewCond(&m.mu)
-	m.notEmpty = sync.NewCond(&m.mu)
-	return m
-}
-
-// Send enqueues a message, blocking while the box is full.
-func (m *Mailbox) Send(v any) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for len(m.buf) == m.capacity && !m.closed {
-		m.notFull.Wait()
-	}
-	if m.closed {
-		return ErrMailboxClosed
-	}
-	m.buf = append(m.buf, v)
-	m.notEmpty.Signal()
-	return nil
-}
-
-// TrySend enqueues without blocking; a full box yields ErrMailboxFull.
-func (m *Mailbox) TrySend(v any) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.closed {
-		return ErrMailboxClosed
-	}
-	if len(m.buf) == m.capacity {
-		return ErrMailboxFull
-	}
-	m.buf = append(m.buf, v)
-	m.notEmpty.Signal()
-	return nil
-}
-
-// Receive dequeues a message, blocking while the box is empty. After
-// Close, buffered messages are still delivered; then ErrMailboxClosed.
-func (m *Mailbox) Receive() (any, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for len(m.buf) == 0 && !m.closed {
-		m.notEmpty.Wait()
-	}
-	if len(m.buf) == 0 {
-		return nil, ErrMailboxClosed
-	}
-	v := m.buf[0]
-	m.buf = m.buf[1:]
-	m.notFull.Signal()
-	return v, nil
-}
-
-// Len returns the number of buffered messages.
-func (m *Mailbox) Len() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.buf)
-}
-
-// Close marks the mailbox closed, waking all waiters.
-func (m *Mailbox) Close() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.closed = true
-	m.notFull.Broadcast()
-	m.notEmpty.Broadcast()
+	return int(s.count.Load())
 }

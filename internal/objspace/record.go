@@ -1,0 +1,202 @@
+package objspace
+
+import (
+	"hash/maphash"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// numShards is the number of independently locked directory shards a
+// Space is split into. Names hash to a shard; binds and unbinds of
+// names in different shards never contend. Must be a power of two.
+const numShards = 64
+
+// hashSeed fixes the name hash for the life of the process so a name
+// always resolves to the same shard.
+var hashSeed = maphash.MakeSeed()
+
+// shardIndex maps a name to its shard.
+func shardIndex(name string) int {
+	return int(maphash.String(hashSeed, name) & (numShards - 1))
+}
+
+// record state word layout. The word is a seqlock: writers set
+// stateInstalling around the (entry pointer, version) update so that a
+// lock-free reader can detect a torn read and retry; the version field
+// is bumped by exactly one per install, and stateDead is set by the
+// install that unbinds the record. Modulo the stateHot flag, a
+// record's state word can never repeat: validation of "did anyone
+// commit to this record since I read it" is one 64-bit compare (with
+// stateHot masked out).
+//
+// stateHot is the contention-escalation flag. Folding it into the
+// state word makes the adaptive mode's cold path instruction-identical
+// to pure OCC: the snapshot every access already takes carries the
+// flag, so checking it costs one AND on a loaded register instead of a
+// second atomic load. blame/credit flip it with CAS loops, which race
+// benignly with install's stores — a flip landing inside an install
+// window can be overwritten, delaying (de)escalation by one conflict,
+// which the estimator absorbs.
+const (
+	stateInstalling = uint64(1) << 63
+	stateDead       = uint64(1) << 62
+	stateHot        = uint64(1) << 61
+	versionMask     = stateHot - 1
+)
+
+// versionOf strips the escalation flag, leaving the bits that identify
+// a committed version (version number + dead flag).
+func versionOf(w uint64) uint64 { return w &^ stateHot }
+
+// Contention-estimator tuning: an abort blamed on a record adds
+// abortWeight to its estimator; every commit that touches the record
+// subtracts one. Crossing hotThreshold escalates the record to
+// pessimistic (encounter-time) locking; decaying below coolThreshold
+// de-escalates it back to the optimistic path.
+const (
+	abortWeight    = 16
+	hotThreshold   = 64
+	coolThreshold  = 8
+	estimatorCap   = 4 * hotThreshold
+	latchSpinTries = 16
+)
+
+// record is one versioned slot of the object space. The bound value
+// lives in an immutable *Entry published through an atomic pointer;
+// the state word carries the version used for optimistic validation.
+// mu is the per-record write latch: optimistic commits TryLock it for
+// the install window only, pessimistic accesses hold it from first
+// touch to commit end. Lock order is shard.mu before record.mu, and
+// record.mu in ascending name order.
+type record struct {
+	name string
+	mu   sync.Mutex
+
+	state atomic.Uint64
+	entry atomic.Pointer[Entry]
+
+	// contention is the abort-rate estimator behind the stateHot flag.
+	contention atomic.Int32
+}
+
+// hotNow reports whether the record is currently escalated.
+func (r *record) hotNow() bool { return r.state.Load()&stateHot != 0 }
+
+func newRecord(e *Entry) *record {
+	r := &record{name: e.Name}
+	r.entry.Store(e)
+	return r
+}
+
+// snapshot returns a consistent (entry, state) pair without taking any
+// lock. A nil entry means the record is dead (unbound). The install
+// window is a handful of stores, so the retry loop yields only if it
+// catches a writer preempted mid-install.
+func (r *record) snapshot() (*Entry, uint64) {
+	for spins := 0; ; spins++ {
+		w := r.state.Load()
+		if w&stateInstalling == 0 {
+			e := r.entry.Load()
+			if r.state.Load() == w {
+				if w&stateDead != 0 {
+					return nil, w
+				}
+				return e, w
+			}
+		}
+		if spins > latchSpinTries {
+			runtime.Gosched()
+		}
+	}
+}
+
+// install publishes a new entry (nil to mark the record dead) and
+// bumps the version, preserving the escalation flag. Caller must hold
+// r.mu.
+func (r *record) install(e *Entry) {
+	w := r.state.Load()
+	r.state.Store(w | stateInstalling)
+	r.entry.Store(e)
+	next := ((w&versionMask)+1)&versionMask | (w & stateHot)
+	if e == nil {
+		next |= stateDead
+	}
+	r.state.Store(next)
+}
+
+// blame charges the record for an abort; returns true when this call
+// escalated it to pessimistic locking.
+func (r *record) blame() bool {
+	c := r.contention.Add(abortWeight)
+	if c > estimatorCap {
+		r.contention.Store(estimatorCap)
+	}
+	if c >= hotThreshold {
+		for {
+			w := r.state.Load()
+			if w&stateHot != 0 {
+				return false
+			}
+			if r.state.CompareAndSwap(w, w|stateHot) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// credit decays the estimator after a successful commit touching the
+// record; returns true when this call de-escalated it.
+func (r *record) credit() bool {
+	if c := r.contention.Load(); c > 0 {
+		r.contention.CompareAndSwap(c, c-1)
+		if c-1 <= coolThreshold {
+			for {
+				w := r.state.Load()
+				if w&stateHot == 0 {
+					return false
+				}
+				if r.state.CompareAndSwap(w, w&^stateHot) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// shard is one directory slice: a copy-on-write map of records
+// published through an atomic pointer so lookups are lock-free, plus a
+// mutex serializing namespace mutations (bind/unbind) within the
+// shard.
+type shard struct {
+	mu   sync.Mutex
+	recs atomic.Pointer[map[string]*record]
+}
+
+func (sh *shard) init() {
+	m := make(map[string]*record)
+	sh.recs.Store(&m)
+}
+
+// get resolves a name to its record without locking.
+func (sh *shard) get(name string) *record {
+	return (*sh.recs.Load())[name]
+}
+
+// replace publishes a copy of the map with name set to rec (or removed
+// when rec is nil). Caller must hold sh.mu.
+func (sh *shard) replace(name string, rec *record) {
+	cur := *sh.recs.Load()
+	next := make(map[string]*record, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	if rec == nil {
+		delete(next, name)
+	} else {
+		next[name] = rec
+	}
+	sh.recs.Store(&next)
+}

@@ -1,0 +1,298 @@
+package objspace
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mpj/internal/classes"
+)
+
+// TestRaceTypedBindLookup races Bind/Unbind of a typed object against
+// typed lookups from the same and a different namespace: the
+// type-confusion check must never be dropped — a cross-loader lookup
+// may observe "not bound" or "type confusion", NEVER the value — and
+// a same-loader lookup must never see a spurious confusion.
+func TestRaceTypedBindLookup(t *testing.T) {
+	_, app1, app2 := loaders(t)
+	c1, err := app1.Load(nil, "shared.Message")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := app2.Load(nil, "shared.Message")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New()
+	const rounds = 2000
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+
+	// Binder churns the binding: bind typed by app-1, then unbind.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			if err := s.Bind("msg", "hello", c1, 1); err != nil {
+				errs <- fmt.Errorf("bind: %w", err)
+				return
+			}
+			if err := s.Unbind("msg"); err != nil {
+				errs <- fmt.Errorf("unbind: %w", err)
+				return
+			}
+		}
+	}()
+	// Cross-loader racer: must never obtain the value.
+	lookups := func(expected *classes.Class, wantValue bool) {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			v, err := s.LookupAs("msg", expected)
+			switch {
+			case err == nil:
+				if !wantValue {
+					errs <- fmt.Errorf("cross-loader lookup returned value %v", v)
+					return
+				}
+			case errors.Is(err, ErrNotBound):
+			case errors.Is(err, ErrTypeConfusion):
+				if wantValue {
+					errs <- fmt.Errorf("same-loader lookup confused: %w", err)
+					return
+				}
+			default:
+				errs <- fmt.Errorf("unexpected lookup error: %w", err)
+				return
+			}
+		}
+	}
+	wg.Add(2)
+	go lookups(c2, false)
+	go lookups(c1, true)
+	// Transactional racer: GetAs inside a transaction obeys the same
+	// rule.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			err := s.Atomically(3, func(tx *Tx) error {
+				_, err := tx.GetAs("msg", c2)
+				return err
+			})
+			if err == nil {
+				errs <- fmt.Errorf("transactional cross-loader GetAs committed a read")
+				return
+			}
+			if !errors.Is(err, ErrNotBound) && !errors.Is(err, ErrTypeConfusion) {
+				errs <- fmt.Errorf("transactional GetAs: %w", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := s.TxStats()
+	if st.Attempts != st.Commits+st.Aborts {
+		t.Fatalf("conservation: %+v", st)
+	}
+}
+
+// TestRaceTransferConservation is the acceptance invariant: zipf-
+// skewed concurrent multi-object transfers under every concurrency-
+// control mode conserve the total balance, and the attempt counters
+// obey attempts == commits + aborts at quiescence.
+func TestRaceTransferConservation(t *testing.T) {
+	const (
+		keys       = 64
+		goroutines = 8
+		perG       = 1500
+		initial    = 1000
+	)
+	for _, mode := range []Mode{ModeAdaptive, ModeOCC, ModeLocking} {
+		t.Run(mode.String(), func(t *testing.T) {
+			s := New()
+			s.SetMode(mode)
+			bindBalances(t, s, keys, initial)
+			proto := NewZipf(rand.New(rand.NewSource(1)), 0.99, keys)
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					z := proto.Clone(rand.New(rand.NewSource(int64(g + 2))))
+					for i := 0; i < perG; i++ {
+						from := z.Next()
+						to := z.Next()
+						if from == to {
+							to = (to + 1) % keys
+						}
+						err := s.Atomically(int64(g), func(tx *Tx) error {
+							return transfer(tx,
+								fmt.Sprintf("acct.%d", from),
+								fmt.Sprintf("acct.%d", to), 1)
+						})
+						if err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			sum := 0
+			for i := 0; i < keys; i++ {
+				e, err := s.Lookup(fmt.Sprintf("acct.%d", i))
+				if err != nil {
+					t.Fatal(err)
+				}
+				sum += e.Object.(int)
+			}
+			if sum != keys*initial {
+				t.Fatalf("balance sum = %d, want %d (money %s)", sum, keys*initial,
+					map[bool]string{true: "created", false: "destroyed"}[sum > keys*initial])
+			}
+			st := s.TxStats()
+			if st.Attempts != st.Commits+st.Aborts {
+				t.Fatalf("conservation: %+v", st)
+			}
+			if st.Commits != goroutines*perG {
+				t.Fatalf("commits = %d, want %d", st.Commits, goroutines*perG)
+			}
+		})
+	}
+}
+
+// TestRaceDirectoryChurn races binds, unbinds, rebinds, lookups and
+// directory listings across shards.
+func TestRaceDirectoryChurn(t *testing.T) {
+	s := New()
+	const rounds = 1000
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := fmt.Sprintf("churn.%d", g%3) // pairs share names
+			for i := 0; i < rounds; i++ {
+				switch i % 4 {
+				case 0:
+					_ = s.Bind(name, i, nil, int64(g))
+				case 1:
+					_ = s.Rebind(name, i, nil, int64(g))
+				case 2:
+					if e, err := s.Lookup(name); err == nil && e.Name != name {
+						t.Errorf("entry name %q under %q", e.Name, name)
+						return
+					}
+				case 3:
+					_ = s.Unbind(name)
+				}
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			n := s.Len()
+			if n < 0 || n > 3 {
+				t.Errorf("len = %d", n)
+				return
+			}
+			_ = s.Names()
+		}
+	}()
+	wg.Wait()
+	done <- struct{}{}
+	<-done
+}
+
+// TestRaceMixedTxAndDirectOps races transactions against Rebind and
+// lock-free lookups on the same keys; transactions must stay atomic
+// (both writes or neither) even as rebinds interleave.
+func TestRaceMixedTxAndDirectOps(t *testing.T) {
+	s := New()
+	if err := s.Bind("pair.a", [2]int{0, 0}, nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Bind("pair.b", [2]int{0, 0}, nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 2000
+	var wg sync.WaitGroup
+	// Writers bump both halves by the same generation, atomically.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				err := s.Atomically(int64(g), func(tx *Tx) error {
+					av, err := tx.Get("pair.a")
+					if err != nil {
+						return err
+					}
+					bv, err := tx.Get("pair.b")
+					if err != nil {
+						return err
+					}
+					a, b := av.([2]int), bv.([2]int)
+					if err := tx.Put("pair.a", [2]int{a[0] + 1, g}, nil); err != nil {
+						return err
+					}
+					return tx.Put("pair.b", [2]int{b[0] + 1, g}, nil)
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	// Reader: both halves must always agree on the generation count.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds*4; i++ {
+			err := s.Atomically(9, func(tx *Tx) error {
+				av, err := tx.Get("pair.a")
+				if err != nil {
+					return err
+				}
+				bv, err := tx.Get("pair.b")
+				if err != nil {
+					return err
+				}
+				if av.([2]int)[0] != bv.([2]int)[0] {
+					return fmt.Errorf("torn pair: %v vs %v", av, bv)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	a, err := s.Lookup("pair.a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Object.([2]int)[0] != 4*rounds {
+		t.Fatalf("final count = %v", a.Object)
+	}
+	st := s.TxStats()
+	if st.Attempts != st.Commits+st.Aborts {
+		t.Fatalf("conservation: %+v", st)
+	}
+}

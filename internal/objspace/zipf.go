@@ -1,0 +1,51 @@
+package objspace
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Zipf draws keys 0..n-1 with probability P(k) ∝ 1/(k+1)^theta — the
+// skewed key-popularity distribution of multi-tenant workloads (a few
+// shared objects are wildly popular, the rest form a long tail). It
+// exists so the benchmark suite and stress tests can sweep contention
+// by theta; unlike math/rand's Zipf it accepts any theta ≥ 0
+// (theta 0 is uniform, theta around 1 is the classic web skew).
+//
+// A Zipf is not safe for concurrent use; give each goroutine its own
+// (they can share the precomputed table via Clone).
+type Zipf struct {
+	cum []float64
+	rng *rand.Rand
+}
+
+// NewZipf builds a sampler over n keys with skew theta, drawing
+// randomness from rng.
+func NewZipf(rng *rand.Rand, theta float64, n int) *Zipf {
+	if n < 1 {
+		n = 1
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), theta)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &Zipf{cum: cum, rng: rng}
+}
+
+// Clone returns a sampler sharing this one's precomputed distribution
+// but drawing from its own rng — one per goroutine.
+func (z *Zipf) Clone(rng *rand.Rand) *Zipf {
+	return &Zipf{cum: z.cum, rng: rng}
+}
+
+// Next draws the next key.
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	return sort.SearchFloat64s(z.cum, u)
+}

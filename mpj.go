@@ -71,6 +71,9 @@ type (
 	Program = core.Program
 	// MainFunc is a program entry point.
 	MainFunc = core.MainFunc
+	// ObjectTx is one atomic, permission-checked multi-object
+	// transaction over the shared-object space (Context.UpdateObjects).
+	ObjectTx = core.ObjectTx
 )
 
 // Substrate types commonly needed by users of the platform.
