@@ -5,8 +5,8 @@
 #   make vet          go vet over all packages
 #   make test         full test suite; the concurrency-heavy packages
 #                     (security, vm, events, netsim, audit, vfs,
-#                     streams, objspace) are rerun under the data-race
-#                     detector
+#                     streams, objspace, remote, classes, load) are
+#                     rerun under the data-race detector
 #   make bench-smoke  one fast pass over the E8 access-control, events,
 #                     and netsim benchmarks
 #   make bench-json   full mvmbench run, machine-readable, written to
@@ -14,12 +14,19 @@
 #   make bench-json-smoke  mvmbench at tiny iteration count, output
 #                     discarded — CI uses this to keep the harness
 #                     from rotting
-#   make check        all of the above except bench-json
+#   make load-smoke   mvmload's built-in smoke grid: a tiny open-loop
+#                     sweep that asserts every cell completes work —
+#                     CI's guard on the traffic harness
+#   make load-grid    the reproducible mvmload grid behind
+#                     EXPERIMENTS.md §E-load (slow); writes
+#                     LOAD_GRID.csv and LOAD_GRID.json
+#   make check        all of the above except bench-json and load-grid
 #   make bench        the full experiment harness (slow)
 
 GO ?= go
 
-.PHONY: build vet test bench-smoke bench bench-json bench-json-smoke check
+.PHONY: build vet test bench-smoke bench bench-json bench-json-smoke \
+	load-smoke load-grid check
 
 build:
 	$(GO) build ./...
@@ -29,7 +36,7 @@ vet:
 
 test:
 	$(GO) test ./...
-	$(GO) test -race ./internal/security/ ./internal/vm/ ./internal/events/ ./internal/netsim/ ./internal/audit/ ./internal/vfs/ ./internal/streams/ ./internal/objspace/
+	$(GO) test -race ./internal/security/ ./internal/vm/ ./internal/events/ ./internal/netsim/ ./internal/audit/ ./internal/vfs/ ./internal/streams/ ./internal/objspace/ ./internal/remote/ ./internal/classes/ ./internal/load/
 
 bench-smoke:
 	$(GO) test -run xxx -bench 'BenchmarkE8AccessControl|BenchmarkE8PolicyScale' -benchtime=100x .
@@ -42,7 +49,14 @@ bench-json:
 bench-json-smoke:
 	$(GO) run ./cmd/mvmbench -iters 20 -json > /dev/null
 
+load-smoke:
+	$(GO) run ./cmd/mvmload -smoke > /dev/null
+
+load-grid:
+	$(GO) run ./cmd/mvmload -duration 2s -warmup 500ms -repeats 3 \
+		-csv LOAD_GRID.csv -json LOAD_GRID.json
+
 bench:
 	$(GO) test -bench=. -benchmem .
 
-check: build vet test bench-smoke
+check: build vet test bench-smoke load-smoke

@@ -78,7 +78,6 @@ func eventWorld(mode events.DispatchMode, apps int, delivered *atomic.Int64) (*e
 // with many posters spraying many applications at once (the lock-free
 // registry + chunked-queue headline), plus the batched posting paths.
 func eEvents(iters int) error {
-	header("E-events", "event plane: lock-free routing, batched dispatch, contended posting")
 
 	n := iters * 25 // events per measurement; 50k at the default -iters
 	for _, mode := range []events.DispatchMode{events.SingleDispatcher, events.PerAppDispatcher} {
@@ -178,7 +177,6 @@ func eEvents(iters int) error {
 // serialize on one network-wide mutex and now shares only an atomic
 // snapshot load.
 func eNetsim(iters int) error {
-	header("E-netsim", "netsim: connection throughput, contended dial path")
 
 	n := netsim.New()
 	const hosts = 8

@@ -5,13 +5,11 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"os/exec"
-	"runtime"
 	"time"
 
 	"mpj"
@@ -20,6 +18,7 @@ import (
 	"mpj/internal/classes"
 	"mpj/internal/core"
 	"mpj/internal/events"
+	"mpj/internal/load"
 	"mpj/internal/netsim"
 	"mpj/internal/objspace"
 	"mpj/internal/remote"
@@ -58,133 +57,76 @@ func echoChild() {
 	}
 }
 
-// measure runs fn iters times and returns the average duration.
-func measure(iters int, fn func()) time.Duration {
-	fn() // warm up
-	start := time.Now()
-	for i := 0; i < iters; i++ {
-		fn()
-	}
-	return time.Since(start) / time.Duration(iters)
-}
-
-// The collector behind header/row: every section and row is recorded
-// so -json can emit the whole run as one machine-readable document
-// (committed as BENCH_PR6.json by `make bench-json`).
-type benchRow struct {
-	Label string `json:"label"`
-	Value string `json:"value"`
-	// Nanos is set when the measured value is a duration, so tooling
-	// can diff runs numerically instead of parsing "1.234µs".
-	Nanos int64 `json:"nanos,omitempty"`
-}
-
-type benchSection struct {
-	ID    string     `json:"id"`
-	Title string     `json:"title"`
-	Rows  []benchRow `json:"rows"`
-}
-
+// The measurement substrate lives in internal/load (shared with
+// cmd/mvmload): load.Measure is the closed-loop averaging primitive
+// and rep collects sections/rows for table or JSON output (committed
+// as BENCH_PR6.json by `make bench-json`).
 var (
 	jsonMode bool
-	report   []*benchSection
+	rep      *load.Report
 )
 
-func header(id, title string) {
-	report = append(report, &benchSection{ID: id, Title: title})
-	if !jsonMode {
-		fmt.Printf("\n== %s — %s\n", id, title)
-	}
+// measure runs fn iters times and returns the average duration.
+func measure(iters int, fn func()) time.Duration { return load.Measure(iters, fn) }
+
+// row appends a measurement to the current section.
+func row(label string, value any) { rep.Row(label, value) }
+
+// experiment is one registered section of the evaluation.
+type experiment struct {
+	id    string
+	title string
+	run   func(iters int) error
 }
 
-func row(label string, value any) {
-	r := benchRow{Label: label, Value: fmt.Sprint(value)}
-	if d, ok := value.(time.Duration); ok {
-		r.Nanos = d.Nanoseconds()
-	}
-	s := report[len(report)-1]
-	s.Rows = append(s.Rows, r)
-	if !jsonMode {
-		fmt.Printf("   %-46s %v\n", label, value)
+// experiments is the registered evaluation, in paper order. Each
+// entry's function only emits rows; section identity lives here, so
+// the harness — not each hand-rolled loop — owns ordering, titles,
+// and the empty-section guard.
+func experiments() []experiment {
+	return []experiment{
+		{"E1 (Figure 1)", "application launch/exit: one VM vs a fresh VM per application", e1},
+		{"E2/E4 (Figures 2 & 4)", "fast app's event latency while another app runs a 200µs callback", e2e4},
+		{"E3 (Figure 3)", "thread spawn+join inside an application (group accounting)", e3},
+		{"E5 (Figure 5)", "per-application System class reload vs delegated (shared) load", e5},
+		{"E6 (Section 2)", "context switch: one round trip between two parties", e6},
+		{"E7 (Section 2)", "IPC throughput: in-VM pipe vs OS pipe", e7},
+		{"E8 (§5.3/§5.6)", "access-control cost: stack depth × policy kind", e8},
+		{"E8-fast", "decision caching: cold vs cached, match cache, AddGrant invalidation", e8fast},
+		{"E-audit", "audit emission: disabled / drained / saturated, and the access fast path", eAudit},
+		{"E-vfs", "VFS: dentry cache, per-inode locks, contended I/O", eVFS},
+		{"E-events", "event plane: lock-free routing, batched dispatch, contended posting", eEvents},
+		{"E-netsim", "netsim: connection throughput, contended dial path", eNetsim},
+		{"E9 (§6.3)", "applet fetch+verify+load+run cycle", e9},
+		{"E10 (§6.1)", "shell pipeline launch+drain by stage count", e10},
+		{"E11 (§5.2)", "login: authenticate + setUser + shell", e11},
+		{"E12 (§8 extension)", "shared-object Mailbox handoff vs byte-pipe copy", e12},
+		{"E13 (§8 extension)", "cross-VM rexec vs local exec", e13},
+		{"E-objspace", "transactional object space: sharded records, optimistic commit, adaptive escalation", eObjspace},
 	}
 }
 
 func run(iters int) error {
+	rep = load.NewReport(os.Stdout, jsonMode)
 	if !jsonMode {
 		fmt.Printf("mvmbench: reproducing the evaluation of Balfanz & Gong (ICDCS 1998)\n")
 		fmt.Printf("iterations per measurement: %d\n", iters)
 	}
-
-	if err := e1(iters); err != nil {
-		return err
-	}
-	if err := e2e4(); err != nil {
-		return err
-	}
-	if err := e3(iters); err != nil {
-		return err
-	}
-	if err := e5(iters); err != nil {
-		return err
-	}
-	if err := e6(iters); err != nil {
-		return err
-	}
-	e7(iters)
-	if err := e8(iters); err != nil {
-		return err
-	}
-	if err := e8fast(iters); err != nil {
-		return err
-	}
-	if err := eAudit(iters); err != nil {
-		return err
-	}
-	if err := eVFS(iters); err != nil {
-		return err
-	}
-	if err := eEvents(iters); err != nil {
-		return err
-	}
-	if err := eNetsim(iters); err != nil {
-		return err
-	}
-	if err := e9(iters); err != nil {
-		return err
-	}
-	if err := e10(); err != nil {
-		return err
-	}
-	if err := e11(); err != nil {
-		return err
-	}
-	e12(iters)
-	if err := e13(); err != nil {
-		return err
-	}
-	if err := eObjspace(iters); err != nil {
-		return err
+	for _, ex := range experiments() {
+		rep.Section(ex.id, ex.title)
+		if err := ex.run(iters); err != nil {
+			return err
+		}
 	}
 	// Guard against silently-empty sections: a registered experiment
 	// that emits no samples means the run is not measuring what the
 	// committed JSON claims it does, so fail loudly (bench-json-smoke
 	// runs this in CI).
-	for _, s := range report {
-		if len(s.Rows) == 0 {
-			return fmt.Errorf("section %q (%s) emitted no samples", s.ID, s.Title)
-		}
+	if err := rep.CheckNonEmpty(); err != nil {
+		return err
 	}
 	if jsonMode {
-		out := struct {
-			Bench      string          `json:"bench"`
-			Iters      int             `json:"iters"`
-			GoMaxProcs int             `json:"gomaxprocs"`
-			NumCPU     int             `json:"numcpu"`
-			Sections   []*benchSection `json:"sections"`
-		}{"mvmbench", iters, runtime.GOMAXPROCS(0), runtime.NumCPU(), report}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		return enc.Encode(out)
+		return rep.EmitJSON(os.Stdout, "mvmbench", iters)
 	}
 	fmt.Println("\nall experiments complete")
 	return nil
@@ -196,7 +138,6 @@ func standard(name string) (*mpj.Platform, *mpj.AppletStore, error) {
 }
 
 func e1(iters int) error {
-	header("E1 (Figure 1)", "application launch/exit: one VM vs a fresh VM per application")
 	p, _, err := standard("e1")
 	if err != nil {
 		return err
@@ -237,8 +178,7 @@ func e1(iters int) error {
 	return nil
 }
 
-func e2e4() error {
-	header("E2/E4 (Figures 2 & 4)", "fast app's event latency while another app runs a 200µs callback")
+func e2e4(iters int) error {
 	for _, mode := range []events.DispatchMode{events.SingleDispatcher, events.PerAppDispatcher} {
 		lat, err := dispatcherLatency(mode)
 		if err != nil {
@@ -327,7 +267,6 @@ func dispatcherLatency(mode events.DispatchMode) (time.Duration, error) {
 }
 
 func e3(iters int) error {
-	header("E3 (Figure 3)", "thread spawn+join inside an application (group accounting)")
 	p, _, err := standard("e3")
 	if err != nil {
 		return err
@@ -360,7 +299,6 @@ func e3(iters int) error {
 }
 
 func e5(iters int) error {
-	header("E5 (Figure 5)", "per-application System class reload vs delegated (shared) load")
 	p, _, err := standard("e5")
 	if err != nil {
 		return err
@@ -398,7 +336,6 @@ func e5(iters int) error {
 }
 
 func e6(iters int) error {
-	header("E6 (Section 2)", "context switch: one round trip between two parties")
 	// (a) two applications in ONE VM over in-VM pipes.
 	p, _, err := standard("e6")
 	if err != nil {
@@ -508,8 +445,7 @@ func e6(iters int) error {
 	return nil
 }
 
-func e7(iters int) {
-	header("E7 (Section 2)", "IPC throughput: in-VM pipe vs OS pipe")
+func e7(iters int) error {
 	for _, size := range []int{64, 4096, 32768} {
 		msg := make([]byte, size)
 		got := make([]byte, size)
@@ -543,10 +479,10 @@ func e7(iters int) {
 		row(fmt.Sprintf("%6dB  in-VM %v / OS %v", size, inVM, osPipe),
 			fmt.Sprintf("in-VM %s   OS %s", mbps(inVM), mbps(osPipe)))
 	}
+	return nil
 }
 
 func e8(iters int) error {
-	header("E8 (§5.3/§5.6)", "access-control cost: stack depth × policy kind")
 	pol := security.MustParsePolicy(`
 grant codeBase "file:/local/-"  { permission file "/data/-", "read"; };
 grant codeBase "file:/userish/-" { permission user; };
@@ -598,8 +534,6 @@ grant user "alice" { permission file "/data/-", "read"; };
 // match cache, and runtime grant delegation invalidating a cached
 // denial.
 func e8fast(iters int) error {
-	header("E8-fast", "decision caching: cold vs cached, match cache, AddGrant invalidation")
-
 	// Cold vs warm collection implication: a fresh collection per
 	// query pays for sealing the typed index; a warm one answers from
 	// the decision memo.
@@ -664,7 +598,6 @@ func e8fast(iters int) error {
 // with an audit log attached but CatAccess off must cost the same as
 // the log-free fast path.
 func eAudit(iters int) error {
-	header("E-audit", "audit emission: disabled / drained / saturated, and the access fast path")
 	const batch = 1024
 	ev := audit.Event{Cat: audit.CatShell, Verb: "bench", User: "alice", Detail: "payload"}
 
@@ -749,7 +682,6 @@ func eAudit(iters int) error {
 }
 
 func e9(iters int) error {
-	header("E9 (§6.3)", "applet fetch+verify+load+run cycle")
 	p, store, err := standard("e9")
 	if err != nil {
 		return err
@@ -787,8 +719,9 @@ func e9(iters int) error {
 	return nil
 }
 
-func e10() error {
-	header("E10 (§6.1)", "shell pipeline launch+drain by stage count")
+// e10 uses its own iteration count: pipeline launches are orders of
+// magnitude heavier than the micro-operations iters is sized for.
+func e10(iters int) error {
 	p, _, err := standard("e10")
 	if err != nil {
 		return err
@@ -821,8 +754,7 @@ func e10() error {
 	return nil
 }
 
-func e11() error {
-	header("E11 (§5.2)", "login: authenticate + setUser + shell")
+func e11(iters int) error {
 	p, _, err := standard("e11")
 	if err != nil {
 		return err
@@ -842,9 +774,8 @@ func e11() error {
 }
 
 // e12 measures the Section 8 shared-object IPC mechanism against byte
-// pipes (registered in run via runExtensions).
-func e12(iters int) {
-	header("E12 (§8 extension)", "shared-object Mailbox handoff vs byte-pipe copy")
+// pipes.
+func e12(iters int) error {
 	for _, size := range []int{4096, 1 << 20} {
 		payload := make([]byte, size)
 
@@ -890,11 +821,11 @@ func e12(iters int) {
 		}
 		row(fmt.Sprintf("%s message: mailbox / pipe", label), fmt.Sprintf("%v / %v", mbox, pipe))
 	}
+	return nil
 }
 
 // e13 measures cross-VM exec against local exec.
-func e13() error {
-	header("E13 (§8 extension)", "cross-VM rexec vs local exec")
+func e13(iters int) error {
 	net := netsim.New()
 	net.AddHost("localhost")
 	net.AddHost("vm2.local")

@@ -361,7 +361,6 @@ func runEngineWide(mode objspace.Mode, names []string, plans [][][8]int) (time.D
 }
 
 func eObjspace(iters int) error {
-	header("E-objspace", "transactional object space: sharded records, optimistic commit, adaptive escalation")
 	const keys = 256
 	const tenants = 8
 	perT := iters * 4

@@ -16,7 +16,6 @@ import (
 // into an unrelated file, and user-I/O parity with the audit drainer
 // persisting a denial storm into the same filesystem.
 func eVFS(iters int) error {
-	header("E-vfs", "VFS: dentry cache, per-inode locks, contended I/O")
 
 	world := func() *vfs.FS {
 		fs := vfs.New()

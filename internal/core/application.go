@@ -54,6 +54,7 @@ type Application struct {
 	stderr         *streams.Stream
 	opened         []*streams.Stream
 	cleanups       []func()
+	tornDown       bool // destroy consumed opened/cleanups; late adds run inline
 	exitCode       int
 	exitSet        bool
 	mainClass      *classes.Class
@@ -401,16 +402,34 @@ func (a *Application) setExitCode(code int) {
 // — inherited ones are left alone, per Section 5.1).
 func (a *Application) registerStream(s *streams.Stream) {
 	a.mu.Lock()
-	defer a.mu.Unlock()
+	if a.tornDown {
+		// destroy already consumed the opened list; close on its behalf
+		// now so the stream is not leaked.
+		a.mu.Unlock()
+		_ = s.CloseBy(streams.OwnerSystem)
+		return
+	}
 	a.opened = append(a.opened, s)
+	a.mu.Unlock()
 }
 
 // AddCleanup registers a hook run when the application is destroyed
-// (the events layer uses this to close the application's windows).
+// (the events layer uses this to close the application's windows; the
+// shell uses it to close a pipeline stage's pipe ends). If destruction
+// has already consumed the cleanup list — a fast application can exit
+// and be reaped before its launcher gets here — the hook runs
+// immediately on the calling thread: appending it would silently drop
+// it, and a dropped pipe-close hook deadlocks the downstream stage
+// waiting for EOF.
 func (a *Application) AddCleanup(fn func()) {
 	a.mu.Lock()
-	defer a.mu.Unlock()
+	if a.tornDown {
+		a.mu.Unlock()
+		fn()
+		return
+	}
 	a.cleanups = append(a.cleanups, fn)
+	a.mu.Unlock()
 }
 
 // RequestExit schedules the application for destruction with the given
@@ -440,6 +459,7 @@ func (a *Application) destroy() {
 	a.cleanups = nil
 	opened := a.opened
 	a.opened = nil
+	a.tornDown = true // late AddCleanup/registerStream act inline from here on
 	a.mu.Unlock()
 
 	for i := len(cleanups) - 1; i >= 0; i-- {

@@ -389,6 +389,17 @@ func (p *Platform) AddUser(name, password string) (*user.User, error) {
 	return u, nil
 }
 
+// ExecWait launches an application and blocks until it finishes,
+// returning its exit code — the synchronous launch shape every
+// scenario driver in the load harness (and most tests) wants.
+func (p *Platform) ExecWait(spec ExecSpec) (int, error) {
+	app, err := p.Exec(spec)
+	if err != nil {
+		return -1, err
+	}
+	return app.WaitFor(), nil
+}
+
 // Applications returns a snapshot of the live applications.
 func (p *Platform) Applications() []*Application {
 	p.mu.Lock()

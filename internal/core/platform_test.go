@@ -486,3 +486,27 @@ func TestExecUnderDestroyedParentFails(t *testing.T) {
 		t.Fatalf("exec under destroyed parent: %v", err)
 	}
 }
+
+// TestAddCleanupAfterDestroyRunsInline pins the fix for a pipeline
+// deadlock found by the mvmload traffic harness: a fast application
+// can exit and be reaped before its launcher calls AddCleanup, and a
+// hook appended after destroy() consumed the cleanup list was
+// silently dropped — for the shell, that dropped the pipe-close hook
+// and deadlocked the downstream stage waiting for EOF. A late
+// AddCleanup must run the hook immediately instead.
+func TestAddCleanupAfterDestroyRunsInline(t *testing.T) {
+	p := newTestPlatform(t)
+	registerProgram(t, p, "fast", func(ctx *Context, args []string) int { return 0 })
+	app, err := p.Exec(ExecSpec{Program: "fast"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.WaitFor() // application fully destroyed: cleanup list consumed
+	ran := make(chan struct{})
+	app.AddCleanup(func() { close(ran) })
+	select {
+	case <-ran:
+	case <-time.After(2 * time.Second):
+		t.Fatal("cleanup added after destruction never ran")
+	}
+}

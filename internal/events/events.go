@@ -756,6 +756,40 @@ func (s *Server) QueueDepth(owner OwnerID) int {
 	return 0
 }
 
+// PendingEvents reports the total number of accepted-but-undelivered
+// events across every dispatcher queue (queued plus popped-but-
+// unacknowledged).
+func (s *Server) PendingEvents() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	if s.single != nil {
+		n += s.single.queue.depth()
+	}
+	for _, d := range s.perApp {
+		n += d.queue.depth()
+	}
+	return n
+}
+
+// Quiesce waits until every accepted event has been delivered (or
+// dropped) or the timeout expires, reporting whether the server
+// drained. Load drivers call this before checking the
+// Posted == Dispatched + Dropped conservation law, which only holds
+// at quiescence.
+func (s *Server) Quiesce(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if s.PendingEvents() == 0 {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
 // Shutdown stops all dispatching and closes every window.
 func (s *Server) Shutdown() {
 	s.mu.Lock()

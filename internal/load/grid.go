@@ -1,0 +1,265 @@
+package load
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"strconv"
+	"time"
+)
+
+// GridConfig describes a reproducible parameter sweep: the cross
+// product of Scenarios × Rates × Thetas × Procs, each cell run
+// Repeats times with a fresh platform, fixed seeds, and a warmup
+// window before measurement.
+type GridConfig struct {
+	// Scenarios names the scenario drivers to run (see Scenarios()).
+	Scenarios []string
+	// Rates are target arrival rates in ops/sec.
+	Rates []float64
+	// Thetas are zipf skews for the user population.
+	Thetas []float64
+	// Procs are GOMAXPROCS values to sweep (process-wide; restored
+	// after the grid).
+	Procs []int
+	// Repeats runs each cell this many times (seeded seed+repeat).
+	Repeats int
+
+	Population int
+	Workers    int
+	QueueCap   int
+	Duration   time.Duration
+	Warmup     time.Duration
+	Seed       int64
+}
+
+func (g *GridConfig) applyDefaults() {
+	if len(g.Scenarios) == 0 {
+		for _, s := range Scenarios() {
+			g.Scenarios = append(g.Scenarios, s.Name)
+		}
+	}
+	if len(g.Rates) == 0 {
+		g.Rates = []float64{500}
+	}
+	if len(g.Thetas) == 0 {
+		g.Thetas = []float64{0.99}
+	}
+	if len(g.Procs) == 0 {
+		g.Procs = []int{runtime.GOMAXPROCS(0)}
+	}
+	if g.Repeats < 1 {
+		g.Repeats = 1
+	}
+	if g.Population <= 0 {
+		g.Population = 64
+	}
+	if g.Workers <= 0 {
+		g.Workers = 16
+	}
+	if g.QueueCap <= 0 {
+		g.QueueCap = 256
+	}
+	if g.Duration <= 0 {
+		g.Duration = 2 * time.Second
+	}
+	if g.Warmup < 0 {
+		g.Warmup = 0
+	}
+}
+
+// Cells returns how many runner invocations the grid performs.
+func (g *GridConfig) Cells() int {
+	g.applyDefaults()
+	return len(g.Scenarios) * len(g.Rates) * len(g.Thetas) * len(g.Procs) * g.Repeats
+}
+
+// GridRow is one cell result. GoMaxProcs is recorded per row — the
+// single-CPU ambiguity of the earlier BENCH_*.json snapshots is not
+// allowed to recur.
+type GridRow struct {
+	Scenario   string  `json:"scenario"`
+	Rate       float64 `json:"rate_target"`
+	Theta      float64 `json:"theta"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	Repeat     int     `json:"repeat"`
+
+	Population  int     `json:"population"`
+	Workers     int     `json:"workers"`
+	QueueCap    int     `json:"queue_cap"`
+	DurationSec float64 `json:"duration_s"`
+
+	Issued    int64 `json:"issued"`
+	Completed int64 `json:"completed"`
+	Dropped   int64 `json:"dropped"`
+	Errors    int64 `json:"errors"`
+
+	AchievedRate float64 `json:"rate_achieved"`
+	DropPct      float64 `json:"drop_pct"`
+
+	P50  int64 `json:"p50_ns"`
+	P90  int64 `json:"p90_ns"`
+	P99  int64 `json:"p99_ns"`
+	P999 int64 `json:"p999_ns"`
+	Max  int64 `json:"max_ns"`
+	Mean int64 `json:"mean_ns"`
+}
+
+// rowFrom flattens a runner result into a grid row.
+func rowFrom(res *Result, theta float64, procs, repeat int) GridRow {
+	return GridRow{
+		Scenario:     res.Scenario,
+		Rate:         res.Config.Rate,
+		Theta:        theta,
+		GoMaxProcs:   procs,
+		Repeat:       repeat,
+		Population:   res.Config.Population,
+		Workers:      res.Config.Workers,
+		QueueCap:     res.Config.QueueCap,
+		DurationSec:  res.Config.Duration.Seconds(),
+		Issued:       res.MeasuredIssued,
+		Completed:    res.MeasuredCompleted,
+		Dropped:      res.MeasuredDropped,
+		Errors:       res.Counters.Errors,
+		AchievedRate: res.AchievedRate(),
+		DropPct:      res.DropPct(),
+		P50:          res.Hist.Quantile(0.50),
+		P90:          res.Hist.Quantile(0.90),
+		P99:          res.Hist.Quantile(0.99),
+		P999:         res.Hist.Quantile(0.999),
+		Max:          res.Hist.Max(),
+		Mean:         res.Hist.Mean(),
+	}
+}
+
+// RunGrid executes the sweep. Each cell boots a fresh platform (so no
+// cell inherits another's caches or backlog), runs warmup + measured
+// window open-loop, drains, and verifies both the driver's accounting
+// law and the scenario's own conservation check before the row is
+// accepted. Progress lines go to progress (nil for quiet).
+func RunGrid(cfg GridConfig, progress io.Writer) ([]GridRow, error) {
+	cfg.applyDefaults()
+	prevProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prevProcs)
+
+	logf := func(format string, args ...any) {
+		if progress != nil {
+			fmt.Fprintf(progress, format, args...)
+		}
+	}
+
+	var rows []GridRow
+	cell, cells := 0, cfg.Cells()
+	for _, procs := range cfg.Procs {
+		runtime.GOMAXPROCS(procs)
+		for _, theta := range cfg.Thetas {
+			for _, rate := range cfg.Rates {
+				for _, name := range cfg.Scenarios {
+					sc, ok := ScenarioByName(name)
+					if !ok {
+						return rows, fmt.Errorf("load: unknown scenario %q", name)
+					}
+					for rep := 0; rep < cfg.Repeats; rep++ {
+						cell++
+						row, err := runCell(sc, cfg, rate, theta, procs, rep)
+						if err != nil {
+							return rows, fmt.Errorf("load: %s rate=%g theta=%g procs=%d rep=%d: %w",
+								name, rate, theta, procs, rep, err)
+						}
+						rows = append(rows, row)
+						logf("[%3d/%d] %-8s rate %6.0f/s theta %.2f procs %d  →  %7.0f/s  drop %4.1f%%  p50 %v  p99 %v  p999 %v\n",
+							cell, cells, name, rate, theta, procs,
+							row.AchievedRate, row.DropPct,
+							time.Duration(row.P50), time.Duration(row.P99), time.Duration(row.P999))
+					}
+				}
+			}
+		}
+	}
+	return rows, nil
+}
+
+// runCell executes one grid cell on a fresh platform.
+func runCell(sc Scenario, cfg GridConfig, rate, theta float64, procs, repeat int) (GridRow, error) {
+	seed := cfg.Seed + int64(repeat)*7919
+	env, err := NewEnv(fmt.Sprintf("load-%s", sc.Name), cfg.Population, cfg.Workers, seed)
+	if err != nil {
+		return GridRow{}, err
+	}
+	defer env.Close()
+	op, check, err := sc.Setup(env)
+	if err != nil {
+		return GridRow{}, err
+	}
+	runner := NewRunner(Config{
+		Rate:       rate,
+		Duration:   cfg.Duration,
+		Warmup:     cfg.Warmup,
+		Workers:    cfg.Workers,
+		QueueCap:   cfg.QueueCap,
+		Population: cfg.Population,
+		Theta:      theta,
+		Seed:       seed,
+	}, op)
+	res := runner.Run(sc.Name)
+	if err := res.CheckConservation(); err != nil {
+		return GridRow{}, err
+	}
+	if err := check(); err != nil {
+		return GridRow{}, err
+	}
+	if res.FirstError != nil {
+		return GridRow{}, fmt.Errorf("%d op errors, first: %w", res.Counters.Errors, res.FirstError)
+	}
+	return rowFrom(res, theta, procs, repeat), nil
+}
+
+// WriteCSV emits the grid rows as CSV with a header line.
+func WriteCSV(w io.Writer, rows []GridRow) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"scenario", "rate_target", "theta", "gomaxprocs", "repeat",
+		"population", "workers", "queue_cap", "duration_s",
+		"issued", "completed", "dropped", "errors",
+		"rate_achieved", "drop_pct",
+		"p50_ns", "p90_ns", "p99_ns", "p999_ns", "max_ns", "mean_ns",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', -1, 64) }
+	i := func(v int64) string { return strconv.FormatInt(v, 10) }
+	for _, r := range rows {
+		rec := []string{
+			r.Scenario, f(r.Rate), f(r.Theta), strconv.Itoa(r.GoMaxProcs), strconv.Itoa(r.Repeat),
+			strconv.Itoa(r.Population), strconv.Itoa(r.Workers), strconv.Itoa(r.QueueCap), f(r.DurationSec),
+			i(r.Issued), i(r.Completed), i(r.Dropped), i(r.Errors),
+			f(r.AchievedRate), f(r.DropPct),
+			i(r.P50), i(r.P90), i(r.P99), i(r.P999), i(r.Max), i(r.Mean),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON emits the grid run as one JSON document alongside the
+// BENCH_*.json family: same top-level bench/gomaxprocs/numcpu
+// metadata, with per-row gomaxprocs inside each result.
+func WriteJSON(w io.Writer, cfg GridConfig, rows []GridRow) error {
+	cfg.applyDefaults()
+	out := struct {
+		Bench      string     `json:"bench"`
+		GoMaxProcs int        `json:"gomaxprocs"`
+		NumCPU     int        `json:"numcpu"`
+		Config     GridConfig `json:"config"`
+		Rows       []GridRow  `json:"rows"`
+	}{"mvmload", runtime.GOMAXPROCS(0), runtime.NumCPU(), cfg, rows}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

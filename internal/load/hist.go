@@ -1,0 +1,184 @@
+// Package load is the production traffic harness: an open-loop load
+// generator that drives mixed end-to-end scenarios (login, shell
+// pipelines, VFS I/O, event dispatch, shared-object transactions)
+// against a live platform at a target arrival rate, and the shared
+// measurement substrate (latency histograms, report collector, grid
+// runner) that cmd/mvmload and cmd/mvmbench both build on.
+//
+// Unlike the closed-loop mvmbench sections — which issue the next
+// operation only after the previous one returns, and therefore cannot
+// observe queueing delay — the open-loop driver (openloop.go) issues
+// work on a fixed arrival schedule whether or not earlier operations
+// have finished, so overload shows up as measured latency and drops
+// instead of silently slowing the generator (the coordinated-omission
+// trap).
+package load
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+)
+
+// Histogram bucketing: values are counted in log-linear buckets, the
+// HdrHistogram layout. Values below 2^histPrecision are exact; above
+// that, each power-of-two range is split into 2^(histPrecision-1)
+// linear sub-buckets, bounding the relative error of any recorded
+// value (and so of any reported quantile) by 1/2^(histPrecision-1).
+const (
+	histPrecision = 7                  // sub-bucket resolution bits
+	histSubCount  = 1 << histPrecision // exact region size (128)
+	histHalf      = histSubCount / 2   // sub-buckets per log range (64)
+	// Non-negative int64 values have at most 63 significant bits, so
+	// the largest needed shift is 63-histPrecision.
+	histRanges  = 63 - histPrecision // log ranges above the exact region
+	histBuckets = histSubCount + histRanges*histHalf
+)
+
+// Hist is a fixed-size log-linear latency histogram: recording is one
+// bit-scan plus one array increment, memory is a few KiB regardless of
+// sample count, and any quantile is recoverable to within ~1.6%
+// relative error (1/histHalf). A Hist is not safe for concurrent use;
+// the open-loop driver gives each worker its own and merges them.
+type Hist struct {
+	counts [histBuckets]int64
+	total  int64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// NewHist returns an empty histogram.
+func NewHist() *Hist {
+	return &Hist{min: -1}
+}
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	if v < histSubCount {
+		return int(v)
+	}
+	shift := bits.Len64(uint64(v)) - histPrecision
+	top := int(v >> uint(shift)) // in [histHalf, histSubCount)
+	return histSubCount + (shift-1)*histHalf + (top - histHalf)
+}
+
+// bucketMid returns the representative (midpoint) value of a bucket.
+func bucketMid(idx int) int64 {
+	if idx < histSubCount {
+		return int64(idx)
+	}
+	rem := idx - histSubCount
+	shift := rem/histHalf + 1
+	low := int64(histHalf+rem%histHalf) << uint(shift)
+	width := int64(1) << uint(shift)
+	return low + width/2
+}
+
+// Record adds one sample. Negative values are clamped to zero.
+func (h *Hist) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)]++
+	h.total++
+	h.sum += v
+	if h.min < 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// RecordDuration adds one duration sample in nanoseconds.
+func (h *Hist) RecordDuration(d time.Duration) { h.Record(d.Nanoseconds()) }
+
+// Count returns the number of recorded samples.
+func (h *Hist) Count() int64 { return h.total }
+
+// Min returns the smallest recorded sample (0 if empty).
+func (h *Hist) Min() int64 {
+	if h.min < 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded sample.
+func (h *Hist) Max() int64 { return h.max }
+
+// Mean returns the exact mean of recorded samples (0 if empty).
+func (h *Hist) Mean() int64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / h.total
+}
+
+// Quantile returns the value at quantile q in [0,1] — Quantile(0.99)
+// is p99. The result is the representative value of the bucket holding
+// the q-th sample, so it is exact for min/max-adjacent buckets and
+// within the histogram's relative-error bound everywhere else. Returns
+// 0 for an empty histogram.
+func (h *Hist) Quantile(q float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank of the target sample, 1-based; q=0 is the first sample.
+	rank := int64(q*float64(h.total-1)) + 1
+	// The extreme ranks are tracked exactly — report them exactly.
+	if rank == 1 {
+		return h.Min()
+	}
+	if rank == h.total {
+		return h.max
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.counts[i]
+		if seen >= rank {
+			mid := bucketMid(i)
+			// Clamp to the observed range so p0/p100 report real samples.
+			if mid < h.Min() {
+				mid = h.Min()
+			}
+			if mid > h.max {
+				mid = h.max
+			}
+			return mid
+		}
+	}
+	return h.max
+}
+
+// Merge adds all of other's samples into h.
+func (h *Hist) Merge(other *Hist) {
+	if other == nil || other.total == 0 {
+		return
+	}
+	for i := range h.counts {
+		h.counts[i] += other.counts[i]
+	}
+	h.total += other.total
+	h.sum += other.sum
+	if h.min < 0 || (other.min >= 0 && other.min < h.min) {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Summary renders the standard percentile line used in human output.
+func (h *Hist) Summary() string {
+	return fmt.Sprintf("p50 %v  p99 %v  p999 %v  max %v",
+		time.Duration(h.Quantile(0.50)), time.Duration(h.Quantile(0.99)),
+		time.Duration(h.Quantile(0.999)), time.Duration(h.Max()))
+}

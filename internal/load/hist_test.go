@@ -1,0 +1,166 @@
+package load
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// histTolerance is the histogram's documented relative error bound
+// (1/histHalf), with a little headroom for quantile rank rounding.
+const histTolerance = 2.0 / histHalf
+
+func wantWithin(t *testing.T, name string, got, want int64) {
+	t.Helper()
+	if want == 0 {
+		if got != 0 {
+			t.Fatalf("%s: got %d, want 0", name, got)
+		}
+		return
+	}
+	rel := math.Abs(float64(got)-float64(want)) / float64(want)
+	if rel > histTolerance {
+		t.Fatalf("%s: got %d, want %d (rel err %.4f > %.4f)", name, got, want, rel, histTolerance)
+	}
+}
+
+func TestHistConstantDistribution(t *testing.T) {
+	h := NewHist()
+	const v = 123456
+	for i := 0; i < 10000; i++ {
+		h.Record(v)
+	}
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 0.999, 1} {
+		wantWithin(t, "constant quantile", h.Quantile(q), v)
+	}
+	if h.Min() != v || h.Max() != v || h.Mean() != v {
+		t.Fatalf("min/max/mean = %d/%d/%d, want all %d", h.Min(), h.Max(), h.Mean(), v)
+	}
+	if h.Count() != 10000 {
+		t.Fatalf("count = %d, want 10000", h.Count())
+	}
+}
+
+func TestHistUniformDistribution(t *testing.T) {
+	// Exact enumeration 1..N: quantiles of the uniform distribution
+	// are known in closed form, so the histogram's answer must land
+	// within its error bound. Shuffled insertion order must not matter.
+	h := NewHist()
+	const n = 1_000_000
+	rng := rand.New(rand.NewSource(42))
+	perm := rng.Perm(n)
+	for _, v := range perm {
+		h.Record(int64(v + 1))
+	}
+	for _, tc := range []struct {
+		q    float64
+		want int64
+	}{
+		{0.50, n / 2},
+		{0.90, 9 * n / 10},
+		{0.99, 99 * n / 100},
+		{0.999, 999 * n / 1000},
+	} {
+		wantWithin(t, "uniform quantile", h.Quantile(tc.q), tc.want)
+	}
+	if h.Min() != 1 || h.Max() != n {
+		t.Fatalf("min/max = %d/%d, want 1/%d", h.Min(), h.Max(), n)
+	}
+	wantWithin(t, "uniform mean", h.Mean(), (n+1)/2)
+}
+
+func TestHistTwoPointDistribution(t *testing.T) {
+	// 90% fast ops at 1µs, 10% slow at 1ms: p50 must report the fast
+	// mode, p99/p999 the slow mode — the exact shape tail-latency
+	// reporting exists to expose.
+	h := NewHist()
+	fast, slow := int64(1000), int64(1_000_000)
+	for i := 0; i < 9000; i++ {
+		h.Record(fast)
+	}
+	for i := 0; i < 1000; i++ {
+		h.Record(slow)
+	}
+	wantWithin(t, "two-point p50", h.Quantile(0.50), fast)
+	wantWithin(t, "two-point p89", h.Quantile(0.89), fast)
+	wantWithin(t, "two-point p99", h.Quantile(0.99), slow)
+	wantWithin(t, "two-point p999", h.Quantile(0.999), slow)
+}
+
+func TestHistMergeMatchesSingle(t *testing.T) {
+	// Recording a stream into K shards and merging must be
+	// indistinguishable from recording it into one histogram —
+	// the property the per-worker histograms rely on.
+	rng := rand.New(rand.NewSource(7))
+	single := NewHist()
+	shards := make([]*Hist, 4)
+	for i := range shards {
+		shards[i] = NewHist()
+	}
+	for i := 0; i < 100000; i++ {
+		v := int64(rng.ExpFloat64() * 50000)
+		single.Record(v)
+		shards[i%4].Record(v)
+	}
+	merged := NewHist()
+	for _, s := range shards {
+		merged.Merge(s)
+	}
+	if merged.Count() != single.Count() || merged.Min() != single.Min() ||
+		merged.Max() != single.Max() || merged.Mean() != single.Mean() {
+		t.Fatalf("merged count/min/max/mean %d/%d/%d/%d != single %d/%d/%d/%d",
+			merged.Count(), merged.Min(), merged.Max(), merged.Mean(),
+			single.Count(), single.Min(), single.Max(), single.Mean())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		if merged.Quantile(q) != single.Quantile(q) {
+			t.Fatalf("q=%g: merged %d != single %d", q, merged.Quantile(q), single.Quantile(q))
+		}
+	}
+}
+
+func TestHistEmptyAndClamps(t *testing.T) {
+	h := NewHist()
+	if h.Quantile(0.5) != 0 || h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.Record(-5) // clamped to 0
+	if h.Min() != 0 || h.Max() != 0 || h.Count() != 1 {
+		t.Fatalf("negative clamp: min/max/count = %d/%d/%d", h.Min(), h.Max(), h.Count())
+	}
+	h.RecordDuration(3 * time.Millisecond)
+	if h.Max() != 3_000_000 {
+		t.Fatalf("RecordDuration: max = %d", h.Max())
+	}
+}
+
+func TestHistBucketRoundTrip(t *testing.T) {
+	// Every representative value must land back in its own bucket,
+	// and bucket boundaries must be monotone — the structural
+	// invariants the quantile walk depends on.
+	for idx := 0; idx < histBuckets; idx++ {
+		mid := bucketMid(idx)
+		if got := bucketIndex(mid); got != idx {
+			t.Fatalf("bucket %d: mid %d maps to bucket %d", idx, mid, got)
+		}
+	}
+	prev := int64(-1)
+	for idx := 0; idx < histBuckets; idx++ {
+		mid := bucketMid(idx)
+		if mid <= prev {
+			t.Fatalf("bucket %d: mid %d not monotone after %d", idx, mid, prev)
+		}
+		prev = mid
+	}
+	// Extremes do not panic or go out of bounds.
+	h := NewHist()
+	h.Record(math.MaxInt64)
+	h.Record(0)
+	if h.Count() != 2 {
+		t.Fatal("extreme values not recorded")
+	}
+	if q := h.Quantile(1); q != math.MaxInt64 {
+		t.Fatalf("p100 of {0, MaxInt64} = %d", q)
+	}
+}

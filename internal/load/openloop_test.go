@@ -1,0 +1,189 @@
+package load
+
+import (
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestOpenLoopTickAccounting pins the scheduler's determinism: the
+// number of issued arrivals is exactly the number of grid points in
+// [start, warmup+duration), independent of how slow the ops are, and
+// the conservation law Issued == Completed + Dropped holds after the
+// drain with the histogram holding exactly the measured completions.
+func TestOpenLoopTickAccounting(t *testing.T) {
+	cfg := Config{
+		Rate:       2000,
+		Duration:   200 * time.Millisecond,
+		Warmup:     50 * time.Millisecond,
+		Workers:    4,
+		QueueCap:   64,
+		Population: 8,
+		Seed:       1,
+	}
+	var ops atomic.Int64
+	r := NewRunner(cfg, func(worker, user int, rng *rand.Rand) error {
+		ops.Add(1)
+		return nil
+	})
+	res := r.Run("noop")
+	if err := res.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	c := res.Counters
+	// Grid points: due = start + i*interval for due < start+warmup+duration.
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+	want := int64((cfg.Warmup + cfg.Duration + interval - 1) / interval)
+	if c.Issued != want {
+		t.Fatalf("issued %d, want exactly %d grid points", c.Issued, want)
+	}
+	if c.Issued != c.Completed+c.Dropped {
+		t.Fatalf("issued %d != completed %d + dropped %d", c.Issued, c.Completed, c.Dropped)
+	}
+	if got := ops.Load(); got != c.Completed {
+		t.Fatalf("op invocations %d != completed %d", got, c.Completed)
+	}
+	if c.InFlight() != 0 {
+		t.Fatalf("in-flight %d after drain", c.InFlight())
+	}
+	if res.MeasuredIssued >= c.Issued {
+		t.Fatalf("measured issued %d should exclude warmup arrivals (total %d)", res.MeasuredIssued, c.Issued)
+	}
+	if res.Hist.Count() != res.MeasuredCompleted {
+		t.Fatalf("hist samples %d != measured completions %d", res.Hist.Count(), res.MeasuredCompleted)
+	}
+}
+
+// TestOpenLoopOverloadDropsAndInFlight drives a schedule into blocked
+// workers: with every worker parked and the queue bounded, arrivals
+// beyond workers+queue must be dropped (not absorbed), mid-run
+// snapshots must satisfy Issued >= Admitted + Dropped and
+// Admitted >= Completed, and after release the full law holds.
+func TestOpenLoopOverloadDropsAndInFlight(t *testing.T) {
+	gate := make(chan struct{})
+	cfg := Config{
+		Rate:       5000,
+		Duration:   100 * time.Millisecond,
+		Warmup:     0,
+		Workers:    2,
+		QueueCap:   8,
+		Population: 4,
+		Seed:       2,
+	}
+	r := NewRunner(cfg, func(worker, user int, rng *rand.Rand) error {
+		<-gate
+		return nil
+	})
+	done := make(chan *Result, 1)
+	go func() { done <- r.Run("blocked") }()
+
+	// Let the scheduler run its WHOLE schedule against parked workers
+	// (the grid size is deterministic, see TestOpenLoopTickAccounting).
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+	total := int64((cfg.Warmup + cfg.Duration + interval - 1) / interval)
+	deadline := time.Now().Add(5 * time.Second)
+	var snap Counters
+	for {
+		snap = r.Snapshot()
+		if snap.Issued == total {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("scheduler stalled: %+v (want %d issued)", snap, total)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if snap.Dropped == 0 || snap.Admitted != int64(cfg.Workers+cfg.QueueCap) {
+		t.Fatalf("overload never saturated: %+v", snap)
+	}
+	// Saturated: workers hold one arrival each, the queue holds QueueCap.
+	if snap.Completed != 0 {
+		t.Fatalf("completions with workers parked: %+v", snap)
+	}
+	if got := snap.InFlight(); got != int64(cfg.Workers+cfg.QueueCap) {
+		t.Fatalf("in-flight %d, want %d", got, cfg.Workers+cfg.QueueCap)
+	}
+
+	close(gate)
+	res := <-done
+	if err := res.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	c := res.Counters
+	if c.Issued != c.Completed+c.Dropped {
+		t.Fatalf("issued %d != completed %d + dropped %d", c.Issued, c.Completed, c.Dropped)
+	}
+	if c.Completed != int64(cfg.Workers+cfg.QueueCap) {
+		t.Fatalf("completed %d, want the %d admitted arrivals", c.Completed, cfg.Workers+cfg.QueueCap)
+	}
+	if res.DropPct() == 0 {
+		t.Fatal("overload must report a non-zero drop rate")
+	}
+}
+
+// TestOpenLoopSnapshotMonotonicity hammers Snapshot during a live run:
+// every observation must satisfy the documented partial-order
+// invariants (they are what makes mid-run progress reporting sane).
+func TestOpenLoopSnapshotMonotonicity(t *testing.T) {
+	cfg := Config{
+		Rate:       20000,
+		Duration:   150 * time.Millisecond,
+		Workers:    4,
+		QueueCap:   16,
+		Population: 8,
+		Seed:       3,
+	}
+	r := NewRunner(cfg, func(worker, user int, rng *rand.Rand) error { return nil })
+	done := make(chan *Result, 1)
+	go func() { done <- r.Run("snap") }()
+	for {
+		select {
+		case res := <-done:
+			if err := res.CheckConservation(); err != nil {
+				t.Fatal(err)
+			}
+			return
+		default:
+		}
+		s := r.Snapshot()
+		if s.Issued < s.Admitted+s.Dropped {
+			t.Fatalf("snapshot violates issued >= admitted+dropped: %+v", s)
+		}
+		if s.Admitted < s.Completed {
+			t.Fatalf("snapshot violates admitted >= completed: %+v", s)
+		}
+		if s.InFlight() < 0 {
+			t.Fatalf("negative in-flight: %+v", s)
+		}
+	}
+}
+
+// TestOpenLoopErrorAccounting: op errors are counted, the first is
+// kept, and errored ops still count as completions (the conservation
+// law is about arrivals, not successes).
+func TestOpenLoopErrorAccounting(t *testing.T) {
+	boom := errors.New("boom")
+	var n atomic.Int64
+	cfg := Config{Rate: 4000, Duration: 50 * time.Millisecond, Workers: 2, QueueCap: 32, Seed: 4}
+	r := NewRunner(cfg, func(worker, user int, rng *rand.Rand) error {
+		if n.Add(1)%3 == 0 {
+			return boom
+		}
+		return nil
+	})
+	res := r.Run("errs")
+	if err := res.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Errors == 0 {
+		t.Fatal("errors not counted")
+	}
+	if !errors.Is(res.FirstError, boom) {
+		t.Fatalf("FirstError = %v", res.FirstError)
+	}
+	if res.Counters.Errors >= res.Counters.Completed {
+		t.Fatalf("errors %d must be a subset of completions %d", res.Counters.Errors, res.Counters.Completed)
+	}
+}

@@ -1,0 +1,104 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+)
+
+// Row is one measurement line of a report section.
+type Row struct {
+	Label string `json:"label"`
+	Value string `json:"value"`
+	// Nanos is set when the measured value is a duration, so tooling
+	// can diff runs numerically instead of parsing "1.234µs".
+	Nanos int64 `json:"nanos,omitempty"`
+}
+
+// Section groups the rows of one experiment.
+type Section struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+	Rows  []Row  `json:"rows"`
+}
+
+// Report is the shared measurement collector behind cmd/mvmbench and
+// cmd/mvmload: experiments register sections and append rows, and the
+// whole run is emitted either as human-readable tables (streamed as
+// rows arrive) or as one machine-readable JSON document in the
+// committed BENCH_*.json shape.
+type Report struct {
+	sections []*Section
+	jsonMode bool
+	w        io.Writer
+}
+
+// NewReport creates a collector. In jsonMode nothing is streamed; the
+// document is produced by EmitJSON. Otherwise sections and rows print
+// to w as they are recorded.
+func NewReport(w io.Writer, jsonMode bool) *Report {
+	return &Report{w: w, jsonMode: jsonMode}
+}
+
+// Section starts a new experiment section.
+func (r *Report) Section(id, title string) {
+	r.sections = append(r.sections, &Section{ID: id, Title: title})
+	if !r.jsonMode {
+		fmt.Fprintf(r.w, "\n== %s — %s\n", id, title)
+	}
+}
+
+// Row appends a measurement to the current section. Duration values
+// additionally record their nanosecond count.
+func (r *Report) Row(label string, value any) {
+	row := Row{Label: label, Value: fmt.Sprint(value)}
+	if d, ok := value.(time.Duration); ok {
+		row.Nanos = d.Nanoseconds()
+	}
+	s := r.sections[len(r.sections)-1]
+	s.Rows = append(s.Rows, row)
+	if !r.jsonMode {
+		fmt.Fprintf(r.w, "   %-46s %v\n", label, value)
+	}
+}
+
+// CheckNonEmpty guards against silently-empty sections: a registered
+// experiment that emitted no samples means the run is not measuring
+// what the committed JSON claims it does.
+func (r *Report) CheckNonEmpty() error {
+	for _, s := range r.sections {
+		if len(s.Rows) == 0 {
+			return fmt.Errorf("section %q (%s) emitted no samples", s.ID, s.Title)
+		}
+	}
+	return nil
+}
+
+// EmitJSON writes the whole run as one indented JSON document in the
+// BENCH_*.json shape shared by mvmbench and mvmload.
+func (r *Report) EmitJSON(w io.Writer, bench string, iters int) error {
+	out := struct {
+		Bench      string     `json:"bench"`
+		Iters      int        `json:"iters"`
+		GoMaxProcs int        `json:"gomaxprocs"`
+		NumCPU     int        `json:"numcpu"`
+		Sections   []*Section `json:"sections"`
+	}{bench, iters, runtime.GOMAXPROCS(0), runtime.NumCPU(), r.sections}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Measure runs fn iters times (after one warm-up call) and returns
+// the average duration — the closed-loop measurement primitive the
+// mvmbench sections register with.
+func Measure(iters int, fn func()) time.Duration {
+	fn() // warm up
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		fn()
+	}
+	return time.Since(start) / time.Duration(iters)
+}

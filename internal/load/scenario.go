@@ -1,0 +1,364 @@
+package load
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"mpj/internal/core"
+	"mpj/internal/coreutils"
+	"mpj/internal/events"
+	"mpj/internal/objspace"
+	"mpj/internal/streams"
+	"mpj/internal/user"
+	"mpj/internal/vfs"
+	"mpj/internal/vm"
+)
+
+// Password is the shared password of the synthetic user population.
+const Password = "sesame"
+
+// Env is a live platform prepared for load: a booted VM with the
+// coreutils installed, a display server in per-app mode, and a
+// synthetic user population u000, u001, … (password Password), each
+// with a home directory and the standard per-user policy grant.
+type Env struct {
+	P     *core.Platform
+	Users []*user.User
+	// Workers is how many executor goroutines will call ops (scenario
+	// setup sizes per-worker state such as ack channels from it).
+	Workers int
+	Seed    int64
+}
+
+// NewEnv boots a platform with a population of n users.
+func NewEnv(name string, population, workers int, seed int64) (*Env, error) {
+	if population < 1 {
+		population = 1
+	}
+	if workers < 1 {
+		workers = 16
+	}
+	p, err := core.NewPlatform(core.Config{Name: name})
+	if err != nil {
+		return nil, err
+	}
+	if err := coreutils.InstallAll(p); err != nil {
+		p.Shutdown()
+		return nil, fmt.Errorf("load: install coreutils: %w", err)
+	}
+	p.EnableDisplay(events.PerAppDispatcher)
+	env := &Env{P: p, Workers: workers, Seed: seed}
+	for i := 0; i < population; i++ {
+		u, err := p.AddUser(fmt.Sprintf("u%03d", i), Password)
+		if err != nil {
+			p.Shutdown()
+			return nil, fmt.Errorf("load: add user %d: %w", i, err)
+		}
+		env.Users = append(env.Users, u)
+	}
+	return env, nil
+}
+
+// Close shuts the platform down.
+func (e *Env) Close() { e.P.Shutdown() }
+
+// Scenario is one end-to-end workload driver: Setup prepares platform
+// state for the population and returns the per-operation function
+// plus a post-drain check that asserts the scenario's conservation
+// invariants (run after the open-loop driver has drained).
+type Scenario struct {
+	Name  string
+	Setup func(env *Env) (Op, func() error, error)
+}
+
+// Scenarios returns the registered scenario set, sorted by name:
+//
+//	events    post an input event, wait for its dispatch
+//	login     full login cycle (authenticate + setUser + shell)
+//	objects   zipf-skewed atomic transfer between shared objects
+//	pipeline  two-stage shell pipeline launch + drain
+//	vfsio     permission-bounded write/read/delete in the user's home
+//
+// Together they traverse every subsystem: security, vm, classes,
+// shell, streams, vfs, events, and objspace.
+func Scenarios() []Scenario {
+	s := []Scenario{
+		{Name: "login", Setup: setupLogin},
+		{Name: "pipeline", Setup: setupPipeline},
+		{Name: "vfsio", Setup: setupVFSIO},
+		{Name: "events", Setup: setupEvents},
+		{Name: "objects", Setup: setupObjects},
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i].Name < s[j].Name })
+	return s
+}
+
+// ScenarioByName finds a registered scenario.
+func ScenarioByName(name string) (Scenario, bool) {
+	for _, s := range Scenarios() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// discard is a concurrency-safe sink for scenario program output.
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// setupLogin drives the E11 path end to end: authenticate against the
+// account database (salted SHA-256), setUser under the login code
+// source's privilege, chdir home, and run the user's shell to exit.
+func setupLogin(env *Env) (Op, func() error, error) {
+	sink := streams.NewWriteStream("null", streams.OwnerSystem, discard{})
+	op := func(worker, u int, rng *rand.Rand) error {
+		code, err := env.P.ExecWait(core.ExecSpec{
+			Program: "login",
+			Args:    []string{env.Users[u].Name, Password},
+			Stdout:  sink,
+			Stderr:  sink,
+		})
+		if err != nil {
+			return err
+		}
+		if code != 0 {
+			return fmt.Errorf("login %s: exit %d", env.Users[u].Name, code)
+		}
+		return nil
+	}
+	return op, func() error { return nil }, nil
+}
+
+// setupPipeline launches a two-stage shell pipeline (echo | cat) as
+// the chosen user: two applications, two reloaded System namespaces,
+// an in-VM pipe between them, launch to drain.
+func setupPipeline(env *Env) (Op, func() error, error) {
+	sink := streams.NewWriteStream("null", streams.OwnerSystem, discard{})
+	op := func(worker, u int, rng *rand.Rand) error {
+		code, err := env.P.ExecWait(core.ExecSpec{
+			Program: "sh",
+			Args:    []string{"-c", "echo data | cat"},
+			User:    env.Users[u],
+			Dir:     "/tmp",
+			Stdout:  sink,
+			Stderr:  sink,
+		})
+		if err != nil {
+			return err
+		}
+		if code != 0 {
+			return fmt.Errorf("pipeline as %s: exit %d", env.Users[u].Name, code)
+		}
+		return nil
+	}
+	return op, func() error { return nil }, nil
+}
+
+// setupVFSIO writes, reads back, and deletes a file in the chosen
+// user's home directory — the owner-checked VFS path with per-inode
+// locking and the dentry cache under churn. The post-drain check
+// asserts no scenario file survived (creates == deletes).
+func setupVFSIO(env *Env) (Op, func() error, error) {
+	fs := env.P.FS()
+	payload := make([]byte, 256)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	op := func(worker, u int, rng *rand.Rand) error {
+		usr := env.Users[u]
+		path := fmt.Sprintf("%s/load-%d-%d", usr.Home, worker, rng.Int63())
+		if err := fs.WriteFile(usr.Name, path, payload, 0o600); err != nil {
+			return err
+		}
+		data, err := fs.ReadFile(usr.Name, path)
+		if err != nil {
+			return err
+		}
+		if len(data) != len(payload) {
+			return fmt.Errorf("vfsio: read %d bytes, want %d", len(data), len(payload))
+		}
+		return fs.Remove(usr.Name, path)
+	}
+	check := func() error {
+		leaked := 0
+		for _, u := range env.Users {
+			infos, err := fs.ReadDir(vfs.Root, u.Home)
+			if err != nil {
+				return err
+			}
+			for _, fi := range infos {
+				if strings.HasPrefix(fi.Name, "load-") {
+					leaked++
+				}
+			}
+		}
+		if leaked != 0 {
+			return fmt.Errorf("vfsio: %d scenario files leaked", leaked)
+		}
+		return nil
+	}
+	return op, check, nil
+}
+
+// eventHosts is how many host applications (each with one window and
+// its own per-app dispatcher) the events scenario spreads load over.
+const eventHosts = 8
+
+// setupEvents posts an input event to one of eventHosts windows and
+// waits until the owning application's dispatcher has delivered it to
+// the listener — Post, routing through the registry snapshot, the
+// chunked queue, the dispatcher thread, and the listener callback.
+// The event's X field carries the posting worker's index; since each
+// worker has at most one outstanding op, a per-worker ack channel
+// pairs completions with posts without allocation.
+func setupEvents(env *Env) (Op, func() error, error) {
+	display := env.P.Display()
+	acks := make([]chan struct{}, env.Workers)
+	for i := range acks {
+		acks[i] = make(chan struct{}, 1)
+	}
+	hosts := eventHosts
+	if n := len(env.Users); n < hosts {
+		hosts = n
+	}
+	wins := make([]events.WindowID, hosts)
+	ready := make(chan events.WindowID, hosts)
+	if err := env.P.RegisterProgram(core.Program{Name: "load-evhost", Main: func(ctx *core.Context, args []string) int {
+		w, err := ctx.OpenWindow("load")
+		if err != nil {
+			return 1
+		}
+		_ = w.AddListener("ping", func(t *vm.Thread, e events.Event) {
+			acks[e.X] <- struct{}{}
+		})
+		ready <- w.ID()
+		<-ctx.Thread().StopChan()
+		return 0
+	}}); err != nil {
+		return nil, nil, err
+	}
+	apps := make([]*core.Application, 0, hosts)
+	for i := 0; i < hosts; i++ {
+		app, err := env.P.Exec(core.ExecSpec{Program: "load-evhost", User: env.Users[i%len(env.Users)]})
+		if err != nil {
+			return nil, nil, err
+		}
+		apps = append(apps, app)
+	}
+	for i := 0; i < hosts; i++ {
+		wins[i] = <-ready
+	}
+	base := display.Stats()
+	op := func(worker, u int, rng *rand.Rand) error {
+		if err := display.Post(events.Event{
+			Window:    wins[u%hosts],
+			Component: "ping",
+			Kind:      events.KindAction,
+			X:         worker,
+		}); err != nil {
+			return err
+		}
+		select {
+		case <-acks[worker]:
+			return nil
+		case <-time.After(5 * time.Second):
+			return fmt.Errorf("events: dispatch timed out")
+		}
+	}
+	check := func() error {
+		if !display.Quiesce(2 * time.Second) {
+			return fmt.Errorf("events: queues did not drain")
+		}
+		st := display.Stats()
+		posted := st.Posted - base.Posted
+		delivered := (st.Dispatched - base.Dispatched) + (st.Dropped - base.Dropped)
+		if posted != delivered {
+			return fmt.Errorf("events: posted %d != dispatched+dropped %d", posted, delivered)
+		}
+		for _, app := range apps {
+			app.RequestExit(0)
+		}
+		for _, app := range apps {
+			app.WaitFor()
+		}
+		return nil
+	}
+	return op, check, nil
+}
+
+// objectAccounts is the number of shared bank-account objects the
+// objects scenario transfers between.
+const objectAccounts = 64
+
+// objectBalance is each account's starting balance.
+const objectBalance = 1000
+
+// setupObjects binds objectAccounts integer balances into the shared
+// object space and transfers one unit per op between a zipf-hot
+// source (the chosen user maps onto the account space, so theta
+// controls record contention) and a uniformly random destination —
+// the PR 6 contention-adaptive transaction path under open-loop
+// arrival pressure. The post-drain check asserts balance conservation
+// and the attempts == commits + aborts law.
+func setupObjects(env *Env) (Op, func() error, error) {
+	space := env.P.Objects()
+	name := func(i int) string { return fmt.Sprintf("load.acct.%d", i) }
+	for i := 0; i < objectAccounts; i++ {
+		if err := space.Bind(name(i), objectBalance, nil, 0); err != nil {
+			return nil, nil, err
+		}
+	}
+	base := space.TxStats()
+	op := func(worker, u int, rng *rand.Rand) error {
+		src := u % objectAccounts
+		dst := rng.Intn(objectAccounts)
+		if src == dst {
+			dst = (dst + 1) % objectAccounts
+		}
+		return space.Atomically(0, func(tx *objspace.Tx) error {
+			sv, err := tx.Get(name(src))
+			if err != nil {
+				return err
+			}
+			dv, err := tx.Get(name(dst))
+			if err != nil {
+				return err
+			}
+			if err := tx.Put(name(src), sv.(int)-1, nil); err != nil {
+				return err
+			}
+			return tx.Put(name(dst), dv.(int)+1, nil)
+		})
+	}
+	check := func() error {
+		sum := 0
+		for i := 0; i < objectAccounts; i++ {
+			v, err := space.LookupAs(name(i), nil)
+			if err != nil {
+				return err
+			}
+			sum += v.(int)
+		}
+		if want := objectAccounts * objectBalance; sum != want {
+			return fmt.Errorf("objects: balance sum %d, want %d", sum, want)
+		}
+		st := space.TxStats()
+		attempts := st.Attempts - base.Attempts
+		settled := (st.Commits - base.Commits) + (st.Aborts - base.Aborts)
+		if attempts != settled {
+			return fmt.Errorf("objects: attempts %d != commits+aborts %d", attempts, settled)
+		}
+		for i := 0; i < objectAccounts; i++ {
+			if err := space.Unbind(name(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return op, check, nil
+}

@@ -1,0 +1,183 @@
+package load
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestMixedScenarioStress runs ALL five scenario drivers concurrently
+// against ONE platform — login storms, shell pipelines, VFS churn,
+// event dispatch, and shared-object transactions sharing the same VM,
+// policy, filesystem, display server, and object space — and asserts
+// that every driver's accounting law, every scenario's conservation
+// check, and the platform's own invariants (event conservation, audit
+// chain, thread quiescence) hold afterwards. This is the
+// cross-subsystem interleaving no per-package test exercises; run
+// with -race it is the PR's concurrency gate.
+func TestMixedScenarioStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mixed-scenario load is not -short")
+	}
+	const workers = 4
+	env, err := NewEnv("stress", 16, workers, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+
+	baseThreads := env.P.VM().ThreadCount()
+
+	type prepared struct {
+		sc    Scenario
+		op    Op
+		check func() error
+	}
+	var preps []prepared
+	for _, sc := range Scenarios() {
+		op, check, err := sc.Setup(env)
+		if err != nil {
+			t.Fatalf("setup %s: %v", sc.Name, err)
+		}
+		preps = append(preps, prepared{sc, op, check})
+	}
+	// The event-host applications spawned by setupEvents stay for the
+	// whole run; everything above this count must be gone at the end.
+	steadyThreads := env.P.VM().ThreadCount()
+
+	results := make([]*Result, len(preps))
+	var wg sync.WaitGroup
+	for i, pr := range preps {
+		wg.Add(1)
+		go func(i int, pr prepared) {
+			defer wg.Done()
+			r := NewRunner(Config{
+				Rate:       150,
+				Duration:   400 * time.Millisecond,
+				Warmup:     50 * time.Millisecond,
+				Workers:    workers,
+				QueueCap:   64,
+				Population: len(env.Users),
+				Theta:      0.99,
+				Seed:       99 + int64(i),
+			}, pr.op)
+			results[i] = r.Run(pr.sc.Name)
+		}(i, pr)
+	}
+	wg.Wait()
+
+	for i, res := range results {
+		if err := res.CheckConservation(); err != nil {
+			t.Errorf("%s: %v", res.Scenario, err)
+		}
+		if res.FirstError != nil {
+			t.Errorf("%s: %d op errors, first: %v", res.Scenario, res.Counters.Errors, res.FirstError)
+		}
+		if res.MeasuredCompleted == 0 {
+			t.Errorf("%s: no measured completions", res.Scenario)
+		}
+		// Scenario-conservation checks run after ALL drivers drained
+		// (they may unbind shared state).
+		if err := preps[i].check(); err != nil {
+			t.Errorf("%s check: %v", res.Scenario, err)
+		}
+	}
+
+	// Platform-wide invariants after cross-subsystem load.
+	if !env.P.Display().Quiesce(2 * time.Second) {
+		t.Error("display queues did not drain")
+	}
+	st := env.P.Display().Stats()
+	if st.Posted != st.Dispatched+st.Dropped {
+		t.Errorf("event conservation violated: posted %d != dispatched %d + dropped %d",
+			st.Posted, st.Dispatched, st.Dropped)
+	}
+	if res, err := env.P.Audit().Verify(); err != nil || !res.OK {
+		t.Errorf("audit chain broken after load: %+v err=%v", res, err)
+	}
+	// Thread quiescence: scenario applications must all be reaped
+	// (the reaper is asynchronous, so poll briefly).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := env.P.VM().ThreadCount(); n <= steadyThreads {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("threads did not quiesce: %d live, steady-state %d (baseline %d)",
+				env.P.VM().ThreadCount(), steadyThreads, baseThreads)
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestGridSmoke runs a tiny two-cell grid end to end and checks the
+// emitted CSV and JSON are well-formed — the same path CI's
+// `mvmload -smoke` exercises, kept in-package so `go test` alone
+// catches a rotted grid runner.
+func TestGridSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid smoke is not -short")
+	}
+	cfg := GridConfig{
+		Scenarios:  []string{"objects", "vfsio"},
+		Rates:      []float64{300},
+		Thetas:     []float64{0.99},
+		Procs:      []int{1},
+		Repeats:    1,
+		Population: 8,
+		Workers:    4,
+		QueueCap:   32,
+		Duration:   150 * time.Millisecond,
+		Warmup:     50 * time.Millisecond,
+		Seed:       5,
+	}
+	rows, err := RunGrid(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != cfg.Cells() {
+		t.Fatalf("got %d rows, want %d", len(rows), cfg.Cells())
+	}
+	for _, r := range rows {
+		if r.Completed == 0 {
+			t.Errorf("%s: no completions", r.Scenario)
+		}
+		if r.GoMaxProcs != 1 {
+			t.Errorf("%s: row gomaxprocs %d not recorded", r.Scenario, r.GoMaxProcs)
+		}
+		if r.P50 <= 0 || r.P99 < r.P50 || r.P999 < r.P99 {
+			t.Errorf("%s: implausible percentiles p50=%d p99=%d p999=%d", r.Scenario, r.P50, r.P99, r.P999)
+		}
+	}
+	var csvBuf, jsonBuf writerBuf
+	if err := WriteCSV(&csvBuf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if csvBuf.lines() != len(rows)+1 {
+		t.Fatalf("csv has %d lines, want header + %d rows", csvBuf.lines(), len(rows))
+	}
+	if err := WriteJSON(&jsonBuf, cfg, rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(jsonBuf.b) == 0 {
+		t.Fatal("empty JSON")
+	}
+}
+
+type writerBuf struct{ b []byte }
+
+func (w *writerBuf) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+func (w *writerBuf) lines() int {
+	n := 0
+	for _, c := range w.b {
+		if c == '\n' {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,109 @@
+package load
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mpj/internal/objspace"
+)
+
+// zipfCounts draws samples from the population sampler the open-loop
+// scheduler uses and returns per-key frequencies.
+func zipfCounts(theta float64, n, samples int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	z := objspace.NewZipf(rng, theta, n)
+	counts := make([]int, n)
+	for i := 0; i < samples; i++ {
+		counts[z.Next()]++
+	}
+	return counts
+}
+
+// zipfPMF returns the analytic probability of each key.
+func zipfPMF(theta float64, n int) []float64 {
+	p := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		p[i] = 1 / math.Pow(float64(i+1), theta)
+		total += p[i]
+	}
+	for i := range p {
+		p[i] /= total
+	}
+	return p
+}
+
+// TestZipfUniformAtThetaZero: theta 0 must be the uniform
+// distribution — every key within 5 standard deviations of the mean
+// for a fixed seed.
+func TestZipfUniformAtThetaZero(t *testing.T) {
+	const n, samples = 100, 200000
+	counts := zipfCounts(0, n, samples, 11)
+	mean := float64(samples) / n
+	sd := math.Sqrt(mean * (1 - 1.0/n))
+	for k, c := range counts {
+		if math.Abs(float64(c)-mean) > 5*sd {
+			t.Fatalf("theta 0: key %d drawn %d times, mean %.0f (±%.0f allowed)", k, c, mean, 5*sd)
+		}
+	}
+}
+
+// TestZipfShapeMatchesAnalyticPMF checks the empirical head
+// frequencies against the closed-form zipf pmf across thetas,
+// and that the tail mass shrinks as theta grows.
+func TestZipfShapeMatchesAnalyticPMF(t *testing.T) {
+	const n, samples = 100, 400000
+	for _, theta := range []float64{0.5, 0.99, 1.2} {
+		counts := zipfCounts(theta, n, samples, 23)
+		pmf := zipfPMF(theta, n)
+		// Head keys have plenty of mass; demand 5% relative accuracy.
+		for k := 0; k < 5; k++ {
+			got := float64(counts[k]) / samples
+			if rel := math.Abs(got-pmf[k]) / pmf[k]; rel > 0.05 {
+				t.Fatalf("theta %g: key %d frequency %.4f vs pmf %.4f (rel err %.3f)", theta, k, got, pmf[k], rel)
+			}
+		}
+		// Cumulative head mass (top 10%) must match and be
+		// increasingly dominant as skew grows.
+		var gotHead, wantHead float64
+		for k := 0; k < n/10; k++ {
+			gotHead += float64(counts[k]) / samples
+			wantHead += pmf[k]
+		}
+		if math.Abs(gotHead-wantHead) > 0.01 {
+			t.Fatalf("theta %g: top-decile mass %.3f vs analytic %.3f", theta, gotHead, wantHead)
+		}
+	}
+	// Skew ordering: the hottest key's share must grow with theta.
+	prev := -1.0
+	for _, theta := range []float64{0, 0.5, 0.99, 1.2} {
+		counts := zipfCounts(theta, n, samples, 31)
+		share := float64(counts[0]) / samples
+		if share <= prev {
+			t.Fatalf("hot-key share not increasing in theta: %.4f after %.4f", share, prev)
+		}
+		prev = share
+	}
+}
+
+// TestZipfRanksMonotone: averaged over buckets of ranks, frequency
+// must not increase with rank (the defining shape of the
+// distribution, robust to per-key sampling noise).
+func TestZipfRanksMonotone(t *testing.T) {
+	const n, samples = 64, 300000
+	counts := zipfCounts(1.0, n, samples, 47)
+	const bucket = 8
+	prev := math.Inf(1)
+	for b := 0; b < n/bucket; b++ {
+		sum := 0
+		for k := b * bucket; k < (b+1)*bucket; k++ {
+			sum += counts[k]
+		}
+		avg := float64(sum) / bucket
+		if avg > prev {
+			t.Fatalf("bucket %d avg %.1f exceeds previous %.1f", b, avg, prev)
+		}
+		prev = avg
+	}
+}

@@ -127,6 +127,112 @@ func TestMailboxCloseWakesBlockedReceivers(t *testing.T) {
 	}
 }
 
+// TestMailboxReceiveBatchOrderingUnderConcurrentClose is the
+// batched-receive/close interleaving: one producer streams a
+// sequence, one consumer drains with ReceiveBatch, and Close fires
+// from a third goroutine mid-stream. The consumer must observe an
+// exact in-order prefix of the sequence — every message the producer
+// successfully sent, nothing it failed to send, no gaps, no
+// reordering across the close boundary — and then ErrMailboxClosed.
+func TestMailboxReceiveBatchOrderingUnderConcurrentClose(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		m := NewMailbox(8)
+		var sent atomic.Int64
+		prodDone := make(chan struct{})
+		go func() {
+			defer close(prodDone)
+			for i := 0; ; i++ {
+				if err := m.Send(i); err != nil {
+					if !errors.Is(err, ErrMailboxClosed) {
+						t.Errorf("producer: %v", err)
+					}
+					return
+				}
+				sent.Add(1)
+			}
+		}()
+		// Close races the stream: sometimes immediately, sometimes after
+		// traffic has flowed.
+		go func(round int) {
+			for int(sent.Load()) < round*3 {
+				time.Sleep(50 * time.Microsecond)
+			}
+			m.Close()
+		}(round)
+
+		var got []int
+		buf := make([]any, 0, 5) // smaller than capacity: drains straddle chunks
+		for {
+			b, err := m.ReceiveBatch(buf[:0])
+			if err != nil {
+				if !errors.Is(err, ErrMailboxClosed) {
+					t.Fatalf("consumer: %v", err)
+				}
+				break
+			}
+			for _, v := range b {
+				got = append(got, v.(int))
+			}
+		}
+		<-prodDone
+		// ErrMailboxClosed means closed AND drained, so by now every
+		// successful Send must have been delivered, in send order.
+		if int64(len(got)) != sent.Load() {
+			t.Fatalf("round %d: received %d of %d sent", round, len(got), sent.Load())
+		}
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("round %d: position %d holds %d (reordered or lost)", round, i, v)
+			}
+		}
+	}
+}
+
+// TestMailboxMixedReceiveModesKeepFIFO interleaves single Receive and
+// ReceiveBatch calls against a live producer: with one consumer the
+// global FIFO order must survive switching receive modes mid-stream.
+func TestMailboxMixedReceiveModesKeepFIFO(t *testing.T) {
+	m := NewMailbox(4)
+	const total = 5000
+	go func() {
+		for i := 0; i < total; i++ {
+			if err := m.Send(i); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	buf := make([]any, 0, 3)
+	next := 0
+	for next < total {
+		if next%2 == 0 {
+			v, err := m.Receive()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v.(int) != next {
+				t.Fatalf("Receive got %v, want %d", v, next)
+			}
+			next++
+			continue
+		}
+		b, err := m.ReceiveBatch(buf[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range b {
+			if v.(int) != next {
+				t.Fatalf("ReceiveBatch got %v, want %d", v, next)
+			}
+			next++
+		}
+	}
+	m.Close()
+	if _, err := m.Receive(); !errors.Is(err, ErrMailboxClosed) {
+		t.Fatalf("post-drain receive: %v", err)
+	}
+}
+
 // TestMailboxManyProducersConsumers moves a counted stream through a
 // small box with several producers and batch consumers; every message
 // must arrive exactly once.

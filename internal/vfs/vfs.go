@@ -645,6 +645,15 @@ func (fs *FS) Walk(path string, visit func(p string, info FileInfo) error) error
 	return walkNode(path, n, visit)
 }
 
+// InodeCount returns the number of reachable inodes — a leak probe
+// for load harnesses that create and delete files and must assert the
+// tree returned to its starting size.
+func (fs *FS) InodeCount() int {
+	n := 0
+	_ = fs.Walk("/", func(string, FileInfo) error { n++; return nil })
+	return n
+}
+
 func walkNode(p string, n *inode, visit func(string, FileInfo) error) error {
 	if err := visit(p, n.info()); err != nil {
 		return err

@@ -336,6 +336,15 @@ func (v *VM) LiveThreads() []*Thread {
 	return out
 }
 
+// ThreadCount returns the number of live threads — a cheap leak probe
+// for harnesses that must assert a VM returned to its baseline after
+// a load run.
+func (v *VM) ThreadCount() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.threads)
+}
+
 // NonDaemonCount returns the number of live non-daemon threads plus
 // outstanding holds.
 func (v *VM) NonDaemonCount() int {
