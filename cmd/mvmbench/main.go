@@ -60,7 +60,7 @@ func echoChild() {
 // The measurement substrate lives in internal/load (shared with
 // cmd/mvmload): load.Measure is the closed-loop averaging primitive
 // and rep collects sections/rows for table or JSON output (committed
-// as BENCH_PR6.json by `make bench-json`).
+// as BENCH_PR8.json by `make bench-json`).
 var (
 	jsonMode bool
 	rep      *load.Report
@@ -103,6 +103,7 @@ func experiments() []experiment {
 		{"E12 (§8 extension)", "shared-object Mailbox handoff vs byte-pipe copy", e12},
 		{"E13 (§8 extension)", "cross-VM rexec vs local exec", e13},
 		{"E-objspace", "transactional object space: sharded records, optimistic commit, adaptive escalation", eObjspace},
+		{"E-remote", "remote playground: pool dispatch, UI event proxy, worker failover", eRemote},
 	}
 }
 

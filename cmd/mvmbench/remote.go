@@ -1,0 +1,232 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"mpj/internal/core"
+	"mpj/internal/coreutils"
+	"mpj/internal/events"
+	"mpj/internal/playground"
+	"mpj/internal/vm"
+)
+
+// eRemote measures the remote playground: session dispatch over the
+// pool's one-connection-per-worker multiplexed protocol, concurrent
+// session fan-out, the UI event proxy round trip, remote PostBatch
+// delivery throughput, and how fast a worker kill fails its in-flight
+// sessions over.
+func eRemote(iters int) error {
+	origin, err := core.NewPlatform(core.Config{Name: "pg-origin"})
+	if err != nil {
+		return err
+	}
+	defer origin.Shutdown()
+	display := origin.EnableDisplay(events.PerAppDispatcher)
+
+	install := func(p *core.Platform) error {
+		if err := coreutils.InstallAll(p); err != nil {
+			return err
+		}
+		if err := p.RegisterProgram(core.Program{Name: "bench-hold", Main: func(ctx *core.Context, args []string) int {
+			_, _ = io.Copy(io.Discard, ctx.Stdin())
+			return 0
+		}}); err != nil {
+			return err
+		}
+		// bench-ui echoes "in" events on "out" one for one, and
+		// answers a "burst" event by posting e.X events in batches.
+		return p.RegisterProgram(core.Program{Name: "bench-ui", Main: func(ctx *core.Context, args []string) int {
+			ui, ok := playground.UIOf(ctx)
+			if !ok {
+				return 3
+			}
+			w, err := ui.OpenWindow("bench")
+			if err != nil {
+				return 4
+			}
+			if err := w.AddListener("in", func(e events.Event) {
+				_ = w.Post(events.Event{Component: "out", Kind: events.KindAction, X: e.X})
+			}); err != nil {
+				return 5
+			}
+			if err := w.AddListener("burst", func(e events.Event) {
+				const chunk = 64
+				for sent := 0; sent < e.X; sent += chunk {
+					n := chunk
+					if rem := e.X - sent; rem < n {
+						n = rem
+					}
+					batch := make([]events.Event, n)
+					for i := range batch {
+						batch[i] = events.Event{Component: "out", Kind: events.KindAction, X: 1}
+					}
+					_ = w.PostBatch(batch)
+				}
+			}); err != nil {
+				return 5
+			}
+			ctx.Printf("ready\n")
+			_, _ = io.Copy(io.Discard, ctx.Stdin())
+			return 0
+		}})
+	}
+	mgr := playground.NewManager(origin, playground.Config{Capacity: 64, QueueCap: 512}, install)
+	defer mgr.Close()
+	addrs := make([]string, 2)
+	for i := range addrs {
+		if addrs[i], err = mgr.AddLocalWorker(""); err != nil {
+			return err
+		}
+	}
+
+	// Dispatch round trip: submit → place → remote exec → exit, one
+	// session at a time.
+	rounds := 300
+	d := measure(rounds, func() {
+		s, err := mgr.Submit(playground.SessionSpec{Program: "echo", Args: []string{"x"}, User: "bench"})
+		if err != nil {
+			panic(err)
+		}
+		if code, err := s.Wait(); err != nil || code != 0 {
+			panic(fmt.Sprintf("remote echo: code %d err %v", code, err))
+		}
+	})
+	row("pool dispatch submit→exit (echo, 2 workers)", d)
+
+	// Fan-out: 32 concurrent sessions over the two multiplexed
+	// connections, per-batch wall time.
+	fan := measure(10, func() {
+		var wg sync.WaitGroup
+		for i := 0; i < 32; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				s, err := mgr.Submit(playground.SessionSpec{Program: "echo", Args: []string{"x"}, User: fmt.Sprintf("fan%d", i)})
+				if err != nil {
+					panic(err)
+				}
+				if _, err := s.Wait(); err != nil {
+					panic(err)
+				}
+			}(i)
+		}
+		wg.Wait()
+	})
+	row("32 concurrent sessions, batch wall time", fan)
+
+	// UI proxy: a long-lived remote session with a mirror window on
+	// the origin display.
+	if err := origin.RegisterProgram(core.Program{Name: "bench-owner", Main: func(ctx *core.Context, args []string) int {
+		<-ctx.Thread().StopChan()
+		return 0
+	}}); err != nil {
+		return err
+	}
+	owner, err := origin.Exec(core.ExecSpec{Program: "bench-owner"})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		owner.RequestExit(0)
+		owner.WaitFor()
+	}()
+	ready := make(chan struct{}, 1)
+	stdinR, stdinW := io.Pipe()
+	defer stdinW.Close()
+	uiSess, err := mgr.Submit(playground.SessionSpec{
+		Program: "bench-ui",
+		User:    "bench-ui",
+		Stdin:   stdinR,
+		Stdout:  signalWriter{ready},
+		Owner:   owner,
+	})
+	if err != nil {
+		return err
+	}
+	select {
+	case <-ready:
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("eRemote: bench-ui never became ready")
+	}
+	wins := display.WindowsOf(events.OwnerID(owner.ID()))
+	if len(wins) != 1 {
+		return fmt.Errorf("eRemote: %d mirror windows, want 1", len(wins))
+	}
+	win := wins[0]
+	replies := make(chan int, 8192)
+	if err := win.AddListener("out", func(t *vm.Thread, e events.Event) {
+		replies <- e.X
+	}); err != nil {
+		return err
+	}
+	rt := measure(500, func() {
+		if err := display.Post(events.Event{Window: win.ID(), Component: "in", Kind: events.KindAction, X: 1}); err != nil {
+			panic(err)
+		}
+		<-replies
+	})
+	row("UI event proxy round trip (origin→worker→origin)", rt)
+
+	// Batched delivery: the remote posts burst events in 64-event
+	// PostBatch frames; measure origin-side delivery throughput.
+	const burst = 6400
+	t0 := time.Now()
+	if err := display.Post(events.Event{Window: win.ID(), Component: "burst", Kind: events.KindAction, X: burst}); err != nil {
+		return err
+	}
+	for got := 0; got < burst; got++ {
+		select {
+		case <-replies:
+		case <-time.After(30 * time.Second):
+			return fmt.Errorf("eRemote: burst stalled at %d/%d", got, burst)
+		}
+	}
+	el := time.Since(t0)
+	row("remote PostBatch delivery (64-event frames)", fmt.Sprintf("%.0f events/s", float64(burst)/el.Seconds()))
+	_ = stdinW.Close()
+	if _, err := uiSess.Wait(); err != nil {
+		return err
+	}
+
+	// Failover: kill a worker with held sessions in flight; time from
+	// the kill to every victim session reaching its terminal state.
+	var pipes []*io.PipeWriter
+	var victims []*playground.Session
+	for i := 0; i < 16; i++ {
+		r, w := io.Pipe()
+		pipes = append(pipes, w)
+		s, err := mgr.Submit(playground.SessionSpec{Program: "bench-hold", User: fmt.Sprintf("fo%d", i), Stdin: r})
+		if err != nil {
+			return err
+		}
+		if s.Worker() == addrs[0] {
+			victims = append(victims, s)
+		}
+	}
+	t0 = time.Now()
+	if err := mgr.KillWorker(addrs[0]); err != nil {
+		return err
+	}
+	for _, s := range victims {
+		<-s.Done()
+	}
+	row(fmt.Sprintf("worker kill → %d in-flight sessions failed", len(victims)), time.Since(t0))
+	for _, w := range pipes {
+		_ = w.Close()
+	}
+	return nil
+}
+
+// signalWriter signals once on first write and discards the rest.
+type signalWriter struct{ ch chan struct{} }
+
+func (s signalWriter) Write(p []byte) (int, error) {
+	select {
+	case s.ch <- struct{}{}:
+	default:
+	}
+	return len(p), nil
+}

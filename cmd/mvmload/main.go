@@ -1,6 +1,7 @@
 // Command mvmload is the production traffic harness: an open-loop
 // load generator that drives mixed end-to-end scenarios (login, shell
-// pipelines, VFS I/O, event dispatch, shared-object transactions)
+// pipelines, VFS I/O, event dispatch, shared-object transactions,
+// remote playground dispatch)
 // against a live platform at target arrival rates, and sweeps a
 // reproducible grid of arrival rate × zipf theta × GOMAXPROCS with
 // repeats, reporting throughput, drop rate, and coordinated-omission-
@@ -46,7 +47,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "base RNG seed (schedules are reproducible per seed)")
 		csvPath   = flag.String("csv", "", "write grid rows as CSV to this file ('-' for stdout)")
 		jsonPath  = flag.String("json", "", "write grid summary as JSON to this file ('-' for stdout)")
-		smoke     = flag.Bool("smoke", false, "run the short CI smoke grid (2 rates × 2 scenarios, sub-second windows)")
+		smoke     = flag.Bool("smoke", false, "run the short CI smoke grid (2 rates × 3 scenarios, sub-second windows)")
 	)
 	flag.Parse()
 
@@ -64,11 +65,12 @@ func main() {
 		Seed:       *seed,
 	}
 	if *smoke {
-		// The CI grid: small but real — two scenarios that together
-		// cross the exec/security path (login) and the event data
-		// plane (events), two rates, sub-second windows.
+		// The CI grid: small but real — three scenarios that together
+		// cross the exec/security path (login), the event data plane
+		// (events), and the playground dispatcher with its worker VMs
+		// (remote), two rates, sub-second windows.
 		cfg = load.GridConfig{
-			Scenarios:  []string{"login", "events"},
+			Scenarios:  []string{"login", "events", "remote"},
 			Rates:      []float64{100, 400},
 			Thetas:     []float64{0.99},
 			Procs:      []int{runtime.GOMAXPROCS(0)},

@@ -13,6 +13,9 @@
 //	ps ; sleep 60000 & ; jobs ; kill 3
 //	appletviewer phonehome filethief
 //	cat /home/bob/anything        # access denied (user-based policy)
+//	playground add ; playground add       # root: boot two worker VMs
+//	rexec pool echo hello from the pool   # runs on a sandbox worker
+//	playground status
 //	quit
 package main
 
@@ -23,6 +26,9 @@ import (
 
 	"mpj"
 	"mpj/internal/applet"
+	"mpj/internal/coreutils"
+	"mpj/internal/playground"
+	"mpj/internal/remote"
 )
 
 func main() {
@@ -51,6 +57,16 @@ func run() error {
 		return err
 	}
 	defer p.Shutdown()
+
+	// The remote playground: `playground add` (as root) boots worker
+	// VMs on this VM's network, then `rexec pool PROGRAM` ships work to
+	// them. Worker platforms get the same program set as the origin.
+	mgr := playground.NewManager(p, playground.Config{}, coreutils.InstallAll)
+	defer mgr.Close()
+	p.SetService(playground.ServiceKey, mgr)
+	if err := remote.InstallRexec(p); err != nil {
+		return err
+	}
 
 	installDemoApplets(p, store)
 

@@ -68,6 +68,10 @@ const (
 	// activity: typed transactional commits and aborts, unbinds of
 	// typed entries, and type-confusion detections.
 	CatObject
+	// CatRemote records remote-playground activity: workers joining
+	// and leaving the pool, session placement and close, and
+	// rescheduling after a worker failure.
+	CatRemote
 
 	numCategories = iota
 )
@@ -83,6 +87,7 @@ const DefaultMask = CatAll &^ CatAccess
 // catNames maps a category's bit index to its auditctl-facing name.
 var catNames = [numCategories]string{
 	"access", "deny", "thread", "app", "file", "net", "shell", "object",
+	"remote",
 }
 
 // index returns the bit index of a single-category value.

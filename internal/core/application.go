@@ -86,6 +86,11 @@ type ExecSpec struct {
 	User *user.User
 	// Dir overrides the inherited working directory.
 	Dir string
+	// Resources seeds named application resources on top of whatever
+	// the parent's resources contribute (same-key entries win). The
+	// remote playground uses this to hand a session application its UI
+	// proxy without a parent application to inherit it from.
+	Resources map[string]any
 }
 
 // Exec launches an application: the Application.exec of Section 5.1.
@@ -156,6 +161,9 @@ func (p *Platform) Exec(spec ExecSpec) (*Application, error) {
 	}
 	if spec.User != nil {
 		app.usr = spec.User
+	}
+	for k, v := range spec.Resources {
+		app.resources[k] = v
 	}
 	if spec.Dir != "" {
 		app.cwd = spec.Dir

@@ -112,6 +112,9 @@ type Platform struct {
 	nextApp AppID
 	downErr error
 
+	svcMu    sync.RWMutex
+	services map[string]any
+
 	exitWhenIdle bool
 	releaseHold  func()
 	display      displayHolder
@@ -163,9 +166,11 @@ grant codeBase "file:/local/kill" {
     permission runtime "modifyThread";
     permission runtime "modifyThreadGroup";
 };
-// Only root may control the kernel audit subsystem (auditctl).
+// Only root may control the kernel audit subsystem (auditctl) and the
+// remote-playground worker pool (the playground builtin).
 grant user "root" {
     permission runtime "auditControl";
+    permission runtime "playgroundControl";
 };
 // Scratch space for everybody.
 grant user "*" {
@@ -256,6 +261,7 @@ func NewPlatform(cfg Config) (*Platform, error) {
 		reload:   cfg.ReloadClasses,
 		programs: NewProgramRegistry(),
 		objects:  objspace.New(),
+		services: make(map[string]any),
 		apps:     make(map[AppID]*Application),
 		reap:     make(chan *Application, 16),
 		reapDone: make(chan struct{}),
@@ -364,6 +370,28 @@ func (p *Platform) BootLoader() *classes.Loader { return p.boot }
 
 // Programs returns the program registry.
 func (p *Platform) Programs() *ProgramRegistry { return p.programs }
+
+// SetService publishes a named platform-wide service object — kernel
+// machinery (like the remote-playground pool) that programs and shell
+// builtins look up by name rather than thread through every launch.
+// A nil value removes the service.
+func (p *Platform) SetService(name string, v any) {
+	p.svcMu.Lock()
+	defer p.svcMu.Unlock()
+	if v == nil {
+		delete(p.services, name)
+		return
+	}
+	p.services[name] = v
+}
+
+// Service returns the named platform service, if published.
+func (p *Platform) Service(name string) (any, bool) {
+	p.svcMu.RLock()
+	defer p.svcMu.RUnlock()
+	v, ok := p.services[name]
+	return v, ok
+}
 
 // AddUser creates an account, its home directory, and the per-user
 // policy grant of Section 5.3 ("User Alice can access all files in

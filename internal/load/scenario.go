@@ -80,10 +80,11 @@ type Scenario struct {
 //	login     full login cycle (authenticate + setUser + shell)
 //	objects   zipf-skewed atomic transfer between shared objects
 //	pipeline  two-stage shell pipeline launch + drain
+//	remote    playground dispatch: remote exec on a worker-VM pool
 //	vfsio     permission-bounded write/read/delete in the user's home
 //
 // Together they traverse every subsystem: security, vm, classes,
-// shell, streams, vfs, events, and objspace.
+// shell, streams, vfs, events, objspace, and the remote playground.
 func Scenarios() []Scenario {
 	s := []Scenario{
 		{Name: "login", Setup: setupLogin},
@@ -91,6 +92,7 @@ func Scenarios() []Scenario {
 		{Name: "vfsio", Setup: setupVFSIO},
 		{Name: "events", Setup: setupEvents},
 		{Name: "objects", Setup: setupObjects},
+		{Name: "remote", Setup: setupRemote},
 	}
 	sort.Slice(s, func(i, j int) bool { return s[i].Name < s[j].Name })
 	return s

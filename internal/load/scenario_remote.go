@@ -1,0 +1,67 @@
+package load
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mpj/internal/coreutils"
+	"mpj/internal/playground"
+)
+
+// remoteWorkers is how many worker VMs the remote scenario boots
+// behind the dispatcher.
+const remoteWorkers = 2
+
+// setupRemote ships every operation through the remote playground:
+// the dispatcher places a session on one of two worker VMs (sticky
+// per user, least-loaded otherwise), the worker runs echo as its
+// sandbox account, and the output returns over the pool's single
+// multiplexed connection per worker. One op is the full submit →
+// place → remote exec → exit round trip, so the measured latency is
+// the playground dispatch overhead on top of a worker-side launch.
+func setupRemote(env *Env) (Op, func() error, error) {
+	mgr := playground.NewManager(env.P, playground.Config{
+		Capacity: 32,
+		QueueCap: 256,
+	}, coreutils.InstallAll)
+	for i := 0; i < remoteWorkers; i++ {
+		if _, err := mgr.AddLocalWorker(""); err != nil {
+			mgr.Close()
+			return nil, nil, fmt.Errorf("remote: boot worker %d: %w", i, err)
+		}
+	}
+	sink := discard{}
+	op := func(worker, u int, rng *rand.Rand) error {
+		s, err := mgr.Submit(playground.SessionSpec{
+			Program: "echo",
+			Args:    []string{"remote"},
+			User:    env.Users[u].Name,
+			Stdout:  sink,
+		})
+		if err != nil {
+			return err
+		}
+		code, err := s.Wait()
+		if err != nil {
+			return err
+		}
+		if code != 0 {
+			return fmt.Errorf("remote: session exited %d", code)
+		}
+		return nil
+	}
+	check := func() error {
+		defer mgr.Close()
+		st := mgr.Stats()
+		if st.Submitted != st.Placed+st.Rejected {
+			return fmt.Errorf("remote: submitted %d != placed %d + rejected %d",
+				st.Submitted, st.Placed, st.Rejected)
+		}
+		if st.Placed != st.Completed+st.Failed {
+			return fmt.Errorf("remote: placed %d != completed %d + failed %d at drain",
+				st.Placed, st.Completed, st.Failed)
+		}
+		return nil
+	}
+	return op, check, nil
+}

@@ -1,0 +1,193 @@
+package playground
+
+import (
+	"fmt"
+	"sync"
+
+	"mpj/internal/core"
+)
+
+// ServiceKey is the platform-service slot the origin VM publishes its
+// playground Manager under (Platform.SetService / Service); the shell
+// builtin and the rexec "pool" path find the manager there.
+const ServiceKey = "playground"
+
+// ManagerOf fetches the origin platform's playground manager, if one
+// was published.
+func ManagerOf(p *core.Platform) (*Manager, bool) {
+	v, ok := p.Service(ServiceKey)
+	if !ok {
+		return nil, false
+	}
+	m, ok := v.(*Manager)
+	return m, ok
+}
+
+// Manager owns an origin VM's playground: the dispatcher pool plus
+// the locally-booted worker VMs behind it. Worker platforms share the
+// origin's netsim network (each under its own hostname) but are
+// otherwise fully separate VMs with their own kernels, filesystems,
+// and user databases — which is the point of the playground: code
+// runs over there.
+//
+// Worker platforms get their program registry through the install
+// hook, injected by the embedder (mvmsh passes coreutils.InstallAll)
+// so this package does not depend on any program collection.
+type Manager struct {
+	origin  *core.Platform
+	pool    *Pool
+	install func(*core.Platform) error
+
+	mu       sync.Mutex
+	local    map[string]*localWorker // by "host:port"
+	nextHost int
+	closed   bool
+}
+
+// localWorker pairs a locally-booted worker platform with its daemon.
+type localWorker struct {
+	platform *core.Platform
+	worker   *Worker
+}
+
+// NewManager builds a manager (and its pool) on the origin platform.
+// install, if non-nil, populates each new worker platform's program
+// registry before its daemon starts.
+func NewManager(origin *core.Platform, cfg Config, install func(*core.Platform) error) *Manager {
+	return &Manager{
+		origin:  origin,
+		pool:    NewPool(origin, cfg),
+		install: install,
+		local:   make(map[string]*localWorker),
+	}
+}
+
+// Pool returns the dispatcher.
+func (m *Manager) Pool() *Pool { return m.pool }
+
+// AddLocalWorker boots a fresh worker VM on the origin's network
+// under the given hostname (auto-named "pgw<N>" when empty), starts
+// its daemon on DefaultPort, and joins it to the pool. Returns the
+// worker's pool address.
+func (m *Manager) AddLocalWorker(host string) (string, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return "", ErrPoolClosed
+	}
+	if host == "" {
+		host = fmt.Sprintf("pgw%d", m.nextHost)
+		m.nextHost++
+	}
+	m.mu.Unlock()
+
+	wp, err := core.NewPlatform(core.Config{
+		Name:     "playground-" + host,
+		Net:      m.origin.Net(),
+		HostName: host,
+	})
+	if err != nil {
+		return "", fmt.Errorf("playground: boot worker %s: %w", host, err)
+	}
+	if m.install != nil {
+		if err := m.install(wp); err != nil {
+			wp.Shutdown()
+			return "", fmt.Errorf("playground: install programs on %s: %w", host, err)
+		}
+	}
+	w, err := StartWorker(wp, host, DefaultPort, WorkerConfig{})
+	if err != nil {
+		wp.Shutdown()
+		return "", err
+	}
+	addr := fmt.Sprintf("%s:%d", host, DefaultPort)
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		w.Close()
+		wp.Shutdown()
+		return "", ErrPoolClosed
+	}
+	m.local[addr] = &localWorker{platform: wp, worker: w}
+	m.mu.Unlock()
+	if err := m.pool.AddWorker(host, DefaultPort); err != nil {
+		m.mu.Lock()
+		delete(m.local, addr)
+		m.mu.Unlock()
+		w.Close()
+		wp.Shutdown()
+		return "", err
+	}
+	return addr, nil
+}
+
+// LocalWorker returns the worker daemon behind a local pool address
+// (tests use it to count connections and sessions).
+func (m *Manager) LocalWorker(addr string) (*Worker, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	lw, ok := m.local[addr]
+	if !ok {
+		return nil, false
+	}
+	return lw.worker, true
+}
+
+// KillWorker crashes a local worker abruptly — daemon, connections
+// and platform all torn down with no warning to the dispatcher, which
+// must discover the death through the connection or the heartbeat.
+// This is the failure-injection hook the worker-loss tests drive.
+func (m *Manager) KillWorker(addr string) error {
+	m.mu.Lock()
+	lw, ok := m.local[addr]
+	delete(m.local, addr)
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("playground: no local worker %s", addr)
+	}
+	lw.worker.Close()
+	lw.platform.Shutdown()
+	return nil
+}
+
+// RemoveWorker takes a local worker out of service deliberately: the
+// pool fails it over first, then the daemon and platform shut down.
+func (m *Manager) RemoveWorker(addr string) error {
+	if err := m.pool.Remove(addr); err != nil {
+		return err
+	}
+	return m.KillWorker(addr)
+}
+
+// Drain stops new placements on a worker (local or not).
+func (m *Manager) Drain(addr string) error { return m.pool.Drain(addr) }
+
+// Workers lists the pool's workers.
+func (m *Manager) Workers() []WorkerInfo { return m.pool.Workers() }
+
+// Stats snapshots the pool counters.
+func (m *Manager) Stats() Stats { return m.pool.Stats() }
+
+// Submit places a session through the pool.
+func (m *Manager) Submit(spec SessionSpec) (*Session, error) { return m.pool.Submit(spec) }
+
+// Close shuts the pool down and stops every local worker.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	local := make([]*localWorker, 0, len(m.local))
+	for _, lw := range m.local {
+		local = append(local, lw)
+	}
+	m.local = make(map[string]*localWorker)
+	m.mu.Unlock()
+	m.pool.Close()
+	for _, lw := range local {
+		lw.worker.Close()
+		lw.platform.Shutdown()
+	}
+}

@@ -1,0 +1,512 @@
+package playground_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mpj/internal/core"
+	"mpj/internal/events"
+	"mpj/internal/playground"
+	"mpj/internal/vm"
+)
+
+// waitTimeout bounds every blocking wait so a regression hangs the
+// test, not the suite.
+const waitTimeout = 30 * time.Second
+
+// newOrigin boots an origin platform with a per-app-dispatcher
+// display (the mode the UI proxy requires).
+func newOrigin(t *testing.T) *core.Platform {
+	t.Helper()
+	p, err := core.NewPlatform(core.Config{Name: "origin"})
+	if err != nil {
+		t.Fatalf("boot origin: %v", err)
+	}
+	t.Cleanup(p.Shutdown)
+	p.EnableDisplay(events.PerAppDispatcher)
+	return p
+}
+
+// installTestPrograms is the worker-platform install hook: the
+// programs remote sessions run in these tests.
+func installTestPrograms(p *core.Platform) error {
+	// pg-echo prints its args, copies stdin to stdout, exits 0.
+	if err := p.RegisterProgram(core.Program{Name: "pg-echo", Main: func(ctx *core.Context, args []string) int {
+		if len(args) > 0 {
+			ctx.Printf("%s\n", strings.Join(args, " "))
+		}
+		_, _ = io.Copy(ctx.Stdout(), ctx.Stdin())
+		return 0
+	}}); err != nil {
+		return err
+	}
+	// pg-hold runs until its stdin reaches EOF — the in-flight body
+	// for queueing and worker-loss tests.
+	if err := p.RegisterProgram(core.Program{Name: "pg-hold", Main: func(ctx *core.Context, args []string) int {
+		_, _ = io.Copy(io.Discard, ctx.Stdin())
+		return 0
+	}}); err != nil {
+		return err
+	}
+	// pg-user prints the account the session runs as.
+	if err := p.RegisterProgram(core.Program{Name: "pg-user", Main: func(ctx *core.Context, args []string) int {
+		ctx.Printf("%s\n", ctx.User().Name)
+		return 0
+	}}); err != nil {
+		return err
+	}
+	// pg-ui opens a mirror window, answers every "in" event with an
+	// "out" event carrying X+1, then holds until stdin EOF.
+	return p.RegisterProgram(core.Program{Name: "pg-ui", Main: func(ctx *core.Context, args []string) int {
+		ui, ok := playground.UIOf(ctx)
+		if !ok {
+			return 3
+		}
+		w, err := ui.OpenWindow("remote-ui")
+		if err != nil {
+			return 4
+		}
+		if err := w.AddListener("in", func(e events.Event) {
+			_ = w.Post(events.Event{Component: "out", Kind: events.KindAction, X: e.X + 1})
+		}); err != nil {
+			return 5
+		}
+		ctx.Printf("ready\n")
+		_, _ = io.Copy(io.Discard, ctx.Stdin())
+		return 0
+	}})
+}
+
+// newPlayground builds a manager with n local workers on a fresh
+// origin.
+func newPlayground(t *testing.T, n int, cfg playground.Config) (*core.Platform, *playground.Manager, []string) {
+	t.Helper()
+	origin := newOrigin(t)
+	mgr := playground.NewManager(origin, cfg, installTestPrograms)
+	t.Cleanup(mgr.Close)
+	addrs := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		addr, err := mgr.AddLocalWorker("")
+		if err != nil {
+			t.Fatalf("add worker %d: %v", i, err)
+		}
+		addrs = append(addrs, addr)
+	}
+	return origin, mgr, addrs
+}
+
+// hostApp launches a long-lived origin application to own mirror
+// windows.
+func hostApp(t *testing.T, p *core.Platform) *core.Application {
+	t.Helper()
+	if err := p.RegisterProgram(core.Program{Name: "pg-origin-host", Main: func(ctx *core.Context, args []string) int {
+		<-ctx.Thread().StopChan()
+		return 0
+	}}); err != nil {
+		t.Fatalf("register host: %v", err)
+	}
+	app, err := p.Exec(core.ExecSpec{Program: "pg-origin-host"})
+	if err != nil {
+		t.Fatalf("exec host: %v", err)
+	}
+	t.Cleanup(func() {
+		app.RequestExit(0)
+		app.WaitFor()
+	})
+	return app
+}
+
+// wait bounds Session.Wait.
+func wait(t *testing.T, s *playground.Session) (int, error) {
+	t.Helper()
+	select {
+	case <-s.Done():
+	case <-time.After(waitTimeout):
+		t.Fatalf("session %d hung", s.ID())
+	}
+	return s.Wait()
+}
+
+// syncBuf is a concurrency-safe stdout sink.
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// checkConservation asserts the two pool invariants at quiescence.
+func checkConservation(t *testing.T, st playground.Stats) {
+	t.Helper()
+	if st.Submitted != st.Placed+st.Rejected {
+		t.Errorf("conservation: submitted %d != placed %d + rejected %d", st.Submitted, st.Placed, st.Rejected)
+	}
+	if st.Placed != st.Completed+st.Failed {
+		t.Errorf("conservation: placed %d != completed %d + failed %d (in-flight at quiescence)", st.Placed, st.Completed, st.Failed)
+	}
+}
+
+// TestMultiplexedSessions runs 32 concurrent sessions across 2
+// workers and asserts each worker served them all over ONE dialed
+// connection.
+func TestMultiplexedSessions(t *testing.T) {
+	const n = 32
+	_, mgr, addrs := newPlayground(t, 2, playground.Config{Capacity: n})
+	var wg sync.WaitGroup
+	outs := make([]*syncBuf, n)
+	sessions := make([]*playground.Session, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		outs[i] = &syncBuf{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, err := mgr.Submit(playground.SessionSpec{
+				Program: "pg-echo",
+				Args:    []string{fmt.Sprintf("session-%d", i)},
+				User:    fmt.Sprintf("user%d", i),
+				Stdin:   strings.NewReader(fmt.Sprintf("payload-%d\n", i)),
+				Stdout:  outs[i],
+			})
+			sessions[i], errs[i] = s, err
+		}(i)
+	}
+	wg.Wait()
+	byWorker := map[string]int{}
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("submit %d: %v", i, errs[i])
+		}
+		code, err := wait(t, sessions[i])
+		if err != nil || code != 0 {
+			t.Fatalf("session %d: code %d err %v", i, code, err)
+		}
+		want := fmt.Sprintf("session-%d\npayload-%d\n", i, i)
+		if got := outs[i].String(); got != want {
+			t.Errorf("session %d output %q, want %q", i, got, want)
+		}
+		byWorker[sessions[i].Worker()]++
+	}
+	for _, addr := range addrs {
+		w, ok := mgr.LocalWorker(addr)
+		if !ok {
+			t.Fatalf("no local worker %s", addr)
+		}
+		if c := w.ConnCount(); c != 1 {
+			t.Errorf("worker %s accepted %d connections, want 1 (multiplexing broken)", addr, c)
+		}
+		if byWorker[addr] == 0 {
+			t.Errorf("worker %s got no sessions: placement %v", addr, byWorker)
+		}
+	}
+	st := mgr.Stats()
+	if st.Submitted != n || st.Placed != n || st.Completed != n || st.Failed != 0 || st.Rejected != 0 {
+		t.Errorf("stats %+v, want %d submitted=placed=completed", st, n)
+	}
+	checkConservation(t, st)
+}
+
+// trackedReader counts Read calls on a shared origin stdin.
+type trackedReader struct {
+	reads atomic.Int32
+	r     io.Reader
+}
+
+func (tr *trackedReader) Read(p []byte) (int, error) {
+	tr.reads.Add(1)
+	return tr.r.Read(p)
+}
+
+// TestStdinPumpedOnDemandOnly pins the demand-driven stdin protocol:
+// a session whose program never reads stdin must never read the
+// origin-side reader either (an eager pump would steal input from a
+// shared interactive stdin, e.g. the shell running `rexec pool echo`),
+// while a stdin-consuming program still gets the bytes.
+func TestStdinPumpedOnDemandOnly(t *testing.T) {
+	_, mgr, _ := newPlayground(t, 1, playground.Config{})
+
+	// pg-user prints the session user and exits without touching stdin.
+	untouched := &trackedReader{r: strings.NewReader("never read\n")}
+	s, err := mgr.Submit(playground.SessionSpec{Program: "pg-user", User: "alice", Stdin: untouched, Stdout: &syncBuf{}})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if code, err := wait(t, s); err != nil || code != 0 {
+		t.Fatalf("pg-user: code %d err %v", code, err)
+	}
+	// A stray opStdinReq would start the pump asynchronously; give it a
+	// moment to prove it never arrives.
+	time.Sleep(50 * time.Millisecond)
+	if n := untouched.reads.Load(); n != 0 {
+		t.Errorf("origin stdin read %d times by a program that never reads stdin", n)
+	}
+
+	// pg-echo copies stdin: the same tracked reader must be consumed.
+	consumed := &trackedReader{r: strings.NewReader("on demand\n")}
+	out := &syncBuf{}
+	s2, err := mgr.Submit(playground.SessionSpec{Program: "pg-echo", User: "alice", Stdin: consumed, Stdout: out})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if code, err := wait(t, s2); err != nil || code != 0 {
+		t.Fatalf("pg-echo: code %d err %v", code, err)
+	}
+	if got := out.String(); !strings.Contains(got, "on demand") {
+		t.Errorf("pg-echo output %q, want the stdin payload", got)
+	}
+	if consumed.reads.Load() == 0 {
+		t.Error("stdin-consuming program never triggered the pump")
+	}
+}
+
+// TestSandboxAndAuthenticatedUsers checks the playground account
+// model: a password-less session runs as the worker's sacrificial
+// sandbox account whoever submitted it; a password authenticates a
+// real worker-side account; a bad password fails cleanly.
+func TestSandboxAndAuthenticatedUsers(t *testing.T) {
+	_, mgr, addrs := newPlayground(t, 1, playground.Config{})
+	w, _ := mgr.LocalWorker(addrs[0])
+	if _, err := w.Platform().AddUser("carol", "tunnels"); err != nil {
+		t.Fatalf("add worker account: %v", err)
+	}
+
+	out := &syncBuf{}
+	s, err := mgr.Submit(playground.SessionSpec{Program: "pg-user", User: "alice", Stdout: out})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if code, err := wait(t, s); err != nil || code != 0 {
+		t.Fatalf("sandbox session: code %d err %v", code, err)
+	}
+	if got := strings.TrimSpace(out.String()); got != playground.SandboxUser {
+		t.Errorf("password-less session ran as %q, want %q", got, playground.SandboxUser)
+	}
+
+	out = &syncBuf{}
+	s, err = mgr.Submit(playground.SessionSpec{Program: "pg-user", User: "carol", Password: "tunnels", Stdout: out})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if code, err := wait(t, s); err != nil || code != 0 {
+		t.Fatalf("authenticated session: code %d err %v", code, err)
+	}
+	if got := strings.TrimSpace(out.String()); got != "carol" {
+		t.Errorf("authenticated session ran as %q, want carol", got)
+	}
+
+	s, err = mgr.Submit(playground.SessionSpec{Program: "pg-user", User: "carol", Password: "wrong"})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	code, err := wait(t, s)
+	if err == nil || code != playground.ExitAuthFailed {
+		t.Errorf("bad password: code %d err %v, want ExitAuthFailed and error", code, err)
+	}
+	checkConservation(t, mgr.Stats())
+}
+
+// TestStickyPlacement pins a user to their worker even when another
+// worker is less loaded, and re-pins after the worker dies.
+func TestStickyPlacement(t *testing.T) {
+	_, mgr, _ := newPlayground(t, 2, playground.Config{Capacity: 8})
+	var pipes []*io.PipeWriter
+	hold := func(user string) *playground.Session {
+		t.Helper()
+		r, w := io.Pipe()
+		pipes = append(pipes, w)
+		s, err := mgr.Submit(playground.SessionSpec{Program: "pg-hold", User: user, Stdin: r})
+		if err != nil {
+			t.Fatalf("submit %s: %v", user, err)
+		}
+		return s
+	}
+	release := func(sessions ...*playground.Session) {
+		for _, p := range pipes {
+			_ = p.Close()
+		}
+		for _, s := range sessions {
+			wait(t, s)
+		}
+	}
+
+	a1 := hold("alice")
+	b1 := hold("bob")   // balances onto the other worker
+	c1 := hold("carol") // tie-break: alice's worker is now heavier by one
+	a2 := hold("alice") // sticky must override least-loaded
+	if a2.Worker() != a1.Worker() {
+		t.Errorf("alice session moved: %s then %s (sticky broken)", a1.Worker(), a2.Worker())
+	}
+	if b1.Worker() == a1.Worker() && c1.Worker() == a1.Worker() {
+		t.Errorf("all sessions on %s: least-loaded placement broken", a1.Worker())
+	}
+
+	// Kill alice's worker: her next session must land on the survivor.
+	victim := a1.Worker()
+	if err := mgr.KillWorker(victim); err != nil {
+		t.Fatalf("kill %s: %v", victim, err)
+	}
+	if _, err := wait(t, a1); err == nil {
+		t.Errorf("in-flight session on killed worker returned no error")
+	}
+	a3 := hold("alice")
+	if a3.Worker() == victim {
+		t.Errorf("alice re-pinned to dead worker %s", victim)
+	}
+	release(a2, b1, c1, a3)
+	checkConservation(t, mgr.Stats())
+}
+
+// TestQueueingAndPromotion fills a worker's in-flight slots, queues
+// behind them, rejects past the queue bound, and promotes queued
+// sessions as slots free.
+func TestQueueingAndPromotion(t *testing.T) {
+	_, mgr, _ := newPlayground(t, 1, playground.Config{Capacity: 2, QueueCap: 4})
+	var pipes []*io.PipeWriter
+	var sessions []*playground.Session
+	for i := 0; i < 6; i++ {
+		r, w := io.Pipe()
+		pipes = append(pipes, w)
+		s, err := mgr.Submit(playground.SessionSpec{Program: "pg-hold", User: fmt.Sprintf("u%d", i), Stdin: r})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		sessions = append(sessions, s)
+	}
+	if st := mgr.Stats(); st.Placed != 2 {
+		t.Errorf("placed %d with capacity 2, want 2 (rest queued)", st.Placed)
+	}
+	if _, err := mgr.Submit(playground.SessionSpec{Program: "pg-hold", User: "over"}); err == nil {
+		t.Errorf("7th session accepted past capacity+queue bound")
+	}
+	for _, w := range pipes {
+		_ = w.Close()
+	}
+	for i, s := range sessions {
+		if code, err := wait(t, s); err != nil || code != 0 {
+			t.Errorf("session %d: code %d err %v", i, code, err)
+		}
+	}
+	st := mgr.Stats()
+	if st.Submitted != 7 || st.Placed != 6 || st.Completed != 6 || st.Rejected != 1 {
+		t.Errorf("stats %+v, want 7 submitted, 6 placed+completed, 1 rejected", st)
+	}
+	checkConservation(t, st)
+}
+
+// readySignal closes a channel the first time anything is written.
+type readySignal struct {
+	once sync.Once
+	ch   chan struct{}
+}
+
+func newReadySignal() *readySignal { return &readySignal{ch: make(chan struct{})} }
+
+func (r *readySignal) Write(p []byte) (int, error) {
+	r.once.Do(func() { close(r.ch) })
+	return len(p), nil
+}
+
+// TestUIProxyRoundTrip runs the full event proxy: a remote applet's
+// window appears on the origin display, an origin input event reaches
+// the remote listener, and its reply comes back through PostBatch to
+// an origin-side listener.
+func TestUIProxyRoundTrip(t *testing.T) {
+	origin, mgr, _ := newPlayground(t, 1, playground.Config{})
+	owner := hostApp(t, origin)
+	display := origin.Display()
+
+	ready := newReadySignal()
+	r, w := io.Pipe()
+	s, err := mgr.Submit(playground.SessionSpec{
+		Program: "pg-ui",
+		User:    "alice",
+		Stdin:   r,
+		Stdout:  ready,
+		Owner:   owner,
+	})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	select {
+	case <-ready.ch:
+	case <-time.After(waitTimeout):
+		t.Fatal("remote applet never reported ready")
+	}
+
+	wins := display.WindowsOf(events.OwnerID(owner.ID()))
+	if len(wins) != 1 {
+		t.Fatalf("origin display has %d windows for the owner, want 1 mirror window", len(wins))
+	}
+	win := wins[0]
+
+	replies := make(chan int, 16)
+	if err := win.AddListener("out", func(_ *vm.Thread, e events.Event) {
+		replies <- e.X
+	}); err != nil {
+		t.Fatalf("origin listener: %v", err)
+	}
+
+	if err := display.Post(events.Event{Window: win.ID(), Component: "in", Kind: events.KindAction, X: 41}); err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	select {
+	case x := <-replies:
+		if x != 42 {
+			t.Errorf("round trip returned %d, want 42", x)
+		}
+	case <-time.After(waitTimeout):
+		t.Fatal("no proxied reply: event round trip lost")
+	}
+
+	_ = w.Close()
+	if code, err := wait(t, s); err != nil || code != 0 {
+		t.Fatalf("session end: code %d err %v", code, err)
+	}
+	if !win.Closed() {
+		t.Errorf("mirror window still open after session close")
+	}
+	checkConservation(t, mgr.Stats())
+}
+
+// TestCancel cancels both a placed and a queued session.
+func TestCancel(t *testing.T) {
+	_, mgr, _ := newPlayground(t, 1, playground.Config{Capacity: 1, QueueCap: 4})
+	r1, w1 := io.Pipe()
+	defer w1.Close()
+	placed, err := mgr.Submit(playground.SessionSpec{Program: "pg-hold", User: "a", Stdin: r1})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	r2, w2 := io.Pipe()
+	defer w2.Close()
+	queued, err := mgr.Submit(playground.SessionSpec{Program: "pg-hold", User: "b", Stdin: r2})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+
+	queued.Cancel()
+	if _, err := wait(t, queued); err == nil {
+		t.Errorf("canceled queued session reported success")
+	}
+	placed.Cancel()
+	if code, _ := wait(t, placed); code != playground.ExitCanceled {
+		t.Errorf("canceled placed session exited %d, want %d", code, playground.ExitCanceled)
+	}
+	checkConservation(t, mgr.Stats())
+}

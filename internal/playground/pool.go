@@ -1,0 +1,878 @@
+// Package playground implements the remote playground: a dispatcher
+// fronting a pool of worker VMs that execute sessions on behalf of an
+// origin VM.
+//
+// The paper's playground model keeps untrusted code off the machine
+// the user sits at: programs are shipped to sacrificial worker
+// machines and only their I/O and UI traffic crosses back. This
+// package reproduces that shape over netsim. The dispatcher (Pool)
+// keeps ONE dialed connection per worker and multiplexes every
+// session over it — framed stdin/stdout/stderr plus a control channel
+// (open, exit, cancel, window management, event proxy, heartbeat).
+// Placement is sticky-per-user first, least-loaded second, with a
+// bounded per-worker queue of not-yet-opened sessions behind a
+// per-worker in-flight capacity.
+//
+// UI proxying: a remote session application gets a RemoteUI resource
+// instead of a real display. Windows it opens materialize on the
+// ORIGIN display (owned by the origin application that submitted the
+// session), origin input events on components the remote listens on
+// are forwarded out, and events the remote posts come back through
+// events.PostBatch — so a remote applet's window is indistinguishable
+// from a local one at the origin.
+//
+// Failure: a missed-heartbeat budget or a connection error marks the
+// worker dead. In-flight sessions on it fail promptly with
+// ErrWorkerLost (their mirror windows close); queued sessions are
+// rescheduled onto survivors or rejected if none have room. The
+// counters obey two conservation laws the tests assert under churn:
+//
+//	Submitted == Placed + Rejected        (every session ends somewhere)
+//	Placed    == Completed + Failed + in-flight
+package playground
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mpj/internal/audit"
+	"mpj/internal/core"
+	"mpj/internal/events"
+	"mpj/internal/vm"
+)
+
+// Pool-level errors.
+var (
+	// ErrPoolClosed is returned by Submit after Close.
+	ErrPoolClosed = errors.New("playground: pool closed")
+	// ErrNoWorker means no live worker had room (or the pool is
+	// empty); the session was rejected, never placed.
+	ErrNoWorker = errors.New("playground: no worker available")
+	// ErrWorkerLost means the session's worker died with the session
+	// in flight.
+	ErrWorkerLost = errors.New("playground: worker lost")
+	// ErrRejected means a queued session lost its worker and no
+	// survivor had room for it.
+	ErrRejected = errors.New("playground: session rejected")
+)
+
+// Config tunes the dispatcher.
+type Config struct {
+	// Capacity is the per-worker in-flight session limit. Default 8.
+	Capacity int
+	// QueueCap bounds each worker's queue of accepted-but-not-opened
+	// sessions. Default 16.
+	QueueCap int
+	// Heartbeat is the liveness probe interval. Default 250ms.
+	Heartbeat time.Duration
+	// HeartbeatMiss is how many consecutive unanswered probes mark a
+	// worker dead. Default 4.
+	HeartbeatMiss int
+}
+
+func (c *Config) fill() {
+	if c.Capacity <= 0 {
+		c.Capacity = 8
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 16
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = 250 * time.Millisecond
+	}
+	if c.HeartbeatMiss <= 0 {
+		c.HeartbeatMiss = 4
+	}
+}
+
+// Stats is a snapshot of the pool's conservation counters.
+type Stats struct {
+	Submitted   int64
+	Placed      int64
+	Rejected    int64
+	Completed   int64
+	Failed      int64
+	Rescheduled int64
+}
+
+// InFlight derives the live-session count from the conservation law.
+func (s Stats) InFlight() int64 { return s.Placed - s.Completed - s.Failed }
+
+// WorkerState is a pool worker's lifecycle state.
+type WorkerState int
+
+const (
+	// WorkerActive workers accept placements.
+	WorkerActive WorkerState = iota + 1
+	// WorkerDraining workers finish what they have but take no new
+	// sessions.
+	WorkerDraining
+	// WorkerDead workers have been failed out of the pool.
+	WorkerDead
+)
+
+func (s WorkerState) String() string {
+	switch s {
+	case WorkerActive:
+		return "active"
+	case WorkerDraining:
+		return "draining"
+	case WorkerDead:
+		return "dead"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// WorkerInfo describes one pool worker for introspection (the shell's
+// playground builtin renders these).
+type WorkerInfo struct {
+	Addr   string
+	State  WorkerState
+	Active int
+	Queued int
+}
+
+// SessionSpec describes one remote execution request.
+type SessionSpec struct {
+	// Program and Args name the program to run on the worker.
+	Program string
+	Args    []string
+	// User is the submitting origin user — the sticky-placement key,
+	// and (with Password) the worker-side account when Password is
+	// non-empty. With an empty Password the session runs as the
+	// worker's sandbox account.
+	User     string
+	Password string
+	// Stdin, if non-nil, is pumped to the remote session; Stdout and
+	// Stderr receive its output (nil discards).
+	Stdin  io.Reader
+	Stdout io.Writer
+	Stderr io.Writer
+	// Owner, if non-nil, is the origin application that owns the
+	// session's mirror windows. Sessions without an owner refuse
+	// remote OpenWindow calls but run fine otherwise.
+	Owner *core.Application
+}
+
+// sessState is a session's dispatcher-side lifecycle state.
+type sessState int
+
+const (
+	sessQueued sessState = iota + 1
+	sessPlaced
+	sessDone
+)
+
+// Session is the origin-side handle on a remote execution.
+type Session struct {
+	pool *Pool
+	id   uint64
+	spec SessionSpec
+	done chan struct{}
+
+	// state and worker are guarded by pool.mu (placement state);
+	// the session's own mu guards the terminal fields and windows.
+	state  sessState
+	worker *poolWorker
+
+	mu       sync.Mutex
+	wins     map[int64]*events.Window
+	forward  map[string]bool // "win/component" forwarder registered
+	pumping  bool            // stdin pump started (on opStdinReq)
+	finished bool
+	code     int
+	err      error
+}
+
+// ID returns the session's pool-unique id.
+func (s *Session) ID() uint64 { return s.id }
+
+// Done closes when the session reaches a terminal state.
+func (s *Session) Done() <-chan struct{} { return s.done }
+
+// Wait blocks until the session finishes and returns its remote exit
+// code and terminal error (nil for a normal remote exit, whatever the
+// remote code was).
+func (s *Session) Wait() (int, error) {
+	<-s.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.code, s.err
+}
+
+// Worker reports the address of the worker the session was assigned
+// to, or "" before placement.
+func (s *Session) Worker() string {
+	s.pool.mu.Lock()
+	defer s.pool.mu.Unlock()
+	if s.worker == nil {
+		return ""
+	}
+	return s.worker.key
+}
+
+// Cancel asks for the session's termination: a queued session is
+// rejected immediately, a placed one gets an opCancel (the worker
+// still answers with a normal exit).
+func (s *Session) Cancel() {
+	p := s.pool
+	p.mu.Lock()
+	var w *poolWorker
+	switch s.state {
+	case sessQueued:
+		if s.worker != nil {
+			s.worker.unqueueLocked(s)
+		}
+		s.state = sessDone
+		p.mu.Unlock()
+		p.rejected.Add(1)
+		p.emit("reject", s.spec.User, fmt.Sprintf("sid=%d canceled while queued", s.id))
+		s.finish(ExitCanceled, ErrRejected)
+		return
+	case sessPlaced:
+		w = s.worker
+	}
+	p.mu.Unlock()
+	if w != nil {
+		_ = w.m.send(frame{Op: opCancel, SID: s.id})
+	}
+}
+
+// finish moves the session to its terminal state (idempotent) and
+// closes its mirror windows.
+func (s *Session) finish(code int, err error) {
+	s.mu.Lock()
+	if s.finished {
+		s.mu.Unlock()
+		return
+	}
+	s.finished = true
+	s.code = code
+	s.err = err
+	wins := s.wins
+	s.wins = nil
+	s.mu.Unlock()
+	for _, w := range wins {
+		w.Close()
+	}
+	close(s.done)
+}
+
+// poolWorker is the dispatcher's record of one worker: one mux'd
+// connection, the in-flight set, and the assigned-but-not-opened
+// queue.
+type poolWorker struct {
+	pool  *Pool
+	key   string // "host:port"
+	host  string
+	port  int
+	m     *mux
+	state WorkerState
+
+	active map[uint64]*Session // guarded by pool.mu
+	queue  []*Session          // guarded by pool.mu
+
+	// outstanding counts unanswered heartbeat probes.
+	outstanding atomic.Int32
+}
+
+// loadLocked is the placement metric. Caller holds pool.mu.
+func (w *poolWorker) loadLocked() int { return len(w.active) + len(w.queue) }
+
+// roomLocked reports whether the worker can take one more session.
+// Caller holds pool.mu.
+func (w *poolWorker) roomLocked(cfg Config) bool {
+	return w.state == WorkerActive && w.loadLocked() < cfg.Capacity+cfg.QueueCap
+}
+
+// unqueueLocked removes a session from the queue. Caller holds
+// pool.mu.
+func (w *poolWorker) unqueueLocked(s *Session) {
+	for i, q := range w.queue {
+		if q == s {
+			w.queue = append(w.queue[:i], w.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// Pool is the dispatcher: it owns the worker set, places sessions,
+// proxies UI traffic, and converts worker failures into clean session
+// outcomes.
+type Pool struct {
+	origin *core.Platform
+	cfg    Config
+
+	mu      sync.Mutex
+	workers map[string]*poolWorker
+	sticky  map[string]*poolWorker // user -> preferred worker
+	nextSID uint64
+	closed  bool
+
+	hbStop chan struct{}
+	hbDone chan struct{}
+
+	submitted   atomic.Int64
+	placed      atomic.Int64
+	rejected    atomic.Int64
+	completed   atomic.Int64
+	failed      atomic.Int64
+	rescheduled atomic.Int64
+}
+
+// NewPool builds a dispatcher on the origin platform (whose network
+// it dials workers over, whose display hosts mirror windows, and
+// whose audit log receives CatRemote events) and starts its heartbeat
+// prober.
+func NewPool(origin *core.Platform, cfg Config) *Pool {
+	cfg.fill()
+	p := &Pool{
+		origin:  origin,
+		cfg:     cfg,
+		workers: make(map[string]*poolWorker),
+		sticky:  make(map[string]*poolWorker),
+		hbStop:  make(chan struct{}),
+		hbDone:  make(chan struct{}),
+	}
+	go p.heartbeatLoop()
+	return p
+}
+
+// Stats snapshots the conservation counters.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Submitted:   p.submitted.Load(),
+		Placed:      p.placed.Load(),
+		Rejected:    p.rejected.Load(),
+		Completed:   p.completed.Load(),
+		Failed:      p.failed.Load(),
+		Rescheduled: p.rescheduled.Load(),
+	}
+}
+
+// Workers lists the pool's workers, sorted by address.
+func (p *Pool) Workers() []WorkerInfo {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]WorkerInfo, 0, len(p.workers))
+	for _, w := range p.workers {
+		out = append(out, WorkerInfo{Addr: w.key, State: w.state, Active: len(w.active), Queued: len(w.queue)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// AddWorker dials host:port from the origin VM and joins the worker
+// to the pool: the single connection every session to that worker
+// multiplexes over.
+func (p *Pool) AddWorker(host string, port int) error {
+	key := fmt.Sprintf("%s:%d", host, port)
+	conn, err := p.origin.Net().Dial(p.origin.HostName(), host, port)
+	if err != nil {
+		return fmt.Errorf("playground: add worker %s: %w", key, err)
+	}
+	w := &poolWorker{
+		pool:   p,
+		key:    key,
+		host:   host,
+		port:   port,
+		m:      newMux(conn),
+		state:  WorkerActive,
+		active: make(map[uint64]*Session),
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		_ = conn.Close()
+		return ErrPoolClosed
+	}
+	if _, dup := p.workers[key]; dup {
+		p.mu.Unlock()
+		_ = conn.Close()
+		return fmt.Errorf("playground: worker %s already in pool", key)
+	}
+	p.workers[key] = w
+	p.mu.Unlock()
+	go p.readLoop(w)
+	p.emit("worker-join", "", key)
+	return nil
+}
+
+// Drain stops new placements on a worker; its in-flight and queued
+// sessions proceed.
+func (p *Pool) Drain(addr string) error {
+	p.mu.Lock()
+	w := p.workers[addr]
+	if w == nil || w.state == WorkerDead {
+		p.mu.Unlock()
+		return fmt.Errorf("playground: no live worker %s", addr)
+	}
+	w.state = WorkerDraining
+	for u, sw := range p.sticky {
+		if sw == w {
+			delete(p.sticky, u)
+		}
+	}
+	p.mu.Unlock()
+	p.emit("worker-drain", "", addr)
+	return nil
+}
+
+// Remove fails a worker out of the pool immediately, as if it had
+// crashed: in-flight sessions fail, queued ones reschedule.
+func (p *Pool) Remove(addr string) error {
+	p.mu.Lock()
+	w := p.workers[addr]
+	p.mu.Unlock()
+	if w == nil {
+		return fmt.Errorf("playground: no worker %s", addr)
+	}
+	p.workerDead(w, "removed")
+	return nil
+}
+
+// Close shuts the dispatcher down: every worker is failed out (so
+// in-flight sessions fail, queued ones reject — nothing hangs) and
+// Submit refuses new work.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	workers := make([]*poolWorker, 0, len(p.workers))
+	for _, w := range p.workers {
+		workers = append(workers, w)
+	}
+	p.mu.Unlock()
+	close(p.hbStop)
+	<-p.hbDone
+	for _, w := range workers {
+		p.workerDead(w, "pool closed")
+	}
+}
+
+// Submit places a session (sticky-per-user first, least-loaded
+// second). With no live worker with room it returns ErrNoWorker and
+// the session counts as Rejected; otherwise the session is opened
+// immediately if its worker has an in-flight slot free, or queued on
+// it.
+func (p *Pool) Submit(spec SessionSpec) (*Session, error) {
+	p.submitted.Add(1)
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.rejected.Add(1)
+		return nil, ErrPoolClosed
+	}
+	w := p.pickLocked(spec.User)
+	if w == nil {
+		p.mu.Unlock()
+		p.rejected.Add(1)
+		p.emit("reject", spec.User, "no worker available")
+		return nil, ErrNoWorker
+	}
+	p.nextSID++
+	s := &Session{
+		pool: p,
+		id:   p.nextSID,
+		spec: spec,
+		done: make(chan struct{}),
+		wins: make(map[int64]*events.Window),
+	}
+	if spec.User != "" {
+		p.sticky[spec.User] = w
+	}
+	s.worker = w
+	var open bool
+	var depth int
+	if len(w.active) < p.cfg.Capacity {
+		s.state = sessPlaced
+		w.active[s.id] = s
+		p.placed.Add(1)
+		open = true
+	} else {
+		s.state = sessQueued
+		w.queue = append(w.queue, s)
+		depth = len(w.queue)
+	}
+	p.mu.Unlock()
+	if open {
+		p.openSession(w, s)
+	} else {
+		p.emit("queue", spec.User, fmt.Sprintf("sid=%d worker=%s depth=%d", s.id, w.key, depth))
+	}
+	return s, nil
+}
+
+// pickLocked chooses a worker for a user: their sticky worker if it
+// still has room, else the least-loaded active worker with room.
+// Caller holds pool.mu.
+func (p *Pool) pickLocked(user string) *poolWorker {
+	if user != "" {
+		if w := p.sticky[user]; w != nil && w.roomLocked(p.cfg) {
+			return w
+		}
+		delete(p.sticky, user)
+	}
+	var best *poolWorker
+	for _, w := range p.workers {
+		if !w.roomLocked(p.cfg) {
+			continue
+		}
+		// Tie-break on address so placement is deterministic.
+		if best == nil || w.loadLocked() < best.loadLocked() ||
+			(w.loadLocked() == best.loadLocked() && w.key < best.key) {
+			best = w
+		}
+	}
+	return best
+}
+
+// openSession sends the opOpen frame and starts the stdin pump.
+// Never called with pool.mu held — a dead connection would otherwise
+// deadlock against the reader's workerDead.
+func (p *Pool) openSession(w *poolWorker, s *Session) {
+	req := &openReq{
+		Program:  s.spec.Program,
+		Args:     s.spec.Args,
+		User:     s.spec.User,
+		Password: s.spec.Password,
+		HasStdin: s.spec.Stdin != nil,
+	}
+	p.emit("place", s.spec.User, fmt.Sprintf("sid=%d worker=%s program=%s", s.id, w.key, s.spec.Program))
+	if err := w.m.send(frame{Op: opOpen, SID: s.id, Open: req}); err != nil {
+		// The reader (or heartbeat) will fail the worker and this
+		// session with it; nothing to do here.
+		return
+	}
+	// Stdin is NOT pumped yet: the worker asks with opStdinReq when
+	// (and only when) the session application first reads it. With a
+	// shared interactive stdin — the shell passing its own terminal to
+	// `rexec pool` — an eager pump would compete with the terminal's
+	// reader and steal the user's next input lines.
+}
+
+// pumpStdin copies the session's stdin to the worker in opStdin
+// frames, then signals EOF. Started by the first opStdinReq; stops as
+// soon as the session reaches a terminal state so a shared stdin is
+// released (bounded by the one Read already in flight).
+func (p *Pool) pumpStdin(w *poolWorker, s *Session) {
+	buf := make([]byte, 4096)
+	for {
+		n, err := s.spec.Stdin.Read(buf)
+		s.mu.Lock()
+		fin := s.finished
+		s.mu.Unlock()
+		if fin {
+			return
+		}
+		if n > 0 {
+			data := make([]byte, n)
+			copy(data, buf[:n])
+			if w.m.send(frame{Op: opStdin, SID: s.id, Data: data}) != nil {
+				return
+			}
+		}
+		if err != nil {
+			_ = w.m.send(frame{Op: opStdinEOF, SID: s.id})
+			return
+		}
+	}
+}
+
+// readLoop demultiplexes one worker connection until it dies.
+func (p *Pool) readLoop(w *poolWorker) {
+	for {
+		f, err := w.m.recv()
+		if err != nil {
+			p.workerDead(w, fmt.Sprintf("connection: %v", err))
+			return
+		}
+		p.handle(w, f)
+	}
+}
+
+// session resolves an in-flight session id on a worker.
+func (p *Pool) session(w *poolWorker, sid uint64) *Session {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return w.active[sid]
+}
+
+// handle dispatches one frame from a worker.
+func (p *Pool) handle(w *poolWorker, f frame) {
+	switch f.Op {
+	case opStdout:
+		if s := p.session(w, f.SID); s != nil && s.spec.Stdout != nil {
+			_, _ = s.spec.Stdout.Write(f.Data)
+		}
+	case opStderr:
+		if s := p.session(w, f.SID); s != nil && s.spec.Stderr != nil {
+			_, _ = s.spec.Stderr.Write(f.Data)
+		}
+	case opStdinReq:
+		if s := p.session(w, f.SID); s != nil {
+			if s.spec.Stdin == nil {
+				_ = w.m.send(frame{Op: opStdinEOF, SID: s.id})
+				return
+			}
+			s.mu.Lock()
+			start := !s.pumping && !s.finished
+			s.pumping = true
+			s.mu.Unlock()
+			if start {
+				go p.pumpStdin(w, s)
+			}
+		}
+	case opExit, opOpenErr:
+		p.mu.Lock()
+		s := w.active[f.SID]
+		delete(w.active, f.SID)
+		opens := p.promoteLocked(w)
+		p.mu.Unlock()
+		if s != nil {
+			if f.Op == opExit {
+				p.completed.Add(1)
+				p.emit("close", s.spec.User, fmt.Sprintf("sid=%d worker=%s code=%d", s.id, w.key, f.Code))
+				s.finish(f.Code, nil)
+			} else {
+				p.failed.Add(1)
+				p.emit("fail", s.spec.User, fmt.Sprintf("sid=%d worker=%s open refused: %s", s.id, w.key, f.Str))
+				s.finish(f.Code, fmt.Errorf("playground: open refused: %s", f.Str))
+			}
+		}
+		for _, ns := range opens {
+			p.openSession(w, ns)
+		}
+	case opWinOpen:
+		p.handleWinOpen(w, f)
+	case opListen:
+		p.handleListen(w, f)
+	case opPost:
+		p.handlePost(w, f)
+	case opPong:
+		w.outstanding.Store(0)
+	}
+}
+
+// promoteLocked moves queued sessions into freed in-flight slots.
+// Caller holds pool.mu; returned sessions must be opened after the
+// lock drops.
+func (p *Pool) promoteLocked(w *poolWorker) []*Session {
+	var opens []*Session
+	for len(w.queue) > 0 && len(w.active) < p.cfg.Capacity && w.state != WorkerDead {
+		s := w.queue[0]
+		w.queue = w.queue[1:]
+		s.state = sessPlaced
+		w.active[s.id] = s
+		p.placed.Add(1)
+		opens = append(opens, s)
+	}
+	return opens
+}
+
+// handleWinOpen opens a mirror window on the origin display for a
+// remote session and acks with the origin window id.
+func (p *Pool) handleWinOpen(w *poolWorker, f frame) {
+	s := p.session(w, f.SID)
+	if s == nil {
+		return
+	}
+	refuse := func(reason string) {
+		_ = w.m.send(frame{Op: opWinOpened, SID: f.SID, Seq: f.Seq, Win: 0, Str: reason})
+	}
+	display := p.origin.Display()
+	if display == nil || s.spec.Owner == nil {
+		refuse(ErrNoUI.Error())
+		return
+	}
+	if display.Mode() != events.PerAppDispatcher {
+		// SingleDispatcher's lazy start needs an opening VM thread,
+		// which the proxy doesn't have — and its shared queue is the
+		// architecture the playground exists to avoid.
+		refuse("playground: origin display must use PerAppDispatcher")
+		return
+	}
+	owner := events.OwnerID(s.spec.Owner.ID())
+	win, err := display.OpenWindow(nil, owner, f.Str)
+	if err != nil {
+		refuse(err.Error())
+		return
+	}
+	s.mu.Lock()
+	if s.finished {
+		s.mu.Unlock()
+		win.Close()
+		refuse(ErrUIClosed.Error())
+		return
+	}
+	s.wins[int64(win.ID())] = win
+	s.mu.Unlock()
+	_ = w.m.send(frame{Op: opWinOpened, SID: f.SID, Seq: f.Seq, Win: int64(win.ID())})
+}
+
+// handleListen registers the origin-side forwarder that streams input
+// events on one window component back to the remote application. The
+// forwarder exists only for components the remote listens on, so
+// events the remote itself posts (on other components) do not echo
+// back and loop.
+func (p *Pool) handleListen(w *poolWorker, f frame) {
+	s := p.session(w, f.SID)
+	if s == nil {
+		return
+	}
+	key := fmt.Sprintf("%d/%s", f.Win, f.Str)
+	s.mu.Lock()
+	win := s.wins[f.Win]
+	if win == nil || s.forward[key] {
+		s.mu.Unlock()
+		return
+	}
+	if s.forward == nil {
+		s.forward = make(map[string]bool)
+	}
+	s.forward[key] = true
+	s.mu.Unlock()
+	sid, origin := f.SID, f.Win
+	_ = win.AddListener(f.Str, func(t *vm.Thread, e events.Event) {
+		_ = w.m.send(frame{Op: opEvent, SID: sid, Evts: []wireEvent{fromEvent(origin, e)}})
+	})
+}
+
+// handlePost re-posts a remote application's event batch onto the
+// origin display.
+func (p *Pool) handlePost(w *poolWorker, f frame) {
+	if p.session(w, f.SID) == nil {
+		return
+	}
+	display := p.origin.Display()
+	if display == nil || len(f.Evts) == 0 {
+		return
+	}
+	evts := make([]events.Event, len(f.Evts))
+	for i, we := range f.Evts {
+		evts[i] = we.toEvent()
+	}
+	_ = display.PostBatch(evts)
+}
+
+// heartbeatLoop probes every live worker each interval; a worker that
+// leaves HeartbeatMiss probes unanswered is declared dead.
+func (p *Pool) heartbeatLoop() {
+	defer close(p.hbDone)
+	ticker := time.NewTicker(p.cfg.Heartbeat)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.hbStop:
+			return
+		case <-ticker.C:
+		}
+		p.mu.Lock()
+		workers := make([]*poolWorker, 0, len(p.workers))
+		for _, w := range p.workers {
+			if w.state != WorkerDead {
+				workers = append(workers, w)
+			}
+		}
+		p.mu.Unlock()
+		for _, w := range workers {
+			if int(w.outstanding.Add(1)) > p.cfg.HeartbeatMiss {
+				p.workerDead(w, "heartbeat timeout")
+				continue
+			}
+			if err := w.m.send(frame{Op: opPing}); err != nil {
+				p.workerDead(w, fmt.Sprintf("heartbeat: %v", err))
+			}
+		}
+	}
+}
+
+// workerDead converts a worker failure into clean session outcomes:
+// in-flight sessions fail with ErrWorkerLost, queued sessions move to
+// surviving workers (or reject when none have room). Idempotent —
+// the heartbeat, the reader, and Remove can all report the same
+// death.
+func (p *Pool) workerDead(w *poolWorker, reason string) {
+	p.mu.Lock()
+	if w.state == WorkerDead {
+		p.mu.Unlock()
+		return
+	}
+	w.state = WorkerDead
+	delete(p.workers, w.key)
+	for u, sw := range p.sticky {
+		if sw == w {
+			delete(p.sticky, u)
+		}
+	}
+	inflight := make([]*Session, 0, len(w.active))
+	for _, s := range w.active {
+		inflight = append(inflight, s)
+	}
+	w.active = make(map[uint64]*Session)
+	queued := w.queue
+	w.queue = nil
+
+	// Reassign the queue under the same lock so concurrent deaths
+	// cannot double-place a session.
+	type placement struct {
+		s *Session
+		w *poolWorker
+	}
+	var opens []placement
+	var rejects []*Session
+	for _, s := range queued {
+		nw := p.pickLocked(s.spec.User)
+		if nw == nil {
+			s.state = sessDone
+			rejects = append(rejects, s)
+			continue
+		}
+		p.rescheduled.Add(1)
+		s.worker = nw
+		if s.spec.User != "" {
+			p.sticky[s.spec.User] = nw
+		}
+		if len(nw.active) < p.cfg.Capacity {
+			s.state = sessPlaced
+			nw.active[s.id] = s
+			p.placed.Add(1)
+			opens = append(opens, placement{s, nw})
+		} else {
+			nw.queue = append(nw.queue, s)
+		}
+	}
+	p.mu.Unlock()
+
+	w.m.close()
+	p.emit("worker-leave", "", fmt.Sprintf("%s: %s", w.key, reason))
+	for _, s := range inflight {
+		p.failed.Add(1)
+		p.emit("fail", s.spec.User, fmt.Sprintf("sid=%d worker=%s: %s", s.id, w.key, reason))
+		s.finish(ExitWorkerLost, ErrWorkerLost)
+	}
+	for _, s := range rejects {
+		p.rejected.Add(1)
+		p.emit("reject", s.spec.User, fmt.Sprintf("sid=%d no survivor after %s died", s.id, w.key))
+		s.finish(ExitWorkerLost, ErrRejected)
+	}
+	for _, pl := range opens {
+		p.emit("reschedule", pl.s.spec.User, fmt.Sprintf("sid=%d %s -> %s", pl.s.id, w.key, pl.w.key))
+		p.openSession(pl.w, pl.s)
+	}
+}
+
+// emit records a CatRemote audit event on the origin log.
+func (p *Pool) emit(verb, user, detail string) {
+	if log := p.origin.Audit(); log != nil {
+		log.Emit(audit.Event{Cat: audit.CatRemote, Verb: verb, User: user, Detail: detail})
+	}
+}

@@ -1,0 +1,191 @@
+package playground_test
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mpj/internal/playground"
+)
+
+// TestWorkerKillMidSession kills a worker with sessions in flight and
+// queued, and asserts the contract: in-flight sessions fail promptly
+// with ErrWorkerLost (no hang), queued sessions reschedule onto the
+// survivor, and the conservation laws hold exactly at quiescence.
+func TestWorkerKillMidSession(t *testing.T) {
+	const n = 12
+	_, mgr, addrs := newPlayground(t, 2, playground.Config{Capacity: 4, QueueCap: 16})
+	var pipes []*io.PipeWriter
+	sessions := make([]*playground.Session, 0, n)
+	for i := 0; i < n; i++ {
+		r, w := io.Pipe()
+		pipes = append(pipes, w)
+		s, err := mgr.Submit(playground.SessionSpec{Program: "pg-hold", User: fmt.Sprintf("u%d", i), Stdin: r})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		sessions = append(sessions, s)
+	}
+
+	victim := addrs[0]
+	if err := mgr.KillWorker(victim); err != nil {
+		t.Fatalf("kill %s: %v", victim, err)
+	}
+	for _, w := range pipes {
+		_ = w.Close()
+	}
+
+	var completed, lost int
+	for i, s := range sessions {
+		code, err := wait(t, s) // fails the test on hang
+		switch {
+		case err == nil && code == 0:
+			completed++
+		case errors.Is(err, playground.ErrWorkerLost):
+			lost++
+		case errors.Is(err, playground.ErrRejected):
+			// acceptable only if the survivor was truly full
+			t.Logf("session %d rejected on failover", i)
+		default:
+			t.Errorf("session %d: unexpected outcome code=%d err=%v", i, code, err)
+		}
+	}
+	if lost == 0 {
+		t.Errorf("killed a worker with in-flight sessions but none failed with ErrWorkerLost")
+	}
+	if completed == 0 {
+		t.Errorf("no session survived on the remaining worker")
+	}
+	st := mgr.Stats()
+	if st.Rescheduled == 0 {
+		t.Errorf("killed worker had queued sessions but none were rescheduled: %+v", st)
+	}
+	checkConservation(t, st)
+	if st.Submitted != n {
+		t.Errorf("submitted %d, want %d", st.Submitted, n)
+	}
+}
+
+// TestChurnUnderWorkerLoss hammers the pool from concurrent
+// submitters while a worker dies and a replacement joins mid-run —
+// the -race soak. Every session must reach a terminal state and the
+// counters must balance exactly.
+func TestChurnUnderWorkerLoss(t *testing.T) {
+	const (
+		submitters = 8
+		perWorker  = 12
+	)
+	_, mgr, addrs := newPlayground(t, 3, playground.Config{Capacity: 4, QueueCap: 8})
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	outcomes := map[string]int{}
+	record := func(k string) {
+		mu.Lock()
+		outcomes[k]++
+		mu.Unlock()
+	}
+	start := make(chan struct{})
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < perWorker; i++ {
+				s, err := mgr.Submit(playground.SessionSpec{
+					Program: "pg-echo",
+					Args:    []string{"x"},
+					User:    fmt.Sprintf("churn-u%d-%d", g, i%3),
+					Stdin:   strings.NewReader("y\n"),
+				})
+				if err != nil {
+					record("rejected-at-submit")
+					continue
+				}
+				select {
+				case <-s.Done():
+				case <-time.After(waitTimeout):
+					t.Errorf("submitter %d session %d hung", g, i)
+					return
+				}
+				if _, err := s.Wait(); err != nil {
+					record("failed")
+				} else {
+					record("completed")
+				}
+			}
+		}(g)
+	}
+	close(start)
+	// Kill one worker while traffic flows, then add a replacement.
+	time.Sleep(30 * time.Millisecond)
+	if err := mgr.KillWorker(addrs[0]); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if _, err := mgr.AddLocalWorker("pgw-replacement"); err != nil {
+		t.Fatalf("add replacement: %v", err)
+	}
+	wg.Wait()
+
+	st := mgr.Stats()
+	checkConservation(t, st)
+	if st.Submitted != submitters*perWorker {
+		t.Errorf("submitted %d, want %d", st.Submitted, submitters*perWorker)
+	}
+	if outcomes["completed"] == 0 {
+		t.Errorf("nothing completed under churn: %v (stats %+v)", outcomes, st)
+	}
+	t.Logf("churn outcomes: %v, stats %+v", outcomes, st)
+}
+
+// TestHeartbeatDetectsUnresponsiveWorker joins a worker that accepts
+// the connection but never answers, and asserts the heartbeat fails
+// it — and its session — within the miss budget.
+func TestHeartbeatDetectsUnresponsiveWorker(t *testing.T) {
+	origin := newOrigin(t)
+	pool := playground.NewPool(origin, playground.Config{Heartbeat: 20 * time.Millisecond, HeartbeatMiss: 3})
+	t.Cleanup(pool.Close)
+
+	const host = "deadbeat"
+	origin.Net().AddHost(host)
+	l, err := origin.Net().Listen(host, playground.DefaultPort)
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			// Swallow frames, answer nothing: a hung worker.
+			go func() { _, _ = io.Copy(io.Discard, c) }()
+		}
+	}()
+
+	if err := pool.AddWorker(host, playground.DefaultPort); err != nil {
+		t.Fatalf("add worker: %v", err)
+	}
+	s, err := pool.Submit(playground.SessionSpec{Program: "pg-hold", User: "a"})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	select {
+	case <-s.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("heartbeat never declared the unresponsive worker dead")
+	}
+	if _, err := s.Wait(); !errors.Is(err, playground.ErrWorkerLost) {
+		t.Errorf("session error %v, want ErrWorkerLost", err)
+	}
+	if ws := pool.Workers(); len(ws) != 0 {
+		t.Errorf("dead worker still listed: %v", ws)
+	}
+	checkConservation(t, pool.Stats())
+}

@@ -1,0 +1,36 @@
+package remote
+
+import (
+	"mpj/internal/core"
+	"mpj/internal/playground"
+)
+
+// rexecPool runs PROGRAM through the origin VM's playground pool: the
+// thin-client half of the playground model, where rexec no longer
+// names a machine but hands the job to the dispatcher.
+func rexecPool(ctx *core.Context, password, program string, args []string) int {
+	mgr, ok := playground.ManagerOf(ctx.Platform())
+	if !ok {
+		ctx.Errorf("rexec: this VM has no playground pool (see the playground builtin)\n")
+		return 1
+	}
+	sess, err := mgr.Submit(playground.SessionSpec{
+		Program:  program,
+		Args:     args,
+		User:     ctx.User().Name,
+		Password: password,
+		Stdin:    ctx.Stdin(),
+		Stdout:   ctx.Stdout(),
+		Stderr:   ctx.Stderr(),
+		Owner:    ctx.App(),
+	})
+	if err != nil {
+		ctx.Errorf("rexec: %v\n", err)
+		return 1
+	}
+	code, serr := sess.Wait()
+	if serr != nil {
+		ctx.Errorf("rexec: %v\n", serr)
+	}
+	return code
+}

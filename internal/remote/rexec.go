@@ -10,12 +10,20 @@ import (
 // InstallRexec registers the "rexec" utility on a platform:
 //
 //	rexec [-p PASSWORD] HOST[:PORT] PROGRAM [ARGS...]
+//	rexec [-p PASSWORD] pool PROGRAM [ARGS...]
 //
 // It runs PROGRAM on the VM whose rexec daemon listens at HOST:PORT,
 // as the calling user (authenticated on the remote side with the given
 // password), with this application's standard streams bridged across
 // the network. Dialing is subject to the caller's SocketPermission, so
 // policy controls which users may reach which remote VMs.
+//
+// The special host "pool" routes the execution through the VM's
+// remote playground instead of a direct daemon connection: the
+// dispatcher picks a worker (sticky per user), multiplexes the
+// session over the pool's existing connection, and proxies any UI
+// back to this application's windows. Without -p the session runs as
+// the worker's sandbox account.
 func InstallRexec(p *core.Platform) error {
 	return p.RegisterProgram(core.Program{
 		Name:        "rexec",
@@ -35,6 +43,9 @@ func rexecMain(ctx *core.Context, args []string) int {
 	if len(rest) < 2 {
 		ctx.Errorf("rexec: usage: rexec [-p PASSWORD] HOST[:PORT] PROGRAM [ARGS...]\n")
 		return 2
+	}
+	if rest[0] == "pool" {
+		return rexecPool(ctx, password, rest[1], rest[2:])
 	}
 	host, port, err := splitHostPort(rest[0])
 	if err != nil {

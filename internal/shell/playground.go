@@ -1,0 +1,90 @@
+package shell
+
+import (
+	"mpj/internal/playground"
+	"mpj/internal/security"
+)
+
+// playground is the remote-playground control builtin:
+//
+//	playground [status]        pool counters and per-worker state
+//	playground add [HOST]      boot a local worker VM and join it
+//	playground drain ADDR      stop new placements on a worker
+//	playground remove ADDR     fail a worker out of the pool
+//	playground kill ADDR       crash a local worker (failure injection)
+//
+// Reconfiguring the pool is a machine-level operation: it requires
+// RuntimePermission "playgroundControl", which the default policy
+// grants only to root. Plain status is open to everyone, like ps.
+func (s *Shell) playground(args []string) int {
+	mgr, ok := playground.ManagerOf(s.ctx.Platform())
+	if !ok {
+		s.ctx.Errorf("playground: no pool on this VM\n")
+		return 1
+	}
+	sub := "status"
+	if len(args) > 0 {
+		sub = args[0]
+		args = args[1:]
+	}
+	if sub == "status" {
+		return s.playgroundStatus(mgr)
+	}
+	if err := s.ctx.CheckPermission(security.NewRuntimePermission("playgroundControl")); err != nil {
+		s.ctx.Errorf("playground: %v\n", err)
+		return 1
+	}
+	switch sub {
+	case "add":
+		host := ""
+		if len(args) > 0 {
+			host = args[0]
+		}
+		addr, err := mgr.AddLocalWorker(host)
+		if err != nil {
+			s.ctx.Errorf("playground: %v\n", err)
+			return 1
+		}
+		s.ctx.Printf("worker %s joined\n", addr)
+		return 0
+	case "drain", "remove", "kill":
+		if len(args) != 1 {
+			s.ctx.Errorf("usage: playground %s ADDR\n", sub)
+			return 2
+		}
+		var err error
+		switch sub {
+		case "drain":
+			err = mgr.Drain(args[0])
+		case "remove":
+			err = mgr.RemoveWorker(args[0])
+		case "kill":
+			err = mgr.KillWorker(args[0])
+		}
+		if err != nil {
+			s.ctx.Errorf("playground: %v\n", err)
+			return 1
+		}
+		return 0
+	default:
+		s.ctx.Errorf("usage: playground [status|add|drain|remove|kill]\n")
+		return 2
+	}
+}
+
+// playgroundStatus renders the pool counters and worker table.
+func (s *Shell) playgroundStatus(mgr *playground.Manager) int {
+	st := mgr.Stats()
+	s.ctx.Printf("sessions: %d submitted, %d placed, %d rejected, %d completed, %d failed, %d rescheduled, %d in flight\n",
+		st.Submitted, st.Placed, st.Rejected, st.Completed, st.Failed, st.Rescheduled, st.InFlight())
+	workers := mgr.Workers()
+	if len(workers) == 0 {
+		s.ctx.Println("no workers (playground add)")
+		return 0
+	}
+	s.ctx.Printf("%-16s %-9s %7s %7s\n", "worker", "state", "active", "queued")
+	for _, w := range workers {
+		s.ctx.Printf("%-16s %-9s %7d %7d\n", w.Addr, w.State, w.Active, w.Queued)
+	}
+	return 0
+}

@@ -406,8 +406,10 @@ func (s *Shell) builtin(cmd Command) (code int, handled bool) {
 		return 0, true
 	case "auditctl":
 		return s.auditctl(cmd.Args[1:]), true
+	case "playground":
+		return s.playground(cmd.Args[1:]), true
 	case "help":
-		s.ctx.Println("builtins: cd pwd quit exit jobs wait history auditctl help")
+		s.ctx.Println("builtins: cd pwd quit exit jobs wait history auditctl playground help")
 		s.ctx.Printf("programs: %s\n", strings.Join(s.ctx.Platform().Programs().Names(), " "))
 		return 0, true
 	default:
