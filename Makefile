@@ -6,11 +6,11 @@
 #   make test         full test suite; the concurrency-heavy packages
 #                     (security, vm, events, netsim, audit, vfs,
 #                     streams, objspace, remote, playground, classes,
-#                     load) are rerun under the data-race detector
+#                     core, load) are rerun under the data-race detector
 #   make bench-smoke  one fast pass over the E8 access-control, events,
 #                     and netsim benchmarks
 #   make bench-json   full mvmbench run, machine-readable, written to
-#                     BENCH_PR8.json (the committed snapshot)
+#                     BENCH_PR9.json (the committed snapshot)
 #   make bench-json-smoke  mvmbench at tiny iteration count, output
 #                     discarded — CI uses this to keep the harness
 #                     from rotting
@@ -36,7 +36,7 @@ vet:
 
 test:
 	$(GO) test ./...
-	$(GO) test -race ./internal/security/ ./internal/vm/ ./internal/events/ ./internal/netsim/ ./internal/audit/ ./internal/vfs/ ./internal/streams/ ./internal/objspace/ ./internal/remote/ ./internal/playground/ ./internal/classes/ ./internal/load/
+	$(GO) test -race ./internal/security/ ./internal/vm/ ./internal/events/ ./internal/netsim/ ./internal/audit/ ./internal/vfs/ ./internal/streams/ ./internal/objspace/ ./internal/remote/ ./internal/playground/ ./internal/classes/ ./internal/core/ ./internal/load/
 
 bench-smoke:
 	$(GO) test -run xxx -bench 'BenchmarkE8AccessControl|BenchmarkE8PolicyScale' -benchtime=100x .
@@ -44,7 +44,7 @@ bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime=100x ./internal/events/ ./internal/netsim/
 
 bench-json:
-	$(GO) run ./cmd/mvmbench -iters 400 -json > BENCH_PR8.json
+	$(GO) run ./cmd/mvmbench -iters 400 -json > BENCH_PR9.json
 
 bench-json-smoke:
 	$(GO) run ./cmd/mvmbench -iters 20 -json > /dev/null

@@ -1,0 +1,219 @@
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mpj"
+	"mpj/internal/classes"
+	"mpj/internal/core"
+	"mpj/internal/security"
+)
+
+// launchRuntime builds a representative per-application runtime
+// closure: nChains inheritance chains of the given depth, all in the
+// reload set, referenced from a re-registered java.lang.System —
+// modeling the stateful system classes §5.5 reloads per application
+// (System, the AWT statics, stream classes). A cold launch re-verifies
+// and re-links every class of this closure; a template derives it once
+// and stamps incarnations per launch.
+func launchRuntime(nChains, depth int) (reload []string, files []*classes.ClassFile) {
+	src := security.NewCodeSource("file:/system/rt")
+	reload = []string{core.SystemClassName}
+	sysRefs := make([]string, 0, nChains)
+	for c := 0; c < nChains; c++ {
+		for d := 0; d < depth; d++ {
+			name := fmt.Sprintf("sys.rt.C%d_%d", c, d)
+			super := classes.ObjectClassName
+			if d+1 < depth {
+				super = fmt.Sprintf("sys.rt.C%d_%d", c, d+1)
+			}
+			var refs []string
+			if d == 0 && c > 0 {
+				refs = []string{fmt.Sprintf("sys.rt.C%d_0", c-1)}
+			}
+			files = append(files, &classes.ClassFile{Name: name, Super: super, Refs: refs, Source: src})
+			reload = append(reload, name)
+		}
+		sysRefs = append(sysRefs, fmt.Sprintf("sys.rt.C%d_0", c))
+	}
+	files = append(files, &classes.ClassFile{
+		Name: core.SystemClassName, Super: classes.ObjectClassName,
+		Refs: sysRefs, Source: src,
+	})
+	return reload, files
+}
+
+// eLaunch measures the sealed-application-template launch path (PR 9):
+// steady-state templated launch+exit against the cold child-loader
+// path and the rebuild-per-launch worst case, plus the admission-quota
+// overhead on the same path.
+//
+// All rows share the same workload — Exec a no-op program over a
+// 65-class per-application runtime closure and wait for it to finish —
+// so the differences isolate class-derivation and admission cost, not
+// application work. The closing row repeats the comparison on the
+// minimal 2-class closure, where launch machinery (group, thread,
+// audit) dominates both paths.
+func eLaunch(iters int) error {
+	noop := mpj.Program{Name: "noop", Main: func(*mpj.Context, []string) int { return 0 }}
+	launchExit := func(p *mpj.Platform) {
+		app, err := p.Exec(mpj.ExecSpec{Program: "noop"})
+		if err != nil {
+			panic(err)
+		}
+		app.WaitFor()
+	}
+	reload, files := launchRuntime(4, 16)
+	boot := func(name string, rich, noTemplates bool, q mpj.QuotaConfig) (*mpj.Platform, error) {
+		cfg := core.Config{Name: name, NoLaunchTemplates: noTemplates, Quotas: q}
+		if rich {
+			cfg.ReloadClasses = reload
+		}
+		p, err := core.NewPlatform(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if rich {
+			for _, cf := range files {
+				if err := p.ClassRegistry().Register(cf); err != nil {
+					p.Shutdown()
+					return nil, err
+				}
+			}
+		}
+		if err := p.RegisterProgram(noop); err != nil {
+			p.Shutdown()
+			return nil, err
+		}
+		return p, nil
+	}
+
+	// Steady state: the template is derived once and every launch
+	// stamps it.
+	tp, err := boot("el-tpl", true, false, mpj.QuotaConfig{})
+	if err != nil {
+		return err
+	}
+	launchExit(tp) // build the template outside the measured region
+	templated := measureBest(iters, func() { launchExit(tp) })
+
+	// Cold path: templates disabled; every launch re-derives the class
+	// closure through a fresh child loader (the pre-template behavior).
+	cp, err := boot("el-cold", true, true, mpj.QuotaConfig{})
+	if err != nil {
+		tp.Shutdown()
+		return err
+	}
+	cold := measureBest(iters, func() { launchExit(cp) })
+	cp.Shutdown()
+
+	// Worst case: the class path changes between every pair of
+	// launches, so each launch pays a full template rebuild.
+	rebuildIters := iters / 4
+	if rebuildIters < 10 {
+		rebuildIters = 10
+	}
+	rebuild := measureBest(rebuildIters, func() {
+		if err := tp.RegisterProgram(noop); err != nil {
+			panic(err)
+		}
+		launchExit(tp)
+	})
+	buildsBefore := tp.TemplateBuilds()
+
+	// Launch-storm throughput: concurrent launches sharing one
+	// template, the shape the remote playground's session churn takes.
+	const storers = 4
+	stormEach := iters / storers
+	if stormEach < 25 {
+		stormEach = 25
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < storers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < stormEach; i++ {
+				launchExit(tp)
+			}
+		}()
+	}
+	wg.Wait()
+	stormDur := time.Since(start)
+	stormRate := float64(storers*stormEach) / stormDur.Seconds()
+	if tp.TemplateBuilds() != buildsBefore {
+		return fmt.Errorf("launch storm rebuilt the template %d times with a stable class path",
+			tp.TemplateBuilds()-buildsBefore)
+	}
+	tp.Shutdown()
+
+	// Quota admission riding the same path: generous limits (every
+	// launch admitted) vs a saturated user (every launch rejected).
+	qp, err := boot("el-quota", true, false,
+		mpj.QuotaConfig{MaxAppsPerUser: 1 << 20, MaxThreadsPerUser: 1 << 20})
+	if err != nil {
+		return err
+	}
+	launchExit(qp)
+	admitted := measureBest(iters, func() { launchExit(qp) })
+	qp.Shutdown()
+
+	rp, err := boot("el-reject", false, false, mpj.QuotaConfig{MaxAppsPerUser: 1})
+	if err != nil {
+		return err
+	}
+	if err := rp.RegisterProgram(mpj.Program{Name: "hold", Main: func(ctx *mpj.Context, _ []string) int {
+		<-ctx.Thread().StopChan()
+		return 0
+	}}); err != nil {
+		rp.Shutdown()
+		return err
+	}
+	holder, err := rp.Exec(mpj.ExecSpec{Program: "hold"})
+	if err != nil {
+		rp.Shutdown()
+		return err
+	}
+	rejected := measureBest(iters, func() {
+		if _, err := rp.Exec(mpj.ExecSpec{Program: "noop"}); err == nil {
+			panic("saturated launch was admitted")
+		}
+	})
+	st := rp.QuotaStats()
+	if st.AppsAttempted != st.AppsAdmitted+st.AppsRejected {
+		return fmt.Errorf("quota conservation violated: %+v", st)
+	}
+	holder.RequestExit(0)
+	holder.WaitFor()
+	rp.Shutdown()
+
+	// Minimal closure: only System reloads per app, so the launch
+	// machinery dominates and the template win shrinks to the loader
+	// derivation it still skips.
+	mt, err := boot("el-min-tpl", false, false, mpj.QuotaConfig{})
+	if err != nil {
+		return err
+	}
+	launchExit(mt)
+	minTpl := measureBest(iters, func() { launchExit(mt) })
+	mt.Shutdown()
+	mc, err := boot("el-min-cold", false, true, mpj.QuotaConfig{})
+	if err != nil {
+		return err
+	}
+	minCold := measureBest(iters, func() { launchExit(mc) })
+	mc.Shutdown()
+
+	row("templated launch+exit (steady state)", templated)
+	row("cold launch+exit (templates off)", cold)
+	row("templated vs cold speedup", fmt.Sprintf("%.1fx", float64(cold)/float64(templated)))
+	row("template rebuilt every launch (class path churn)", rebuild)
+	row("launch-storm throughput (4 workers, shared template)", fmt.Sprintf("%.0f launches/sec", stormRate))
+	row("launch+exit with quotas enabled (admitted)", admitted)
+	row("rejected launch (saturated user)", rejected)
+	row("minimal 2-class closure: templated / cold", fmt.Sprintf("%v / %v", minTpl, minCold))
+	return nil
+}

@@ -60,7 +60,7 @@ func echoChild() {
 // The measurement substrate lives in internal/load (shared with
 // cmd/mvmload): load.Measure is the closed-loop averaging primitive
 // and rep collects sections/rows for table or JSON output (committed
-// as BENCH_PR8.json by `make bench-json`).
+// as BENCH_PR9.json by `make bench-json`).
 var (
 	jsonMode bool
 	rep      *load.Report
@@ -68,6 +68,10 @@ var (
 
 // measure runs fn iters times and returns the average duration.
 func measure(iters int, fn func()) time.Duration { return load.Measure(iters, fn) }
+
+// measureBest is the low-noise variant for sections that assert a
+// ratio between two paths (§E-launch): best-of-8-batches average.
+func measureBest(iters int, fn func()) time.Duration { return load.MeasureBest(iters, 8, fn) }
 
 // row appends a measurement to the current section.
 func row(label string, value any) { rep.Row(label, value) }
@@ -86,6 +90,7 @@ type experiment struct {
 func experiments() []experiment {
 	return []experiment{
 		{"E1 (Figure 1)", "application launch/exit: one VM vs a fresh VM per application", e1},
+		{"E-launch", "sealed application templates: templated vs cold launch, rebuild churn, admission quotas", eLaunch},
 		{"E2/E4 (Figures 2 & 4)", "fast app's event latency while another app runs a 200µs callback", e2e4},
 		{"E3 (Figure 3)", "thread spawn+join inside an application (group accounting)", e3},
 		{"E5 (Figure 5)", "per-application System class reload vs delegated (shared) load", e5},

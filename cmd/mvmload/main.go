@@ -47,7 +47,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "base RNG seed (schedules are reproducible per seed)")
 		csvPath   = flag.String("csv", "", "write grid rows as CSV to this file ('-' for stdout)")
 		jsonPath  = flag.String("json", "", "write grid summary as JSON to this file ('-' for stdout)")
-		smoke     = flag.Bool("smoke", false, "run the short CI smoke grid (2 rates × 3 scenarios, sub-second windows)")
+		smoke     = flag.Bool("smoke", false, "run the short CI smoke grid (2 rates × 4 scenarios, sub-second windows)")
 	)
 	flag.Parse()
 
@@ -65,12 +65,13 @@ func main() {
 		Seed:       *seed,
 	}
 	if *smoke {
-		// The CI grid: small but real — three scenarios that together
-		// cross the exec/security path (login), the event data plane
+		// The CI grid: small but real — four scenarios that together
+		// cross the exec/security path (login), the templated launch
+		// fast path under storm arrivals (exec), the event data plane
 		// (events), and the playground dispatcher with its worker VMs
 		// (remote), two rates, sub-second windows.
 		cfg = load.GridConfig{
-			Scenarios:  []string{"login", "events", "remote"},
+			Scenarios:  []string{"login", "exec", "events", "remote"},
 			Rates:      []float64{100, 400},
 			Thetas:     []float64{0.99},
 			Procs:      []int{runtime.GOMAXPROCS(0)},

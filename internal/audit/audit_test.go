@@ -405,9 +405,7 @@ func TestRecordRoundTrip(t *testing.T) {
 		Seq:  7,
 		Time: 123456789,
 	}
-	var b strings.Builder
-	in.encodeBody(&b)
-	out, err := parseRecord(b.String() + "\tdeadbeef")
+	out, err := parseRecord(string(in.appendBody(nil)) + "\tdeadbeef")
 	if err != nil {
 		t.Fatal(err)
 	}

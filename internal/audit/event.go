@@ -168,25 +168,28 @@ type Record struct {
 	Hash string
 }
 
-// encodeBody renders the hashed portion of a record as a single
-// tab-separated line (no trailing hash field). Strings are quoted, so
-// they can never contain a raw tab or newline.
-func (r *Record) encodeBody(b *strings.Builder) {
-	b.WriteString(strconv.FormatUint(r.Seq, 10))
-	b.WriteByte('\t')
-	b.WriteString(strconv.FormatInt(r.Time, 10))
-	b.WriteByte('\t')
-	b.WriteString(catNames[r.Cat.index()])
-	b.WriteByte('\t')
-	b.WriteString(strconv.Quote(r.Verb))
-	b.WriteByte('\t')
-	b.WriteString(strconv.Quote(r.User))
-	b.WriteByte('\t')
-	b.WriteString(strconv.FormatInt(r.App, 10))
-	b.WriteByte('\t')
-	b.WriteString(strconv.FormatInt(r.Thread, 10))
-	b.WriteByte('\t')
-	b.WriteString(strconv.Quote(r.Detail))
+// appendBody renders the hashed portion of a record — a single
+// tab-separated line without the trailing hash field — appended to
+// dst, which the drainer reuses across records to keep the hot chain
+// loop allocation-free. Strings are quoted, so they can never contain
+// a raw tab or newline.
+func (r *Record) appendBody(dst []byte) []byte {
+	dst = strconv.AppendUint(dst, r.Seq, 10)
+	dst = append(dst, '\t')
+	dst = strconv.AppendInt(dst, r.Time, 10)
+	dst = append(dst, '\t')
+	dst = append(dst, catNames[r.Cat.index()]...)
+	dst = append(dst, '\t')
+	dst = strconv.AppendQuote(dst, r.Verb)
+	dst = append(dst, '\t')
+	dst = strconv.AppendQuote(dst, r.User)
+	dst = append(dst, '\t')
+	dst = strconv.AppendInt(dst, r.App, 10)
+	dst = append(dst, '\t')
+	dst = strconv.AppendInt(dst, r.Thread, 10)
+	dst = append(dst, '\t')
+	dst = strconv.AppendQuote(dst, r.Detail)
+	return dst
 }
 
 // recordFields is the number of tab-separated fields of an encoded

@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
@@ -256,42 +257,53 @@ func (l *Log) drainLocked() {
 	if len(batch) == 0 {
 		return
 	}
-	// Restore global emission order across shards.
-	sort.Slice(batch, func(i, j int) bool { return batch[i].Seq < batch[j].Seq })
+	// Restore global emission order across shards. slices.SortFunc
+	// avoids sort.Slice's reflection-based swapper — drain batches are
+	// usually tiny and the swapper setup dominated the sort.
+	slices.SortFunc(batch, func(a, b Record) int {
+		switch {
+		case a.Seq < b.Seq:
+			return -1
+		case a.Seq > b.Seq:
+			return 1
+		default:
+			return 0
+		}
+	})
 
-	// Chain and persist, rotating segments as they fill.
-	var b strings.Builder
-	var pending strings.Builder
+	// Chain and persist, rotating segments as they fill. The chain
+	// input is prev-hash ++ body, built in reused buffers so the loop
+	// allocates only each record's hex hash string.
+	var chain, pending []byte
+	segName := segmentName(l.seg)
 	flush := func() {
-		if pending.Len() == 0 {
+		if len(pending) == 0 {
 			return
 		}
-		if err := l.store.Append(segmentName(l.seg), []byte(pending.String())); err != nil && l.storeErr == nil {
+		if err := l.store.Append(segName, pending); err != nil && l.storeErr == nil {
 			l.storeErr = err
 		}
-		pending.Reset()
+		pending = pending[:0]
 	}
 	for i := range batch {
 		rec := &batch[i]
-		b.Reset()
-		rec.encodeBody(&b)
-		h := sha256.New()
-		h.Write(l.prev[:])
-		h.Write([]byte(b.String()))
-		sum := h.Sum(nil)
-		copy(l.prev[:], sum)
-		rec.Hash = hex.EncodeToString(sum)
+		chain = append(chain[:0], l.prev[:]...)
+		chain = rec.appendBody(chain)
+		sum := sha256.Sum256(chain)
+		copy(l.prev[:], sum[:])
+		rec.Hash = hex.EncodeToString(sum[:])
 
-		pending.WriteString(b.String())
-		pending.WriteByte('\t')
-		pending.WriteString(rec.Hash)
-		pending.WriteByte('\n')
+		pending = append(pending, chain[len(l.prev):]...)
+		pending = append(pending, '\t')
+		pending = append(pending, rec.Hash...)
+		pending = append(pending, '\n')
 		l.segCount++
 		l.chained.Add(1)
 		if l.segCount >= l.segmentRecords {
 			flush()
 			l.seg++
 			l.segCount = 0
+			segName = segmentName(l.seg)
 		}
 	}
 	flush()
@@ -462,18 +474,16 @@ func (l *Log) Verify() (VerifyResult, error) {
 	res := VerifyResult{OK: true}
 	var prev [32]byte
 	var lastSeq uint64
-	var b strings.Builder
+	var chain []byte
 	err := l.walkChainLocked(func(rec Record, seg string, line int) error {
 		if !res.OK {
 			return nil
 		}
 		res.Records++
-		b.Reset()
-		rec.encodeBody(&b)
-		h := sha256.New()
-		h.Write(prev[:])
-		h.Write([]byte(b.String()))
-		sum := hex.EncodeToString(h.Sum(nil))
+		chain = append(chain[:0], prev[:]...)
+		chain = rec.appendBody(chain)
+		digest := sha256.Sum256(chain)
+		sum := hex.EncodeToString(digest[:])
 		switch {
 		case sum != rec.Hash:
 			res.OK = false

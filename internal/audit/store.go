@@ -13,7 +13,8 @@ import (
 // vfs — may emit into it without an import cycle).
 type SegmentStore interface {
 	// Append appends data to the named segment, creating it if
-	// missing.
+	// missing. Implementations must not retain data: the drainer
+	// reuses the buffer across calls.
 	Append(name string, data []byte) error
 	// List returns the names of all segments, in any order.
 	List() ([]string, error)

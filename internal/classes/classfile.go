@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"mpj/internal/security"
 )
@@ -84,9 +85,19 @@ const ObjectClassName = "java.lang.Object"
 
 // Registry is the class path: a name-indexed store of class files that
 // loaders find classes in. It is safe for concurrent use.
+//
+// Every mutation bumps a generation counter. Derived structures that
+// cache resolution results against the class path — application
+// templates above all — record the generation they were built at and
+// treat any later Register as an invalidation signal, the same
+// publish-and-invalidate discipline as the policy's grant generation
+// and the VFS dentry cache.
 type Registry struct {
 	mu    sync.RWMutex
 	files map[string]*ClassFile
+
+	gen     atomic.Uint64 // bumped on every Register
+	lookups atomic.Int64  // cumulative Lookup calls (verifier cost metric)
 }
 
 // NewRegistry returns a registry pre-populated with the root object
@@ -109,11 +120,22 @@ func (r *Registry) Register(cf *ClassFile) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.files[cf.Name] = cf
+	r.gen.Add(1)
 	return nil
 }
 
+// Generation returns the registry's mutation generation. A structure
+// built against generation g is stale once Generation() != g.
+func (r *Registry) Generation() uint64 { return r.gen.Load() }
+
+// Lookups returns the cumulative number of Lookup calls — a cheap
+// proxy for verifier/linker work, used by tests to assert the memoized
+// chain walk stays O(depth) rather than O(depth²).
+func (r *Registry) Lookups() int64 { return r.lookups.Load() }
+
 // Lookup finds a class file by name.
 func (r *Registry) Lookup(name string) (*ClassFile, bool) {
+	r.lookups.Add(1)
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	cf, ok := r.files[name]
@@ -176,6 +198,23 @@ func (c *Class) SetStatic(field string, v any) {
 		c.statics = make(map[string]any)
 	}
 	c.statics[field] = v
+}
+
+// SetStatics sets several static fields under one lock round-trip —
+// the launch path seeds a fresh System incarnation's streams and
+// manager slots in one shot. kv alternates field name and value.
+func (c *Class) SetStatics(kv ...any) {
+	if len(kv)%2 != 0 {
+		panic("classes: SetStatics: odd key/value count")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.statics == nil {
+		c.statics = make(map[string]any, len(kv)/2)
+	}
+	for i := 0; i < len(kv); i += 2 {
+		c.statics[kv[i].(string)] = kv[i+1]
+	}
 }
 
 // Static reads a static field value.

@@ -3,6 +3,7 @@ package classes
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"mpj/internal/security"
 	"mpj/internal/vm"
@@ -18,6 +19,11 @@ import (
 // there, so every application gets its own incarnation of those
 // classes while all other system classes stay shared via the parent
 // bootstrap loader.
+//
+// A loader stamped from a Template additionally carries an immutable
+// shared map: bootstrap classes pre-resolved at template build time,
+// consulted lock-free before anything else so the hot resolution path
+// of a templated application takes no locks at all.
 type Loader struct {
 	name     string
 	parent   *Loader
@@ -25,17 +31,30 @@ type Loader struct {
 	policy   *security.Policy
 	reload   map[string]bool
 
+	// shared maps names to bootstrap-defined classes resolved at
+	// template build time. Immutable after construction (nil for
+	// ordinary loaders), hence read without locking.
+	shared map[string]*Class
+
+	// stampIdx/stamped hold template-stamped incarnations: stampIdx is
+	// the template's immutable name→index map (aliased, never written),
+	// stamped[i] is this loader's incarnation of template entry i. Both
+	// are fixed at Stamp time, hence read without locking.
+	stampIdx map[string]int
+	stamped  []Class
+
 	mu      sync.Mutex
 	defined map[string]*Class
 	loading map[string]bool
 
-	stats LoaderStats
+	defined64   atomic.Int64 // classes defined by this loader
+	delegated64 atomic.Int64 // loads satisfied by the parent / shared set
 }
 
-// LoaderStats counts loader activity.
+// LoaderStats is a snapshot of loader activity counters.
 type LoaderStats struct {
 	Defined   int64 // classes defined by this loader
-	Delegated int64 // loads satisfied by the parent
+	Delegated int64 // loads satisfied by the parent (or pre-shared set)
 }
 
 // NewBootstrapLoader creates the root loader that defines shared
@@ -47,7 +66,6 @@ func NewBootstrapLoader(registry *Registry, policy *security.Policy) *Loader {
 		registry: registry,
 		policy:   policy,
 		defined:  make(map[string]*Class),
-		loading:  make(map[string]bool),
 	}
 }
 
@@ -69,7 +87,6 @@ func NewChildLoader(name string, parent *Loader, reload []string) (*Loader, erro
 		policy:   parent.policy,
 		reload:   set,
 		defined:  make(map[string]*Class),
-		loading:  make(map[string]bool),
 	}, nil
 }
 
@@ -79,18 +96,25 @@ func (l *Loader) Name() string { return l.name }
 // Parent returns the parent loader (nil for bootstrap).
 func (l *Loader) Parent() *Loader { return l.parent }
 
-// Stats returns a snapshot of the loader's counters.
+// Stats returns a snapshot of the loader's counters. The counters are
+// plain atomics — reading them does not serialize against in-flight
+// class resolution.
 func (l *Loader) Stats() LoaderStats {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.stats
+	return LoaderStats{
+		Defined:   l.defined64.Load(),
+		Delegated: l.delegated64.Load(),
+	}
 }
 
-// DefinedClasses returns the classes this loader has defined itself.
+// DefinedClasses returns the classes this loader has defined itself
+// (template-stamped incarnations included).
 func (l *Loader) DefinedClasses() []*Class {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	out := make([]*Class, 0, len(l.defined))
+	out := make([]*Class, 0, len(l.stamped)+len(l.defined))
+	for i := range l.stamped {
+		out = append(out, &l.stamped[i])
+	}
 	for _, c := range l.defined {
 		out = append(out, c)
 	}
@@ -102,7 +126,7 @@ func (l *Loader) DefinedClasses() []*Class {
 // execution context for static initializers (may be nil for
 // init-free classes).
 func (l *Loader) Load(t *vm.Thread, name string) (*Class, error) {
-	c, err := l.resolve(name)
+	c, err := l.resolve(nil, name)
 	if err != nil {
 		return nil, err
 	}
@@ -112,36 +136,56 @@ func (l *Loader) Load(t *vm.Thread, name string) (*Class, error) {
 	return c, nil
 }
 
+// verifyPass carries memoized verifier state across the recursive
+// defines triggered by one top-level load. chainOK records class names
+// whose superclass chain is already known to terminate at Object
+// without cycles, so a cascade of defines down a deep hierarchy walks
+// each chain segment once (O(depth) registry lookups) instead of
+// re-walking the full chain per class (O(depth²)).
+type verifyPass struct {
+	chainOK map[string]bool
+}
+
 // resolve finds or defines the class without running initializers.
-func (l *Loader) resolve(name string) (*Class, error) {
+// pass may be nil; define allocates one when verification begins.
+func (l *Loader) resolve(pass *verifyPass, name string) (*Class, error) {
+	if c, ok := l.shared[name]; ok {
+		l.delegated64.Add(1)
+		return c, nil
+	}
+	if i, ok := l.stampIdx[name]; ok {
+		return &l.stamped[i], nil
+	}
 	l.mu.Lock()
 	if c, ok := l.defined[name]; ok {
 		l.mu.Unlock()
 		return c, nil
 	}
-	reloadHere := l.reload[name]
 	l.mu.Unlock()
 
 	// Standard delegation: parent first, unless this name is reloaded.
-	if l.parent != nil && !reloadHere {
-		if c, err := l.parent.resolve(name); err == nil {
-			l.mu.Lock()
-			l.stats.Delegated++
-			l.mu.Unlock()
+	// The reload set is immutable after construction, so it is read
+	// without the lock.
+	if l.parent != nil && !l.reload[name] {
+		if c, err := l.parent.resolve(pass, name); err == nil {
+			l.delegated64.Add(1)
 			return c, nil
 		}
 	}
-	return l.define(name)
+	return l.define(pass, name)
 }
 
 // define converts the class file into a Class in this loader's
 // namespace: find, verify, allocate, then link references.
-func (l *Loader) define(name string) (*Class, error) {
+func (l *Loader) define(pass *verifyPass, name string) (*Class, error) {
 	cf, ok := l.registry.Lookup(name)
 	if !ok {
 		return nil, fmt.Errorf("%w: %s (loader %s)", ErrNotFound, name, l.name)
 	}
-	if err := l.verify(cf); err != nil {
+	if pass == nil {
+		pass = &verifyPass{}
+	}
+	if err := l.verify(pass, cf); err != nil {
 		return nil, err
 	}
 
@@ -154,6 +198,12 @@ func (l *Loader) define(name string) (*Class, error) {
 		l.mu.Unlock()
 		return nil, &VerifyError{Class: name, Reason: "circular linkage"}
 	}
+	if l.loading == nil {
+		l.loading = make(map[string]bool)
+	}
+	if l.defined == nil { // stamped loaders defer this allocation
+		l.defined = make(map[string]*Class)
+	}
 	l.loading[name] = true
 	c := &Class{
 		file:   cf,
@@ -161,7 +211,7 @@ func (l *Loader) define(name string) (*Class, error) {
 		domain: l.policy.DomainFor(name, cf.Source),
 	}
 	l.defined[name] = c
-	l.stats.Defined++
+	l.defined64.Add(1)
 	l.mu.Unlock()
 
 	defer func() {
@@ -173,7 +223,7 @@ func (l *Loader) define(name string) (*Class, error) {
 	// Link: resolve the superclass and every symbolic reference in
 	// this loader's namespace.
 	link := func(ref string) (*Class, error) {
-		rc, err := l.resolve(ref)
+		rc, err := l.resolve(pass, ref)
 		if err != nil {
 			l.undefine(name)
 			return nil, fmt.Errorf("classes: link %s: %w", name, err)
@@ -202,11 +252,14 @@ func (l *Loader) undefine(name string) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	delete(l.defined, name)
-	l.stats.Defined--
+	l.defined64.Add(-1)
 }
 
-// verify applies the class-file verifier rules.
-func (l *Loader) verify(cf *ClassFile) error {
+// verify applies the class-file verifier rules. Chain-termination
+// results are memoized in pass: once a name is known to reach Object
+// acyclically, every suffix of its chain is too, so the walk stops at
+// the first memoized ancestor.
+func (l *Loader) verify(pass *verifyPass, cf *ClassFile) error {
 	if cf.Name == "" {
 		return &VerifyError{Class: "?", Reason: "empty class name"}
 	}
@@ -219,6 +272,9 @@ func (l *Loader) verify(cf *ClassFile) error {
 	// Superclass chain must terminate at Object without cycles.
 	seen := map[string]bool{cf.Name: true}
 	for cur := cf.Super; cur != ""; {
+		if pass.chainOK[cur] {
+			break
+		}
 		if seen[cur] {
 			return &VerifyError{Class: cf.Name, Reason: "inheritance cycle through " + cur}
 		}
@@ -228,6 +284,12 @@ func (l *Loader) verify(cf *ClassFile) error {
 			return &VerifyError{Class: cf.Name, Reason: "superclass not found: " + cur}
 		}
 		cur = next.Super
+	}
+	if pass.chainOK == nil {
+		pass.chainOK = make(map[string]bool, len(seen))
+	}
+	for n := range seen {
+		pass.chainOK[n] = true
 	}
 	// Interfaces must be resolvable and must not duplicate.
 	seenIfaces := make(map[string]bool, len(cf.Interfaces))

@@ -199,7 +199,7 @@ func TestVerifierRules(t *testing.T) {
 			name := tc.cf.Name
 			if name == "" {
 				// unregisterable; verify directly
-				if err := boot.verify(tc.cf); err == nil {
+				if err := boot.verify(&verifyPass{}, tc.cf); err == nil {
 					t.Fatal("verifier accepted empty name")
 				}
 				return

@@ -1,0 +1,214 @@
+package classes
+
+import (
+	"fmt"
+
+	"mpj/internal/security"
+)
+
+// Template is a sealed application template: the result of running the
+// full load/verify/link pipeline for a program's class closure once,
+// captured immutably so that launching an application becomes a stamp
+// operation instead of a re-derivation.
+//
+// A template records, against a fixed registry generation:
+//
+//   - the verified class files of the reload set's closure in
+//     dependency order, with their pre-resolved protection domains
+//     (domains are policy-backed, so later AddGrant calls are observed
+//     without rebuilding the template);
+//   - the pre-linked shared class set — every bootstrap-delegated class
+//     the closure references, resolved exactly once in the parent
+//     loader's namespace;
+//   - for each reload-set class, how its symbolic references wire up:
+//     either to a shared bootstrap class or to a sibling reload entry.
+//
+// Stamp clones the template into a thin per-application loader: fresh
+// *Class incarnations (fresh statics, fresh initOnce — so per-app
+// <clinit> still runs per incarnation) for reload-set classes, and the
+// shared set attached as an immutable lock-free lookup map. Nothing is
+// re-verified and no superclass chain is re-walked on the stamp path.
+//
+// This is the same publish-once/invalidate-by-generation discipline as
+// the security package's sealed permission indexes: expensive
+// derivation once, pointer installs per launch.
+type Template struct {
+	boot   *Loader
+	gen    uint64
+	reload map[string]bool
+
+	entries   []tmplEntry
+	index     map[string]int
+	shared    map[string]*Class
+	totalRefs int // sum of len(entry.refs), sizing Stamp's link backing
+}
+
+// linkTo addresses a link target: a pre-resolved shared class, or a
+// sibling template entry by index.
+type linkTo struct {
+	shared *Class
+	idx    int
+}
+
+func (lt linkTo) resolve(fresh []Class) *Class {
+	if lt.shared != nil {
+		return lt.shared
+	}
+	return &fresh[lt.idx]
+}
+
+// tmplEntry is one reload-set class in the template: its verified file,
+// pre-resolved domain, and pre-computed link wiring.
+type tmplEntry struct {
+	cf     *ClassFile
+	domain *security.ProtectionDomain
+	refs   []linkTo
+}
+
+// BuildTemplate derives a template by resolving the closure of roots
+// against parent's registry and policy. Classes in the reload set are
+// captured as per-application entries; everything else is resolved once
+// in parent's namespace and shared, exactly as delegation would.
+//
+// The returned template is valid while the registry generation it was
+// built at still matches (see Valid); a Register of any class file
+// invalidates it, conservatively, because the closure may have changed.
+func BuildTemplate(parent *Loader, reload []string, roots ...string) (*Template, error) {
+	if parent == nil {
+		return nil, fmt.Errorf("classes: build template: nil parent loader")
+	}
+	set := make(map[string]bool, len(reload))
+	for _, n := range reload {
+		set[n] = true
+	}
+	t := &Template{
+		boot: parent,
+		// Capture the generation BEFORE resolving: a concurrent Register
+		// during the build leaves the template already-stale rather than
+		// wrongly fresh.
+		gen:    parent.registry.Generation(),
+		reload: set,
+		index:  make(map[string]int),
+		shared: make(map[string]*Class),
+	}
+	pass := &verifyPass{}
+
+	var visit func(name string) (linkTo, error)
+	visit = func(name string) (linkTo, error) {
+		if c, ok := t.shared[name]; ok {
+			return linkTo{shared: c}, nil
+		}
+		if i, ok := t.index[name]; ok {
+			return linkTo{idx: i}, nil
+		}
+		if !set[name] {
+			c, err := parent.resolve(pass, name)
+			if err != nil {
+				return linkTo{}, err
+			}
+			t.shared[name] = c
+			return linkTo{shared: c}, nil
+		}
+		cf, ok := parent.registry.Lookup(name)
+		if !ok {
+			return linkTo{}, fmt.Errorf("%w: %s (template)", ErrNotFound, name)
+		}
+		if err := parent.verify(pass, cf); err != nil {
+			return linkTo{}, err
+		}
+		// Insert the entry before recursing so reference cycles among
+		// reload classes resolve to the entry index — mirroring define's
+		// early map insert on the slow path.
+		i := len(t.entries)
+		t.entries = append(t.entries, tmplEntry{
+			cf:     cf,
+			domain: parent.policy.DomainFor(name, cf.Source),
+		})
+		t.index[name] = i
+		var refs []linkTo
+		if cf.Super != "" {
+			if _, err := visit(cf.Super); err != nil {
+				return linkTo{}, fmt.Errorf("classes: link %s: %w", name, err)
+			}
+		}
+		for _, ref := range cf.Refs {
+			lt, err := visit(ref)
+			if err != nil {
+				return linkTo{}, fmt.Errorf("classes: link %s: %w", name, err)
+			}
+			refs = append(refs, lt)
+		}
+		t.entries[i].refs = refs
+		t.totalRefs += len(refs)
+		return linkTo{idx: i}, nil
+	}
+
+	for _, root := range roots {
+		if _, err := visit(root); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Generation returns the registry generation the template was built at.
+func (t *Template) Generation() uint64 { return t.gen }
+
+// Valid reports whether the template still matches the registry: any
+// Register since the build invalidates it.
+func (t *Template) Valid() bool {
+	return t.boot.registry.Generation() == t.gen
+}
+
+// ClassCount returns how many per-application entries (reload-set
+// classes) and shared classes the template captured.
+func (t *Template) ClassCount() (entries, shared int) {
+	return len(t.entries), len(t.shared)
+}
+
+// Stamp clones the template into a thin per-application loader named
+// name: fresh Class incarnations for every reload-set entry (fresh
+// statics and initOnce — static initializers run per incarnation, on
+// first Load, exactly as on the slow path), wired to each other and to
+// the shared bootstrap classes without touching the registry. Classes
+// outside the template's closure still resolve through the ordinary
+// delegation path.
+//
+// The stamp is O(1) allocations regardless of closure size: one backing
+// array holds every incarnation, one holds every link slot, and name
+// lookup reuses the template's immutable index map — so launch cost
+// does not grow back as the runtime closure grows.
+func (t *Template) Stamp(name string) *Loader {
+	l := &Loader{
+		name:     name,
+		parent:   t.boot,
+		registry: t.boot.registry,
+		policy:   t.boot.policy,
+		reload:   t.reload,
+		shared:   t.shared,
+		stampIdx: t.index,
+	}
+	fresh := make([]Class, len(t.entries))
+	links := make([]*Class, t.totalRefs)
+	for i := range t.entries {
+		e := &t.entries[i]
+		fresh[i].file = e.cf
+		fresh[i].loader = l
+		fresh[i].domain = e.domain
+	}
+	off := 0
+	for i := range t.entries {
+		e := &t.entries[i]
+		if n := len(e.refs); n > 0 {
+			linked := links[off : off+n : off+n]
+			off += n
+			for j, r := range e.refs {
+				linked[j] = r.resolve(fresh)
+			}
+			fresh[i].linked = linked
+		}
+	}
+	l.stamped = fresh
+	l.defined64.Store(int64(len(t.entries)))
+	return l
+}

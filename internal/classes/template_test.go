@@ -1,0 +1,234 @@
+package classes
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+const sysName = "java.lang.System"
+
+// templateWorld registers a System class (with a counting <clinit>),
+// a shared helper, and a main class referencing both.
+func templateWorld(t *testing.T) (*Registry, *Loader, *int) {
+	t.Helper()
+	reg, boot := testWorld(t)
+	inits := new(int)
+	var mu sync.Mutex
+	mustRegister(t, reg,
+		&ClassFile{Name: sysName, Super: ObjectClassName,
+			Source: sysFile(sysName, ObjectClassName).Source,
+			Init: func(c *Class) {
+				mu.Lock()
+				*inits++
+				mu.Unlock()
+				c.SetStatic("initialized", true)
+			}},
+		sysFile("java.util.Helper", ObjectClassName),
+		sysFile("apps.main", ObjectClassName, sysName, "java.util.Helper"),
+	)
+	return reg, boot, inits
+}
+
+func TestTemplateStampSemantics(t *testing.T) {
+	_, boot, inits := templateWorld(t)
+	tpl, err := BuildTemplate(boot, []string{sysName}, sysName, "apps.main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, shared := tpl.ClassCount()
+	if entries != 1 {
+		t.Fatalf("entries = %d, want 1 (only the reload set is per-app)", entries)
+	}
+	if shared < 2 { // Object and apps.main (Helper stays inside bootstrap)
+		t.Fatalf("shared = %d, want >= 2", shared)
+	}
+
+	la := tpl.Stamp("app-a")
+	lb := tpl.Stamp("app-b")
+
+	sysA, err := la.Load(nil, sysName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysB, err := lb.Load(nil, sysName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Namespace separation: distinct incarnations, independent statics.
+	if sysA == sysB {
+		t.Fatal("stamped loaders must get distinct System incarnations")
+	}
+	sysA.SetStatic("x", "a")
+	sysB.SetStatic("x", "b")
+	if v, _ := sysA.Static("x"); v != "a" {
+		t.Fatalf("System statics alias across stamps: %v", v)
+	}
+	// <clinit> ran once per incarnation.
+	if *inits != 2 {
+		t.Fatalf("inits = %d, want 2 (one per incarnation)", *inits)
+	}
+	if v, _ := sysA.Static("initialized"); v != true {
+		t.Fatal("per-incarnation <clinit> did not run")
+	}
+
+	// Shared classes are the SAME class object across stamps and match
+	// what bootstrap delegation would produce.
+	mainA, err := la.Load(nil, "apps.main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mainB, err := lb.Load(nil, "apps.main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mainA != mainB {
+		t.Fatal("non-reload classes must be shared between stamps")
+	}
+	fromBoot, err := boot.Load(nil, "apps.main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mainA != fromBoot {
+		t.Fatal("shared template class must be the bootstrap incarnation")
+	}
+
+	// Pre-resolved domains survive the stamp.
+	if sysA.Domain() == nil || sysA.Domain() != sysB.Domain() {
+		// Domains derive from (name, source): identical inputs give the
+		// same policy-backed domain object.
+		t.Fatal("stamped incarnations must carry the pre-resolved domain")
+	}
+
+	// Classes outside the closure still resolve via delegation.
+	if _, err := la.Load(nil, "java.util.Helper"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTemplateLinkWiring(t *testing.T) {
+	reg, boot := testWorld(t)
+	// Two reload classes referencing each other (a cycle) plus a shared
+	// helper: the wiring must point System→Registry' (same stamp) and
+	// both at the one shared helper.
+	mustRegister(t, reg,
+		sysFile("java.util.Helper", ObjectClassName),
+		sysFile("java.lang.System", ObjectClassName, "java.lang.Registry", "java.util.Helper"),
+		sysFile("java.lang.Registry", ObjectClassName, "java.lang.System"),
+	)
+	reload := []string{"java.lang.System", "java.lang.Registry"}
+	tpl, err := BuildTemplate(boot, reload, "java.lang.System")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := tpl.Stamp("app")
+	sys, err := l.Load(nil, "java.lang.System")
+	if err != nil {
+		t.Fatal(err)
+	}
+	linked := sys.Linked()
+	if len(linked) != 2 {
+		t.Fatalf("linked = %d, want 2", len(linked))
+	}
+	if linked[0].Loader() != l {
+		t.Fatal("reload-set reference must wire to the stamped incarnation")
+	}
+	if linked[0].Linked()[0] != sys {
+		t.Fatal("reference cycle must close within the stamp")
+	}
+	if linked[1].Loader() != boot {
+		t.Fatal("shared reference must wire to the bootstrap incarnation")
+	}
+}
+
+func TestTemplateInvalidationOnRegister(t *testing.T) {
+	reg, boot, _ := templateWorld(t)
+	tpl, err := BuildTemplate(boot, []string{sysName}, sysName, "apps.main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tpl.Valid() {
+		t.Fatal("fresh template must be valid")
+	}
+	mustRegister(t, reg, sysFile("apps.other", ObjectClassName))
+	if tpl.Valid() {
+		t.Fatal("Register must invalidate the template")
+	}
+}
+
+func TestTemplateSurfacesVerifyError(t *testing.T) {
+	reg, boot := testWorld(t)
+	mustRegister(t, reg,
+		&ClassFile{Name: sysName, Super: ObjectClassName,
+			Source: sysFile(sysName, ObjectClassName).Source},
+		sysFile("apps.bad", ObjectClassName, "apps.missing"),
+	)
+	_, err := BuildTemplate(boot, []string{sysName}, sysName, "apps.bad")
+	if err == nil {
+		t.Fatal("template build must surface verification failures")
+	}
+	if !errors.Is(err, ErrVerification) {
+		t.Fatalf("err = %v, want ErrVerification", err)
+	}
+}
+
+func TestTemplateConcurrentStamps(t *testing.T) {
+	_, boot, _ := templateWorld(t)
+	tpl, err := BuildTemplate(boot, []string{sysName}, sysName, "apps.main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 16
+	var wg sync.WaitGroup
+	classes := make([]*Class, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			l := tpl.Stamp(fmt.Sprintf("app-%d", i))
+			c, err := l.Load(nil, sysName)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			c.SetStatic("i", i)
+			classes[i] = c
+		}(i)
+	}
+	wg.Wait()
+	seen := make(map[*Class]bool)
+	for i, c := range classes {
+		if seen[c] {
+			t.Fatal("stamped incarnations alias")
+		}
+		seen[c] = true
+		if v, _ := c.Static("i"); v != i {
+			t.Fatalf("static leaked across stamps: %v != %d", v, i)
+		}
+	}
+}
+
+// TestDeepHierarchyVerifyLinear pins the memoized chain walk: defining
+// the bottom of a depth-N hierarchy must cost O(N) registry lookups,
+// not the O(N²) of re-walking the full chain per define.
+func TestDeepHierarchyVerifyLinear(t *testing.T) {
+	reg, boot := testWorld(t)
+	const depth = 128
+	super := ObjectClassName
+	for i := 0; i < depth; i++ {
+		name := fmt.Sprintf("deep.C%d", i)
+		mustRegister(t, reg, sysFile(name, super))
+		super = name
+	}
+	before := reg.Lookups()
+	if _, err := boot.Load(nil, fmt.Sprintf("deep.C%d", depth-1)); err != nil {
+		t.Fatal(err)
+	}
+	cost := reg.Lookups() - before
+	// One chain walk (~depth), one lookup per define (~depth), plus
+	// small constants. The quadratic walk would exceed depth²/2 = 8192.
+	if limit := int64(depth * 6); cost > limit {
+		t.Fatalf("deep define cost %d lookups, want <= %d (O(depth))", cost, limit)
+	}
+}

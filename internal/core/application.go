@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"runtime/debug"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -18,10 +19,6 @@ import (
 
 // AppID identifies an application within a platform.
 type AppID int64
-
-// appLocalKey is the thread-local slot mapping a thread to its
-// application.
-const appLocalKey = "core.app"
 
 // Application is the paper's central abstraction (Section 5.1): a set
 // of threads — one thread group — together with application-wide state
@@ -93,12 +90,28 @@ type ExecSpec struct {
 	Resources map[string]any
 }
 
+// nullStdin/out/err are the default standard streams of a root
+// application. System-owned and never closed on the application's
+// behalf (destroy only closes streams the application itself opened),
+// one shared triple serves every launch without per-exec allocation.
+var (
+	nullStdin  = streams.Null()
+	nullStdout = streams.Null()
+	nullStderr = streams.Null()
+)
+
+// nobodyUser is the default identity of a root application. Shared:
+// user state is replaced wholesale (never mutated in place) by SetUser.
+var nobodyUser = &user.User{Name: user.Nobody, Home: "/", Shell: "sh"}
+
 // Exec launches an application: the Application.exec of Section 5.1.
-// A thread group and an Application holding the (inherited) state are
-// created, the program's main class is loaded through a fresh
-// application loader — re-defining the System class in the new
-// application's namespace — and main runs on a new non-daemon thread
-// in the new group. Exec returns as soon as that thread is started.
+// An Application holding the (inherited) state is created, the
+// program's classes are derived — on the fast path by stamping the
+// program's sealed template into a thin per-application loader, on the
+// cold path through a fresh child loader re-running the full
+// load/verify/link pipeline — re-defining the System class in the new
+// application's namespace, and main runs on a new non-daemon thread in
+// a new group. Exec returns as soon as that thread is started.
 func (p *Platform) Exec(spec ExecSpec) (*Application, error) {
 	prog, ok := p.programs.Lookup(spec.Program)
 	if !ok {
@@ -120,39 +133,38 @@ func (p *Platform) Exec(spec ExecSpec) (*Application, error) {
 		}
 		parentGroup = spec.Parent.group
 	}
-	group, err := p.vm.NewGroup(parentGroup, fmt.Sprintf("app-%d-%s", id, prog.Name))
-	if err != nil {
-		return nil, fmt.Errorf("core: exec %s: %w", prog.Name, err)
-	}
 
 	app := &Application{
-		id:        id,
-		name:      prog.Name,
-		platform:  p,
-		group:     group,
-		parent:    spec.Parent,
-		props:     make(map[string]string),
-		resources: make(map[string]any),
-		cwd:       "/",
-		usr:       &user.User{Name: user.Nobody, Home: "/", Shell: "sh"},
-		stdin:     streams.Null(),
-		stdout:    streams.Null(),
-		stderr:    streams.Null(),
-		done:      make(chan struct{}),
+		id:       id,
+		name:     prog.Name,
+		platform: p,
+		parent:   spec.Parent,
+		cwd:      "/",
+		usr:      nobodyUser,
+		stdin:    nullStdin,
+		stdout:   nullStdout,
+		stderr:   nullStderr,
+		done:     make(chan struct{}),
 	}
 
 	// Inherit the parent's application-wide state (Section 5.1: "the
 	// current application-wide state of the parent is inherited by the
-	// child").
+	// child"). Property and resource maps stay nil until first use.
 	if spec.Parent != nil {
 		spec.Parent.mu.Lock()
 		app.usr = spec.Parent.usr
 		app.cwd = spec.Parent.cwd
-		for k, v := range spec.Parent.props {
-			app.props[k] = v
+		if len(spec.Parent.props) > 0 {
+			app.props = make(map[string]string, len(spec.Parent.props))
+			for k, v := range spec.Parent.props {
+				app.props[k] = v
+			}
 		}
-		for k, v := range spec.Parent.resources {
-			app.resources[k] = v
+		if len(spec.Parent.resources) > 0 {
+			app.resources = make(map[string]any, len(spec.Parent.resources))
+			for k, v := range spec.Parent.resources {
+				app.resources[k] = v
+			}
 		}
 		app.stdin = spec.Parent.stdin
 		app.stdout = spec.Parent.stdout
@@ -162,8 +174,13 @@ func (p *Platform) Exec(spec ExecSpec) (*Application, error) {
 	if spec.User != nil {
 		app.usr = spec.User
 	}
-	for k, v := range spec.Resources {
-		app.resources[k] = v
+	if len(spec.Resources) > 0 {
+		if app.resources == nil {
+			app.resources = make(map[string]any, len(spec.Resources))
+		}
+		for k, v := range spec.Resources {
+			app.resources[k] = v
+		}
 	}
 	if spec.Dir != "" {
 		app.cwd = spec.Dir
@@ -178,38 +195,87 @@ func (p *Platform) Exec(spec ExecSpec) (*Application, error) {
 		app.stderr = spec.Stderr
 	}
 
-	// Per-application class loader with the System class in its reload
-	// set (Section 5.5), then the application's own System incarnation.
-	loader, err := classes.NewChildLoader(fmt.Sprintf("app-%d", id), p.boot, p.reload)
-	if err != nil {
-		return nil, fmt.Errorf("core: exec %s: %w", prog.Name, err)
+	// Admission: charge the launch to the (now final) launch user
+	// before any kernel resources are allocated.
+	if p.quotas != nil {
+		userName := app.usr.Name
+		if err := p.quotas.admitApp(id, userName); err != nil {
+			if l := p.audit; l.Enabled(audit.CatApp) {
+				l.Emit(audit.Event{Cat: audit.CatApp, Verb: "quota-exceeded",
+					User: userName, App: int64(id),
+					Detail: "exec " + prog.Name})
+			}
+			return nil, fmt.Errorf("%w: applications (user %s)", ErrQuotaExceeded, userName)
+		}
+	}
+	failQuota := func() {
+		if p.quotas != nil {
+			p.quotas.releaseApp(id)
+			p.quotas.settleApp(id)
+		}
+	}
+
+	idStr := strconv.FormatInt(int64(id), 10)
+
+	// Class derivation happens before any thread group exists, so a
+	// rejected program leaks nothing. Fast path: stamp the program's
+	// sealed template (no verification, no chain walking, no registry
+	// traffic). Cold path (NoLaunchTemplates, or a registry change made
+	// the template stale and the rebuild failed): a fresh child loader
+	// re-derives everything, exactly as before templates existed.
+	var loader *classes.Loader
+	if p.noTemplates {
+		l, err := classes.NewChildLoader("app-"+idStr, p.boot, p.reload)
+		if err != nil {
+			failQuota()
+			return nil, fmt.Errorf("core: exec %s: %w", prog.Name, err)
+		}
+		loader = l
+	} else {
+		tpl, err := p.templateFor(prog)
+		if err != nil {
+			failQuota()
+			return nil, fmt.Errorf("core: exec %s: %w", prog.Name, err)
+		}
+		loader = tpl.Stamp("app-" + idStr)
 	}
 	app.loader = loader
 	system, err := loader.Load(nil, SystemClassName)
 	if err != nil {
+		failQuota()
 		return nil, fmt.Errorf("core: exec %s: load System: %w", prog.Name, err)
 	}
 	app.system = system
-	system.SetStatic("in", app.stdin)
-	system.SetStatic("out", app.stdout)
-	system.SetStatic("err", app.stderr)
-	system.SetStatic("props", p.props)
-	system.SetStatic("securityManager", nil)
+	system.SetStatics(
+		"in", app.stdin,
+		"out", app.stdout,
+		"err", app.stderr,
+		"props", p.props,
+		"securityManager", nil)
 
 	mainClass, err := loader.Load(nil, prog.ClassName)
 	if err != nil {
+		failQuota()
 		return nil, fmt.Errorf("core: exec %s: %w", prog.Name, err)
 	}
 	app.mainClass = mainClass
 
+	group, err := p.vm.NewGroup(parentGroup, "app-"+idStr+"-"+prog.Name)
+	if err != nil {
+		failQuota()
+		return nil, fmt.Errorf("core: exec %s: %w", prog.Name, err)
+	}
+	app.group = group
+
 	p.mu.Lock()
 	p.apps[id] = app
 	p.mu.Unlock()
+	p.groupApps.Store(group.ID(), app)
 
 	// When the last non-daemon thread of the application's own group
 	// terminates, the application is finished (Feature 1 / Figure 1
 	// semantics at application granularity).
-	group.SetOnEmpty(func() { p.scheduleDestruction(app) })
+	group.SetOnEmpty(func() { p.finishApplication(app) })
 
 	args := make([]string, len(spec.Args))
 	copy(args, spec.Args)
@@ -229,9 +295,15 @@ func (p *Platform) Exec(spec ExecSpec) (*Application, error) {
 		},
 	})
 	if err != nil {
+		// Roll the launch back completely: the group must not leak when
+		// a post-creation step fails.
 		p.mu.Lock()
 		delete(p.apps, id)
 		p.mu.Unlock()
+		p.groupApps.Delete(group.ID())
+		group.SetOnEmpty(nil)
+		_ = group.Destroy()
+		failQuota()
 		return nil, fmt.Errorf("core: exec %s: %w", prog.Name, err)
 	}
 	app.mu.Lock()
@@ -244,13 +316,15 @@ func (p *Platform) Exec(spec ExecSpec) (*Application, error) {
 			detail += " " + strings.Join(args, " ")
 		}
 		l.Emit(audit.Event{Cat: audit.CatApp, Verb: "exec",
-			User: app.User().Name, App: int64(id), Thread: int64(mainTh.ID()),
+			User: app.userName(), App: int64(id), Thread: int64(mainTh.ID()),
 			Detail: detail})
 	}
-	// Bind again from the launcher side so the mapping is visible to
-	// observers as soon as Exec returns (the body's own bind ensures it
-	// happens before main runs; both are idempotent).
-	app.bindThread(mainTh)
+	// Bind from the launcher side too, so the mapping is visible to
+	// observers as soon as Exec returns — unless the body's own bind
+	// (which always precedes main) has already run.
+	if AppOf(mainTh) != app {
+		app.bindThread(mainTh)
+	}
 
 	// With ExitWhenIdle, the platform's bootstrap hold ends as soon as
 	// the first application exists; from here on the VM's lifetime is
@@ -295,26 +369,25 @@ func (a *Application) containPanic(t *vm.Thread) {
 }
 
 // bindThread attaches application identity and the running user's
-// permissions to a thread. The user permissions land in the thread's
-// dedicated lock-free security-context slot, which the access
-// controller reads on every permission check.
+// permissions to a thread. The application lands in the thread's
+// dedicated lock-free slot (not the mutex-guarded locals map), and the
+// user permissions in its security-context slot, which the access
+// controller reads on every permission check. The sealed permission
+// collection comes from the platform's per-policy-generation cache, so
+// a launch does not re-derive it.
 func (a *Application) bindThread(t *vm.Thread) {
-	t.SetLocal(appLocalKey, a)
+	t.SetAppRef(a)
 	t.SetAppTag(int64(a.id))
 	a.mu.Lock()
 	name := a.usr.Name
 	a.mu.Unlock()
-	security.BindUserPermissions(t, name, a.platform.policy.PermissionsForUser(name))
+	security.BindUserPermissions(t, name, a.platform.userPermissions(name))
 }
 
 // AppOf returns the application a thread belongs to, or nil for system
-// threads.
+// threads. A single atomic load.
 func AppOf(t *vm.Thread) *Application {
-	v, ok := t.Local(appLocalKey)
-	if !ok {
-		return nil
-	}
-	app, _ := v.(*Application)
+	app, _ := t.AppRef().(*Application)
 	return app
 }
 
@@ -345,6 +418,15 @@ func (a *Application) User() *user.User {
 	defer a.mu.Unlock()
 	u := *a.usr
 	return &u
+}
+
+// userName returns the running user's name without copying the user
+// record (User() allocates; the audit and admission paths only need
+// the name).
+func (a *Application) userName() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.usr.Name
 }
 
 // Cwd returns the current working directory.
@@ -474,10 +556,15 @@ func (a *Application) destroy() {
 		cleanups[i]()
 	}
 
-	// Grace period for threads to observe the stop signal.
-	deadline := time.Now().Add(2 * time.Second)
-	for a.group.ActiveCount() > 0 && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
+	// Grace period for threads to observe the stop signal. On the fast
+	// path the group is already quiet (the last non-daemon thread has
+	// finished and paid back its admission charge), so no clock is read
+	// and no sleep happens.
+	if a.group.ActiveCount() > 0 {
+		deadline := time.Now().Add(2 * time.Second)
+		for a.group.ActiveCount() > 0 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
 	}
 	for _, s := range opened {
 		// The platform closes on the application's behalf.
@@ -490,14 +577,23 @@ func (a *Application) destroy() {
 	p.mu.Lock()
 	delete(p.apps, a.id)
 	p.mu.Unlock()
+	p.groupApps.Delete(a.group.ID())
+	if p.quotas != nil {
+		// Release the application slot, then settle residual charges:
+		// thread charges were paid back by each thread's own finish, but
+		// queued-event charges of a stalled dispatcher are refunded here
+		// so the user's event budget cannot leak.
+		p.quotas.releaseApp(a.id)
+		p.quotas.settleApp(a.id)
+	}
 
 	if l := p.audit; l.Enabled(audit.CatApp) {
 		a.mu.Lock()
 		code := a.exitCode
 		a.mu.Unlock()
 		l.Emit(audit.Event{Cat: audit.CatApp, Verb: "exit",
-			User: a.User().Name, App: int64(a.id),
-			Detail: fmt.Sprintf("%s exit code %d", a.name, code)})
+			User: a.userName(), App: int64(a.id),
+			Detail: a.name + " exit code " + strconv.Itoa(code)})
 	}
 
 	_ = a.group.Destroy() // best effort; fails if a thread ignored its stop signal

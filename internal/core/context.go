@@ -222,6 +222,9 @@ func (c *Context) Property(key string) (string, error) {
 func (c *Context) SetProperty(key, value string) {
 	c.app.mu.Lock()
 	defer c.app.mu.Unlock()
+	if c.app.props == nil {
+		c.app.props = make(map[string]string)
+	}
 	c.app.props[key] = value
 }
 
@@ -507,5 +510,8 @@ func (c *Context) Resource(key string) (any, bool) {
 func (c *Context) SetResource(key string, v any) {
 	c.app.mu.Lock()
 	defer c.app.mu.Unlock()
+	if c.app.resources == nil {
+		c.app.resources = make(map[string]any)
+	}
 	c.app.resources[key] = v
 }

@@ -64,6 +64,11 @@ func (p *Platform) EnableDisplay(mode events.DispatchMode) *events.Server {
 	defer p.display.mu.Unlock()
 	if p.display.server == nil {
 		p.display.server = events.NewServer(p.vm, mode, &dispatcherSpawner{p: p})
+		// Install the per-user queued-event quota gate before any window
+		// can exist, so every admission charge has a matching release.
+		if p.quotas != nil && p.quotas.cfg.MaxQueuedEventsPerUser > 0 {
+			p.display.server.SetAdmission(p.quotas)
+		}
 	}
 	return p.display.server
 }

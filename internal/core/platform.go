@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"mpj/internal/audit"
 	"mpj/internal/classes"
@@ -85,6 +86,16 @@ type Config struct {
 	// HostName is this VM's name on the (possibly shared) network;
 	// outbound connections originate from it. Defaults to "localhost".
 	HostName string
+
+	// Quotas sets per-user admission quotas (apps, threads, queued
+	// events). The zero value disables all quota accounting.
+	Quotas QuotaConfig
+
+	// NoLaunchTemplates disables the sealed application-template fast
+	// path: every Exec re-derives the class closure through a fresh
+	// child loader, as before templates existed. Benchmarks use it to
+	// measure the cold path; production leaves it off.
+	NoLaunchTemplates bool
 }
 
 // Platform is the assembled multi-processing virtual machine: the VM
@@ -121,6 +132,41 @@ type Platform struct {
 
 	reap     chan *Application
 	reapDone chan struct{}
+
+	// Sealed application templates: one lazily built slot per program
+	// name, invalidated by the class-registry generation. See
+	// classes.Template.
+	noTemplates    bool
+	templates      sync.Map // program name -> *templateSlot
+	templateBuilds atomic.Int64
+
+	// groupApps maps an application's thread-group ID to the
+	// application, so the kernel-level thread-admission hook can charge
+	// spawns to the right user without core imports in vm.
+	groupApps sync.Map // int64 group ID -> *Application
+
+	// quotas is the per-user admission ledger; nil when no quota is
+	// configured (the zero-cost default).
+	quotas *quotaTable
+
+	// userPerms caches the sealed per-user permission collection keyed
+	// by policy generation, so binding a launching thread's security
+	// context is a map hit instead of a policy derivation.
+	userPerms sync.Map // user name -> *userPermEntry
+}
+
+// templateSlot holds one program's atomically published template; mu
+// serializes rebuilds so a storm of launches after an invalidation
+// derives the closure once, not once per launch.
+type templateSlot struct {
+	mu  sync.Mutex
+	tpl atomic.Pointer[classes.Template]
+}
+
+// userPermEntry is a policy-generation-stamped sealed permission set.
+type userPermEntry struct {
+	gen   uint64
+	perms *security.Permissions
 }
 
 // DefaultPolicy returns the policy sketched in Section 5.3 of the
@@ -265,8 +311,16 @@ func NewPlatform(cfg Config) (*Platform, error) {
 		apps:     make(map[AppID]*Application),
 		reap:     make(chan *Application, 16),
 		reapDone: make(chan struct{}),
+
+		noTemplates: cfg.NoLaunchTemplates,
 	}
 	p.boot = classes.NewBootstrapLoader(p.classes, p.policy)
+	if cfg.Quotas.enabled() {
+		p.quotas = newQuotaTable(cfg.Quotas)
+		if cfg.Quotas.MaxThreadsPerUser > 0 {
+			machine.SetThreadAdmission(p.admitThread)
+		}
+	}
 
 	// If the filesystem already carries an account database (a platform
 	// "reboot" over a persistent FS) and no explicit user DB was given,
@@ -446,6 +500,94 @@ func (p *Platform) FindApplication(id AppID) *Application {
 	return p.apps[id]
 }
 
+// QuotaStats returns cumulative per-user admission statistics. The
+// zero value is returned when no quota is configured.
+func (p *Platform) QuotaStats() QuotaStats {
+	if p.quotas == nil {
+		return QuotaStats{}
+	}
+	return p.quotas.snapshot()
+}
+
+// TemplateBuilds reports how many application-template derivations the
+// platform has performed — launches per build is the template cache's
+// hit ratio.
+func (p *Platform) TemplateBuilds() int64 { return p.templateBuilds.Load() }
+
+// ProgramTemplate returns the program's currently cached sealed
+// template, or nil if none has been built yet. Tests and load checks
+// use pointer identity to assert a template survived a storm
+// un-rebuilt.
+func (p *Platform) ProgramTemplate(name string) *classes.Template {
+	if v, ok := p.templates.Load(name); ok {
+		return v.(*templateSlot).tpl.Load()
+	}
+	return nil
+}
+
+// admitThread is the vm.ThreadAdmission hook: spawns into an
+// application's group are charged to that application's launch user.
+// System-group spawns pass through uncharged.
+func (p *Platform) admitThread(spec *vm.ThreadSpec) (func(), error) {
+	q := p.quotas
+	if q == nil {
+		return nil, nil
+	}
+	v, ok := p.groupApps.Load(spec.Group.ID())
+	if !ok {
+		return nil, nil
+	}
+	app := v.(*Application)
+	release, err := q.admitThread(app.id)
+	if err != nil {
+		if l := p.audit; l.Enabled(audit.CatApp) {
+			l.Emit(audit.Event{Cat: audit.CatApp, Verb: "quota-exceeded",
+				User: app.userName(), App: int64(app.id),
+				Detail: "thread " + spec.Name})
+		}
+		return nil, fmt.Errorf("%w: threads (user %s)", ErrQuotaExceeded, app.userName())
+	}
+	return release, nil
+}
+
+// userPermissions returns the sealed permission collection for a user,
+// cached per policy generation. The collection is concurrency-safe and
+// shared across every thread bound for that user.
+func (p *Platform) userPermissions(name string) *security.Permissions {
+	gen := p.policy.Generation()
+	if v, ok := p.userPerms.Load(name); ok {
+		if e := v.(*userPermEntry); e.gen == gen {
+			return e.perms
+		}
+	}
+	perms := p.policy.PermissionsForUser(name)
+	p.userPerms.Store(name, &userPermEntry{gen: gen, perms: perms})
+	return perms
+}
+
+// templateFor returns a valid sealed template for the program,
+// building (or rebuilding, after a registry change) it under the
+// program's slot lock so concurrent launches share one derivation.
+func (p *Platform) templateFor(prog *Program) (*classes.Template, error) {
+	v, _ := p.templates.LoadOrStore(prog.Name, &templateSlot{})
+	slot := v.(*templateSlot)
+	if tpl := slot.tpl.Load(); tpl != nil && tpl.Valid() {
+		return tpl, nil
+	}
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	if tpl := slot.tpl.Load(); tpl != nil && tpl.Valid() {
+		return tpl, nil
+	}
+	tpl, err := classes.BuildTemplate(p.boot, p.reload, SystemClassName, prog.ClassName)
+	if err != nil {
+		return nil, err
+	}
+	p.templateBuilds.Add(1)
+	slot.tpl.Store(tpl)
+	return tpl, nil
+}
+
 // reaperLoop processes scheduled application destructions.
 func (p *Platform) reaperLoop(t *vm.Thread) {
 	defer close(p.reapDone)
@@ -465,6 +607,22 @@ func (p *Platform) reaperLoop(t *vm.Thread) {
 			}
 		}
 	}
+}
+
+// finishApplication runs when the last non-daemon thread of an
+// application's group terminates. When the group is already completely
+// quiet — the common exit shape: main returned, no daemons linger — the
+// application is destroyed inline on the terminating thread, saving the
+// reaper-handoff wakeup on the launch+exit latency path. A group with
+// stragglers (daemon threads that need the stop/grace machinery) still
+// goes through the reaper so the grace wait never runs on an
+// application thread.
+func (p *Platform) finishApplication(app *Application) {
+	if app.group.ActiveCount() == 0 {
+		app.destroy()
+		return
+	}
+	p.scheduleDestruction(app)
 }
 
 // scheduleDestruction hands an application to the background reaper.

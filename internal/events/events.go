@@ -292,6 +292,11 @@ type Server struct {
 	mode    DispatchMode
 	spawner DispatcherSpawner
 
+	// admission is the optional per-owner quota gate consulted on every
+	// Post/PostBatch; a lock-free slot like the registry. Install it
+	// before the first window opens so charge/release stay paired.
+	admission atomic.Pointer[Admission]
+
 	// hot-path state — no lock on the per-event path.
 	reg            atomic.Pointer[registry]
 	nextSeq        atomic.Int64
@@ -343,6 +348,36 @@ func NewServer(v *vm.VM, mode DispatchMode, spawner DispatcherSpawner) *Server {
 	}
 	s.reg.Store(&registry{routes: map[WindowID]windowRoute{}})
 	return s
+}
+
+// Admission is the optional quota gate on event admission. AdmitEvents
+// charges n queued events to the owning application (an error vetoes
+// the post, counted as rejected); ReleaseEvents returns the charge when
+// events leave the queue — dispatched, dropped, or drained. The
+// platform layer implements it with per-user atomic counters.
+type Admission interface {
+	AdmitEvents(owner OwnerID, n int) error
+	ReleaseEvents(owner OwnerID, n int)
+}
+
+// SetAdmission installs the admission gate (nil removes it). Call
+// before the first window opens: events admitted without a charge must
+// not be released against one.
+func (s *Server) SetAdmission(a Admission) {
+	if a == nil {
+		s.admission.Store(nil)
+		return
+	}
+	s.admission.Store(&a)
+}
+
+// admissionHook returns the installed gate, or nil.
+func (s *Server) admissionHook() Admission {
+	p := s.admission.Load()
+	if p == nil {
+		return nil
+	}
+	return *p
 }
 
 // Mode returns the dispatching architecture in use.
@@ -486,8 +521,13 @@ func (s *Server) dispatchLoop(t *vm.Thread, q *eventQueue) {
 	}()
 	buf := make([]Event, 0, dispatchBatch)
 	for {
+		adm := s.admissionHook()
+		var drainVisit func(Event)
+		if adm != nil {
+			drainVisit = func(e Event) { adm.ReleaseEvents(e.Owner, 1) }
+		}
 		if t.Stopped() {
-			s.dropped.Add(int64(q.drainAll()))
+			s.dropped.Add(int64(q.drainAll(drainVisit)))
 			return
 		}
 		batch, ok := q.popBatch(buf[:0])
@@ -496,13 +536,21 @@ func (s *Server) dispatchLoop(t *vm.Thread, q *eventQueue) {
 		}
 		for i, e := range batch {
 			if t.Stopped() {
-				rest := len(batch) - i
-				q.done(rest)
-				s.dropped.Add(int64(rest + q.drainAll()))
+				rest := batch[i:]
+				q.done(len(rest))
+				if adm != nil {
+					for _, r := range rest {
+						adm.ReleaseEvents(r.Owner, 1)
+					}
+				}
+				s.dropped.Add(int64(len(rest) + q.drainAll(drainVisit)))
 				return
 			}
 			s.dispatchEvent(t, e)
 			q.done(1)
+			if adm != nil {
+				adm.ReleaseEvents(e.Owner, 1)
+			}
 		}
 	}
 }
@@ -550,12 +598,22 @@ func (s *Server) Post(e Event) error {
 		s.rejected.Add(1)
 		return fmt.Errorf("%w: %d", ErrNoWindow, e.Window)
 	}
+	adm := s.admissionHook()
+	if adm != nil {
+		if err := adm.AdmitEvents(rt.owner, 1); err != nil {
+			s.rejected.Add(1)
+			return err
+		}
+	}
 	e.Seq = s.nextSeq.Add(1)
 	e.Owner = rt.owner
 	e.Posted = time.Now()
 	s.posted.Add(1)
 	if rt.queue == nil || !rt.queue.push(e) {
 		s.dropped.Add(1)
+		if adm != nil {
+			adm.ReleaseEvents(rt.owner, 1)
+		}
 		return fmt.Errorf("%w: window %d has no dispatcher", ErrNoWindow, e.Window)
 	}
 	return nil
@@ -575,14 +633,19 @@ func (s *Server) PostBatch(events []Event) error {
 		return ErrServerClosed
 	}
 	now := time.Now()
-	// flush pushes a stamped (already counted as posted) run; a push
-	// failure counts the whole run dropped, matching Post's accounting.
-	flush := func(q *eventQueue, run []Event) error {
+	adm := s.admissionHook()
+	// flush pushes a stamped (already counted as posted and admitted)
+	// run; a push failure counts the whole run dropped — and returns its
+	// quota charge — matching Post's accounting.
+	flush := func(q *eventQueue, owner OwnerID, run []Event) error {
 		if len(run) == 0 {
 			return nil
 		}
 		if q == nil || !q.pushBatch(run) {
 			s.dropped.Add(int64(len(run)))
+			if adm != nil {
+				adm.ReleaseEvents(owner, len(run))
+			}
 			return fmt.Errorf("%w: window %d has no dispatcher", ErrNoWindow, run[0].Window)
 		}
 		return nil
@@ -596,7 +659,7 @@ func (s *Server) PostBatch(events []Event) error {
 	for i := range events {
 		e := &events[i]
 		if i == 0 || e.Window != runWin {
-			if err := flush(runQ, events[runStart:i]); err != nil {
+			if err := flush(runQ, runOwner, events[runStart:i]); err != nil {
 				return err
 			}
 			rt, ok := reg.routes[e.Window]
@@ -606,12 +669,23 @@ func (s *Server) PostBatch(events []Event) error {
 			}
 			runQ, runStart, runWin, runOwner = rt.queue, i, e.Window, rt.owner
 		}
+		if adm != nil {
+			if err := adm.AdmitEvents(runOwner, 1); err != nil {
+				// Events before i are stamped and admitted: push them,
+				// then report the quota rejection for the rest.
+				s.rejected.Add(1)
+				if ferr := flush(runQ, runOwner, events[runStart:i]); ferr != nil {
+					return ferr
+				}
+				return err
+			}
+		}
 		e.Seq = s.nextSeq.Add(1)
 		e.Owner = runOwner
 		e.Posted = now
 		s.posted.Add(1)
 	}
-	return flush(runQ, events[runStart:])
+	return flush(runQ, runOwner, events[runStart:])
 }
 
 // Click is a convenience wrapper posting a mouse click to a component.

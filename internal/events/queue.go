@@ -194,10 +194,25 @@ func (q *eventQueue) close() {
 
 // drainAll discards every pending event and returns how many were
 // discarded (used for drop accounting when a dispatcher is stopped
-// with events still queued).
-func (q *eventQueue) drainAll() int {
+// with events still queued). visit, if non-nil, is called for each
+// discarded event while the queue is locked — the admission layer uses
+// it to return quota charges for events that will never dispatch.
+func (q *eventQueue) drainAll(visit func(Event)) int {
 	q.mu.Lock()
 	n := q.size
+	if visit != nil {
+		pos := q.headPos
+		for c := q.head; c != nil; c = c.next {
+			end := chunkSize
+			if c == q.tail {
+				end = q.tailPos
+			}
+			for ; pos < end; pos++ {
+				visit(c.ev[pos])
+			}
+			pos = 0
+		}
+	}
 	q.size = 0
 	c := &chunk{}
 	q.head, q.tail = c, c

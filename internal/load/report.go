@@ -102,3 +102,32 @@ func Measure(iters int, fn func()) time.Duration {
 	}
 	return time.Since(start) / time.Duration(iters)
 }
+
+// MeasureBest splits iters across `batches` batches and returns the
+// best per-iteration average among them. A single long average folds
+// in every GC pause, scheduler hiccup and frequency excursion that
+// lands in the window; the best batch is the standard low-noise
+// estimator when comparing paths against each other (what §E-launch's
+// templated-vs-cold ratio needs on a single-CPU host).
+func MeasureBest(iters, batches int, fn func()) time.Duration {
+	if batches < 1 {
+		batches = 1
+	}
+	per := iters / batches
+	if per < 1 {
+		per = 1
+	}
+	fn() // warm up
+	best := time.Duration(0)
+	for b := 0; b < batches; b++ {
+		start := time.Now()
+		for i := 0; i < per; i++ {
+			fn()
+		}
+		avg := time.Since(start) / time.Duration(per)
+		if best == 0 || avg < best {
+			best = avg
+		}
+	}
+	return best
+}

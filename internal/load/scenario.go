@@ -77,6 +77,7 @@ type Scenario struct {
 // Scenarios returns the registered scenario set, sorted by name:
 //
 //	events    post an input event, wait for its dispatch
+//	exec      launch+exit a no-op application (templated fast path)
 //	login     full login cycle (authenticate + setUser + shell)
 //	objects   zipf-skewed atomic transfer between shared objects
 //	pipeline  two-stage shell pipeline launch + drain
@@ -88,6 +89,7 @@ type Scenario struct {
 func Scenarios() []Scenario {
 	s := []Scenario{
 		{Name: "login", Setup: setupLogin},
+		{Name: "exec", Setup: setupExec},
 		{Name: "pipeline", Setup: setupPipeline},
 		{Name: "vfsio", Setup: setupVFSIO},
 		{Name: "events", Setup: setupEvents},
@@ -134,6 +136,52 @@ func setupLogin(env *Env) (Op, func() error, error) {
 		return nil
 	}
 	return op, func() error { return nil }, nil
+}
+
+// setupExec drives the PR 9 launch fast path under open-loop load:
+// every op launches a no-op application as the chosen user and waits
+// for it to exit — template stamp, System static seeding, main-thread
+// spawn, group teardown. The post-drain check asserts this program's
+// template was never rebuilt without a class-path change. It compares
+// the cached template pointer, not the platform-wide build counter:
+// sibling scenarios sharing the platform (the mixed stress test)
+// lazily build their own programs' templates mid-run, and any program
+// they register after this setup legitimately bumps the registry
+// generation and invalidates ours.
+func setupExec(env *Env) (Op, func() error, error) {
+	if err := env.P.RegisterProgram(core.Program{
+		Name: "load-noop",
+		Main: func(*core.Context, []string) int { return 0 },
+	}); err != nil {
+		return nil, nil, err
+	}
+	// One warm launch builds the template outside the measured ops.
+	if _, err := env.P.ExecWait(core.ExecSpec{Program: "load-noop", User: env.Users[0]}); err != nil {
+		return nil, nil, err
+	}
+	baseTpl := env.P.ProgramTemplate("load-noop")
+	baseGen := env.P.ClassRegistry().Generation()
+	if baseTpl == nil {
+		return nil, nil, fmt.Errorf("exec: no template cached after warm launch")
+	}
+	op := func(worker, u int, rng *rand.Rand) error {
+		code, err := env.P.ExecWait(core.ExecSpec{Program: "load-noop", User: env.Users[u]})
+		if err != nil {
+			return err
+		}
+		if code != 0 {
+			return fmt.Errorf("exec as %s: exit %d", env.Users[u].Name, code)
+		}
+		return nil
+	}
+	check := func() error {
+		if env.P.ProgramTemplate("load-noop") != baseTpl &&
+			env.P.ClassRegistry().Generation() == baseGen {
+			return fmt.Errorf("exec: template rebuilt with a stable class path")
+		}
+		return nil
+	}
+	return op, check, nil
 }
 
 // setupPipeline launches a two-stage shell pipeline (echo | cat) as

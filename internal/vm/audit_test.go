@@ -33,8 +33,8 @@ func TestThreadLifecycleAudit(t *testing.T) {
 		verb   string
 		detail string
 	}{
-		{"spawn", `thread "worker"`},
-		{"exit", `thread "worker"`},
+		{"spawn", "thread worker"},
+		{"exit", "thread worker"},
 		{"group-destroy", `group "workers"`},
 		{"vm-exit", "exit code 3"},
 	} {

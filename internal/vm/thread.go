@@ -115,10 +115,20 @@ type Thread struct {
 	// emission sites in layers below core read it to attribute events.
 	appTag atomic.Int64
 
+	// appRef is a dedicated lock-free slot for the owning application
+	// object (held as an opaque any to keep the layering acyclic). The
+	// core layer binds it on every application thread; reading it here
+	// beats the mutex-guarded locals map on the launch fast path.
+	appRef atomic.Pointer[any]
+
 	localsMu sync.Mutex
 	locals   map[string]any
 
 	onExit func(t *Thread)
+
+	// admitRelease returns the thread's admission-quota charge; set by
+	// SpawnThread before the body starts, consumed once by finish.
+	admitRelease func()
 }
 
 // SpawnThread creates and starts a thread. The thread is registered
@@ -136,10 +146,29 @@ func (v *VM) SpawnThread(spec ThreadSpec) (*Thread, error) {
 		return nil, fmt.Errorf("vm: spawn %q: group %q belongs to a different VM", spec.Name, spec.Group.Name())
 	}
 
+	// Admission control: the platform layer may veto the spawn (per-user
+	// thread quotas). The returned release is owed as soon as admission
+	// succeeds — on any later spawn failure it is returned immediately,
+	// otherwise it travels with the thread and is paid back by finish.
+	var admitRelease func()
+	if adm := v.admission.Load(); adm != nil {
+		release, err := (*adm)(&spec)
+		if err != nil {
+			return nil, err
+		}
+		admitRelease = release
+	}
+	fail := func(err error) (*Thread, error) {
+		if admitRelease != nil {
+			admitRelease()
+		}
+		return nil, err
+	}
+
 	v.mu.Lock()
 	if v.halted {
 		v.mu.Unlock()
-		return nil, ErrHalted
+		return fail(ErrHalted)
 	}
 	v.nextThreadID++
 	t := &Thread{
@@ -157,9 +186,10 @@ func (v *VM) SpawnThread(spec ThreadSpec) (*Thread, error) {
 		t.frames = make([]Frame, len(spec.InheritFrames))
 		copy(t.frames, spec.InheritFrames)
 	}
+	t.admitRelease = admitRelease
 	if err := spec.Group.add(t); err != nil {
 		v.mu.Unlock()
-		return nil, err
+		return fail(err)
 	}
 	v.threads[t.id] = t
 	if !t.daemon {
@@ -169,9 +199,13 @@ func (v *VM) SpawnThread(spec ThreadSpec) (*Thread, error) {
 	v.mu.Unlock()
 
 	if l := v.AuditLog(); l.Enabled(audit.CatThread) {
+		detail := "thread " + t.name + " group " + t.group.Name()
+		if t.daemon {
+			detail += " daemon"
+		}
 		l.Emit(audit.Event{Cat: audit.CatThread, Verb: "spawn",
 			App: t.appTag.Load(), Thread: int64(t.id),
-			Detail: fmt.Sprintf("thread %q group %q daemon=%v", t.name, t.group.Name(), t.daemon)})
+			Detail: detail})
 	}
 
 	go func() {
@@ -204,9 +238,15 @@ func (t *Thread) finish() {
 	if l := v.AuditLog(); l.Enabled(audit.CatThread) {
 		l.Emit(audit.Event{Cat: audit.CatThread, Verb: "exit",
 			App: t.appTag.Load(), Thread: int64(t.id),
-			Detail: fmt.Sprintf("thread %q group %q", t.name, t.group.Name())})
+			Detail: "thread " + t.name + " group " + t.group.Name()})
 	}
 
+	// Pay back the admission charge before onEmpty can fire: when the
+	// application is torn down, its thread counts are already settled.
+	if t.admitRelease != nil {
+		t.admitRelease()
+		t.admitRelease = nil
+	}
 	t.group.remove(t)
 	close(t.done)
 	if t.onExit != nil {
@@ -325,6 +365,20 @@ func (t *Thread) MarkTopFramePrivileged() (restore func()) {
 // package sets it when it binds a thread to an application; 0 means a
 // system thread.
 func (t *Thread) SetAppTag(app int64) { t.appTag.Store(app) }
+
+// SetAppRef stores the owning application object in the thread's
+// dedicated lock-free slot (see appRef).
+func (t *Thread) SetAppRef(v any) { t.appRef.Store(&v) }
+
+// AppRef returns the owning application object bound with SetAppRef,
+// or nil. A single atomic load.
+func (t *Thread) AppRef() any {
+	p := t.appRef.Load()
+	if p == nil {
+		return nil
+	}
+	return *p
+}
 
 // AppTag returns the owning application's ID, or 0.
 func (t *Thread) AppTag() int64 { return t.appTag.Load() }

@@ -105,7 +105,20 @@ type VM struct {
 	// boot. It is read on hot paths (every permission check consults it
 	// through Thread.VM), hence the lock-free slot; nil means no audit.
 	auditLog atomic.Pointer[audit.Log]
+
+	// admission is the optional thread-admission hook (see
+	// SetThreadAdmission); a lock-free slot read on every spawn.
+	admission atomic.Pointer[ThreadAdmission]
 }
+
+// ThreadAdmission is consulted before every thread spawn. It may veto
+// the spawn by returning an error (the error is returned verbatim from
+// SpawnThread); on success the returned release function — if non-nil —
+// is invoked exactly once when the thread terminates (or when a later
+// step of the spawn itself fails). The platform layer uses this to
+// enforce per-user thread quotas without the kernel knowing about
+// users.
+type ThreadAdmission func(spec *ThreadSpec) (release func(), err error)
 
 // Stats reports cumulative counters for a VM.
 type Stats struct {
@@ -174,6 +187,16 @@ func (v *VM) Name() string { return v.name }
 // SetAuditLog installs the VM-wide audit log. Call once, at platform
 // boot, before application code runs.
 func (v *VM) SetAuditLog(l *audit.Log) { v.auditLog.Store(l) }
+
+// SetThreadAdmission installs the thread-admission hook. Call at boot,
+// before application threads spawn; nil removes the hook.
+func (v *VM) SetThreadAdmission(fn ThreadAdmission) {
+	if fn == nil {
+		v.admission.Store(nil)
+		return
+	}
+	v.admission.Store(&fn)
+}
 
 // AuditLog returns the VM-wide audit log, or nil. The accessor is a
 // single atomic load, cheap enough for the access-control fast path.

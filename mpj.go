@@ -74,7 +74,16 @@ type (
 	// ObjectTx is one atomic, permission-checked multi-object
 	// transaction over the shared-object space (Context.UpdateObjects).
 	ObjectTx = core.ObjectTx
+	// QuotaConfig sets per-user admission quotas (apps, threads,
+	// queued UI events).
+	QuotaConfig = core.QuotaConfig
+	// QuotaStats reports cumulative admission decisions.
+	QuotaStats = core.QuotaStats
 )
+
+// ErrQuotaExceeded is returned when a per-user admission quota would
+// be exceeded.
+var ErrQuotaExceeded = core.ErrQuotaExceeded
 
 // Substrate types commonly needed by users of the platform.
 type (
@@ -211,6 +220,12 @@ type StandardConfig struct {
 	ExitWhenIdle bool
 	// Motd, if non-empty, is written to /etc/motd.
 	Motd string
+	// Quotas sets per-user admission quotas; the zero value disables
+	// quota accounting entirely.
+	Quotas QuotaConfig
+	// NoLaunchTemplates disables the sealed application-template
+	// launch fast path (benchmarks use it to measure the cold path).
+	NoLaunchTemplates bool
 }
 
 // NewStandardPlatform boots a platform with the default policy, the
@@ -218,7 +233,12 @@ type StandardConfig struct {
 // (optionally) a display server — the configuration the examples, the
 // interactive shell and the benchmark harness all build on.
 func NewStandardPlatform(cfg StandardConfig) (*Platform, *AppletStore, error) {
-	p, err := core.NewPlatform(core.Config{Name: cfg.Name, ExitWhenIdle: cfg.ExitWhenIdle})
+	p, err := core.NewPlatform(core.Config{
+		Name:              cfg.Name,
+		ExitWhenIdle:      cfg.ExitWhenIdle,
+		Quotas:            cfg.Quotas,
+		NoLaunchTemplates: cfg.NoLaunchTemplates,
+	})
 	if err != nil {
 		return nil, nil, err
 	}
