@@ -10,10 +10,11 @@
 #   make bench-smoke  one fast pass over the E8 access-control, events,
 #                     and netsim benchmarks
 #   make bench-json   full mvmbench run, machine-readable, written to
-#                     BENCH_PR9.json (the committed snapshot)
+#                     BENCH_PR10.json (the committed snapshot)
 #   make bench-json-smoke  mvmbench at tiny iteration count, output
 #                     discarded — CI uses this to keep the harness
-#                     from rotting
+#                     from rotting; the run fails outright if the
+#                     §E-audit drain/proof rows go missing
 #   make load-smoke   mvmload's built-in smoke grid: a tiny open-loop
 #                     sweep that asserts every cell completes work —
 #                     CI's guard on the traffic harness
@@ -44,7 +45,7 @@ bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime=100x ./internal/events/ ./internal/netsim/
 
 bench-json:
-	$(GO) run ./cmd/mvmbench -iters 400 -json > BENCH_PR9.json
+	$(GO) run ./cmd/mvmbench -iters 400 -json > BENCH_PR10.json
 
 bench-json-smoke:
 	$(GO) run ./cmd/mvmbench -iters 20 -json > /dev/null

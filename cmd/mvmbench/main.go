@@ -131,6 +131,20 @@ func run(iters int) error {
 	if err := rep.CheckNonEmpty(); err != nil {
 		return err
 	}
+	// The audit-batching rows are cited by EXPERIMENTS.md and consumed
+	// by tooling diffing committed BENCH_*.json runs; a refactor that
+	// drops them must fail here (bench-json-smoke runs this in CI).
+	if err := rep.RequireRows("E-audit",
+		"drain per record, per-record chain",
+		"drain per record, merkle batch",
+		"drain speedup",
+		"Prove (50k-record trail",
+		"VerifyProof, standalone",
+		"inclusion proof hashes",
+		"verify speedup, by-root vs full",
+	); err != nil {
+		return err
+	}
 	if jsonMode {
 		return rep.EmitJSON(os.Stdout, "mvmbench", iters)
 	}
@@ -684,6 +698,110 @@ func eAudit(iters int) error {
 	row("CheckPermission depth 16, no audit log", base)
 	row("CheckPermission depth 16, log attached, access off", guarded)
 	row("fast-path overhead", fmt.Sprintf("%.2fx", float64(guarded)/float64(base)))
+
+	// (e) Merkle batch commits: drain throughput under the PR 3 denial
+	// storm — identical denial events flooding the rings, the shape a
+	// hostile application's refused checks produce — for the legacy
+	// per-record chain and a sweep of merkle-batch sizes. Only the
+	// drain (Sync) is timed; emission is the same on every path.
+	storm := audit.Event{Cat: audit.CatDeny, Verb: "deny", User: "mallory", App: 3, Thread: 9,
+		Detail: `file "/etc/shadow" "read" domain=file:/local/evil`}
+	const stormN = 4096
+	rounds := max(iters/64, 16)
+	drainCost := func(cfg audit.Config) time.Duration {
+		cfg.Store = audit.NewMemStore()
+		cfg.Mask = audit.CatDeny
+		cfg.Shards = 1
+		cfg.ShardCap = stormN
+		sl := audit.New(cfg)
+		var total time.Duration
+		for r := 0; r <= rounds; r++ { // round 0 is warm-up
+			for i := 0; i < stormN; i++ {
+				sl.Emit(storm)
+			}
+			t0 := time.Now()
+			sl.Sync()
+			if r > 0 {
+				total += time.Since(t0)
+			}
+		}
+		if st := sl.Stats(); st.Dropped != 0 || st.Records != uint64((rounds+1)*stormN) {
+			panic(fmt.Sprintf("storm drain lost records: %+v", st))
+		}
+		return total / time.Duration(rounds*stormN)
+	}
+	legacy := drainCost(audit.Config{ChainPerRecord: true})
+	row("drain per record, per-record chain (baseline)", legacy)
+	var m64, m256 time.Duration
+	for _, b := range []int{16, 64, 256} {
+		d := drainCost(audit.Config{MerkleBatch: b})
+		row(fmt.Sprintf("drain per record, merkle batch %d", b), d)
+		switch b {
+		case 64:
+			m64 = d
+		case 256:
+			m256 = d
+		}
+	}
+	row("drain speedup, batch 64 vs per-record chain", fmt.Sprintf("%.2fx", float64(legacy)/float64(m64)))
+	row("drain speedup, batch 256 vs per-record chain", fmt.Sprintf("%.2fx", float64(legacy)/float64(m256)))
+
+	// (f) Inclusion proofs over a 50k-record trail: Prove walks the
+	// segment index and rebuilds one batch; VerifyProof re-hashes only
+	// the leaf group, the interior path, and the chain link.
+	const trailN = 50_000
+	big := audit.New(audit.Config{Store: audit.NewMemStore(), Mask: audit.CatDeny,
+		MerkleBatch: 256, Shards: 1, ShardCap: stormN, SegmentRecords: 8192})
+	for i := 0; i < trailN; i++ {
+		big.Emit(storm)
+		if (i+1)%stormN == 0 {
+			big.Sync()
+		}
+	}
+	big.Sync()
+	proveIters := min(iters, 512)
+	var seq uint64
+	prove := measure(proveIters, func() {
+		seq = seq*2654435761%trailN + 1 // deterministic spread over the trail
+		if _, err := big.Prove(seq); err != nil {
+			panic(err)
+		}
+	})
+	row("Prove (50k-record trail, batch 256)", prove)
+	proof, err := big.Prove(trailN / 2)
+	if err != nil {
+		return err
+	}
+	verifyProof := measure(iters, func() {
+		if err := audit.VerifyProof(proof); err != nil {
+			panic(err)
+		}
+	})
+	row("VerifyProof, standalone", verifyProof)
+	row("inclusion proof hashes (batch 256)", fmt.Sprintf("%d (%d path levels)", proof.Hashes(), len(proof.Path)))
+
+	// (g) Streaming re-verification of the same trail: full mode
+	// rehashes all 50k leaves; by-root mode re-links 196 roots and
+	// counts lines. Spot checks buy back leaf coverage à la carte.
+	full := measure(3, func() {
+		if res, err := big.Verify(); err != nil || !res.OK {
+			panic(fmt.Sprintf("full verify: %+v %v", res, err))
+		}
+	})
+	row("verify 50k records, full rehash", full)
+	byRoot := measure(min(iters, 64), func() {
+		if res, err := big.VerifyWith(audit.VerifyOptions{}); err != nil || !res.OK {
+			panic(fmt.Sprintf("by-root verify: %+v %v", res, err))
+		}
+	})
+	row("verify 50k records, by-root", byRoot)
+	spot := measure(min(iters, 64), func() {
+		if res, err := big.VerifyWith(audit.VerifyOptions{SpotCheck: 8}); err != nil || !res.OK {
+			panic(fmt.Sprintf("spot verify: %+v %v", res, err))
+		}
+	})
+	row("verify 50k records, by-root + 8 spot checks", spot)
+	row("verify speedup, by-root vs full", fmt.Sprintf("%.1fx", float64(full)/float64(byRoot)))
 	return nil
 }
 

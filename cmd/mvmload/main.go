@@ -65,13 +65,14 @@ func main() {
 		Seed:       *seed,
 	}
 	if *smoke {
-		// The CI grid: small but real — four scenarios that together
+		// The CI grid: small but real — five scenarios that together
 		// cross the exec/security path (login), the templated launch
 		// fast path under storm arrivals (exec), the event data plane
-		// (events), and the playground dispatcher with its worker VMs
-		// (remote), two rates, sub-second windows.
+		// (events), the playground dispatcher with its worker VMs
+		// (remote), and the Merkle-batching audit drainer under a
+		// denial storm (audit), two rates, sub-second windows.
 		cfg = load.GridConfig{
-			Scenarios:  []string{"login", "exec", "events", "remote"},
+			Scenarios:  []string{"login", "exec", "events", "remote", "audit"},
 			Rates:      []float64{100, 400},
 			Thetas:     []float64{0.99},
 			Procs:      []int{runtime.GOMAXPROCS(0)},

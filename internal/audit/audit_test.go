@@ -211,11 +211,24 @@ func TestVerifyDetectsTampering(t *testing.T) {
 	if res.BrokenSegment != name {
 		t.Fatalf("broken link located in %q, want %q", res.BrokenSegment, name)
 	}
-	if res.BrokenLine != 2 { // "app 9" is seq 10 → line 2 of segment 1
+	if res.BrokenLine != 2 { // the faulted batch's header is line 2 (after "!v2")
 		t.Fatalf("broken link at line %d, want 2", res.BrokenLine)
 	}
-	if !strings.Contains(res.Reason, "hash mismatch") {
+	if !strings.Contains(res.Reason, "root mismatch") {
 		t.Fatalf("unexpected reason %q", res.Reason)
+	}
+	// The corruption is localized to its batch: exactly one fault,
+	// naming batch 1 (seqs 9–16) — batches 0 and 2 still verify, so
+	// the trail before AND after the tamper remains trustworthy.
+	if len(res.Faults) != 1 {
+		t.Fatalf("want 1 localized fault, got %+v", res.Faults)
+	}
+	f := res.Faults[0]
+	if f.Batch != 1 || f.First != 9 || f.Last != 16 || f.Segment != name {
+		t.Fatalf("fault not localized to batch 1 [9,16] in %s: %+v", name, f)
+	}
+	if res.Records != 20 {
+		t.Fatalf("verify should still walk all 20 records, got %d", res.Records)
 	}
 }
 
@@ -227,8 +240,10 @@ func TestVerifyDetectsReorder(t *testing.T) {
 	l.Sync()
 	name := segmentName(0)
 	data, _ := store.Read(name)
+	// Lines: "!v2", the batch header, then the leaf lines — swap two
+	// leaves.
 	lines := strings.SplitAfter(string(data), "\n")
-	lines[1], lines[2] = lines[2], lines[1]
+	lines[2], lines[3] = lines[3], lines[2]
 	store.Put(name, []byte(strings.Join(lines, "")))
 	res, err := l.Verify()
 	if err != nil {

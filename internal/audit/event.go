@@ -192,44 +192,170 @@ func (r *Record) appendBody(dst []byte) []byte {
 	return dst
 }
 
-// recordFields is the number of tab-separated fields of an encoded
-// record line: the 8 body fields plus the hash.
+// appendQuote appends s Go-quoted, byte-identical to
+// strconv.AppendQuote but with a fast path for plain printable ASCII
+// (the overwhelmingly common audit-string shape): one scan, no
+// per-rune work. Anything needing an escape falls back to strconv.
+func appendQuote(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c < 0x20 || c > 0x7e || c == '"' || c == '\\' {
+			return strconv.AppendQuote(dst, s)
+		}
+	}
+	dst = append(dst, '"')
+	dst = append(dst, s...)
+	return append(dst, '"')
+}
+
+// fieldMemo caches one field's quoted encoding. Audit streams repeat
+// the same verb, user and — under a denial storm — detail over and
+// over; the memo turns re-quoting into an equality check plus a copy.
+type fieldMemo struct {
+	s   string
+	enc []byte
+}
+
+func (m *fieldMemo) append(dst []byte, s string) []byte {
+	if s == m.s && m.enc != nil {
+		return append(dst, m.enc...)
+	}
+	start := len(dst)
+	dst = appendQuote(dst, s)
+	m.s = s
+	m.enc = append(m.enc[:0], dst[start:]...)
+	return dst
+}
+
+// bodyEncoder renders record bodies with per-field memoization. One
+// encoder belongs to one drainer (it is not safe for concurrent use);
+// its output is byte-identical to Record.appendBody.
+type bodyEncoder struct {
+	verb, user, detail fieldMemo
+}
+
+func (e *bodyEncoder) appendBody(dst []byte, r *Record) []byte {
+	dst = strconv.AppendUint(dst, r.Seq, 10)
+	dst = append(dst, '\t')
+	dst = strconv.AppendInt(dst, r.Time, 10)
+	dst = append(dst, '\t')
+	dst = append(dst, catNames[r.Cat.index()]...)
+	dst = append(dst, '\t')
+	dst = e.verb.append(dst, r.Verb)
+	dst = append(dst, '\t')
+	dst = e.user.append(dst, r.User)
+	dst = append(dst, '\t')
+	dst = strconv.AppendInt(dst, r.App, 10)
+	dst = append(dst, '\t')
+	dst = strconv.AppendInt(dst, r.Thread, 10)
+	dst = append(dst, '\t')
+	dst = e.detail.append(dst, r.Detail)
+	return dst
+}
+
+// recordFields is the number of tab-separated fields of an encoded v1
+// record line: the 8 body fields plus the hash. v2 leaf lines carry
+// only the 8 body fields — integrity lives in the batch header.
 const recordFields = 9
 
-// parseRecord decodes one segment line back into a Record.
+// parseRecord decodes one v1 segment line back into a Record.
 func parseRecord(line string) (Record, error) {
-	parts := strings.Split(line, "\t")
-	if len(parts) != recordFields {
-		return Record{}, fmt.Errorf("audit: malformed record: %d fields, want %d", len(parts), recordFields)
+	return parseRecordLine([]byte(line), true)
+}
+
+// parseCatBytes resolves a category name field without allocating.
+func parseCatBytes(b []byte) (Category, error) {
+	for i := range catNames {
+		if string(b) == catNames[i] {
+			return 1 << i, nil
+		}
+	}
+	return 0, fmt.Errorf("audit: unknown category %q", b)
+}
+
+// unquoteBytes inverts appendQuote. The fast path handles quoted
+// strings with no escapes in one slice; anything else goes through
+// strconv.Unquote.
+func unquoteBytes(b []byte) (string, error) {
+	if len(b) >= 2 && b[0] == '"' && b[len(b)-1] == '"' {
+		inner := b[1 : len(b)-1]
+		clean := true
+		for i := 0; i < len(inner); i++ {
+			if inner[i] == '\\' || inner[i] == '"' {
+				clean = false
+				break
+			}
+		}
+		if clean {
+			return string(inner), nil
+		}
+	}
+	return strconv.Unquote(string(b))
+}
+
+// parseRecordLine decodes one record line — a v1 line (8 body fields
+// plus the hash) or a v2 leaf line (body fields only) — without the
+// strings.Split allocation per call: fields are sliced in place and
+// only the string payloads materialize.
+func parseRecordLine(line []byte, withHash bool) (Record, error) {
+	want := recordFields - 1
+	if withHash {
+		want = recordFields
+	}
+	var fields [recordFields][]byte
+	n := 0
+	start := 0
+	for i := 0; i <= len(line); i++ {
+		if i == len(line) || line[i] == '\t' {
+			if n == want {
+				return Record{}, fmt.Errorf("audit: malformed record: more than %d fields", want)
+			}
+			fields[n] = line[start:i]
+			n++
+			start = i + 1
+		}
+	}
+	if n != want {
+		return Record{}, fmt.Errorf("audit: malformed record: %d fields, want %d", n, want)
 	}
 	var (
 		r   Record
 		err error
 	)
-	if r.Seq, err = strconv.ParseUint(parts[0], 10, 64); err != nil {
+	if r.Seq, err = strconv.ParseUint(string(fields[0]), 10, 64); err != nil {
 		return Record{}, fmt.Errorf("audit: bad seq: %w", err)
 	}
-	if r.Time, err = strconv.ParseInt(parts[1], 10, 64); err != nil {
+	if r.Time, err = strconv.ParseInt(string(fields[1]), 10, 64); err != nil {
 		return Record{}, fmt.Errorf("audit: bad time: %w", err)
 	}
-	if r.Cat, err = ParseCategory(parts[2]); err != nil {
+	if r.Cat, err = parseCatBytes(fields[2]); err != nil {
 		return Record{}, err
 	}
-	if r.Verb, err = strconv.Unquote(parts[3]); err != nil {
+	if r.Verb, err = unquoteBytes(fields[3]); err != nil {
 		return Record{}, fmt.Errorf("audit: bad verb: %w", err)
 	}
-	if r.User, err = strconv.Unquote(parts[4]); err != nil {
+	if r.User, err = unquoteBytes(fields[4]); err != nil {
 		return Record{}, fmt.Errorf("audit: bad user: %w", err)
 	}
-	if r.App, err = strconv.ParseInt(parts[5], 10, 64); err != nil {
+	if r.App, err = strconv.ParseInt(string(fields[5]), 10, 64); err != nil {
 		return Record{}, fmt.Errorf("audit: bad app: %w", err)
 	}
-	if r.Thread, err = strconv.ParseInt(parts[6], 10, 64); err != nil {
+	if r.Thread, err = strconv.ParseInt(string(fields[6]), 10, 64); err != nil {
 		return Record{}, fmt.Errorf("audit: bad thread: %w", err)
 	}
-	if r.Detail, err = strconv.Unquote(parts[7]); err != nil {
+	if r.Detail, err = unquoteBytes(fields[7]); err != nil {
 		return Record{}, fmt.Errorf("audit: bad detail: %w", err)
 	}
-	r.Hash = parts[8]
+	if withHash {
+		r.Hash = string(fields[8])
+	}
 	return r, nil
+}
+
+// seqOfLine parses just the leading sequence field of a record line.
+func seqOfLine(line []byte) (uint64, error) {
+	end := 0
+	for end < len(line) && line[end] != '\t' {
+		end++
+	}
+	return strconv.ParseUint(string(line[:end]), 10, 64)
 }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mpj/internal/audit"
 	"mpj/internal/classes"
@@ -88,8 +89,21 @@ type Config struct {
 	HostName string
 
 	// Quotas sets per-user admission quotas (apps, threads, queued
-	// events). The zero value disables all quota accounting.
+	// events, pending audit records). The zero value disables all quota
+	// accounting.
 	Quotas QuotaConfig
+
+	// AuditMerkleBatch is the audit log's Merkle group-commit size in
+	// records (audit.Config.MerkleBatch). Zero uses the audit default.
+	AuditMerkleBatch int
+
+	// AuditMerkleWait bounds how long a partial audit batch may be held
+	// waiting to fill (audit.Config.MerkleWait). Zero uses the default.
+	AuditMerkleWait time.Duration
+
+	// AuditChainPerRecord selects the legacy per-record hash-chain audit
+	// format (v1 segments) instead of Merkle batch commits.
+	AuditChainPerRecord bool
 
 	// NoLaunchTemplates disables the sealed application-template fast
 	// path: every Exec re-derives the class closure through a fresh
@@ -369,7 +383,15 @@ func NewPlatform(cfg Config) (*Platform, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: init audit store: %w", err)
 	}
-	p.audit = audit.New(audit.Config{Store: store})
+	p.audit = audit.New(audit.Config{
+		Store:          store,
+		MerkleBatch:    cfg.AuditMerkleBatch,
+		MerkleWait:     cfg.AuditMerkleWait,
+		ChainPerRecord: cfg.AuditChainPerRecord,
+	})
+	if p.quotas != nil && cfg.Quotas.MaxPendingAuditPerUser > 0 {
+		p.audit.SetAdmission(&auditAdmission{p: p})
+	}
 	_, err = machine.SpawnThread(vm.ThreadSpec{
 		Group:  machine.SystemGroup(),
 		Name:   "audit-drainer",
@@ -548,6 +570,25 @@ func (p *Platform) admitThread(spec *vm.ThreadSpec) (func(), error) {
 		return nil, fmt.Errorf("%w: threads (user %s)", ErrQuotaExceeded, app.userName())
 	}
 	return release, nil
+}
+
+// auditAdmission adapts the quota ledger to audit.Admission: a user
+// over MaxPendingAuditPerUser has further records dropped at emission,
+// and the edge into backpressure is itself audited — kernel-attributed
+// (empty User), so the notice is never gated by the quota it reports.
+type auditAdmission struct{ p *Platform }
+
+func (a *auditAdmission) AdmitRecord(userName string) bool {
+	ok, transitioned := a.p.quotas.admitAuditRecord(userName)
+	if !ok && transitioned && a.p.audit.Enabled(audit.CatApp) {
+		a.p.audit.Emit(audit.Event{Cat: audit.CatApp, Verb: "quota-exceeded",
+			Detail: "audit backlog user=" + userName})
+	}
+	return ok
+}
+
+func (a *auditAdmission) ReleaseRecords(userName string, n int) {
+	a.p.quotas.releaseAuditRecords(userName, n)
 }
 
 // userPermissions returns the sealed permission collection for a user,

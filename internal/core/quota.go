@@ -30,10 +30,17 @@ type QuotaConfig struct {
 	// MaxQueuedEventsPerUser bounds undelivered UI events across all of
 	// a user's application event queues.
 	MaxQueuedEventsPerUser int
+	// MaxPendingAuditPerUser bounds a user's audit records sitting in
+	// the emission rings awaiting a Merkle batch commit. Past the bound
+	// further records from that user are dropped at emission (counted
+	// as Degraded in audit.Stats) instead of displacing other users'
+	// evidence — audit backpressure as admission control.
+	MaxPendingAuditPerUser int
 }
 
 func (q QuotaConfig) enabled() bool {
-	return q.MaxAppsPerUser > 0 || q.MaxThreadsPerUser > 0 || q.MaxQueuedEventsPerUser > 0
+	return q.MaxAppsPerUser > 0 || q.MaxThreadsPerUser > 0 ||
+		q.MaxQueuedEventsPerUser > 0 || q.MaxPendingAuditPerUser > 0
 }
 
 // QuotaStats reports cumulative admission decisions per dimension.
@@ -43,6 +50,7 @@ type QuotaStats struct {
 	AppsAttempted, AppsAdmitted, AppsRejected       int64
 	ThreadsAttempted, ThreadsAdmitted, ThreadsRejected int64
 	EventsAttempted, EventsAdmitted, EventsRejected int64
+	AuditAttempted, AuditAdmitted, AuditRejected    int64
 }
 
 // userQuota holds one user's live-resource counters.
@@ -50,6 +58,13 @@ type userQuota struct {
 	apps    atomic.Int64
 	threads atomic.Int64
 	events  atomic.Int64
+	// auditPending counts the user's audit records admitted to the
+	// emission rings but not yet committed to a Merkle batch;
+	// auditRejecting latches while the user is over quota so the
+	// transition into backpressure is audited once, not once per
+	// rejected record.
+	auditPending   atomic.Int64
+	auditRejecting atomic.Bool
 }
 
 // appCharge links an application to the userQuota its resources are
@@ -76,6 +91,7 @@ type quotaTable struct {
 		appsAttempted, appsAdmitted, appsRejected          atomic.Int64
 		threadsAttempted, threadsAdmitted, threadsRejected atomic.Int64
 		eventsAttempted, eventsAdmitted, eventsRejected    atomic.Int64
+		auditAttempted, auditAdmitted, auditRejected       atomic.Int64
 	}
 }
 
@@ -195,6 +211,43 @@ func (q *quotaTable) ReleaseEvents(owner events.OwnerID, n int) {
 	c.uq.events.Add(-int64(n))
 }
 
+// admitAuditRecord charges one pending audit record to the user.
+// transitioned is true exactly when this rejection tipped the user
+// from admitting into rejecting — the caller audits that edge once.
+func (q *quotaTable) admitAuditRecord(userName string) (ok, transitioned bool) {
+	limit := int64(q.cfg.MaxPendingAuditPerUser)
+	if limit <= 0 {
+		return true, false
+	}
+	q.stats.auditAttempted.Add(1)
+	uq := q.userEntry(userName)
+	if !tryAcquire(&uq.auditPending, limit, 1) {
+		q.stats.auditRejected.Add(1)
+		return false, uq.auditRejecting.CompareAndSwap(false, true)
+	}
+	q.stats.auditAdmitted.Add(1)
+	uq.auditRejecting.Store(false)
+	return true, false
+}
+
+// releaseAuditRecords returns n pending-record charges after the
+// drainer committed (or overflow-dropped) them. Clamped at zero: a
+// quota enabled mid-flight may see releases for records it never
+// charged.
+func (q *quotaTable) releaseAuditRecords(userName string, n int) {
+	uq := q.userEntry(userName)
+	for {
+		cur := uq.auditPending.Load()
+		next := cur - int64(n)
+		if next < 0 {
+			next = 0
+		}
+		if uq.auditPending.CompareAndSwap(cur, next) {
+			return
+		}
+	}
+}
+
 // snapshot returns the cumulative admission stats.
 func (q *quotaTable) snapshot() QuotaStats {
 	return QuotaStats{
@@ -209,6 +262,10 @@ func (q *quotaTable) snapshot() QuotaStats {
 		EventsAttempted: q.stats.eventsAttempted.Load(),
 		EventsAdmitted:  q.stats.eventsAdmitted.Load(),
 		EventsRejected:  q.stats.eventsRejected.Load(),
+
+		AuditAttempted: q.stats.auditAttempted.Load(),
+		AuditAdmitted:  q.stats.auditAdmitted.Load(),
+		AuditRejected:  q.stats.auditRejected.Load(),
 	}
 }
 

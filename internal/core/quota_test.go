@@ -2,9 +2,11 @@ package core
 
 import (
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
+	"mpj/internal/audit"
 	"mpj/internal/events"
 	"mpj/internal/vm"
 )
@@ -256,5 +258,71 @@ func TestQuotaTableUnit(t *testing.T) {
 	// After settling, the slot is free again.
 	if err := q.admitApp(3, "u"); err != nil {
 		t.Fatalf("slot not freed: %v", err)
+	}
+}
+
+// TestAuditQuotaBackpressure verifies audit-backlog admission control:
+// a user over MaxPendingAuditPerUser has further records dropped at
+// emission (audit.Stats.Degraded), the edge into backpressure is
+// itself audited as a kernel-attributed CatApp event, other users are
+// unaffected, and committing a batch refunds the charges.
+func TestAuditQuotaBackpressure(t *testing.T) {
+	p := quotaPlatform(t, QuotaConfig{MaxPendingAuditPerUser: 4})
+	log := p.Audit()
+
+	// Storm: 20 alice-attributed denials back to back. At most 4 can be
+	// pending at once; the drainer may commit mid-storm, so assert via
+	// conservation rather than exact counts.
+	for i := 0; i < 20; i++ {
+		log.Emit(audit.Event{Cat: audit.CatDeny, Verb: "deny", User: "alice", Detail: "file /etc/shadow"})
+	}
+	// Bob has his own counter.
+	log.Emit(audit.Event{Cat: audit.CatDeny, Verb: "deny", User: "bob", Detail: "file /etc/shadow"})
+
+	qs := p.QuotaStats()
+	if qs.AuditAttempted != 21 {
+		t.Fatalf("audit attempts = %d, want 21", qs.AuditAttempted)
+	}
+	if qs.AuditRejected == 0 || qs.AuditAdmitted+qs.AuditRejected != qs.AuditAttempted {
+		t.Fatalf("quota stats inconsistent: %+v", qs)
+	}
+	as := log.Stats()
+	if int64(as.Degraded) != qs.AuditRejected {
+		t.Fatalf("audit degraded %d != quota rejected %d", as.Degraded, qs.AuditRejected)
+	}
+	if as.Records+as.Dropped+uint64(as.Pending) != as.Emitted {
+		t.Fatalf("audit conservation broken: %+v", as)
+	}
+
+	// The transition into backpressure left a CatApp trace, attributed
+	// to the kernel (empty user) so it was not itself quota-gated.
+	log.Sync()
+	if as = log.Stats(); as.Records+as.Dropped != as.Emitted {
+		t.Fatalf("audit conservation broken after drain: %+v", as)
+	}
+	recs, err := log.Query(audit.Query{Cats: audit.CatApp, Verb: "quota-exceeded"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, r := range recs {
+		if strings.Contains(r.Detail, "audit backlog user=alice") {
+			found++
+			if r.User != "" {
+				t.Fatalf("backpressure notice attributed to %q, want kernel", r.User)
+			}
+		}
+	}
+	if found == 0 {
+		t.Fatalf("no backpressure notice in %d CatApp records", len(recs))
+	}
+
+	// The committed batch refunded alice's pending charges: she can
+	// emit again.
+	before := log.Stats().Records
+	log.Emit(audit.Event{Cat: audit.CatDeny, Verb: "deny", User: "alice", Detail: "again"})
+	log.Sync()
+	if after := log.Stats().Records; after != before+1 {
+		t.Fatalf("post-refund emission not committed: %d -> %d", before, after)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"strings"
 	"time"
 )
 
@@ -74,6 +75,29 @@ func (r *Report) CheckNonEmpty() error {
 		}
 	}
 	return nil
+}
+
+// RequireRows fails unless the section with the given id exists and
+// has, for every wanted substring, at least one row whose label
+// contains it — the guard CI's bench-json-smoke uses so a committed
+// BENCH_*.json cannot silently lose the rows the docs cite.
+func (r *Report) RequireRows(sectionID string, wantLabels ...string) error {
+	for _, s := range r.sections {
+		if s.ID != sectionID {
+			continue
+		}
+	want:
+		for _, w := range wantLabels {
+			for _, row := range s.Rows {
+				if strings.Contains(row.Label, w) {
+					continue want
+				}
+			}
+			return fmt.Errorf("section %q has no row matching %q", sectionID, w)
+		}
+		return nil
+	}
+	return fmt.Errorf("required section %q missing from the run", sectionID)
 }
 
 // EmitJSON writes the whole run as one indented JSON document in the

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"mpj/internal/audit"
 	"mpj/internal/core"
 	"mpj/internal/coreutils"
 	"mpj/internal/events"
@@ -76,6 +77,7 @@ type Scenario struct {
 
 // Scenarios returns the registered scenario set, sorted by name:
 //
+//	audit     audit-pressure: refused reads storm the kernel trail
 //	events    post an input event, wait for its dispatch
 //	exec      launch+exit a no-op application (templated fast path)
 //	login     full login cycle (authenticate + setUser + shell)
@@ -85,7 +87,8 @@ type Scenario struct {
 //	vfsio     permission-bounded write/read/delete in the user's home
 //
 // Together they traverse every subsystem: security, vm, classes,
-// shell, streams, vfs, events, objspace, and the remote playground.
+// shell, streams, vfs, events, objspace, audit, and the remote
+// playground.
 func Scenarios() []Scenario {
 	s := []Scenario{
 		{Name: "login", Setup: setupLogin},
@@ -95,6 +98,7 @@ func Scenarios() []Scenario {
 		{Name: "events", Setup: setupEvents},
 		{Name: "objects", Setup: setupObjects},
 		{Name: "remote", Setup: setupRemote},
+		{Name: "audit", Setup: setupAudit},
 	}
 	sort.Slice(s, func(i, j int) bool { return s[i].Name < s[j].Name })
 	return s
@@ -335,6 +339,64 @@ func setupEvents(env *Env) (Op, func() error, error) {
 		}
 		for _, app := range apps {
 			app.WaitFor()
+		}
+		return nil
+	}
+	return op, check, nil
+}
+
+// setupAudit is the audit-pressure scenario: every op is a refused
+// read of a file the user holds no grant for, which the VFS turns
+// into a user-attributed denial event — the denial-storm shape, at
+// the driver's arrival rate, against the live Merkle-batching drainer.
+// The post-drain check forces a final commit and re-verifies the
+// whole trail in by-root mode with spot checks, plus the emission
+// conservation law.
+func setupAudit(env *Env) (Op, func() error, error) {
+	fs := env.P.FS()
+	log := env.P.Audit()
+	if log == nil {
+		return nil, nil, fmt.Errorf("audit: platform has no audit log")
+	}
+	base := log.Stats()
+	op := func(worker, u int, rng *rand.Rand) error {
+		// A read into another user's 0700 home — the denial is the
+		// payload. (A single-user population attacks /etc instead.)
+		usr := env.Users[u]
+		var err error
+		if victim := env.Users[(u+1)%len(env.Users)]; victim != usr {
+			_, err = fs.ReadFile(usr.Name, victim.Home+"/secret")
+		} else {
+			err = fs.WriteFile(usr.Name, "/etc/load-audit", nil, 0o600)
+		}
+		if err == nil {
+			return fmt.Errorf("audit: hostile access unexpectedly allowed")
+		}
+		if !strings.Contains(err.Error(), "permission denied") {
+			return fmt.Errorf("audit: expected a denial, got: %w", err)
+		}
+		return nil
+	}
+	check := func() error {
+		log.Sync()
+		st := log.Stats()
+		if st.Records+st.Dropped != st.Emitted {
+			return fmt.Errorf("audit: conservation broken: records %d + dropped %d != emitted %d",
+				st.Records, st.Dropped, st.Emitted)
+		}
+		if st.Records <= base.Records {
+			return fmt.Errorf("audit: storm committed no records (%d -> %d)", base.Records, st.Records)
+		}
+		res, err := log.VerifyWith(audit.VerifyOptions{SpotCheck: 4})
+		if err != nil {
+			return err
+		}
+		if !res.OK {
+			return fmt.Errorf("audit: trail broken after storm: %s (%s line %d)",
+				res.Reason, res.BrokenSegment, res.BrokenLine)
+		}
+		if res.LastChain != st.LastChain {
+			return fmt.Errorf("audit: walked chain head %s != live head %s", res.LastChain, st.LastChain)
 		}
 		return nil
 	}

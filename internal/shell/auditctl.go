@@ -16,7 +16,13 @@ import (
 //	auditctl tail [n]               print the last n records (default 10)
 //	auditctl query [filters...]     filter the persisted trail:
 //	      -c <cat> -u <user> -a <appID> -v <verb> -n <limit>
-//	auditctl verify                 re-walk the hash chain end to end
+//	auditctl verify [-fast [-spot n]]
+//	                                re-verify the trail: full mode
+//	                                rehashes every record; -fast walks
+//	                                the Merkle root chain only, with n
+//	                                optional spot-checked batches
+//	auditctl prove <seq>            build and check an O(log n)
+//	                                inclusion proof for one record
 //
 // Controlling the audit subsystem is a kernel operation: it requires
 // RuntimePermission "auditControl", which the default policy grants
@@ -88,20 +94,83 @@ func (s *Shell) auditctl(args []string) int {
 		s.printRecords(recs)
 		return 0
 	case "verify":
+		opts := audit.VerifyOptions{Full: true}
+		for i := 0; i < len(args); i++ {
+			switch args[i] {
+			case "-fast":
+				opts.Full = false
+			case "-spot":
+				if i+1 >= len(args) {
+					s.ctx.Errorf("auditctl verify: -spot needs a count\n")
+					return 2
+				}
+				i++
+				n, err := strconv.Atoi(args[i])
+				if err != nil || n < 1 {
+					s.ctx.Errorf("auditctl verify: bad spot count %q\n", args[i])
+					return 2
+				}
+				opts.SpotCheck = n
+			default:
+				s.ctx.Errorf("usage: auditctl verify [-fast [-spot n]]\n")
+				return 2
+			}
+		}
 		l.Sync()
-		res, err := l.Verify()
+		res, err := l.VerifyWith(opts)
 		if err != nil {
 			s.ctx.Errorf("auditctl: %v\n", err)
 			return 1
 		}
 		if res.OK {
-			s.ctx.Printf("chain OK: %d records in %d segments\n", res.Records, res.Segments)
+			s.ctx.Printf("chain OK (%s mode): %d records, %d batches in %d segments", res.Mode, res.Records, res.Batches, res.Segments)
+			if res.SpotChecked > 0 {
+				s.ctx.Printf(", %d batches spot-checked", res.SpotChecked)
+			}
+			s.ctx.Printf("\n")
+			if res.LastChain != "" {
+				s.ctx.Printf("chain head: %s\n", res.LastChain)
+			}
 			return 0
 		}
 		s.ctx.Errorf("chain BROKEN at %s line %d: %s\n", res.BrokenSegment, res.BrokenLine, res.Reason)
+		for _, f := range res.Faults {
+			s.ctx.Errorf("  fault: %s batch %d seqs [%d,%d]: %s\n", f.Segment, f.Batch, f.First, f.Last, f.Reason)
+		}
 		return 1
+	case "prove":
+		if len(args) != 1 {
+			s.ctx.Errorf("usage: auditctl prove <seq>\n")
+			return 2
+		}
+		seq, err := strconv.ParseUint(args[0], 10, 64)
+		if err != nil {
+			s.ctx.Errorf("auditctl: bad sequence number %q\n", args[0])
+			return 2
+		}
+		p, err := l.Prove(seq)
+		if err != nil {
+			s.ctx.Errorf("auditctl: %v\n", err)
+			return 1
+		}
+		rec, err := p.Record()
+		if err != nil {
+			s.ctx.Errorf("auditctl: %v\n", err)
+			return 1
+		}
+		s.printRecords([]audit.Record{rec})
+		s.ctx.Printf("batch %d in %s: %d records, seqs [%d,%d], leaf %d\n",
+			p.Batch, p.Segment, p.Count, p.First, p.Last, p.LeafIndex)
+		s.ctx.Printf("root:  %s\n", p.Root)
+		s.ctx.Printf("chain: %s\n", p.Chain)
+		if err := audit.VerifyProof(p); err != nil {
+			s.ctx.Errorf("proof INVALID: %v\n", err)
+			return 1
+		}
+		s.ctx.Printf("proof OK: %d hashes over %d path levels\n", p.Hashes(), len(p.Path))
+		return 0
 	default:
-		s.ctx.Errorf("usage: auditctl [status|enable|disable|tail|query|verify]\n")
+		s.ctx.Errorf("usage: auditctl [status|enable|disable|tail|query|verify|prove]\n")
 		return 2
 	}
 }
@@ -119,7 +188,10 @@ func (s *Shell) auditStatus(l *audit.Log) int {
 		}
 		s.ctx.Printf("%-8s %-8s %10d %10d\n", cs.Name, state, cs.Emitted, cs.Dropped)
 	}
-	s.ctx.Printf("records: %d chained in %d segments, %d pending\n", st.Records, st.Segments, st.Pending)
+	s.ctx.Printf("records: %d chained in %d batches / %d segments, %d pending\n", st.Records, st.Batches, st.Segments, st.Pending)
+	if st.LastChain != "" {
+		s.ctx.Printf("chain head: %s\n", st.LastChain)
+	}
 	s.ctx.Printf("subscribers: %d (%d deliveries dropped)\n", st.Subscribers, st.SubscriberDrops)
 	if st.StoreErr != nil {
 		s.ctx.Errorf("store error: %v\n", st.StoreErr)

@@ -1,6 +1,7 @@
 package shell_test
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 
@@ -123,5 +124,57 @@ func TestShellCommandsAudited(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("pipeline not audited: %+v", recs)
+	}
+}
+
+// TestAuditctlProveAndFastVerify exercises the Merkle-era subcommands:
+// prove builds and self-checks an inclusion proof, verify -fast walks
+// the root chain (optionally spot-checking), and bad arguments are
+// rejected.
+func TestAuditctlProveAndFastVerify(t *testing.T) {
+	w := newWorld(t)
+	w.runShell(t, "alice", "echo hello", "cat /home/bob/x")
+
+	// Find a real sequence number to prove.
+	l := w.p.Audit()
+	l.Sync()
+	recs, err := l.Query(audit.Query{Cats: audit.CatShell, User: "alice", Limit: 1})
+	if err != nil || len(recs) == 0 {
+		t.Fatalf("no shell records to prove: %v", err)
+	}
+	seq := recs[0].Seq
+
+	out, errOut, code := w.runShellAs(t, rootUser(), "auditctl prove "+strconv.FormatUint(seq, 10))
+	if code != 0 || errOut != "" {
+		t.Fatalf("prove: code=%d err=%q out=%q", code, errOut, out)
+	}
+	if !strings.Contains(out, "proof OK") || !strings.Contains(out, "root:") {
+		t.Fatalf("prove output:\n%s", out)
+	}
+
+	_, errOut, code = w.runShellAs(t, rootUser(), "auditctl prove 999999")
+	if code == 0 || !strings.Contains(errOut, "not in any Merkle batch") {
+		t.Fatalf("proving a missing seq: code=%d err=%q", code, errOut)
+	}
+	_, errOut, code = w.runShellAs(t, rootUser(), "auditctl prove nonsense")
+	if code != 2 || !strings.Contains(errOut, "bad sequence number") {
+		t.Fatalf("bad seq arg: code=%d err=%q", code, errOut)
+	}
+
+	out, errOut, code = w.runShellAs(t, rootUser(), "auditctl verify -fast")
+	if code != 0 || !strings.Contains(out, "chain OK (roots mode)") {
+		t.Fatalf("verify -fast: code=%d out=%q err=%q", code, out, errOut)
+	}
+	out, _, code = w.runShellAs(t, rootUser(), "auditctl verify -fast -spot 2")
+	if code != 0 || !strings.Contains(out, "spot-checked") {
+		t.Fatalf("verify -fast -spot: code=%d out=%q", code, out)
+	}
+	out, _, code = w.runShellAs(t, rootUser(), "auditctl verify")
+	if code != 0 || !strings.Contains(out, "chain OK (full mode)") {
+		t.Fatalf("full verify: code=%d out=%q", code, out)
+	}
+	_, errOut, code = w.runShellAs(t, rootUser(), "auditctl verify -spot x")
+	if code != 2 || !strings.Contains(errOut, "bad spot count") {
+		t.Fatalf("bad spot arg: code=%d err=%q", code, errOut)
 	}
 }
